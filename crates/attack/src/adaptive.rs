@@ -1,0 +1,128 @@
+//! The adaptive luminance forger (Sec. VIII-J).
+//!
+//! The strongest attacker the paper considers can reconstruct the correct
+//! face-reflected luminance on the fake face — but reconstructing it per
+//! frame costs processing time, so the forged signal arrives *delayed*
+//! relative to the live screen. Fig. 17 shows the defense's rejection rate
+//! climbing to ≈ 80 % once that delay reaches 1.3 s, beyond what real-time
+//! reenactment pipelines can avoid.
+
+use lumen_dsp::Signal;
+use lumen_video::profile::UserProfile;
+use lumen_video::synth::{ReflectionSynth, SynthConfig};
+use lumen_video::{Result, VideoError};
+
+/// An attacker who forges the reflected-luminance signal with a processing
+/// delay.
+#[derive(Debug, Clone)]
+pub struct AdaptiveForger {
+    conditions: SynthConfig,
+    /// Extra processing delay of the luminance-forgery layer, seconds.
+    pub forgery_delay: f64,
+    /// Relative amplitude error of the forged reflection (0 = perfect).
+    pub gain_error: f64,
+}
+
+impl AdaptiveForger {
+    /// Creates a forger running under `conditions` with the given forgery
+    /// delay in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidParameter`] for a negative or
+    /// non-finite delay.
+    pub fn new(conditions: SynthConfig, forgery_delay: f64) -> Result<Self> {
+        if !(forgery_delay.is_finite() && forgery_delay >= 0.0) {
+            return Err(VideoError::invalid_parameter(
+                "forgery_delay",
+                "must be finite and non-negative",
+            ));
+        }
+        Ok(AdaptiveForger {
+            conditions,
+            forgery_delay,
+            gain_error: 0.0,
+        })
+    }
+
+    /// Generates the forged ROI luminance for a live transmitted trace.
+    ///
+    /// The forger observes `tx`, synthesizes the *exact* legitimate
+    /// reflection (Sec. VIII-J assumes the attacker "can generate exactly
+    /// the same relative luminance change"), then ships it late by
+    /// [`AdaptiveForger::forgery_delay`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis errors (empty `tx`).
+    pub fn forge(&self, tx: &Signal, victim: &UserProfile, seed: u64) -> Result<Signal> {
+        let synth = ReflectionSynth::new(self.conditions);
+        let genuine = synth.synthesize(tx, victim, seed)?;
+        let delayed = genuine.shift(self.forgery_delay);
+        if self.gain_error == 0.0 {
+            return Ok(delayed);
+        }
+        let mean = delayed.mean();
+        Ok(delayed.map(|v| (mean + (v - mean) * (1.0 + self.gain_error)).clamp(0.0, 255.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_video::content::MeteringScript;
+
+    fn tx() -> Signal {
+        MeteringScript::random_with_seed(21, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_delay() {
+        assert!(AdaptiveForger::new(SynthConfig::default(), -1.0).is_err());
+        assert!(AdaptiveForger::new(SynthConfig::default(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zero_delay_matches_genuine() {
+        let forger = AdaptiveForger::new(SynthConfig::default(), 0.0).unwrap();
+        let victim = UserProfile::preset(0);
+        let forged = forger.forge(&tx(), &victim, 5).unwrap();
+        let genuine = ReflectionSynth::new(SynthConfig::default())
+            .synthesize(&tx(), &victim, 5)
+            .unwrap();
+        assert_eq!(forged, genuine);
+    }
+
+    #[test]
+    fn delay_shifts_the_signal() {
+        let victim = UserProfile::preset(0);
+        let d0 = AdaptiveForger::new(SynthConfig::default(), 0.0).unwrap();
+        let d1 = AdaptiveForger::new(SynthConfig::default(), 1.0).unwrap();
+        let a = d0.forge(&tx(), &victim, 5).unwrap();
+        let b = d1.forge(&tx(), &victim, 5).unwrap();
+        // b should equal a shifted 10 samples later (interior).
+        for i in 20..140 {
+            assert!((b.samples()[i] - a.samples()[i - 10]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gain_error_scales_deviations() {
+        let victim = UserProfile::preset(0);
+        let mut forger = AdaptiveForger::new(SynthConfig::default(), 0.0).unwrap();
+        forger.gain_error = 0.5;
+        let exact = AdaptiveForger::new(SynthConfig::default(), 0.0)
+            .unwrap()
+            .forge(&tx(), &victim, 5)
+            .unwrap();
+        let scaled = forger.forge(&tx(), &victim, 5).unwrap();
+        let spread = |s: &Signal| {
+            let m = s.mean();
+            s.samples().iter().map(|v| (v - m).abs()).sum::<f64>()
+        };
+        assert!(spread(&scaled) > 1.3 * spread(&exact));
+    }
+}

@@ -1,0 +1,214 @@
+//! Naive baseline detectors.
+//!
+//! Sec. VII-A motivates the LOF classifier by dismissing the naive
+//! alternative: "we can simply check whether a luminance change happens at
+//! the same time in both videos, \[but\] it will make a weak luminance change
+//! in one video be identical to a strong luminance change in another one,
+//! which increases the chance of attackers to pass the check." These
+//! baselines implement that naive check (and a fixed-correlation variant)
+//! so the benchmarks can quantify the gap.
+
+use lumen_dsp::filters::{fir, moving};
+use lumen_dsp::peaks::{find_peak_times, PeakConfig};
+use lumen_dsp::stats::pearson;
+use lumen_dsp::{DspError, Signal};
+
+/// A detector that consumes the raw transmitted/received luminance traces
+/// and outputs accept (`true`, legitimate) or reject (`false`, attacker).
+pub trait BaselineDetector {
+    /// Detector name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `true` to accept the pair as legitimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DspError`] when the traces are degenerate (empty or
+    /// mismatched).
+    fn accepts(&self, tx: &Signal, rx: &Signal) -> Result<bool, DspError>;
+}
+
+fn change_times(signal: &Signal, prominence: f64) -> Result<Vec<f64>, DspError> {
+    let filtered = fir::lowpass(signal, 1.0)?;
+    let variance = moving::moving_variance(&filtered, 10.min(filtered.len()))?;
+    let smoothed = moving::moving_rms(&variance, 30.min(variance.len()))?;
+    Ok(find_peak_times(
+        &smoothed,
+        &PeakConfig::new().min_prominence(prominence),
+    ))
+}
+
+/// The naive timestamp-matching check: accept when a sufficient fraction of
+/// transmitted-video changes have a received-video change within the
+/// tolerance window — amplitude and trend are ignored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveTimestampDetector {
+    /// Matching tolerance in seconds.
+    pub tolerance_s: f64,
+    /// Minimum matched fraction to accept.
+    pub min_match_fraction: f64,
+}
+
+impl Default for NaiveTimestampDetector {
+    fn default() -> Self {
+        NaiveTimestampDetector {
+            tolerance_s: 1.0,
+            min_match_fraction: 0.6,
+        }
+    }
+}
+
+impl BaselineDetector for NaiveTimestampDetector {
+    fn name(&self) -> &'static str {
+        "naive-timestamp"
+    }
+
+    fn accepts(&self, tx: &Signal, rx: &Signal) -> Result<bool, DspError> {
+        let tx_changes = change_times(tx, 10.0)?;
+        let rx_changes = change_times(rx, 0.5)?;
+        if tx_changes.is_empty() {
+            // Nothing to verify: the naive check trivially passes.
+            return Ok(true);
+        }
+        let mut used = vec![false; rx_changes.len()];
+        let mut matched = 0usize;
+        for &t in &tx_changes {
+            let best = rx_changes
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| !used[*i] && (*r - t).abs() <= self.tolerance_s)
+                .min_by(|a, b| {
+                    (a.1 - t)
+                        .abs()
+                        .partial_cmp(&(b.1 - t).abs())
+                        .expect("finite times")
+                });
+            if let Some((i, _)) = best {
+                used[i] = true;
+                matched += 1;
+            }
+        }
+        Ok(matched as f64 / tx_changes.len() as f64 >= self.min_match_fraction)
+    }
+}
+
+/// A fixed-threshold Pearson-correlation detector on the low-passed traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationThresholdDetector {
+    /// Minimum correlation to accept.
+    pub min_correlation: f64,
+}
+
+impl Default for CorrelationThresholdDetector {
+    fn default() -> Self {
+        CorrelationThresholdDetector {
+            min_correlation: 0.35,
+        }
+    }
+}
+
+impl BaselineDetector for CorrelationThresholdDetector {
+    fn name(&self) -> &'static str {
+        "fixed-correlation"
+    }
+
+    fn accepts(&self, tx: &Signal, rx: &Signal) -> Result<bool, DspError> {
+        if tx.len() != rx.len() {
+            return Err(DspError::LengthMismatch {
+                left: tx.len(),
+                right: rx.len(),
+            });
+        }
+        let ftx = fir::lowpass(tx, 1.0)?;
+        let frx = fir::lowpass(rx, 1.0)?;
+        Ok(pearson(ftx.samples(), frx.samples())? >= self.min_correlation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_video::content::MeteringScript;
+    use lumen_video::profile::UserProfile;
+    use lumen_video::synth::{ReflectionSynth, SynthConfig};
+
+    fn legit_pair(seed: u64) -> (Signal, Signal) {
+        let tx = MeteringScript::random_with_seed(seed, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap();
+        let rx = ReflectionSynth::new(SynthConfig::default())
+            .synthesize(&tx, &UserProfile::preset(0), seed)
+            .unwrap();
+        (tx, rx)
+    }
+
+    fn attack_pair(seed: u64) -> (Signal, Signal) {
+        let tx = MeteringScript::random_with_seed(seed, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap();
+        let fake = crate::reenact::ReenactmentAttacker::new(
+            UserProfile::preset(0),
+            SynthConfig::default(),
+        )
+        .generate(15.0, 10.0, seed ^ 0xa77ac4)
+        .unwrap();
+        (tx, fake)
+    }
+
+    #[test]
+    fn naive_accepts_most_legit_pairs() {
+        let det = NaiveTimestampDetector::default();
+        let accepted = (0..10)
+            .filter(|&s| {
+                let (tx, rx) = legit_pair(s);
+                det.accepts(&tx, &rx).unwrap()
+            })
+            .count();
+        assert!(accepted >= 7, "only {accepted}/10 legit accepted");
+    }
+
+    #[test]
+    fn correlation_accepts_legit_rejects_most_attacks() {
+        let det = CorrelationThresholdDetector::default();
+        let legit_ok = (0..10)
+            .filter(|&s| {
+                let (tx, rx) = legit_pair(s);
+                det.accepts(&tx, &rx).unwrap()
+            })
+            .count();
+        let attacks_rejected = (0..10)
+            .filter(|&s| {
+                let (tx, rx) = attack_pair(s);
+                !det.accepts(&tx, &rx).unwrap()
+            })
+            .count();
+        assert!(legit_ok >= 7, "legit accepted {legit_ok}/10");
+        assert!(
+            attacks_rejected >= 6,
+            "attacks rejected {attacks_rejected}/10"
+        );
+    }
+
+    #[test]
+    fn naive_passes_trivially_without_changes() {
+        let det = NaiveTimestampDetector::default();
+        let tx = MeteringScript::constant(120.0, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap();
+        let (_, rx) = attack_pair(3);
+        // No transmitted changes -> naive check cannot reject: a weakness
+        // the paper's LOF features avoid.
+        assert!(det.accepts(&tx, &rx).unwrap());
+    }
+
+    #[test]
+    fn correlation_rejects_length_mismatch() {
+        let det = CorrelationThresholdDetector::default();
+        let (tx, _) = legit_pair(0);
+        let short = tx.slice(0, 50).unwrap();
+        assert!(det.accepts(&tx, &short).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! A FaceLive-style challenge-response baseline and the attack that breaks
+//! it.
+//!
+//! FaceLive (Sec. X-B of the paper) verifies liveness by correlating head
+//! movement measured by the device's motion sensors with the head-pose
+//! change observed in the video. The paper's criticism: "the face
+//! reenactment attacker can still easily break FaceLive by faking the data
+//! of motion sensors in advance since it can have enough knowledge of the
+//! target video" — and the detection runs on the *attacker's* device, so
+//! the verdict itself can be forged. This module makes that argument
+//! executable.
+
+use lumen_dsp::stats::pearson;
+use lumen_dsp::Signal;
+use lumen_video::noise::{substream, WhiteNoise};
+use lumen_video::{Result, VideoError};
+use rand::Rng;
+
+/// A head-movement challenge: the verifier asks the subject to move the
+/// head following a random low-frequency trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadMovementChallenge {
+    /// Challenge duration, seconds.
+    pub duration: f64,
+    /// Sampling rate, Hz.
+    pub sample_rate: f64,
+    /// Requested trajectory (head yaw angle, arbitrary units).
+    trajectory: Vec<f64>,
+}
+
+impl HeadMovementChallenge {
+    /// Issues a random smooth trajectory challenge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidParameter`] for non-positive duration
+    /// or rate.
+    pub fn issue(duration: f64, sample_rate: f64, seed: u64) -> Result<Self> {
+        if !(duration.is_finite() && duration > 0.0) {
+            return Err(VideoError::invalid_parameter(
+                "duration",
+                "must be finite and positive",
+            ));
+        }
+        if !(sample_rate.is_finite() && sample_rate > 0.0) {
+            return Err(VideoError::invalid_parameter(
+                "sample_rate",
+                "must be finite and positive",
+            ));
+        }
+        let mut rng = substream(seed, 70);
+        let n = (duration * sample_rate).round() as usize;
+        // Sum of two random low-frequency sines: smooth and unpredictable.
+        let f1 = rng.gen_range(0.15..0.35);
+        let f2 = rng.gen_range(0.4..0.7);
+        let a2 = rng.gen_range(0.2..0.6);
+        let p1 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let p2 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let trajectory = (0..n)
+            .map(|i| {
+                let t = i as f64 / sample_rate;
+                (std::f64::consts::TAU * f1 * t + p1).sin()
+                    + a2 * (std::f64::consts::TAU * f2 * t + p2).sin()
+            })
+            .collect();
+        Ok(HeadMovementChallenge {
+            duration,
+            sample_rate,
+            trajectory,
+        })
+    }
+
+    /// The requested trajectory.
+    pub fn trajectory(&self) -> &[f64] {
+        &self.trajectory
+    }
+
+    /// A live user's response: the video head pose and the IMU reading,
+    /// both of which track the challenge (with human tracking error).
+    pub fn live_response(&self, seed: u64) -> (Signal, Signal) {
+        let mut rng_pose = substream(seed, 71);
+        let mut rng_imu = substream(seed, 72);
+        let pose_noise = WhiteNoise::new(0.15);
+        let imu_noise = WhiteNoise::new(0.1);
+        let pose: Vec<f64> = self
+            .trajectory
+            .iter()
+            .map(|&v| v * 0.9 + pose_noise.next(&mut rng_pose))
+            .collect();
+        let imu: Vec<f64> = self
+            .trajectory
+            .iter()
+            .map(|&v| v * 0.95 + imu_noise.next(&mut rng_imu))
+            .collect();
+        (
+            Signal::new(pose, self.sample_rate).expect("finite"),
+            Signal::new(imu, self.sample_rate).expect("finite"),
+        )
+    }
+
+    /// The reenactment attacker's response (the paper's break): the
+    /// attacker drives the fake face to follow the challenge — reenactment
+    /// transfers head pose — and *synthesizes the matching IMU stream* on
+    /// the virtual device. Both streams correlate with the challenge at
+    /// least as well as a human's.
+    pub fn forged_response(&self, seed: u64) -> (Signal, Signal) {
+        let mut rng = substream(seed, 73);
+        let jitter = WhiteNoise::new(0.05);
+        let pose: Vec<f64> = self
+            .trajectory
+            .iter()
+            .map(|&v| v + jitter.next(&mut rng))
+            .collect();
+        let imu: Vec<f64> = self
+            .trajectory
+            .iter()
+            .map(|&v| v + jitter.next(&mut rng))
+            .collect();
+        (
+            Signal::new(pose, self.sample_rate).expect("finite"),
+            Signal::new(imu, self.sample_rate).expect("finite"),
+        )
+    }
+}
+
+/// The FaceLive-style verifier: accept when video pose and IMU both
+/// correlate with the challenge above a threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceLiveDetector {
+    /// Minimum Pearson correlation for each stream.
+    pub min_correlation: f64,
+}
+
+impl Default for FaceLiveDetector {
+    fn default() -> Self {
+        FaceLiveDetector {
+            min_correlation: 0.7,
+        }
+    }
+}
+
+impl FaceLiveDetector {
+    /// `true` when both streams track the challenge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates correlation errors (length mismatch).
+    pub fn accepts(
+        &self,
+        challenge: &HeadMovementChallenge,
+        pose: &Signal,
+        imu: &Signal,
+    ) -> Result<bool> {
+        let c_pose = pearson(challenge.trajectory(), pose.samples())
+            .map_err(lumen_video::VideoError::from)?;
+        let c_imu = pearson(challenge.trajectory(), imu.samples())
+            .map_err(lumen_video::VideoError::from)?;
+        Ok(c_pose >= self.min_correlation && c_imu >= self.min_correlation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn challenge_issue_validates() {
+        assert!(HeadMovementChallenge::issue(0.0, 10.0, 1).is_err());
+        assert!(HeadMovementChallenge::issue(10.0, 0.0, 1).is_err());
+        let c = HeadMovementChallenge::issue(10.0, 10.0, 1).unwrap();
+        assert_eq!(c.trajectory().len(), 100);
+    }
+
+    #[test]
+    fn challenges_differ_by_seed() {
+        let a = HeadMovementChallenge::issue(10.0, 10.0, 1).unwrap();
+        let b = HeadMovementChallenge::issue(10.0, 10.0, 2).unwrap();
+        assert_ne!(a.trajectory(), b.trajectory());
+    }
+
+    #[test]
+    fn live_user_passes() {
+        let c = HeadMovementChallenge::issue(10.0, 10.0, 3).unwrap();
+        let (pose, imu) = c.live_response(5);
+        assert!(FaceLiveDetector::default()
+            .accepts(&c, &pose, &imu)
+            .unwrap());
+    }
+
+    #[test]
+    fn sensor_forging_attacker_passes_too() {
+        // The paper's point: FaceLive offers no protection against a
+        // reenactment attacker who forges the sensor stream.
+        let c = HeadMovementChallenge::issue(10.0, 10.0, 4).unwrap();
+        let (pose, imu) = c.forged_response(6);
+        assert!(
+            FaceLiveDetector::default()
+                .accepts(&c, &pose, &imu)
+                .unwrap(),
+            "forged response should defeat the FaceLive-style check"
+        );
+    }
+
+    #[test]
+    fn uncorrelated_response_fails() {
+        let c = HeadMovementChallenge::issue(10.0, 10.0, 7).unwrap();
+        let other = HeadMovementChallenge::issue(10.0, 10.0, 8).unwrap();
+        let (pose, imu) = other.live_response(9);
+        assert!(!FaceLiveDetector::default()
+            .accepts(&c, &pose, &imu)
+            .unwrap());
+    }
+}

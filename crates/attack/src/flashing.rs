@@ -1,0 +1,195 @@
+//! A screen-flashing challenge baseline (Tang et al., Sec. X-B) and its
+//! user-experience cost.
+//!
+//! The flashing defense actively replaces displayed frames with pre-designed
+//! bright/dark patterns and checks the face-reflected response. It detects
+//! reenactment well — the same physics Lumen uses — but "the flashing
+//! pictures replace the original video frames, which will degrade the user
+//! experience between two legitimate users". This module implements the
+//! challenge, the reflection check, and a quantitative disruption metric so
+//! the related-work experiment can put numbers on the trade-off.
+
+use lumen_dsp::stats::pearson;
+use lumen_dsp::Signal;
+use lumen_video::profile::UserProfile;
+use lumen_video::synth::{ReflectionSynth, SynthConfig};
+use lumen_video::{Result, VideoError};
+
+/// A flashing challenge: dark/bright frame replacements at a fixed period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashingChallenge {
+    /// Flash frequency, Hz.
+    pub frequency: f64,
+    /// Luminance displayed during dark flashes.
+    pub dark_level: f64,
+    /// Luminance displayed during bright flashes.
+    pub bright_level: f64,
+}
+
+impl Default for FlashingChallenge {
+    fn default() -> Self {
+        FlashingChallenge {
+            frequency: 0.5,
+            dark_level: 5.0,
+            bright_level: 250.0,
+        }
+    }
+}
+
+impl FlashingChallenge {
+    /// Replaces the displayed video's luminance with the flash pattern.
+    /// Returns the pattern the callee's screen actually shows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidParameter`] for an empty input.
+    pub fn displayed_pattern(&self, original: &Signal) -> Result<Signal> {
+        if original.is_empty() {
+            return Err(VideoError::invalid_parameter(
+                "original",
+                "displayed video must be non-empty",
+            ));
+        }
+        let half_period = 0.5 / self.frequency;
+        let samples: Vec<f64> = (0..original.len())
+            .map(|i| {
+                let t = original.time_at(i);
+                if ((t / half_period) as u64).is_multiple_of(2) {
+                    self.dark_level
+                } else {
+                    self.bright_level
+                }
+            })
+            .collect();
+        Ok(Signal::new(samples, original.sample_rate())?)
+    }
+
+    /// User-experience disruption: mean absolute luminance deviation
+    /// between what the callee *should* have seen and what the challenge
+    /// displayed, normalized to `[0, 1]` (0 = untouched video).
+    ///
+    /// Lumen's passive scheme scores 0 on this metric by construction —
+    /// it never alters displayed frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidParameter`] for an empty input.
+    pub fn disruption(&self, original: &Signal) -> Result<f64> {
+        let displayed = self.displayed_pattern(original)?;
+        let mad = original
+            .samples()
+            .iter()
+            .zip(displayed.samples())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / original.len() as f64;
+        Ok((mad / 255.0).clamp(0.0, 1.0))
+    }
+}
+
+/// The flashing verifier: accept when the face reflection correlates with
+/// the flash pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashingDetector {
+    /// Minimum Pearson correlation between pattern and reflection.
+    pub min_correlation: f64,
+}
+
+impl Default for FlashingDetector {
+    fn default() -> Self {
+        FlashingDetector {
+            min_correlation: 0.5,
+        }
+    }
+}
+
+impl FlashingDetector {
+    /// Runs the whole active check: display the pattern, observe the
+    /// (real or fake) face trace, correlate.
+    ///
+    /// `face_response` receives the *displayed* pattern and must return the
+    /// face trace the camera captured — a live reflection for a genuine
+    /// user, or an attacker's synthetic output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and correlation errors.
+    pub fn accepts(
+        &self,
+        challenge: &FlashingChallenge,
+        original: &Signal,
+        face_response: impl FnOnce(&Signal) -> Result<Signal>,
+    ) -> Result<bool> {
+        let displayed = challenge.displayed_pattern(original)?;
+        let face = face_response(&displayed)?;
+        let corr = pearson(displayed.samples(), face.samples()).map_err(VideoError::from)?;
+        Ok(corr >= self.min_correlation)
+    }
+}
+
+/// Convenience: a genuine user's response to any displayed signal.
+pub fn live_face_response(
+    conditions: SynthConfig,
+    profile: UserProfile,
+    seed: u64,
+) -> impl FnOnce(&Signal) -> Result<Signal> {
+    move |displayed: &Signal| ReflectionSynth::new(conditions).synthesize(displayed, &profile, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reenact::ReenactmentAttacker;
+    use lumen_video::content::MeteringScript;
+
+    fn original() -> Signal {
+        MeteringScript::random_with_seed(5, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn pattern_alternates_and_disrupts() {
+        let ch = FlashingChallenge::default();
+        let displayed = ch.displayed_pattern(&original()).unwrap();
+        assert_eq!(displayed.len(), 150);
+        assert!(displayed.samples().contains(&5.0));
+        assert!(displayed.samples().contains(&250.0));
+        let d = ch.disruption(&original()).unwrap();
+        assert!(d > 0.25, "disruption {d} suspiciously low");
+    }
+
+    #[test]
+    fn live_face_passes_flashing_check() {
+        let det = FlashingDetector::default();
+        let ok = det
+            .accepts(
+                &FlashingChallenge::default(),
+                &original(),
+                live_face_response(SynthConfig::default(), UserProfile::preset(0), 3),
+            )
+            .unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn reenactment_fails_flashing_check() {
+        let det = FlashingDetector::default();
+        let attacker = ReenactmentAttacker::new(UserProfile::preset(0), SynthConfig::default());
+        let ok = det
+            .accepts(&FlashingChallenge::default(), &original(), |displayed| {
+                attacker.generate(displayed.duration(), displayed.sample_rate(), 9)
+            })
+            .unwrap();
+        assert!(!ok, "reenactment passed the flashing check");
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let ch = FlashingChallenge::default();
+        let empty = Signal::new(vec![], 10.0).unwrap();
+        assert!(ch.displayed_pattern(&empty).is_err());
+        assert!(ch.disruption(&empty).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! Attacker simulators and baseline detectors for the Lumen defense.
+//!
+//! The paper's adversary (Sec. III-A) impersonates a victim over video chat
+//! by generating fake facial videos in real time with face reenactment
+//! (ICFace in the evaluation) and feeding them to the chat software through
+//! a virtual camera. The crucial physical property — the basis of the whole
+//! defense — is that a reenacted face inherits the *target video's*
+//! luminance dynamics, not the luminance of the attacker's live screen.
+//!
+//! * [`reenact`] — the ICFace-style attacker: output luminance follows the
+//!   victim's pre-recorded clip, with small expression-transfer artifacts;
+//! * [`adaptive`] — the strong attacker of Sec. VIII-J who *can* forge the
+//!   correct reflected-luminance signal but pays a processing delay;
+//! * [`replay`] — the classic media-replay attacker (re-filming a screen);
+//! * [`compute`] — frame-rate/latency feasibility model for reenactment
+//!   pipelines (Face2Face ≈ 27.6 fps, ICFace-class up to 47.5 Hz);
+//! * [`baseline`] — naive timestamp-matching and fixed-correlation
+//!   detectors used as comparison points in the benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod baseline;
+pub mod compute;
+pub mod facelive;
+pub mod flashing;
+pub mod reenact;
+pub mod replay;

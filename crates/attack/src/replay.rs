@@ -1,0 +1,131 @@
+//! The classic media-replay attacker.
+//!
+//! Weaker than reenactment (Sec. III-A notes the virtual-camera adversary is
+//! *stronger* than screen replay): the attacker points a camera at a screen
+//! playing a recorded clip of the victim. The replayed luminance is the
+//! recorded clip's, compressed by the replay screen's dynamic range, plus a
+//! faint reflection of the attacker's *live* chat screen off the replay
+//! panel's glass — a fixed small fraction of the genuine reflection gain.
+
+use lumen_dsp::Signal;
+use lumen_video::content::MeteringScript;
+use lumen_video::noise::{substream, WhiteNoise};
+use lumen_video::profile::UserProfile;
+use lumen_video::synth::{ReflectionSynth, SynthConfig};
+use lumen_video::Result;
+
+/// A screen-replay attacker.
+#[derive(Debug, Clone)]
+pub struct ReplayAttacker {
+    victim: UserProfile,
+    recording_conditions: SynthConfig,
+    /// Contrast compression of the replay path (camera filming a screen),
+    /// `(0, 1]`.
+    pub contrast: f64,
+    /// Fraction of the genuine live-screen reflection leaking off the
+    /// replay panel's glass.
+    pub glass_leak: f64,
+    /// Re-filming sensor noise (luma units).
+    pub refilm_noise: f64,
+}
+
+impl ReplayAttacker {
+    /// Creates a replay attacker for `victim`.
+    pub fn new(victim: UserProfile, recording_conditions: SynthConfig) -> Self {
+        ReplayAttacker {
+            victim,
+            recording_conditions,
+            contrast: 0.8,
+            glass_leak: 0.08,
+            refilm_noise: 1.2,
+        }
+    }
+
+    /// Generates the replayed ROI luminance while the live caller transmits
+    /// `live_tx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn generate(&self, live_tx: &Signal, seed: u64) -> Result<Signal> {
+        let duration = live_tx.duration();
+        let rate = live_tx.sample_rate();
+        // The recorded clip, shaped by the victim's environment then.
+        let mut rng = substream(seed, 20);
+        let recorded_script = MeteringScript::random(
+            &mut rng,
+            duration,
+            &lumen_video::content::ScriptParams::default(),
+        )?;
+        let recorded_tx = recorded_script.sample_signal(rate)?;
+        let synth = ReflectionSynth::new(self.recording_conditions);
+        let recorded_roi = synth.synthesize(&recorded_tx, &self.victim, seed ^ rep_seed())?;
+
+        // Live screen leak through the replay panel glass.
+        let live_gain = self.glass_leak
+            * ReflectionSynth::new(self.recording_conditions).predicted_amplitude(
+                &self.victim,
+                live_tx.mean(),
+                1.0,
+            );
+        let mut noise_rng = substream(seed, 21);
+        let noise = WhiteNoise::new(self.refilm_noise);
+        let mean = recorded_roi.mean();
+        let samples: Vec<f64> = recorded_roi
+            .samples()
+            .iter()
+            .zip(live_tx.samples())
+            .map(|(&rec, &live)| {
+                let compressed = mean + (rec - mean) * self.contrast;
+                (compressed + live_gain * (live - live_tx.mean()) + noise.next(&mut noise_rng))
+                    .clamp(0.0, 255.0)
+            })
+            .collect();
+        Ok(Signal::new(samples, rate)?)
+    }
+}
+
+const fn rep_seed() -> u64 {
+    0x52_45_50 // "REP"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live() -> Signal {
+        MeteringScript::random_with_seed(31, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = ReplayAttacker::new(UserProfile::preset(2), SynthConfig::default());
+        let x = a.generate(&live(), 4).unwrap();
+        let y = a.generate(&live(), 4).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn replay_stays_in_range() {
+        let a = ReplayAttacker::new(UserProfile::preset(2), SynthConfig::default());
+        let t = a.generate(&live(), 9).unwrap();
+        assert!(t.samples().iter().all(|&v| (0.0..=255.0).contains(&v)));
+        assert_eq!(t.len(), live().len());
+    }
+
+    #[test]
+    fn glass_leak_couples_weakly_to_live_screen() {
+        let mut strong = ReplayAttacker::new(UserProfile::preset(2), SynthConfig::default());
+        strong.glass_leak = 1.0;
+        let mut none = ReplayAttacker::new(UserProfile::preset(2), SynthConfig::default());
+        none.glass_leak = 0.0;
+        let with_leak = strong.generate(&live(), 7).unwrap();
+        let without = none.generate(&live(), 7).unwrap();
+        let corr_with = lumen_dsp::stats::pearson(live().samples(), with_leak.samples()).unwrap();
+        let corr_without = lumen_dsp::stats::pearson(live().samples(), without.samples()).unwrap();
+        assert!(corr_with > corr_without, "{corr_with} vs {corr_without}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the attacker simulators.
+
+use lumen_attack::adaptive::AdaptiveForger;
+use lumen_attack::compute::ComputeModel;
+use lumen_attack::reenact::ReenactmentAttacker;
+use lumen_attack::replay::ReplayAttacker;
+use lumen_video::content::MeteringScript;
+use lumen_video::profile::UserProfile;
+use lumen_video::synth::SynthConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn reenactment_output_is_valid_trace(seed in 0u64..100, victim in 0usize..10) {
+        let attacker = ReenactmentAttacker::new(UserProfile::preset(victim), SynthConfig::default());
+        let t = attacker.generate(15.0, 10.0, seed).unwrap();
+        prop_assert_eq!(t.len(), 150);
+        prop_assert!(t.samples().iter().all(|&v| (0.0..=255.0).contains(&v)));
+    }
+
+    #[test]
+    fn adaptive_forger_delay_shifts_consistently(seed in 0u64..50, delay_ticks in 0usize..20) {
+        let delay = delay_ticks as f64 / 10.0;
+        let tx = MeteringScript::random_with_seed(seed, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap();
+        let victim = UserProfile::preset(0);
+        let zero = AdaptiveForger::new(SynthConfig::default(), 0.0).unwrap();
+        let late = AdaptiveForger::new(SynthConfig::default(), delay).unwrap();
+        let a = zero.forge(&tx, &victim, seed).unwrap();
+        let b = late.forge(&tx, &victim, seed).unwrap();
+        // Interior samples shift exactly by the delay.
+        for i in (delay_ticks + 1)..(a.len() - 1) {
+            prop_assert_eq!(b.samples()[i], a.samples()[i - delay_ticks]);
+        }
+    }
+
+    #[test]
+    fn replay_output_is_valid_trace(seed in 0u64..60, victim in 0usize..10) {
+        let tx = MeteringScript::random_with_seed(seed, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap();
+        let attacker = ReplayAttacker::new(UserProfile::preset(victim), SynthConfig::default());
+        let t = attacker.generate(&tx, seed).unwrap();
+        prop_assert_eq!(t.len(), tx.len());
+        prop_assert!(t.samples().iter().all(|&v| (0.0..=255.0).contains(&v)));
+    }
+
+    #[test]
+    fn compute_model_latency_grows_with_relight_cost(relight in 0.0f64..500.0, extra in 1.0f64..500.0) {
+        let a = ComputeModel::icface().with_luminance_forgery(relight);
+        let b = ComputeModel::icface().with_luminance_forgery(relight + extra);
+        prop_assert!(b.latency_s() > a.latency_s());
+        prop_assert!(b.achievable_fps() < a.achievable_fps());
+    }
+
+    #[test]
+    fn sustainable_fps_is_consistent(per_frame_ms in 1.0f64..200.0, fps in 1.0f64..120.0) {
+        let m = ComputeModel { per_frame_ms, pipeline_depth: 2 };
+        prop_assert_eq!(m.can_sustain(fps), m.achievable_fps() >= fps);
+    }
+}

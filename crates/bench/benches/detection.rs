@@ -1,0 +1,81 @@
+//! Classification-side costs: LOF scoring, training, voting, plus the
+//! naive-baseline comparison (DESIGN.md ablation: LOF vs timestamp check vs
+//! fixed correlation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_attack::baseline::{
+    BaselineDetector, CorrelationThresholdDetector, NaiveTimestampDetector,
+};
+use lumen_bench::{attack_pair, standard_pair, trained_detector, training_pairs};
+use lumen_core::detector::Detector;
+use lumen_core::voting::combine_votes;
+use lumen_core::Config;
+use std::hint::black_box;
+
+fn bench_detection(c: &mut Criterion) {
+    let config = Config::default();
+    let detector = trained_detector();
+    let legit = standard_pair();
+    let attack = attack_pair();
+    let features = detector.features(&legit).unwrap();
+    let training = training_pairs();
+
+    c.bench_function("lof_score_single_vector", |b| {
+        b.iter(|| detector.score(black_box(&features)).unwrap())
+    });
+    c.bench_function("train_detector_20_clips", |b| {
+        b.iter(|| Detector::train_from_traces(black_box(&training), config).unwrap())
+    });
+    c.bench_function("detect_legitimate_clip", |b| {
+        b.iter(|| detector.detect(black_box(&legit)).unwrap())
+    });
+    c.bench_function("detect_attack_clip", |b| {
+        b.iter(|| detector.detect(black_box(&attack)).unwrap())
+    });
+    c.bench_function("majority_vote_d5", |b| {
+        let votes = [true, false, true, true, false];
+        b.iter(|| combine_votes(black_box(&votes), 0.7).unwrap())
+    });
+    c.bench_function("baseline_naive_timestamp", |b| {
+        let det = NaiveTimestampDetector::default();
+        b.iter(|| {
+            det.accepts(black_box(&legit.tx), black_box(&legit.rx))
+                .unwrap()
+        })
+    });
+    c.bench_function("baseline_fixed_correlation", |b| {
+        let det = CorrelationThresholdDetector::default();
+        b.iter(|| {
+            det.accepts(black_box(&legit.tx), black_box(&legit.rx))
+                .unwrap()
+        })
+    });
+
+    // k-NN backend crossover: brute force wins at the paper's 20-instance
+    // scale; the k-d tree wins on large organizational training pools.
+    for n in [20usize, 200, 2000] {
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                vec![
+                    (t * 0.37).sin().abs(),
+                    (t * 0.73).cos().abs(),
+                    (t * 0.11).sin() * 0.5 + 0.5,
+                    (t * 0.053).fract(),
+                ]
+            })
+            .collect();
+        let brute = lumen_lof::knn::KnnIndex::new(points.clone()).unwrap();
+        let tree = lumen_lof::kdtree::KdTree::new(points).unwrap();
+        let query = [0.9, 0.9, 0.8, 0.1];
+        c.bench_function(&format!("knn_brute_force_n{n}"), |b| {
+            b.iter(|| brute.nearest(black_box(&query), 5, None).unwrap())
+        });
+        c.bench_function(&format!("knn_kdtree_n{n}"), |b| {
+            b.iter(|| tree.nearest(black_box(&query), 5, None).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

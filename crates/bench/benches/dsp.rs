@@ -1,0 +1,69 @@
+//! Per-stage DSP costs on 15-second (150-sample) clips — the ablation view
+//! of the Sec. IX overhead budget, plus the FIR-vs-IIR low-pass ablation
+//! called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_bench::standard_pair;
+use lumen_dsp::filters::{biquad, fir, moving, savgol, threshold};
+use lumen_dsp::peaks::{find_peaks, PeakConfig};
+use lumen_dsp::{dtw, fft, normalize, stats, xcorr};
+use std::hint::black_box;
+
+fn bench_dsp(c: &mut Criterion) {
+    let pair = standard_pair();
+    let signal = &pair.rx;
+
+    c.bench_function("fir_lowpass_1hz", |b| {
+        b.iter(|| fir::lowpass(black_box(signal), 1.0).unwrap())
+    });
+    c.bench_function("iir_filtfilt_lowpass_1hz", |b| {
+        b.iter(|| biquad::filtfilt_lowpass(black_box(signal), 1.0).unwrap())
+    });
+    c.bench_function("moving_variance_w10", |b| {
+        b.iter(|| moving::moving_variance(black_box(signal), 10).unwrap())
+    });
+    c.bench_function("moving_rms_w30", |b| {
+        b.iter(|| moving::moving_rms(black_box(signal), 30).unwrap())
+    });
+    c.bench_function("threshold_filter", |b| {
+        b.iter(|| threshold::threshold_filter(black_box(signal), 2.0).unwrap())
+    });
+    c.bench_function("savgol_w31_p3", |b| {
+        b.iter(|| savgol::savgol_smooth(black_box(signal), 31, 3).unwrap())
+    });
+    c.bench_function("find_peaks_prominence", |b| {
+        b.iter(|| {
+            find_peaks(
+                black_box(signal.samples()),
+                &PeakConfig::new().min_prominence(0.5),
+            )
+        })
+    });
+    c.bench_function("pearson_150", |b| {
+        b.iter(|| {
+            stats::pearson(black_box(pair.tx.samples()), black_box(signal.samples())).unwrap()
+        })
+    });
+    c.bench_function("dtw_75x75", |b| {
+        let x = &pair.tx.samples()[..75];
+        let y = &signal.samples()[..75];
+        b.iter(|| dtw::dtw_distance(black_box(x), black_box(y)).unwrap())
+    });
+    c.bench_function("dtw_banded_75x75_w10", |b| {
+        let x = &pair.tx.samples()[..75];
+        let y = &signal.samples()[..75];
+        b.iter(|| dtw::dtw_distance_banded(black_box(x), black_box(y), Some(10)).unwrap())
+    });
+    c.bench_function("fft_spectrum_150", |b| {
+        b.iter(|| fft::magnitude_spectrum(black_box(signal)).unwrap())
+    });
+    c.bench_function("normalize_min_max", |b| {
+        b.iter(|| normalize::normalize_min_max(black_box(signal)).unwrap())
+    });
+    c.bench_function("delay_estimation_xcorr", |b| {
+        b.iter(|| xcorr::estimate_delay(black_box(&pair.tx), black_box(signal), 1.0).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_dsp);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Frame-side costs: rendering, landmark detection and ROI extraction.
+//! Sec. IX cites landmark detection at 300 fps on a phone; the detector
+//! here must clear that bar by a wide margin on a desktop core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_bench::standard_frame;
+use lumen_face::detect::detect_landmarks;
+use lumen_face::geometry::FaceGeometry;
+use lumen_face::render::FaceRenderer;
+use lumen_face::roi::roi_luminance;
+use std::hint::black_box;
+
+fn bench_landmarks(c: &mut Criterion) {
+    let frame = standard_frame();
+    let landmarks = detect_landmarks(&frame).expect("face visible");
+    let renderer = FaceRenderer::default();
+    let geom = FaceGeometry::centered(160, 120);
+
+    c.bench_function("render_face_frame_160x120", |b| {
+        b.iter(|| renderer.render(black_box(&geom), 130.0).unwrap())
+    });
+    c.bench_function("detect_landmarks_160x120", |b| {
+        b.iter(|| detect_landmarks(black_box(&frame)).unwrap())
+    });
+    c.bench_function("roi_luminance_extraction", |b| {
+        b.iter(|| roi_luminance(black_box(&frame), black_box(&landmarks)).unwrap())
+    });
+    c.bench_function("frame_mean_luminance", |b| {
+        b.iter(|| black_box(&frame).mean_luminance())
+    });
+}
+
+criterion_group!(benches, bench_landmarks);
+criterion_main!(benches);

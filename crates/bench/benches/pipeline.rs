@@ -1,0 +1,34 @@
+//! The Sec. IX headline: feature extraction + classification for one
+//! 15-second clip must fit comfortably inside 0.2 s (the paper's bound on a
+//! desktop CPU with a Matlab/Python implementation; compiled Rust should be
+//! orders of magnitude faster).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_bench::{standard_pair, trained_detector};
+use lumen_core::detector::Detector;
+use lumen_core::preprocess::{preprocess_rx, preprocess_tx};
+use lumen_core::Config;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let config = Config::default();
+    let pair = standard_pair();
+    let detector = trained_detector();
+
+    c.bench_function("preprocess_tx_15s_clip", |b| {
+        b.iter(|| preprocess_tx(black_box(&pair.tx), &config).unwrap())
+    });
+    c.bench_function("preprocess_rx_15s_clip", |b| {
+        b.iter(|| preprocess_rx(black_box(&pair.rx), &config).unwrap())
+    });
+    c.bench_function("features_from_15s_clip", |b| {
+        b.iter(|| Detector::features_with(black_box(&pair), &config).unwrap())
+    });
+    // The paper's "feature extraction and classification together" number.
+    c.bench_function("sec9_full_detection_15s_clip", |b| {
+        b.iter(|| detector.detect(black_box(&pair)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

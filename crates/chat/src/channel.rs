@@ -1,0 +1,227 @@
+//! A lossy, delayed, ordered network channel.
+//!
+//! Video-chat transports deliver frames with a base propagation delay plus
+//! jitter, occasionally dropping frames; receivers display the most recent
+//! frame and hold it across gaps. Ordered delivery is enforced the way a
+//! jitter buffer would (a frame never overtakes its predecessor).
+
+use crate::packet::FramePacket;
+use crate::{ChatError, Result};
+use lumen_video::noise::{gaussian, substream};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Network quality parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Base one-way delay, seconds.
+    pub base_delay: f64,
+    /// Jitter standard deviation, seconds.
+    pub jitter: f64,
+    /// Independent per-packet drop probability.
+    pub drop_prob: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        // A decent residential connection: 120 ms one-way, mild jitter.
+        ChannelConfig {
+            base_delay: 0.12,
+            jitter: 0.015,
+            drop_prob: 0.01,
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChatError::InvalidParameter`] for negative delay/jitter or
+    /// a drop probability outside `[0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.base_delay.is_finite() && self.base_delay >= 0.0) {
+            return Err(ChatError::invalid_parameter(
+                "base_delay",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(self.jitter.is_finite() && self.jitter >= 0.0) {
+            return Err(ChatError::invalid_parameter(
+                "jitter",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.drop_prob) {
+            return Err(ChatError::invalid_parameter(
+                "drop_prob",
+                "must lie in [0, 1)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A one-way channel instance.
+#[derive(Debug, Clone)]
+pub struct NetworkChannel {
+    config: ChannelConfig,
+    rng: ChaCha8Rng,
+    in_flight: VecDeque<(f64, FramePacket)>,
+    last_delivery_ts: f64,
+}
+
+impl NetworkChannel {
+    /// Creates a channel with deterministic behaviour for `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChannelConfig::validate`] failures.
+    pub fn new(config: ChannelConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        Ok(NetworkChannel {
+            config,
+            rng: substream(seed, 30),
+            in_flight: VecDeque::new(),
+            last_delivery_ts: 0.0,
+        })
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// Submits a packet at time `now`. Dropped packets vanish here.
+    pub fn send(&mut self, packet: FramePacket, now: f64) {
+        if self.config.drop_prob > 0.0 && self.rng.gen::<f64>() < self.config.drop_prob {
+            return;
+        }
+        let jitter = self.config.jitter * gaussian(&mut self.rng);
+        let mut deliver_at = now + (self.config.base_delay + jitter).max(0.0);
+        // Ordered delivery: never overtake the previous packet.
+        if deliver_at < self.last_delivery_ts {
+            deliver_at = self.last_delivery_ts;
+        }
+        self.last_delivery_ts = deliver_at;
+        self.in_flight.push_back((deliver_at, packet));
+    }
+
+    /// Returns every packet whose delivery time has arrived, in order.
+    pub fn poll(&mut self, now: f64) -> Vec<FramePacket> {
+        let mut out = Vec::new();
+        while let Some(&(ts, packet)) = self.in_flight.front() {
+            if ts <= now {
+                out.push(packet);
+                self.in_flight.pop_front();
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of packets still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless(delay: f64) -> NetworkChannel {
+        NetworkChannel::new(
+            ChannelConfig {
+                base_delay: delay,
+                jitter: 0.0,
+                drop_prob: 0.0,
+            },
+            1,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validates() {
+        assert!(ChannelConfig {
+            base_delay: -1.0,
+            ..ChannelConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelConfig {
+            drop_prob: 1.0,
+            ..ChannelConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn delivers_after_delay() {
+        let mut ch = lossless(0.2);
+        ch.send(FramePacket::new(0, 0.0, 50.0), 0.0);
+        assert!(ch.poll(0.1).is_empty());
+        let out = ch.poll(0.2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 0);
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    fn preserves_order_under_jitter() {
+        let mut ch = NetworkChannel::new(
+            ChannelConfig {
+                base_delay: 0.1,
+                jitter: 0.05,
+                drop_prob: 0.0,
+            },
+            7,
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            ch.send(FramePacket::new(i, i as f64 * 0.1, 0.0), i as f64 * 0.1);
+        }
+        let delivered = ch.poll(1e9);
+        assert_eq!(delivered.len(), 200);
+        for w in delivered.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+        }
+    }
+
+    #[test]
+    fn drops_packets_at_configured_rate() {
+        let mut ch = NetworkChannel::new(
+            ChannelConfig {
+                base_delay: 0.0,
+                jitter: 0.0,
+                drop_prob: 0.3,
+            },
+            9,
+        )
+        .unwrap();
+        for i in 0..2000u64 {
+            ch.send(FramePacket::new(i, 0.0, 0.0), 0.0);
+        }
+        let got = ch.poll(1.0).len();
+        let rate = 1.0 - got as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "drop rate {rate}");
+    }
+
+    #[test]
+    fn channel_is_deterministic() {
+        let run = || {
+            let mut ch = NetworkChannel::new(ChannelConfig::default(), 5).unwrap();
+            for i in 0..100u64 {
+                ch.send(FramePacket::new(i, i as f64 * 0.1, 1.0), i as f64 * 0.1);
+            }
+            ch.poll(1e9).iter().map(|p| p.seq).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,88 @@
+//! The simulation clock.
+//!
+//! Every component of a session shares one discrete clock ticking at the
+//! video sample rate; timestamps are seconds since session start.
+
+/// A discrete simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClock {
+    tick: u64,
+    dt: f64,
+}
+
+impl SimClock {
+    /// Creates a clock ticking every `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and positive — a clock with a
+    /// degenerate tick cannot drive a simulation.
+    pub fn new(dt: f64) -> Self {
+        assert!(
+            dt.is_finite() && dt > 0.0,
+            "clock tick must be finite and positive, got {dt}"
+        );
+        SimClock { tick: 0, dt }
+    }
+
+    /// A clock ticking at `rate` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn at_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be finite and positive, got {rate}"
+        );
+        SimClock::new(1.0 / rate)
+    }
+
+    /// Current time in seconds.
+    pub fn now(&self) -> f64 {
+        self.tick as f64 * self.dt
+    }
+
+    /// Current tick index.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Tick duration in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advances one tick and returns the new time.
+    pub fn advance(&mut self) -> f64 {
+        self.tick += 1;
+        self.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_accumulate_time() {
+        let mut c = SimClock::at_rate(10.0);
+        assert_eq!(c.now(), 0.0);
+        c.advance();
+        c.advance();
+        assert!((c.now() - 0.2).abs() < 1e-12);
+        assert_eq!(c.tick(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_zero_dt() {
+        SimClock::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_bad_rate() {
+        SimClock::at_rate(f64::NAN);
+    }
+}

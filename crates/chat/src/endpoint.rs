@@ -1,0 +1,193 @@
+//! Session endpoints: the caller (Alice) and pluggable callee behaviours
+//! (a live face, or any attacker from `lumen-attack`).
+
+use crate::Result;
+use lumen_attack::adaptive::AdaptiveForger;
+use lumen_attack::reenact::ReenactmentAttacker;
+use lumen_attack::replay::ReplayAttacker;
+use lumen_dsp::Signal;
+use lumen_video::content::{add_scene_noise, MeteringScript};
+use lumen_video::noise::substream;
+use lumen_video::profile::UserProfile;
+use lumen_video::synth::{ReflectionSynth, SynthConfig};
+
+/// The caller: generates the transmitted video's luminance trace.
+#[derive(Debug, Clone)]
+pub struct Caller {
+    script: MeteringScript,
+    /// Scene-noise standard deviation added to the clean script (content
+    /// motion in the caller's video).
+    pub scene_noise: f64,
+}
+
+impl Caller {
+    /// Creates a caller from a metering script.
+    pub fn new(script: MeteringScript) -> Self {
+        Caller {
+            script,
+            scene_noise: 2.0,
+        }
+    }
+
+    /// The underlying script.
+    pub fn script(&self) -> &MeteringScript {
+        &self.script
+    }
+
+    /// Produces the transmitted luminance trace at `sample_rate`, with
+    /// seeded scene noise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates script-sampling errors.
+    pub fn transmit(&self, sample_rate: f64, seed: u64) -> Result<Signal> {
+        let clean = self.script.sample_signal(sample_rate)?;
+        let mut rng = substream(seed, 40);
+        Ok(add_scene_noise(&clean, self.scene_noise, &mut rng))
+    }
+}
+
+/// How the callee's camera feed is produced from what his screen displays.
+///
+/// The trait is object-safe so sessions can hold any behaviour.
+pub trait CalleeBehavior {
+    /// Behaviour name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Produces the callee's camera ROI luminance trace, given the
+    /// luminance his screen actually displayed at each tick.
+    ///
+    /// # Errors
+    ///
+    /// Implementations propagate simulator errors.
+    fn respond(&self, displayed: &Signal, seed: u64) -> Result<Signal>;
+}
+
+/// A legitimate callee: a live face reflecting the screen.
+#[derive(Debug, Clone)]
+pub struct LiveFace {
+    /// The callee's identity.
+    pub profile: UserProfile,
+    /// The callee-side optics.
+    pub conditions: SynthConfig,
+}
+
+impl CalleeBehavior for LiveFace {
+    fn name(&self) -> &'static str {
+        "live-face"
+    }
+
+    fn respond(&self, displayed: &Signal, seed: u64) -> Result<Signal> {
+        Ok(ReflectionSynth::new(self.conditions).synthesize(displayed, &self.profile, seed)?)
+    }
+}
+
+/// A face-reenactment attacker callee.
+#[derive(Debug, Clone)]
+pub struct ReenactmentCallee {
+    /// The attacker model.
+    pub attacker: ReenactmentAttacker,
+}
+
+impl CalleeBehavior for ReenactmentCallee {
+    fn name(&self) -> &'static str {
+        "reenactment"
+    }
+
+    fn respond(&self, displayed: &Signal, seed: u64) -> Result<Signal> {
+        // The fake video ignores the live screen entirely.
+        Ok(self
+            .attacker
+            .generate(displayed.duration(), displayed.sample_rate(), seed)?)
+    }
+}
+
+/// An adaptive luminance-forging callee (Sec. VIII-J).
+#[derive(Debug, Clone)]
+pub struct AdaptiveCallee {
+    /// The forger model (carries the forgery delay).
+    pub forger: AdaptiveForger,
+    /// The impersonated victim.
+    pub victim: UserProfile,
+}
+
+impl CalleeBehavior for AdaptiveCallee {
+    fn name(&self) -> &'static str {
+        "adaptive-forger"
+    }
+
+    fn respond(&self, displayed: &Signal, seed: u64) -> Result<Signal> {
+        Ok(self.forger.forge(displayed, &self.victim, seed)?)
+    }
+}
+
+/// A media-replay callee.
+#[derive(Debug, Clone)]
+pub struct ReplayCallee {
+    /// The replay attacker model.
+    pub attacker: ReplayAttacker,
+}
+
+impl CalleeBehavior for ReplayCallee {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn respond(&self, displayed: &Signal, seed: u64) -> Result<Signal> {
+        Ok(self.attacker.generate(displayed, seed)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caller_transmit_is_noisy_but_close_to_script() {
+        let script = MeteringScript::random_with_seed(1, 15.0).unwrap();
+        let caller = Caller::new(script.clone());
+        let tx = caller.transmit(10.0, 2).unwrap();
+        let clean = script.sample_signal(10.0).unwrap();
+        assert_eq!(tx.len(), clean.len());
+        let rms_dev = (tx
+            .samples()
+            .iter()
+            .zip(clean.samples())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / tx.len() as f64)
+            .sqrt();
+        assert!(rms_dev > 0.5 && rms_dev < 10.0, "rms {rms_dev}");
+    }
+
+    #[test]
+    fn live_face_follows_display() {
+        let callee = LiveFace {
+            profile: UserProfile::preset(0),
+            conditions: SynthConfig::default(),
+        };
+        let displayed = MeteringScript::square_wave(40.0, 200.0, 0.2, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap();
+        let rx = callee.respond(&displayed, 3).unwrap();
+        assert_eq!(rx.len(), displayed.len());
+        let corr = lumen_dsp::stats::pearson(displayed.samples(), rx.samples()).unwrap();
+        assert!(corr > 0.5, "live face corr {corr}");
+    }
+
+    #[test]
+    fn behaviours_are_object_safe() {
+        let behaviours: Vec<Box<dyn CalleeBehavior>> = vec![
+            Box::new(LiveFace {
+                profile: UserProfile::preset(0),
+                conditions: SynthConfig::default(),
+            }),
+            Box::new(ReenactmentCallee {
+                attacker: ReenactmentAttacker::new(UserProfile::preset(0), SynthConfig::default()),
+            }),
+        ];
+        let names: Vec<&str> = behaviours.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["live-face", "reenactment"]);
+    }
+}

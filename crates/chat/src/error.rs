@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors produced by the chat simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChatError {
+    /// A parameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Propagated optics-simulator error.
+    Video(lumen_video::VideoError),
+    /// Propagated signal-processing error.
+    Dsp(lumen_dsp::DspError),
+}
+
+impl ChatError {
+    /// Convenience constructor for [`ChatError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        ChatError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ChatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChatError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ChatError::Video(e) => write!(f, "optics simulation failed: {e}"),
+            ChatError::Dsp(e) => write!(f, "signal processing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChatError::Video(e) => Some(e),
+            ChatError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lumen_video::VideoError> for ChatError {
+    fn from(e: lumen_video::VideoError) -> Self {
+        ChatError::Video(e)
+    }
+}
+
+impl From<lumen_dsp::DspError> for ChatError {
+    fn from(e: lumen_dsp::DspError) -> Self {
+        ChatError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ChatError::from(lumen_dsp::DspError::EmptySignal);
+        assert!(e.source().is_some());
+        let e = ChatError::invalid_parameter("delay", "negative");
+        assert!(e.to_string().contains("delay"));
+    }
+}

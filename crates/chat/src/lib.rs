@@ -1,0 +1,43 @@
+//! Simulated real-time video-chat transport for the Lumen defense.
+//!
+//! Fig. 4 of the paper describes the five-step loop the detector rides on:
+//! Alice records her video (1) and streams it to Bob (2); Bob's screen
+//! displays it while his camera records his face (3); Bob's video streams
+//! back to Alice (4); Alice's detector correlates the two luminance traces
+//! (5). This crate simulates steps 1–4 with an explicit clock, lossy
+//! delayed channels and pluggable callee behaviour (live face or any
+//! attacker from `lumen-attack`), producing the [`trace::TracePair`] that
+//! `lumen-core` consumes for step 5.
+//!
+//! # Example
+//!
+//! ```
+//! use lumen_chat::scenario::ScenarioBuilder;
+//!
+//! # fn main() -> Result<(), lumen_chat::ChatError> {
+//! let builder = ScenarioBuilder::default();
+//! let legit = builder.legitimate(0, 42)?;   // volunteer 0, seed 42
+//! let attack = builder.reenactment(0, 42)?; // reenacting the same victim
+//! assert_eq!(legit.tx.len(), attack.tx.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod channel;
+pub mod clock;
+pub mod endpoint;
+pub mod packet;
+pub mod scenario;
+pub mod session;
+pub mod stats;
+pub mod trace;
+
+pub use error::ChatError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ChatError>;

@@ -1,0 +1,91 @@
+//! Video frame packets.
+//!
+//! The simulator transports one packet per sampled frame. The payload is a
+//! compact binary encoding (sequence number, capture timestamp, frame
+//! luminance) — enough for the luminance pipeline while exercising a real
+//! encode/decode round trip over [`bytes`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Byte length of an encoded packet.
+pub const WIRE_LEN: usize = 8 + 8 + 8;
+
+/// One video frame on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FramePacket {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// Capture timestamp, seconds since session start.
+    pub capture_ts: f64,
+    /// Frame luminance (overall for transmitted video, ROI for received).
+    pub luma: f64,
+}
+
+impl FramePacket {
+    /// Creates a packet.
+    pub fn new(seq: u64, capture_ts: f64, luma: f64) -> Self {
+        FramePacket {
+            seq,
+            capture_ts,
+            luma,
+        }
+    }
+
+    /// Encodes the packet to its wire form.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(WIRE_LEN);
+        buf.put_u64(self.seq);
+        buf.put_f64(self.capture_ts);
+        buf.put_f64(self.luma);
+        buf.freeze()
+    }
+
+    /// Decodes a packet from its wire form.
+    ///
+    /// Returns `None` when the buffer is too short or carries non-finite
+    /// fields.
+    pub fn decode(mut wire: Bytes) -> Option<Self> {
+        if wire.len() < WIRE_LEN {
+            return None;
+        }
+        let seq = wire.get_u64();
+        let capture_ts = wire.get_f64();
+        let luma = wire.get_f64();
+        if !capture_ts.is_finite() || !luma.is_finite() {
+            return None;
+        }
+        Some(FramePacket {
+            seq,
+            capture_ts,
+            luma,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = FramePacket::new(42, 1.25, 117.5);
+        let decoded = FramePacket::decode(p.encode()).unwrap();
+        assert_eq!(p, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        assert!(FramePacket::decode(Bytes::from_static(&[0u8; 8])).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_non_finite() {
+        let p = FramePacket::new(1, f64::NAN, 10.0);
+        assert!(FramePacket::decode(p.encode()).is_none());
+    }
+
+    #[test]
+    fn wire_length_is_exact() {
+        assert_eq!(FramePacket::new(0, 0.0, 0.0).encode().len(), WIRE_LEN);
+    }
+}

@@ -1,0 +1,250 @@
+//! The duplex session simulation (steps 1–4 of Fig. 4).
+
+use crate::channel::{ChannelConfig, NetworkChannel};
+use crate::clock::SimClock;
+use crate::endpoint::{CalleeBehavior, Caller};
+use crate::packet::FramePacket;
+use crate::trace::{ScenarioKind, TracePair};
+use crate::{ChatError, Result};
+use lumen_dsp::Signal;
+
+/// Session parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Clip duration in seconds (the paper segments chats into 15 s clips).
+    pub duration: f64,
+    /// Luminance sampling rate in Hz (the paper samples at 10 Hz).
+    pub sample_rate: f64,
+    /// Caller → callee network path.
+    pub forward: ChannelConfig,
+    /// Callee → caller network path.
+    pub backward: ChannelConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            duration: 15.0,
+            sample_rate: 10.0,
+            forward: ChannelConfig::default(),
+            backward: ChannelConfig::default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChatError::InvalidParameter`] for non-positive duration or
+    /// rate, and propagates channel validation.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.duration.is_finite() && self.duration > 0.0) {
+            return Err(ChatError::invalid_parameter(
+                "duration",
+                "must be finite and positive",
+            ));
+        }
+        if !(self.sample_rate.is_finite() && self.sample_rate > 0.0) {
+            return Err(ChatError::invalid_parameter(
+                "sample_rate",
+                "must be finite and positive",
+            ));
+        }
+        self.forward.validate()?;
+        self.backward.validate()
+    }
+}
+
+/// Streams `source` through a channel tick by tick; the receiver displays
+/// the latest delivered frame and holds it across gaps (a jitter-buffer
+/// display). Returns the displayed luminance per tick.
+fn stream_through(source: &Signal, config: ChannelConfig, seed: u64) -> Result<Signal> {
+    let mut channel = NetworkChannel::new(config, seed)?;
+    let mut clock = SimClock::at_rate(source.sample_rate());
+    let mut displayed = Vec::with_capacity(source.len());
+    // Until the first frame lands, the receiver shows the stream's first
+    // frame (connection preroll), avoiding a spurious luminance step.
+    let mut current = source.samples()[0];
+    for (i, &luma) in source.samples().iter().enumerate() {
+        let now = clock.now();
+        channel.send(FramePacket::new(i as u64, now, luma), now);
+        for packet in channel.poll(now) {
+            current = packet.luma;
+        }
+        displayed.push(current);
+        clock.advance();
+    }
+    Ok(Signal::new(displayed, source.sample_rate())?)
+}
+
+/// Runs a full duplex session and returns the caller-side trace pair.
+///
+/// # Errors
+///
+/// Propagates configuration and simulator errors. The source signal must be
+/// non-empty (enforced by a positive duration/rate in the config).
+pub fn run_session(
+    caller: &Caller,
+    callee: &dyn CalleeBehavior,
+    config: &SessionConfig,
+    kind: ScenarioKind,
+    seed: u64,
+) -> Result<TracePair> {
+    config.validate()?;
+    // Step 1-2: Alice transmits; Bob's screen displays what survives the
+    // forward path.
+    let tx = caller.transmit(config.sample_rate, seed)?;
+    if tx.is_empty() {
+        return Err(ChatError::invalid_parameter(
+            "duration",
+            "session produced no samples",
+        ));
+    }
+    let displayed_at_bob = stream_through(&tx, config.forward, seed ^ 0xf0_0d)?;
+    // Step 3: Bob's camera output (live reflection or attack).
+    let rx_at_bob = callee.respond(&displayed_at_bob, seed ^ 0xbeef)?;
+    // Step 4: Bob's video rides the backward path to Alice.
+    let rx_at_alice = stream_through(&rx_at_bob, config.backward, seed ^ 0xcafe)?;
+    Ok(TracePair {
+        tx,
+        rx: rx_at_alice,
+        kind,
+        seed,
+        forward_delay: config.forward.base_delay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::LiveFace;
+    use lumen_video::content::MeteringScript;
+    use lumen_video::profile::UserProfile;
+    use lumen_video::synth::SynthConfig;
+
+    fn caller(seed: u64) -> Caller {
+        Caller::new(MeteringScript::random_with_seed(seed, 15.0).unwrap())
+    }
+
+    fn live() -> LiveFace {
+        LiveFace {
+            profile: UserProfile::preset(0),
+            conditions: SynthConfig::default(),
+        }
+    }
+
+    #[test]
+    fn config_validates() {
+        let mut c = SessionConfig::default();
+        assert!(c.validate().is_ok());
+        c.duration = 0.0;
+        assert!(c.validate().is_err());
+        c = SessionConfig::default();
+        c.sample_rate = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn session_produces_aligned_traces() {
+        let pair = run_session(
+            &caller(5),
+            &live(),
+            &SessionConfig::default(),
+            ScenarioKind::Legitimate { user: 0 },
+            5,
+        )
+        .unwrap();
+        assert_eq!(pair.tx.len(), 150);
+        assert_eq!(pair.rx.len(), 150);
+        assert_eq!(pair.tx.sample_rate(), 10.0);
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let run = || {
+            run_session(
+                &caller(5),
+                &live(),
+                &SessionConfig::default(),
+                ScenarioKind::Legitimate { user: 0 },
+                5,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn network_delay_shifts_rx() {
+        let slow = SessionConfig {
+            forward: ChannelConfig {
+                base_delay: 0.5,
+                jitter: 0.0,
+                drop_prob: 0.0,
+            },
+            backward: ChannelConfig {
+                base_delay: 0.5,
+                jitter: 0.0,
+                drop_prob: 0.0,
+            },
+            ..SessionConfig::default()
+        };
+        let fast = SessionConfig {
+            forward: ChannelConfig {
+                base_delay: 0.0,
+                jitter: 0.0,
+                drop_prob: 0.0,
+            },
+            backward: ChannelConfig {
+                base_delay: 0.0,
+                jitter: 0.0,
+                drop_prob: 0.0,
+            },
+            ..SessionConfig::default()
+        };
+        let a = run_session(
+            &caller(6),
+            &live(),
+            &slow,
+            ScenarioKind::Legitimate { user: 0 },
+            6,
+        )
+        .unwrap();
+        let b = run_session(
+            &caller(6),
+            &live(),
+            &fast,
+            ScenarioKind::Legitimate { user: 0 },
+            6,
+        )
+        .unwrap();
+        // The slow path's rx is a delayed version of the fast path's: the
+        // best cross-correlation lag should be near 10 samples (1.0 s of
+        // round-trip display+return delay).
+        let (lag, _) = lumen_dsp::xcorr::best_lag(b.rx.samples(), a.rx.samples(), 20).unwrap();
+        assert!((8..=12).contains(&lag), "lag {lag}");
+    }
+
+    #[test]
+    fn heavy_loss_still_completes() {
+        let lossy = SessionConfig {
+            forward: ChannelConfig {
+                base_delay: 0.12,
+                jitter: 0.02,
+                drop_prob: 0.3,
+            },
+            ..SessionConfig::default()
+        };
+        let pair = run_session(
+            &caller(7),
+            &live(),
+            &lossy,
+            ScenarioKind::Legitimate { user: 0 },
+            7,
+        )
+        .unwrap();
+        assert_eq!(pair.rx.len(), 150);
+    }
+}

@@ -1,0 +1,187 @@
+//! Transport diagnostics: measured delivery delay, loss and display-hold
+//! statistics for a streamed session — the numbers an operator would watch
+//! to know whether the link is good enough for the defense (see the
+//! `network` experiment for the accuracy impact).
+
+use crate::channel::{ChannelConfig, NetworkChannel};
+use crate::packet::FramePacket;
+use crate::Result;
+use lumen_dsp::Signal;
+
+/// Summary statistics of one direction of a streamed session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Packets submitted.
+    pub sent: usize,
+    /// Packets delivered.
+    pub delivered: usize,
+    /// Measured loss fraction.
+    pub loss: f64,
+    /// Mean delivery delay, seconds.
+    pub mean_delay: f64,
+    /// Median delivery delay, seconds.
+    pub p50_delay: f64,
+    /// 95th-percentile delivery delay, seconds.
+    pub p95_delay: f64,
+    /// Maximum delivery delay, seconds.
+    pub max_delay: f64,
+    /// Fraction of ticks on which the receiver re-displayed a held frame
+    /// (no fresh delivery that tick).
+    pub hold_fraction: f64,
+}
+
+/// Quantile of a sorted slice by linear interpolation; `None` when empty.
+fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Streams `source` through a channel configured by `config` and measures
+/// what a receiver would observe. The stream is deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates channel-configuration errors.
+pub fn measure_channel(source: &Signal, config: ChannelConfig, seed: u64) -> Result<ChannelStats> {
+    let mut channel = NetworkChannel::new(config, seed)?;
+    let dt = 1.0 / source.sample_rate();
+    let mut delays = Vec::new();
+    let mut delivered = 0usize;
+    let mut holds = 0usize;
+    for (i, &luma) in source.samples().iter().enumerate() {
+        let now = i as f64 * dt;
+        channel.send(FramePacket::new(i as u64, now, luma), now);
+        let arrived = channel.poll(now);
+        if arrived.is_empty() {
+            holds += 1;
+        }
+        for p in arrived {
+            delivered += 1;
+            delays.push(now - p.capture_ts);
+        }
+    }
+    // Drain the tail by continuing to tick (coarse polling at the stream
+    // end would otherwise inflate the measured delays).
+    let mut tick = source.len();
+    while channel.in_flight() > 0 && tick < source.len() + 10_000 {
+        let now = tick as f64 * dt;
+        for p in channel.poll(now) {
+            delivered += 1;
+            delays.push(now - p.capture_ts);
+        }
+        tick += 1;
+    }
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+    let mean_delay = if delays.is_empty() {
+        0.0
+    } else {
+        delays.iter().sum::<f64>() / delays.len() as f64
+    };
+    Ok(ChannelStats {
+        sent: source.len(),
+        delivered,
+        loss: 1.0 - delivered as f64 / source.len().max(1) as f64,
+        mean_delay,
+        p50_delay: quantile(&delays, 0.5).unwrap_or(0.0),
+        p95_delay: quantile(&delays, 0.95).unwrap_or(0.0),
+        max_delay: delays.last().copied().unwrap_or(0.0),
+        hold_fraction: holds as f64 / source.len().max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_video::content::MeteringScript;
+
+    fn source() -> Signal {
+        MeteringScript::constant(100.0, 30.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn lossless_channel_measures_cleanly() {
+        let stats = measure_channel(
+            &source(),
+            ChannelConfig {
+                base_delay: 0.2,
+                jitter: 0.0,
+                drop_prob: 0.0,
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(stats.sent, 300);
+        assert_eq!(stats.delivered, 300);
+        assert!(stats.loss.abs() < 1e-12);
+        assert!(
+            (stats.mean_delay - 0.2).abs() < 0.02,
+            "{}",
+            stats.mean_delay
+        );
+        assert!((stats.p50_delay - 0.2).abs() < 0.02);
+        // Constant 0.2 s delay at 0.1 s ticks: the first two ticks hold.
+        assert!(stats.hold_fraction < 0.05);
+    }
+
+    #[test]
+    fn lossy_channel_reports_loss() {
+        let stats = measure_channel(
+            &source(),
+            ChannelConfig {
+                base_delay: 0.1,
+                jitter: 0.0,
+                drop_prob: 0.25,
+            },
+            2,
+        )
+        .unwrap();
+        assert!((stats.loss - 0.25).abs() < 0.08, "loss {}", stats.loss);
+        assert!(stats.hold_fraction > stats.loss * 0.5);
+    }
+
+    #[test]
+    fn jitter_widens_percentiles() {
+        let calm = measure_channel(
+            &source(),
+            ChannelConfig {
+                base_delay: 0.15,
+                jitter: 0.0,
+                drop_prob: 0.0,
+            },
+            3,
+        )
+        .unwrap();
+        let jittery = measure_channel(
+            &source(),
+            ChannelConfig {
+                base_delay: 0.15,
+                jitter: 0.08,
+                drop_prob: 0.0,
+            },
+            3,
+        )
+        .unwrap();
+        assert!(
+            jittery.p95_delay - jittery.p50_delay > calm.p95_delay - calm.p50_delay,
+            "jitter did not widen the delay spread"
+        );
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}

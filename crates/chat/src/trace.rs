@@ -1,0 +1,71 @@
+//! Session traces — the detector's input.
+
+use lumen_dsp::Signal;
+
+/// What kind of callee produced a trace (ground truth for evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioKind {
+    /// A live legitimate user.
+    Legitimate {
+        /// Preset index of the volunteer.
+        user: usize,
+    },
+    /// A face-reenactment attacker impersonating a victim.
+    Reenactment {
+        /// Preset index of the impersonated victim.
+        victim: usize,
+    },
+    /// An adaptive luminance forger with a processing delay.
+    Adaptive {
+        /// Preset index of the impersonated victim.
+        victim: usize,
+        /// Forgery delay in seconds.
+        delay: f64,
+    },
+    /// A media-replay attacker.
+    Replay {
+        /// Preset index of the impersonated victim.
+        victim: usize,
+    },
+}
+
+impl ScenarioKind {
+    /// `true` when the callee is a live legitimate user.
+    pub fn is_legitimate(&self) -> bool {
+        matches!(self, ScenarioKind::Legitimate { .. })
+    }
+}
+
+/// One complete detection input: the luminance trace Alice transmitted and
+/// the ROI luminance trace she received back, time-aligned to the session
+/// clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePair {
+    /// Transmitted-video luminance (Alice's own video).
+    pub tx: Signal,
+    /// Received-video ROI luminance (Bob's face, as seen by Alice).
+    pub rx: Signal,
+    /// Ground-truth scenario.
+    pub kind: ScenarioKind,
+    /// The seed that generated the scenario (for reproduction).
+    pub seed: u64,
+    /// Actual one-way network delay applied on the forward path, seconds.
+    pub forward_delay: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legitimacy_flag() {
+        assert!(ScenarioKind::Legitimate { user: 0 }.is_legitimate());
+        assert!(!ScenarioKind::Reenactment { victim: 0 }.is_legitimate());
+        assert!(!ScenarioKind::Adaptive {
+            victim: 0,
+            delay: 1.0
+        }
+        .is_legitimate());
+        assert!(!ScenarioKind::Replay { victim: 0 }.is_legitimate());
+    }
+}

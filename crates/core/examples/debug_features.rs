@@ -1,0 +1,43 @@
+//! Diagnostic dump of feature vectors and LOF scores (development aid).
+
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::detector::Detector;
+use lumen_core::Config;
+
+fn main() {
+    let b = ScenarioBuilder::default();
+    let config = Config::default();
+    let train: Vec<_> = (0..20)
+        .map(|i| b.legitimate(0, 9000 + i).unwrap())
+        .collect();
+    let det = Detector::train_from_traces(&train, config).unwrap();
+
+    println!("== training features ==");
+    for pair in train.iter().take(8) {
+        let f = det.features(pair).unwrap();
+        println!(
+            "legit(train) z=[{:.2} {:.2} {:+.2} {:.2}]",
+            f.z1, f.z2, f.z3, f.z4
+        );
+    }
+    println!("== legit test ==");
+    for s in 0..10u64 {
+        let pair = b.legitimate(0, 333 + s).unwrap();
+        let d = det.detect(&pair).unwrap();
+        let f = d.features;
+        println!(
+            "legit z=[{:.2} {:.2} {:+.2} {:.2}] score {:.2} accepted {}",
+            f.z1, f.z2, f.z3, f.z4, d.score, d.accepted
+        );
+    }
+    println!("== attacks ==");
+    for s in 0..10u64 {
+        let pair = b.reenactment(0, 333 + s).unwrap();
+        let d = det.detect(&pair).unwrap();
+        let f = d.features;
+        println!(
+            "attack z=[{:.2} {:.2} {:+.2} {:.2}] score {:.2} accepted {}",
+            f.z1, f.z2, f.z3, f.z4, d.score, d.accepted
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Diagnostic dump of preprocessing stages (development aid).
+
+use lumen_core::preprocess::{preprocess_rx, preprocess_tx};
+use lumen_core::Config;
+use lumen_video::content::MeteringScript;
+use lumen_video::profile::UserProfile;
+use lumen_video::synth::{ReflectionSynth, SynthConfig};
+
+fn main() {
+    let config = Config::default();
+    for seed in 0..4u64 {
+        let script = MeteringScript::random_with_seed(seed, 15.0).unwrap();
+        let tx = script.sample_signal(10.0).unwrap();
+        let out = preprocess_tx(&tx, &config).unwrap();
+        println!(
+            "seed {seed}: truth {:?}\n  tx peaks {:?} (prom {:?})",
+            script.change_times(),
+            out.change_times(),
+            out.peaks.iter().map(|p| p.prominence).collect::<Vec<_>>()
+        );
+        println!(
+            "  tx smoothed min {:?} max {:?}",
+            out.smoothed.min(),
+            out.smoothed.max()
+        );
+        let rx = ReflectionSynth::new(SynthConfig::default())
+            .synthesize(&tx, &UserProfile::preset(0), seed)
+            .unwrap();
+        let rout = preprocess_rx(&rx, &config).unwrap();
+        println!(
+            "  rx peaks {:?} (prom {:?}) smoothed max {:?}",
+            rout.change_times(),
+            rout.peaks
+                .iter()
+                .map(|p| (p.prominence * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
+            rout.smoothed.max()
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Threshold calibration from legitimate data only.
+//!
+//! The paper fixes τ = 3 after a testbed sweep (Fig. 12). A deployment on
+//! different optics can re-derive a threshold *without attacker data*: the
+//! leave-one-out LOF scores of the legitimate training set estimate the
+//! score distribution of genuine users, and τ is placed at a high quantile
+//! of that distribution times a safety margin.
+
+use crate::detector::Detector;
+use crate::features::FeatureVector;
+use crate::{Config, CoreError, Result};
+use lumen_lof::lof::LofModel;
+
+/// Calibration settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Quantile of the training-score distribution to place τ at
+    /// (e.g. 0.95 targets ≈ 5 % FRR).
+    pub quantile: f64,
+    /// Multiplicative safety margin on the quantile score.
+    pub margin: f64,
+    /// Lower clamp for τ (LOF scores of inliers hover near 1, so a τ below
+    /// ~1.2 would reject almost everyone).
+    pub min_threshold: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            quantile: 0.95,
+            margin: 1.3,
+            min_threshold: 1.5,
+        }
+    }
+}
+
+impl Calibration {
+    /// Derives a threshold from legitimate feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InsufficientTraining`] for fewer than
+    /// `config.lof_k + 2` instances and propagates LOF errors.
+    pub fn derive_threshold(&self, instances: &[FeatureVector], config: &Config) -> Result<f64> {
+        let required = config.lof_k + 2;
+        if instances.len() < required {
+            return Err(CoreError::InsufficientTraining {
+                provided: instances.len(),
+                required,
+            });
+        }
+        if !((0.0..=1.0).contains(&self.quantile) && self.margin.is_finite() && self.margin > 0.0) {
+            return Err(CoreError::invalid_config(
+                "calibration",
+                "quantile must lie in [0,1] and margin be positive",
+            ));
+        }
+        let points: Vec<Vec<f64>> = instances.iter().map(FeatureVector::to_vec).collect();
+        let model = LofModel::fit(points, config.lof_k)?;
+        let mut scores: Vec<f64> = model
+            .training_scores()
+            .into_iter()
+            .filter(|s| s.is_finite())
+            .collect();
+        if scores.is_empty() {
+            return Err(CoreError::invalid_config(
+                "calibration",
+                "no finite training scores",
+            ));
+        }
+        scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let pos = self.quantile * (scores.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        let q = scores[lo] * (1.0 - frac) + scores[hi] * frac;
+        Ok((q * self.margin).max(self.min_threshold))
+    }
+
+    /// Trains a detector with an auto-calibrated threshold.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Calibration::derive_threshold`] and
+    /// [`Detector::train`].
+    pub fn train_calibrated(
+        &self,
+        instances: &[FeatureVector],
+        config: Config,
+    ) -> Result<Detector> {
+        let tau = self.derive_threshold(instances, &config)?;
+        Detector::train(instances, config.with_threshold(tau))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::legitimate_features;
+    use lumen_chat::scenario::ScenarioBuilder;
+
+    fn features() -> Vec<FeatureVector> {
+        let builder = ScenarioBuilder::default();
+        legitimate_features(&builder, 0, 25, 95_000, &Config::default()).unwrap()
+    }
+
+    #[test]
+    fn derived_threshold_is_sane() {
+        let tau = Calibration::default()
+            .derive_threshold(&features(), &Config::default())
+            .unwrap();
+        // On the default testbed, auto-calibration should land in the same
+        // region the paper's sweep found (τ between ~1.5 and ~4.5).
+        assert!((1.5..=4.5).contains(&tau), "τ = {tau}");
+    }
+
+    #[test]
+    fn calibrated_detector_works() {
+        let feats = features();
+        let det = Calibration::default()
+            .train_calibrated(&feats, Config::default())
+            .unwrap();
+        let builder = ScenarioBuilder::default();
+        let legit = builder.legitimate(0, 96_000).unwrap();
+        let attack = builder.reenactment(0, 96_000).unwrap();
+        assert!(det.detect(&legit).unwrap().accepted);
+        assert!(!det.detect(&attack).unwrap().accepted);
+    }
+
+    #[test]
+    fn needs_enough_instances() {
+        let feats = features();
+        assert!(Calibration::default()
+            .derive_threshold(&feats[..5], &Config::default())
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_settings() {
+        let cal = Calibration {
+            quantile: 1.5,
+            ..Calibration::default()
+        };
+        assert!(cal
+            .derive_threshold(&features(), &Config::default())
+            .is_err());
+        let cal = Calibration {
+            margin: 0.0,
+            ..Calibration::default()
+        };
+        assert!(cal
+            .derive_threshold(&features(), &Config::default())
+            .is_err());
+    }
+
+    #[test]
+    fn higher_quantile_is_not_stricter() {
+        let feats = features();
+        let low = Calibration {
+            quantile: 0.5,
+            ..Calibration::default()
+        }
+        .derive_threshold(&feats, &Config::default())
+        .unwrap();
+        let high = Calibration {
+            quantile: 0.99,
+            ..Calibration::default()
+        }
+        .derive_threshold(&feats, &Config::default())
+        .unwrap();
+        assert!(high >= low);
+    }
+}

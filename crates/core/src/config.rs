@@ -1,0 +1,238 @@
+//! Pipeline configuration with the paper's published defaults.
+
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Every tunable of the detection pipeline, defaulting to the constants the
+/// paper reports (see DESIGN.md §4 for the parameter-to-section map).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// Video luminance sampling rate in Hz (Sec. IV: 10 Hz).
+    pub sample_rate: f64,
+    /// Low-pass cut-off in Hz (Sec. V: 1 Hz).
+    pub lowpass_cutoff: f64,
+    /// Short-time variance window in samples (Sec. V: 10).
+    pub variance_window: usize,
+    /// Variance threshold filter cut-off (Sec. V: 2).
+    pub variance_threshold: f64,
+    /// RMS smoothing window in samples (Sec. V: 30).
+    pub rms_window: usize,
+    /// Savitzky–Golay window in samples (Sec. V: 31).
+    pub savgol_window: usize,
+    /// Savitzky–Golay polynomial order (standard cubic fit).
+    pub savgol_polyorder: usize,
+    /// Final moving-average window in samples (Sec. V: 10).
+    pub avg_window: usize,
+    /// Minimum peak prominence for the transmitted signal (Sec. V: 10).
+    pub tx_prominence: f64,
+    /// Minimum peak prominence for the received signal (Sec. V: 0.5).
+    pub rx_prominence: f64,
+    /// Matching tolerance for luminance-change pairing, seconds. Changes
+    /// farther apart than this are never matched — the implicit bound that
+    /// makes forgery delay detectable (Fig. 17).
+    pub match_window: f64,
+    /// Cap on the estimated network delay that gets compensated, seconds.
+    pub max_network_delay: f64,
+    /// DTW feature scale divisor (Sec. VI: 30).
+    pub dtw_scale: f64,
+    /// Number of segments each trend signal is cut into (Sec. VI: 2).
+    pub segments: usize,
+    /// LOF neighbour count (Sec. VII-A: 5).
+    pub lof_k: usize,
+    /// LOF decision threshold τ (Sec. VII-A: 3).
+    pub lof_threshold: f64,
+    /// Majority-voting coefficient (Sec. VII-B: 0.7).
+    pub vote_coefficient: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_rate: 10.0,
+            lowpass_cutoff: 1.0,
+            variance_window: 10,
+            variance_threshold: 2.0,
+            rms_window: 30,
+            savgol_window: 31,
+            savgol_polyorder: 3,
+            avg_window: 10,
+            tx_prominence: 10.0,
+            rx_prominence: 0.5,
+            match_window: 1.35,
+            max_network_delay: 1.0,
+            dtw_scale: 30.0,
+            segments: 2,
+            lof_k: 5,
+            lof_threshold: 3.0,
+            vote_coefficient: 0.7,
+        }
+    }
+}
+
+impl Config {
+    /// Returns a copy with a different sampling rate — the Fig. 16 study.
+    /// Window lengths stay in *samples*, exactly as the paper specifies
+    /// them, so lowering the rate stretches every window in wall-clock time
+    /// (the mechanism behind the 5 Hz collapse).
+    pub fn with_sample_rate(mut self, rate: f64) -> Self {
+        self.sample_rate = rate;
+        self
+    }
+
+    /// Returns a copy with a different LOF threshold τ — the Fig. 12 sweep.
+    pub fn with_threshold(mut self, tau: f64) -> Self {
+        self.lof_threshold = tau;
+        self
+    }
+
+    /// Validates all fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] naming the first bad field.
+    pub fn validate(&self) -> Result<()> {
+        let positive = |field: &'static str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(CoreError::invalid_config(
+                    field,
+                    "must be finite and positive",
+                ))
+            }
+        };
+        positive("sample_rate", self.sample_rate)?;
+        positive("lowpass_cutoff", self.lowpass_cutoff)?;
+        if self.lowpass_cutoff >= self.sample_rate / 2.0 {
+            return Err(CoreError::invalid_config(
+                "lowpass_cutoff",
+                "must be below Nyquist",
+            ));
+        }
+        for (field, v) in [
+            ("variance_window", self.variance_window),
+            ("rms_window", self.rms_window),
+            ("savgol_window", self.savgol_window),
+            ("avg_window", self.avg_window),
+            ("segments", self.segments),
+            ("lof_k", self.lof_k),
+        ] {
+            if v == 0 {
+                return Err(CoreError::invalid_config(field, "must be non-zero"));
+            }
+        }
+        if self.savgol_window.is_multiple_of(2) {
+            return Err(CoreError::invalid_config("savgol_window", "must be odd"));
+        }
+        if self.savgol_polyorder >= self.savgol_window {
+            return Err(CoreError::invalid_config(
+                "savgol_polyorder",
+                "must be below savgol_window",
+            ));
+        }
+        positive("tx_prominence", self.tx_prominence)?;
+        positive("rx_prominence", self.rx_prominence)?;
+        positive("match_window", self.match_window)?;
+        if !(self.max_network_delay.is_finite() && self.max_network_delay >= 0.0) {
+            return Err(CoreError::invalid_config(
+                "max_network_delay",
+                "must be finite and non-negative",
+            ));
+        }
+        positive("dtw_scale", self.dtw_scale)?;
+        positive("lof_threshold", self.lof_threshold)?;
+        if !(0.0..=1.0).contains(&self.vote_coefficient) {
+            return Err(CoreError::invalid_config(
+                "vote_coefficient",
+                "must lie in [0, 1]",
+            ));
+        }
+        if !(self.variance_threshold.is_finite() && self.variance_threshold >= 0.0) {
+            return Err(CoreError::invalid_config(
+                "variance_threshold",
+                "must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Config::default();
+        assert_eq!(c.sample_rate, 10.0);
+        assert_eq!(c.lowpass_cutoff, 1.0);
+        assert_eq!(c.variance_window, 10);
+        assert_eq!(c.variance_threshold, 2.0);
+        assert_eq!(c.rms_window, 30);
+        assert_eq!(c.savgol_window, 31);
+        assert_eq!(c.avg_window, 10);
+        assert_eq!(c.tx_prominence, 10.0);
+        assert_eq!(c.rx_prominence, 0.5);
+        assert_eq!(c.dtw_scale, 30.0);
+        assert_eq!(c.lof_k, 5);
+        assert_eq!(c.lof_threshold, 3.0);
+        assert_eq!(c.vote_coefficient, 0.7);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        assert!(Config {
+            sample_rate: 0.0,
+            ..Config::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Config {
+            lowpass_cutoff: 6.0,
+            ..Config::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Config {
+            savgol_window: 30,
+            ..Config::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Config {
+            savgol_polyorder: 31,
+            ..Config::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Config {
+            vote_coefficient: 1.5,
+            ..Config::default()
+        }
+        .validate()
+        .is_err());
+        assert!(Config {
+            lof_k: 0,
+            ..Config::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn builders_modify_single_fields() {
+        let c = Config::default().with_sample_rate(8.0).with_threshold(2.5);
+        assert_eq!(c.sample_rate, 8.0);
+        assert_eq!(c.lof_threshold, 2.5);
+        assert_eq!(c.variance_window, 10);
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let c = Config::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Config = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,319 @@
+//! The LOF-based fake-video detector (Sec. VII-A).
+
+use crate::features::{extract_features, FeatureVector};
+use crate::preprocess::{preprocess_rx, preprocess_tx};
+use crate::{Config, CoreError, Result};
+use lumen_chat::trace::TracePair;
+use lumen_lof::classifier::LofClassifier;
+
+/// One detection outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// The extracted feature vector.
+    pub features: FeatureVector,
+    /// The LOF score of the vector against the training set.
+    pub score: f64,
+    /// `true` when the untrusted user is accepted as legitimate
+    /// (`score <= τ`).
+    pub accepted: bool,
+}
+
+/// A trained detector.
+///
+/// Training uses *only* legitimate users' data — the paper's headline
+/// deployment property: no attacker data, and training data may come from
+/// *other* users than the one being protected (Fig. 11's "trained using
+/// others' data" condition).
+#[derive(Debug, Clone)]
+pub struct Detector {
+    classifier: LofClassifier,
+    config: Config,
+}
+
+impl Detector {
+    /// Trains on pre-extracted legitimate feature vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InsufficientTraining`] when fewer than
+    /// `lof_k + 1` instances are provided, and propagates configuration and
+    /// LOF errors.
+    pub fn train(instances: &[FeatureVector], config: Config) -> Result<Self> {
+        config.validate()?;
+        let required = config.lof_k + 1;
+        if instances.len() < required {
+            return Err(CoreError::InsufficientTraining {
+                provided: instances.len(),
+                required,
+            });
+        }
+        let points: Vec<Vec<f64>> = instances.iter().map(FeatureVector::to_vec).collect();
+        let classifier = LofClassifier::fit(points, config.lof_k, config.lof_threshold)?;
+        Ok(Detector { classifier, config })
+    }
+
+    /// Trains directly on legitimate trace pairs (extracting features
+    /// first).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::train`], plus feature-extraction
+    /// errors.
+    pub fn train_from_traces(pairs: &[TracePair], config: Config) -> Result<Self> {
+        let features = pairs
+            .iter()
+            .map(|p| Self::features_with(p, &config))
+            .collect::<Result<Vec<_>>>()?;
+        Self::train(&features, config)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Returns a copy of this detector with a different decision threshold
+    /// τ (reusing the fitted model) — the Fig. 12 sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates threshold validation.
+    pub fn with_threshold(&self, tau: f64) -> Result<Self> {
+        Ok(Detector {
+            classifier: self.classifier.with_threshold(tau)?,
+            config: self.config.with_threshold(tau),
+        })
+    }
+
+    /// Extracts the feature vector of a trace pair under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and feature-extraction errors.
+    pub fn features_with(pair: &TracePair, config: &Config) -> Result<FeatureVector> {
+        let tx = preprocess_tx(&pair.tx, config)?;
+        let rx = preprocess_rx(&pair.rx, config)?;
+        extract_features(&tx, &rx, config)
+    }
+
+    /// Extracts the feature vector of a trace pair with this detector's
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and feature-extraction errors.
+    pub fn features(&self, pair: &TracePair) -> Result<FeatureVector> {
+        Self::features_with(pair, &self.config)
+    }
+
+    /// Scores a pre-extracted feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LOF query errors.
+    pub fn score(&self, features: &FeatureVector) -> Result<f64> {
+        Ok(self.classifier.score(&features.as_array())?)
+    }
+
+    /// Runs one full detection on a trace pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction and LOF errors.
+    pub fn detect(&self, pair: &TracePair) -> Result<Detection> {
+        let features = self.features(pair)?;
+        self.judge(&features)
+    }
+
+    /// Judges a pre-extracted feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LOF errors.
+    pub fn judge(&self, features: &FeatureVector) -> Result<Detection> {
+        let judgement = self.classifier.judge(&features.as_array())?;
+        Ok(Detection {
+            features: *features,
+            score: judgement.score,
+            accepted: judgement.inlier,
+        })
+    }
+
+    /// Explains a judgement: per-dimension deviation of the query from its
+    /// `k` nearest legitimate training vectors, and which feature deviates
+    /// most. Useful for alert messages ("luminance changes did not match",
+    /// "trend anti-correlated") and for debugging false rejections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LOF errors.
+    pub fn explain(&self, features: &FeatureVector) -> Result<Explanation> {
+        let detection = self.judge(features)?;
+        let query = features.as_array();
+        let model = self.classifier.model();
+        let neighbours = model.neighbours(&query)?;
+        let points = model.training_points();
+        let mut deviations = [0.0f64; 4];
+        for n in &neighbours {
+            for (d, dev) in deviations.iter_mut().enumerate() {
+                *dev += (query[d] - points[n.index][d]).abs();
+            }
+        }
+        for dev in deviations.iter_mut() {
+            *dev /= neighbours.len().max(1) as f64;
+        }
+        let dominant = deviations
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite deviations"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        Ok(Explanation {
+            detection,
+            deviations,
+            dominant,
+        })
+    }
+}
+
+/// A human-interpretable account of one judgement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Explanation {
+    /// The underlying detection.
+    pub detection: Detection,
+    /// Mean absolute per-dimension gap to the k nearest legitimate
+    /// training vectors, in feature order `[z1, z2, z3, z4]`.
+    pub deviations: [f64; 4],
+    /// Index (0–3) of the most deviant feature.
+    pub dominant: usize,
+}
+
+impl Explanation {
+    /// Names the dominant feature.
+    pub fn dominant_name(&self) -> &'static str {
+        match self.dominant {
+            0 => "z1 (matched changes, transmitted)",
+            1 => "z2 (matched changes, received)",
+            2 => "z3 (trend correlation)",
+            _ => "z4 (trend DTW distance)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_chat::scenario::ScenarioBuilder;
+
+    fn trained(user: usize) -> Detector {
+        let b = ScenarioBuilder::default();
+        let train: Vec<TracePair> = (0..20)
+            .map(|i| b.legitimate(user, 9000 + i).unwrap())
+            .collect();
+        Detector::train_from_traces(&train, Config::default()).unwrap()
+    }
+
+    #[test]
+    fn training_requires_enough_instances() {
+        let f = FeatureVector {
+            z1: 1.0,
+            z2: 1.0,
+            z3: 0.8,
+            z4: 0.1,
+        };
+        let err = Detector::train(&[f; 4], Config::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::InsufficientTraining {
+                provided: 4,
+                required: 6
+            }
+        ));
+    }
+
+    #[test]
+    fn accepts_most_legitimate_clips() {
+        let det = trained(0);
+        let b = ScenarioBuilder::default();
+        let accepted = (0..10)
+            .filter(|&s| {
+                det.detect(&b.legitimate(0, 333 + s).unwrap())
+                    .unwrap()
+                    .accepted
+            })
+            .count();
+        assert!(accepted >= 8, "accepted {accepted}/10 legit clips");
+    }
+
+    #[test]
+    fn rejects_most_reenactment_attacks() {
+        let det = trained(0);
+        let b = ScenarioBuilder::default();
+        let rejected = (0..10)
+            .filter(|&s| {
+                !det.detect(&b.reenactment(0, 333 + s).unwrap())
+                    .unwrap()
+                    .accepted
+            })
+            .count();
+        assert!(rejected >= 8, "rejected {rejected}/10 attacks");
+    }
+
+    #[test]
+    fn cross_user_training_works() {
+        // Train on user 1's data, protect against attacks on user 0 —
+        // the paper's "trained using others' data" property.
+        let det = trained(1);
+        let b = ScenarioBuilder::default();
+        let accepted = (0..10)
+            .filter(|&s| {
+                det.detect(&b.legitimate(0, 444 + s).unwrap())
+                    .unwrap()
+                    .accepted
+            })
+            .count();
+        assert!(accepted >= 7, "cross-user accepted {accepted}/10");
+    }
+
+    #[test]
+    fn attack_scores_exceed_legit_scores() {
+        let det = trained(2);
+        let b = ScenarioBuilder::default();
+        let legit_score = det.detect(&b.legitimate(2, 555).unwrap()).unwrap().score;
+        let attack_score = det.detect(&b.reenactment(2, 555).unwrap()).unwrap().score;
+        assert!(
+            attack_score > legit_score,
+            "attack {attack_score} vs legit {legit_score}"
+        );
+    }
+
+    #[test]
+    fn explanation_identifies_deviant_feature() {
+        let det = trained(0);
+        let b = ScenarioBuilder::default();
+        // A legitimate clip deviates little in every dimension.
+        let legit = det
+            .explain(&det.features(&b.legitimate(0, 777).unwrap()).unwrap())
+            .unwrap();
+        assert!(legit.deviations.iter().all(|&d| d < 0.6));
+        // An attack clip deviates strongly somewhere.
+        let attack = det
+            .explain(&det.features(&b.reenactment(0, 777).unwrap()).unwrap())
+            .unwrap();
+        let max_dev = attack.deviations[attack.dominant];
+        assert!(max_dev > legit.deviations[attack.dominant]);
+        assert!(!attack.dominant_name().is_empty());
+    }
+
+    #[test]
+    fn threshold_swap_reuses_model() {
+        let det = trained(0);
+        let strict = det.with_threshold(1.01).unwrap();
+        assert_eq!(strict.config().lof_threshold, 1.01);
+        let b = ScenarioBuilder::default();
+        let pair = b.legitimate(0, 666).unwrap();
+        let normal = det.detect(&pair).unwrap();
+        let tight = strict.detect(&pair).unwrap();
+        assert_eq!(normal.score, tight.score);
+    }
+}

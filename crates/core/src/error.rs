@@ -1,0 +1,115 @@
+use std::fmt;
+
+/// Errors produced by the detection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration field is outside its valid domain.
+    InvalidConfig {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The training set is too small for the configured LOF neighbourhood.
+    InsufficientTraining {
+        /// Instances provided.
+        provided: usize,
+        /// Minimum required (`k + 1`).
+        required: usize,
+    },
+    /// Propagated signal-processing error.
+    Dsp(lumen_dsp::DspError),
+    /// Propagated LOF error.
+    Lof(lumen_lof::LofError),
+    /// Propagated optics-simulator error.
+    Video(lumen_video::VideoError),
+    /// Propagated chat-simulator error.
+    Chat(lumen_chat::ChatError),
+}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        CoreError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config `{field}`: {reason}")
+            }
+            CoreError::InsufficientTraining { provided, required } => write!(
+                f,
+                "training needs at least {required} instances, got {provided}"
+            ),
+            CoreError::Dsp(e) => write!(f, "signal processing failed: {e}"),
+            CoreError::Lof(e) => write!(f, "outlier model failed: {e}"),
+            CoreError::Video(e) => write!(f, "optics simulation failed: {e}"),
+            CoreError::Chat(e) => write!(f, "chat simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dsp(e) => Some(e),
+            CoreError::Lof(e) => Some(e),
+            CoreError::Video(e) => Some(e),
+            CoreError::Chat(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lumen_dsp::DspError> for CoreError {
+    fn from(e: lumen_dsp::DspError) -> Self {
+        CoreError::Dsp(e)
+    }
+}
+
+impl From<lumen_lof::LofError> for CoreError {
+    fn from(e: lumen_lof::LofError) -> Self {
+        CoreError::Lof(e)
+    }
+}
+
+impl From<lumen_video::VideoError> for CoreError {
+    fn from(e: lumen_video::VideoError) -> Self {
+        CoreError::Video(e)
+    }
+}
+
+impl From<lumen_chat::ChatError> for CoreError {
+    fn from(e: lumen_chat::ChatError) -> Self {
+        CoreError::Chat(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(CoreError::invalid_config("k", "zero")
+            .to_string()
+            .contains("k"));
+        assert!(CoreError::InsufficientTraining {
+            provided: 3,
+            required: 6
+        }
+        .to_string()
+        .contains("6"));
+        use std::error::Error;
+        assert!(CoreError::from(lumen_dsp::DspError::EmptySignal)
+            .source()
+            .is_some());
+    }
+}

@@ -1,0 +1,287 @@
+//! Feature extraction (Sec. VI): behaviour similarity `z1`/`z2` and trend
+//! correlation `z3`/`z4`.
+
+use crate::preprocess::Preprocessed;
+use crate::{Config, Result};
+use lumen_dsp::normalize::normalize_min_max;
+use lumen_dsp::stats::pearson;
+use lumen_dsp::{dtw, Signal};
+use serde::{Deserialize, Serialize};
+
+/// The four-dimensional feature vector `z = [z1, z2, z3, z4]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    /// Proportion of transmitted-video changes with a matched received
+    /// change (Eq. 4).
+    pub z1: f64,
+    /// Proportion of received-video changes with a matched transmitted
+    /// change (Eq. 5).
+    pub z2: f64,
+    /// Minimum Pearson correlation over the segment pairs of the two
+    /// normalized trend signals (Eq. 6).
+    pub z3: f64,
+    /// Maximum DTW distance over the segment pairs, divided by
+    /// [`Config::dtw_scale`].
+    pub z4: f64,
+}
+
+impl FeatureVector {
+    /// The vector as a fixed-size array (LOF input order).
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.z1, self.z2, self.z3, self.z4]
+    }
+
+    /// The vector as an owned `Vec` (for k-NN indexing).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.as_array().to_vec()
+    }
+}
+
+/// One-to-one greedy matching of change times within `window` seconds:
+/// each pair `(i, j)` means `tx_times[i]` matched `rx_times[j]`. Pairs are
+/// formed closest-first, so a change never steals a far partner from a
+/// closer one — this is the matching behind the paper's `F(T, R)` and
+/// `G(T, R)` counts.
+pub fn match_changes(tx_times: &[f64], rx_times: &[f64], window: f64) -> Vec<(usize, usize)> {
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, &t) in tx_times.iter().enumerate() {
+        for (j, &r) in rx_times.iter().enumerate() {
+            let gap = (r - t).abs();
+            if gap <= window {
+                candidates.push((gap, i, j));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite gaps"));
+    let mut tx_used = vec![false; tx_times.len()];
+    let mut rx_used = vec![false; rx_times.len()];
+    let mut pairs = Vec::new();
+    for (_, i, j) in candidates {
+        if !tx_used[i] && !rx_used[j] {
+            tx_used[i] = true;
+            rx_used[j] = true;
+            pairs.push((i, j));
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Estimates the network delay as the mean time difference of matched
+/// changes (Sec. VI-2), clamped to `[0, max_delay]`. Returns 0 with no
+/// matches.
+pub fn estimate_delay(
+    tx_times: &[f64],
+    rx_times: &[f64],
+    pairs: &[(usize, usize)],
+    max_delay: f64,
+) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mean: f64 = pairs
+        .iter()
+        .map(|&(i, j)| rx_times[j] - tx_times[i])
+        .sum::<f64>()
+        / pairs.len() as f64;
+    mean.clamp(0.0, max_delay)
+}
+
+/// Extracts the feature vector from the two preprocessed traces.
+///
+/// Degenerate-change policy (the paper's volunteers always produced
+/// changes, so it leaves this case open): when *both* traces show no
+/// significant change, consistent absence counts as matching behaviour
+/// (`z1 = z2 = 1`); one-sided absence scores 0 on the silent side.
+///
+/// # Errors
+///
+/// Propagates DSP errors (empty signals, mismatched rates).
+pub fn extract_features(
+    tx: &Preprocessed,
+    rx: &Preprocessed,
+    config: &Config,
+) -> Result<FeatureVector> {
+    let tx_times = tx.change_times();
+    let rx_times = rx.change_times();
+    let pairs = match_changes(&tx_times, &rx_times, config.match_window);
+    let matched = pairs.len() as f64;
+
+    let (z1, z2) = match (tx_times.is_empty(), rx_times.is_empty()) {
+        (true, true) => (1.0, 1.0),
+        (true, false) => (0.0, 0.0),
+        (false, true) => (0.0, 0.0),
+        (false, false) => (
+            matched / tx_times.len() as f64,
+            matched / rx_times.len() as f64,
+        ),
+    };
+
+    // Trend comparison: remove the estimated delay, normalize to [0, 1],
+    // cut into segments, and compare pairwise.
+    let delay = estimate_delay(&tx_times, &rx_times, &pairs, config.max_network_delay);
+    let rx_aligned = rx.smoothed.shift(-delay);
+    let tx_norm = normalize_min_max(&tx.smoothed)?;
+    let rx_norm = normalize_min_max(&rx_aligned)?;
+
+    let segments = config.segments.min(tx_norm.len()).max(1);
+    let tx_segments = tx_norm.split_even(segments)?;
+    let rx_segments = rx_norm.split_even(segments)?;
+
+    let mut z3 = f64::MAX;
+    let mut z4: f64 = 0.0;
+    for (a, b) in tx_segments.iter().zip(&rx_segments) {
+        let corr = segment_pearson(a, b)?;
+        z3 = z3.min(corr);
+        let dist = dtw::dtw_distance(a.samples(), b.samples())?;
+        z4 = z4.max(dist);
+    }
+    Ok(FeatureVector {
+        z1,
+        z2,
+        z3,
+        z4: z4 / config.dtw_scale,
+    })
+}
+
+/// Pearson between two segments that may differ by one sample in length
+/// (uneven splits); the longer is truncated.
+fn segment_pearson(a: &Signal, b: &Signal) -> Result<f64> {
+    let n = a.len().min(b.len());
+    Ok(pearson(&a.samples()[..n], &b.samples()[..n])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{preprocess_rx, preprocess_tx};
+    use lumen_chat::scenario::ScenarioBuilder;
+
+    fn features_for(pair: &lumen_chat::trace::TracePair) -> FeatureVector {
+        let config = Config::default();
+        let tx = preprocess_tx(&pair.tx, &config).unwrap();
+        let rx = preprocess_rx(&pair.rx, &config).unwrap();
+        extract_features(&tx, &rx, &config).unwrap()
+    }
+
+    #[test]
+    fn matching_pairs_nearest_first() {
+        let tx = [1.0, 5.0, 9.0];
+        let rx = [1.2, 5.4, 12.0];
+        let pairs = match_changes(&tx, &rx, 1.0);
+        assert_eq!(pairs, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        let tx = [1.0, 1.3];
+        let rx = [1.1];
+        let pairs = match_changes(&tx, &rx, 1.0);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0], (0, 0));
+    }
+
+    #[test]
+    fn matching_respects_window() {
+        let tx = [1.0];
+        let rx = [3.0];
+        assert!(match_changes(&tx, &rx, 1.0).is_empty());
+        assert_eq!(match_changes(&tx, &rx, 2.5).len(), 1);
+    }
+
+    #[test]
+    fn delay_estimate_averages_matched_gaps() {
+        let tx = [1.0, 5.0];
+        let rx = [1.3, 5.5];
+        let pairs = match_changes(&tx, &rx, 1.0);
+        let d = estimate_delay(&tx, &rx, &pairs, 1.0);
+        assert!((d - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_estimate_clamps() {
+        let tx = [1.0];
+        let rx = [0.2]; // rx before tx: negative -> clamp to 0
+        let pairs = match_changes(&tx, &rx, 1.0);
+        assert_eq!(estimate_delay(&tx, &rx, &pairs, 1.0), 0.0);
+        assert_eq!(estimate_delay(&[], &[], &[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn legitimate_features_look_legitimate() {
+        let b = ScenarioBuilder::default();
+        let mut z1_sum = 0.0;
+        let mut z3_sum = 0.0;
+        let n = 10;
+        for seed in 0..n {
+            let f = features_for(&b.legitimate(0, 500 + seed).unwrap());
+            z1_sum += f.z1;
+            z3_sum += f.z3;
+            assert!((0.0..=1.0).contains(&f.z1));
+            assert!((0.0..=1.0).contains(&f.z2));
+            assert!((-1.0..=1.0).contains(&f.z3));
+            assert!(f.z4 >= 0.0);
+        }
+        assert!(z1_sum / n as f64 > 0.75, "mean z1 {}", z1_sum / n as f64);
+        assert!(z3_sum / n as f64 > 0.4, "mean z3 {}", z3_sum / n as f64);
+    }
+
+    #[test]
+    fn attack_features_look_different() {
+        let b = ScenarioBuilder::default();
+        let n = 10;
+        let mut legit_z1 = 0.0;
+        let mut attack_z1 = 0.0;
+        let mut legit_z3 = 0.0;
+        let mut attack_z3 = 0.0;
+        for seed in 0..n {
+            let l = features_for(&b.legitimate(0, 600 + seed).unwrap());
+            let a = features_for(&b.reenactment(0, 600 + seed).unwrap());
+            legit_z1 += l.z1;
+            attack_z1 += a.z1;
+            legit_z3 += l.z3;
+            attack_z3 += a.z3;
+        }
+        assert!(
+            legit_z1 / n as f64 > attack_z1 / n as f64 + 0.2,
+            "z1: legit {} vs attack {}",
+            legit_z1 / n as f64,
+            attack_z1 / n as f64
+        );
+        assert!(
+            legit_z3 / n as f64 > attack_z3 / n as f64 + 0.2,
+            "z3: legit {} vs attack {}",
+            legit_z3 / n as f64,
+            attack_z3 / n as f64
+        );
+    }
+
+    #[test]
+    fn flat_pair_scores_consistent_absence() {
+        let config = Config::default();
+        let flat = lumen_video::content::MeteringScript::constant(120.0, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap();
+        let tx = preprocess_tx(&flat, &config).unwrap();
+        let rx = preprocess_rx(&flat, &config).unwrap();
+        let f = extract_features(&tx, &rx, &config).unwrap();
+        assert_eq!(f.z1, 1.0);
+        assert_eq!(f.z2, 1.0);
+        // Flat normalized signals have zero variance -> correlation 0.
+        assert_eq!(f.z3, 0.0);
+        assert_eq!(f.z4, 0.0);
+    }
+
+    #[test]
+    fn feature_vector_array_roundtrip() {
+        let f = FeatureVector {
+            z1: 0.9,
+            z2: 0.8,
+            z3: 0.7,
+            z4: 0.1,
+        };
+        assert_eq!(f.as_array(), [0.9, 0.8, 0.7, 0.1]);
+        assert_eq!(f.to_vec(), vec![0.9, 0.8, 0.7, 0.1]);
+    }
+}

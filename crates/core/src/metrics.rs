@@ -1,0 +1,250 @@
+//! Evaluation metrics (Sec. VIII-B): true acceptance rate, true rejection
+//! rate, false acceptance rate, false rejection rate, and the equal error
+//! rate derived from a threshold sweep.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counters for a biometric-style accept/reject evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Legitimate attempts accepted.
+    pub true_accepts: usize,
+    /// Legitimate attempts rejected.
+    pub false_rejects: usize,
+    /// Attacker attempts rejected.
+    pub true_rejects: usize,
+    /// Attacker attempts accepted.
+    pub false_accepts: usize,
+}
+
+impl Confusion {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Confusion::default()
+    }
+
+    /// Records one attempt: `is_legitimate` is ground truth, `accepted` the
+    /// system's decision.
+    pub fn record(&mut self, is_legitimate: bool, accepted: bool) {
+        match (is_legitimate, accepted) {
+            (true, true) => self.true_accepts += 1,
+            (true, false) => self.false_rejects += 1,
+            (false, false) => self.true_rejects += 1,
+            (false, true) => self.false_accepts += 1,
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &Confusion) {
+        self.true_accepts += other.true_accepts;
+        self.false_rejects += other.false_rejects;
+        self.true_rejects += other.true_rejects;
+        self.false_accepts += other.false_accepts;
+    }
+
+    /// Total legitimate attempts.
+    pub fn legitimate_total(&self) -> usize {
+        self.true_accepts + self.false_rejects
+    }
+
+    /// Total attacker attempts.
+    pub fn attacker_total(&self) -> usize {
+        self.true_rejects + self.false_accepts
+    }
+
+    /// True acceptance rate; `NaN`-free: returns 1.0 with no legitimate
+    /// attempts (vacuously perfect).
+    pub fn tar(&self) -> f64 {
+        ratio(self.true_accepts, self.legitimate_total())
+    }
+
+    /// True rejection rate; 1.0 with no attacker attempts.
+    pub fn trr(&self) -> f64 {
+        ratio(self.true_rejects, self.attacker_total())
+    }
+
+    /// False acceptance rate (`1 − TRR`).
+    pub fn far(&self) -> f64 {
+        1.0 - self.trr()
+    }
+
+    /// False rejection rate (`1 − TAR`).
+    pub fn frr(&self) -> f64 {
+        1.0 - self.tar()
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The decision threshold τ.
+    pub threshold: f64,
+    /// False acceptance rate at this threshold.
+    pub far: f64,
+    /// False rejection rate at this threshold.
+    pub frr: f64,
+}
+
+/// Finds the equal error rate from a FAR/FRR sweep: the rate at the
+/// threshold where the two curves cross, linearly interpolated between the
+/// bracketing points. Returns `None` for an empty sweep or curves that
+/// never cross (the closest point's average rate is then a caller choice).
+pub fn equal_error_rate(sweep: &[SweepPoint]) -> Option<f64> {
+    if sweep.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<SweepPoint> = sweep.to_vec();
+    sorted.sort_by(|a, b| a.threshold.partial_cmp(&b.threshold).expect("finite τ"));
+    for w in sorted.windows(2) {
+        let d0 = w[0].far - w[0].frr;
+        let d1 = w[1].far - w[1].frr;
+        if d0 == 0.0 {
+            return Some(w[0].far);
+        }
+        if d0 * d1 < 0.0 {
+            // Linear interpolation of the crossing.
+            let t = d0 / (d0 - d1);
+            let far = w[0].far + t * (w[1].far - w[0].far);
+            let frr = w[0].frr + t * (w[1].frr - w[0].frr);
+            return Some(0.5 * (far + frr));
+        }
+    }
+    let last = sorted.last()?;
+    if last.far == last.frr {
+        return Some(last.far);
+    }
+    // No crossing: report the minimum gap point's mean as a best effort.
+    sorted
+        .iter()
+        .min_by(|a, b| {
+            (a.far - a.frr)
+                .abs()
+                .partial_cmp(&(b.far - b.frr).abs())
+                .expect("finite rates")
+        })
+        .map(|p| 0.5 * (p.far + p.frr))
+}
+
+/// Mean and population standard deviation of a slice — experiments report
+/// both (Fig. 14/15 discuss variance shrinking).
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    let mean = lumen_dsp::stats::mean(values);
+    let std = lumen_dsp::stats::stddev_population(values);
+    (mean, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_from_counts() {
+        let mut c = Confusion::new();
+        for _ in 0..9 {
+            c.record(true, true);
+        }
+        c.record(true, false);
+        for _ in 0..18 {
+            c.record(false, false);
+        }
+        c.record(false, true);
+        c.record(false, true);
+        assert!((c.tar() - 0.9).abs() < 1e-12);
+        assert!((c.frr() - 0.1).abs() < 1e-12);
+        assert!((c.trr() - 0.9).abs() < 1e-12);
+        assert!((c.far() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counters_are_vacuously_perfect() {
+        let c = Confusion::new();
+        assert_eq!(c.tar(), 1.0);
+        assert_eq!(c.trr(), 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Confusion::new();
+        a.record(true, true);
+        let mut b = Confusion::new();
+        b.record(false, false);
+        a.merge(&b);
+        assert_eq!(a.true_accepts, 1);
+        assert_eq!(a.true_rejects, 1);
+    }
+
+    #[test]
+    fn eer_interpolates_crossing() {
+        let sweep = vec![
+            SweepPoint {
+                threshold: 1.0,
+                far: 0.0,
+                frr: 0.4,
+            },
+            SweepPoint {
+                threshold: 2.0,
+                far: 0.1,
+                frr: 0.1,
+            },
+            SweepPoint {
+                threshold: 3.0,
+                far: 0.5,
+                frr: 0.0,
+            },
+        ];
+        let eer = equal_error_rate(&sweep).unwrap();
+        assert!((eer - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eer_interpolates_between_points() {
+        let sweep = vec![
+            SweepPoint {
+                threshold: 1.0,
+                far: 0.0,
+                frr: 0.2,
+            },
+            SweepPoint {
+                threshold: 2.0,
+                far: 0.2,
+                frr: 0.0,
+            },
+        ];
+        let eer = equal_error_rate(&sweep).unwrap();
+        assert!((eer - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eer_handles_empty_and_non_crossing() {
+        assert_eq!(equal_error_rate(&[]), None);
+        let sweep = vec![
+            SweepPoint {
+                threshold: 1.0,
+                far: 0.0,
+                frr: 0.5,
+            },
+            SweepPoint {
+                threshold: 2.0,
+                far: 0.1,
+                frr: 0.3,
+            },
+        ];
+        // Closest-gap best effort: (0.1 + 0.3) / 2.
+        assert!((equal_error_rate(&sweep).unwrap() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_std_matches_hand_calc() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! ROC analysis.
+//!
+//! The paper reports TAR/TRR at the fixed threshold τ = 3 and a FAR/FRR
+//! sweep (Fig. 12); a receiver-operating-characteristic view summarizes the
+//! detector's separability independent of any threshold choice. Scores are
+//! LOF values (higher = more attacker-like).
+
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One ROC operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Score threshold producing this point.
+    pub threshold: f64,
+    /// True-positive rate: attackers correctly flagged (score > threshold).
+    pub tpr: f64,
+    /// False-positive rate: legitimate users wrongly flagged.
+    pub fpr: f64,
+}
+
+/// A full ROC curve with its area under the curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// Operating points, ordered by ascending FPR.
+    pub points: Vec<RocPoint>,
+    /// Area under the curve in `[0, 1]` (1 = perfect separation).
+    pub auc: f64,
+}
+
+/// Builds the ROC curve from LOF scores of legitimate and attacker
+/// instances. Every distinct score becomes a candidate threshold.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] when either score set is empty or
+/// contains non-finite values.
+pub fn roc_curve(legit_scores: &[f64], attack_scores: &[f64]) -> Result<RocCurve> {
+    if legit_scores.is_empty() || attack_scores.is_empty() {
+        return Err(CoreError::invalid_config(
+            "scores",
+            "both legitimate and attacker score sets must be non-empty",
+        ));
+    }
+    if legit_scores
+        .iter()
+        .chain(attack_scores)
+        .any(|s| !s.is_finite())
+    {
+        return Err(CoreError::invalid_config("scores", "scores must be finite"));
+    }
+    let mut thresholds: Vec<f64> = legit_scores.iter().chain(attack_scores).copied().collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    thresholds.dedup();
+
+    let mut points = Vec::with_capacity(thresholds.len() + 2);
+    // Degenerate endpoints: flag everyone / flag no one.
+    points.push(RocPoint {
+        threshold: f64::NEG_INFINITY,
+        tpr: 1.0,
+        fpr: 1.0,
+    });
+    for &t in &thresholds {
+        let tpr =
+            attack_scores.iter().filter(|&&s| s > t).count() as f64 / attack_scores.len() as f64;
+        let fpr =
+            legit_scores.iter().filter(|&&s| s > t).count() as f64 / legit_scores.len() as f64;
+        points.push(RocPoint {
+            threshold: t,
+            tpr,
+            fpr,
+        });
+    }
+    points.sort_by(|a, b| {
+        a.fpr
+            .partial_cmp(&b.fpr)
+            .expect("finite rates")
+            .then(a.tpr.partial_cmp(&b.tpr).expect("finite rates"))
+    });
+    // Trapezoidal AUC over FPR.
+    let mut auc = 0.0;
+    for w in points.windows(2) {
+        auc += (w[1].fpr - w[0].fpr) * 0.5 * (w[0].tpr + w[1].tpr);
+    }
+    Ok(RocCurve {
+        points,
+        auc: auc.clamp(0.0, 1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let legit = [0.9, 1.0, 1.1, 1.2];
+        let attack = [5.0, 6.0, 7.0];
+        let roc = roc_curve(&legit, &attack).unwrap();
+        assert!((roc.auc - 1.0).abs() < 1e-12, "auc {}", roc.auc);
+    }
+
+    #[test]
+    fn identical_distributions_have_auc_half() {
+        let scores = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let roc = roc_curve(&scores, &scores).unwrap();
+        assert!((roc.auc - 0.5).abs() < 0.01, "auc {}", roc.auc);
+    }
+
+    #[test]
+    fn inverted_scores_have_low_auc() {
+        let legit = [5.0, 6.0, 7.0];
+        let attack = [1.0, 1.1, 1.2];
+        let roc = roc_curve(&legit, &attack).unwrap();
+        assert!(roc.auc < 0.1, "auc {}", roc.auc);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_fpr() {
+        let legit = [1.0, 1.5, 2.0, 2.5, 9.0];
+        let attack = [2.2, 3.0, 8.0, 10.0];
+        let roc = roc_curve(&legit, &attack).unwrap();
+        for w in roc.points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+        }
+        assert_eq!(roc.points.first().map(|p| p.fpr < 1e-12), Some(true));
+        assert_eq!(
+            roc.points.last().map(|p| (p.fpr - 1.0).abs() < 1e-12),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(roc_curve(&[], &[1.0]).is_err());
+        assert!(roc_curve(&[1.0], &[]).is_err());
+        assert!(roc_curve(&[f64::NAN], &[1.0]).is_err());
+    }
+}

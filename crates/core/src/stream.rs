@@ -1,0 +1,264 @@
+//! Online (streaming) detection.
+//!
+//! The batch [`crate::detector::Detector`] consumes complete 15-second
+//! clips. A deployed video-chat client instead sees one luminance sample
+//! pair per tick; [`StreamingDetector`] buffers those pairs, runs a
+//! detection every time a full clip accumulates, and fuses the last `D`
+//! verdicts with the paper's majority-voting rule — "our detection methods
+//! can be triggered multiple times during the real-time video chat"
+//! (Sec. III-B).
+
+use crate::detector::{Detection, Detector};
+use crate::voting::combine_votes;
+use crate::{CoreError, Result};
+use lumen_chat::trace::{ScenarioKind, TracePair};
+use lumen_dsp::Signal;
+use std::collections::VecDeque;
+
+/// The streaming detector's standing assessment of the remote party.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Not enough clips observed yet.
+    Gathering,
+    /// Majority voting currently accepts the remote party.
+    Trusted,
+    /// Majority voting currently flags the remote party as an attacker.
+    Alert,
+}
+
+/// One event emitted by [`StreamingDetector::push`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipVerdict {
+    /// Index of the completed clip (0-based).
+    pub clip_index: usize,
+    /// The single-clip detection result.
+    pub detection: Detection,
+    /// The fused session status after this clip.
+    pub status: SessionStatus,
+}
+
+/// Buffers per-tick luminance samples and triggers clip detections.
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    detector: Detector,
+    clip_samples: usize,
+    window: usize,
+    tx_buffer: Vec<f64>,
+    rx_buffer: Vec<f64>,
+    history: VecDeque<bool>,
+    clips_done: usize,
+}
+
+impl StreamingDetector {
+    /// Wraps a trained detector.
+    ///
+    /// * `clip_seconds` — clip length (the paper: 15 s);
+    /// * `window` — number of recent clips fused by voting (the paper's D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a non-positive clip length
+    /// or a zero window.
+    pub fn new(detector: Detector, clip_seconds: f64, window: usize) -> Result<Self> {
+        if !(clip_seconds.is_finite() && clip_seconds > 0.0) {
+            return Err(CoreError::invalid_config(
+                "clip_seconds",
+                "must be finite and positive",
+            ));
+        }
+        if window == 0 {
+            return Err(CoreError::invalid_config("window", "must be non-zero"));
+        }
+        let clip_samples = (clip_seconds * detector.config().sample_rate).round() as usize;
+        if clip_samples < 2 {
+            return Err(CoreError::invalid_config(
+                "clip_seconds",
+                "clip must span at least 2 samples",
+            ));
+        }
+        Ok(StreamingDetector {
+            detector,
+            clip_samples,
+            window,
+            tx_buffer: Vec::with_capacity(clip_samples),
+            rx_buffer: Vec::with_capacity(clip_samples),
+            history: VecDeque::with_capacity(window),
+            clips_done: 0,
+        })
+    }
+
+    /// Number of samples per clip.
+    pub fn clip_samples(&self) -> usize {
+        self.clip_samples
+    }
+
+    /// Completed clips so far.
+    pub fn clips_done(&self) -> usize {
+        self.clips_done
+    }
+
+    /// The current fused status.
+    pub fn status(&self) -> SessionStatus {
+        if self.history.is_empty() {
+            return SessionStatus::Gathering;
+        }
+        let votes: Vec<bool> = self.history.iter().copied().collect();
+        let coefficient = self.detector.config().vote_coefficient;
+        match combine_votes(&votes, coefficient) {
+            Ok(true) => SessionStatus::Trusted,
+            Ok(false) => SessionStatus::Alert,
+            Err(_) => SessionStatus::Gathering,
+        }
+    }
+
+    /// Feeds one tick: the transmitted-video luminance and the received
+    /// ROI luminance for the same instant. Returns a verdict when this tick
+    /// completes a clip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for non-finite samples and
+    /// propagates detection errors.
+    pub fn push(&mut self, tx_luma: f64, rx_luma: f64) -> Result<Option<ClipVerdict>> {
+        if !tx_luma.is_finite() || !rx_luma.is_finite() {
+            return Err(CoreError::invalid_config(
+                "sample",
+                "luminance samples must be finite",
+            ));
+        }
+        self.tx_buffer.push(tx_luma.clamp(0.0, 255.0));
+        self.rx_buffer.push(rx_luma.clamp(0.0, 255.0));
+        if self.tx_buffer.len() < self.clip_samples {
+            return Ok(None);
+        }
+        let rate = self.detector.config().sample_rate;
+        let pair = TracePair {
+            tx: Signal::new(std::mem::take(&mut self.tx_buffer), rate)?,
+            rx: Signal::new(std::mem::take(&mut self.rx_buffer), rate)?,
+            kind: ScenarioKind::Legitimate { user: 0 }, // unknown at runtime
+            seed: 0,
+            forward_delay: 0.0,
+        };
+        let detection = self.detector.detect(&pair)?;
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(detection.accepted);
+        let clip_index = self.clips_done;
+        self.clips_done += 1;
+        Ok(Some(ClipVerdict {
+            clip_index,
+            detection,
+            status: self.status(),
+        }))
+    }
+
+    /// Drops any partial clip and the voting history (e.g. after the remote
+    /// party reconnects).
+    pub fn reset(&mut self) {
+        self.tx_buffer.clear();
+        self.rx_buffer.clear();
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+    use lumen_chat::scenario::ScenarioBuilder;
+
+    fn detector() -> Detector {
+        let chats = ScenarioBuilder::default();
+        let training: Vec<_> = (0..15)
+            .map(|i| chats.legitimate(0, 80_000 + i).unwrap())
+            .collect();
+        Detector::train_from_traces(&training, Config::default()).unwrap()
+    }
+
+    fn feed(stream: &mut StreamingDetector, pair: &TracePair) -> Vec<ClipVerdict> {
+        let mut out = Vec::new();
+        for (tx, rx) in pair.tx.samples().iter().zip(pair.rx.samples()) {
+            if let Some(v) = stream.push(*tx, *rx).unwrap() {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(StreamingDetector::new(detector(), 0.0, 3).is_err());
+        assert!(StreamingDetector::new(detector(), 15.0, 0).is_err());
+        let s = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        assert_eq!(s.clip_samples(), 150);
+        assert_eq!(s.status(), SessionStatus::Gathering);
+    }
+
+    #[test]
+    fn emits_one_verdict_per_clip() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        let verdicts = feed(&mut stream, &chats.legitimate(0, 81_000).unwrap());
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].clip_index, 0);
+        assert_eq!(stream.clips_done(), 1);
+    }
+
+    #[test]
+    fn legitimate_stream_stays_trusted() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        for seed in 0..4u64 {
+            feed(&mut stream, &chats.legitimate(0, 82_000 + seed).unwrap());
+        }
+        assert_eq!(stream.status(), SessionStatus::Trusted);
+    }
+
+    #[test]
+    fn attack_stream_raises_alert() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        for seed in 0..4u64 {
+            feed(&mut stream, &chats.reenactment(0, 83_000 + seed).unwrap());
+        }
+        assert_eq!(stream.status(), SessionStatus::Alert);
+    }
+
+    #[test]
+    fn alert_recovers_after_window_slides() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = StreamingDetector::new(detector(), 15.0, 2).unwrap();
+        for seed in 0..3u64 {
+            feed(&mut stream, &chats.reenactment(0, 84_000 + seed).unwrap());
+        }
+        assert_eq!(stream.status(), SessionStatus::Alert);
+        // The attacker leaves; the genuine user returns.
+        for seed in 0..3u64 {
+            feed(&mut stream, &chats.legitimate(0, 85_000 + seed).unwrap());
+        }
+        assert_eq!(stream.status(), SessionStatus::Trusted);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        let pair = chats.legitimate(0, 86_000).unwrap();
+        for (tx, rx) in pair.tx.samples()[..50].iter().zip(&pair.rx.samples()[..50]) {
+            stream.push(*tx, *rx).unwrap();
+        }
+        stream.reset();
+        assert_eq!(stream.status(), SessionStatus::Gathering);
+        // A full clip is needed again after reset.
+        let verdicts = feed(&mut stream, &pair);
+        assert_eq!(verdicts.len(), 1);
+    }
+
+    #[test]
+    fn rejects_non_finite_samples() {
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        assert!(stream.push(f64::NAN, 100.0).is_err());
+        assert!(stream.push(100.0, f64::INFINITY).is_err());
+    }
+}

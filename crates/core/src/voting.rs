@@ -1,0 +1,178 @@
+//! Decision combination over multiple detection rounds (Sec. VII-B).
+//!
+//! "Considering the final result is produced based on D detection attempts,
+//! an untrusted user is regarded as a face reenactment attacker if its votes
+//! exceed 0.7 × D." Votes here are *rejection* votes from single-clip
+//! detections.
+
+use crate::detector::{Detection, Detector};
+use crate::{CoreError, Result};
+use lumen_chat::trace::TracePair;
+
+/// The combined verdict of a voting round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Per-round detections, in order.
+    pub rounds: Vec<Detection>,
+    /// Number of rejection votes.
+    pub rejection_votes: usize,
+    /// `true` when the untrusted user is accepted as legitimate.
+    pub accepted: bool,
+}
+
+/// Combines boolean acceptance votes: the user is flagged as an attacker
+/// when rejection votes strictly exceed `coefficient × D`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an empty vote list or a
+/// coefficient outside `[0, 1]`.
+pub fn combine_votes(accepted_votes: &[bool], coefficient: f64) -> Result<bool> {
+    if accepted_votes.is_empty() {
+        return Err(CoreError::invalid_config(
+            "votes",
+            "at least one detection round is required",
+        ));
+    }
+    if !(0.0..=1.0).contains(&coefficient) {
+        return Err(CoreError::invalid_config(
+            "vote_coefficient",
+            "must lie in [0, 1]",
+        ));
+    }
+    let rejections = accepted_votes.iter().filter(|&&a| !a).count();
+    Ok(rejections as f64 <= coefficient * accepted_votes.len() as f64)
+}
+
+/// A detector wrapper that triggers `rounds` detections and fuses them by
+/// majority voting.
+#[derive(Debug, Clone)]
+pub struct VotingDetector {
+    detector: Detector,
+    rounds: usize,
+}
+
+impl VotingDetector {
+    /// Wraps a trained detector with a round count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for zero rounds.
+    pub fn new(detector: Detector, rounds: usize) -> Result<Self> {
+        if rounds == 0 {
+            return Err(CoreError::invalid_config(
+                "rounds",
+                "at least one round is required",
+            ));
+        }
+        Ok(VotingDetector { detector, rounds })
+    }
+
+    /// The number of detection rounds D.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The wrapped single-clip detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Runs detection over `pairs` (one clip per round) and fuses the
+    /// votes. Exactly [`VotingDetector::rounds`] pairs are consumed; extra
+    /// pairs are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when fewer pairs than rounds
+    /// are supplied; propagates detection errors.
+    pub fn detect(&self, pairs: &[TracePair]) -> Result<Verdict> {
+        if pairs.len() < self.rounds {
+            return Err(CoreError::invalid_config(
+                "pairs",
+                format!("need {} clips, got {}", self.rounds, pairs.len()),
+            ));
+        }
+        let rounds = pairs[..self.rounds]
+            .iter()
+            .map(|p| self.detector.detect(p))
+            .collect::<Result<Vec<_>>>()?;
+        let votes: Vec<bool> = rounds.iter().map(|d| d.accepted).collect();
+        let accepted = combine_votes(&votes, self.detector.config().vote_coefficient)?;
+        let rejection_votes = votes.iter().filter(|&&a| !a).count();
+        Ok(Verdict {
+            rounds,
+            rejection_votes,
+            accepted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+    use lumen_chat::scenario::ScenarioBuilder;
+
+    #[test]
+    fn vote_combination_uses_strict_threshold() {
+        // D = 3, coefficient 0.7 -> reject only when rejections > 2.1,
+        // i.e. all three rounds reject.
+        assert!(combine_votes(&[false, false, true], 0.7).unwrap());
+        assert!(!combine_votes(&[false, false, false], 0.7).unwrap());
+        // D = 5 -> reject when rejections > 3.5, i.e. >= 4.
+        assert!(combine_votes(&[false, false, false, true, true], 0.7).unwrap());
+        assert!(!combine_votes(&[false, false, false, false, true], 0.7).unwrap());
+    }
+
+    #[test]
+    fn vote_combination_validates() {
+        assert!(combine_votes(&[], 0.7).is_err());
+        assert!(combine_votes(&[true], 1.5).is_err());
+        assert!(combine_votes(&[true], 0.0).unwrap());
+        assert!(!combine_votes(&[false], 0.0).unwrap());
+    }
+
+    #[test]
+    fn single_round_equals_single_detection() {
+        let b = ScenarioBuilder::default();
+        let train: Vec<_> = (0..15).map(|i| b.legitimate(0, 100 + i).unwrap()).collect();
+        let det = Detector::train_from_traces(&train, Config::default()).unwrap();
+        let voting = VotingDetector::new(det.clone(), 1).unwrap();
+        let pair = b.legitimate(0, 999).unwrap();
+        let single = det.detect(&pair).unwrap();
+        let fused = voting.detect(std::slice::from_ref(&pair)).unwrap();
+        assert_eq!(single.accepted, fused.accepted);
+        assert_eq!(fused.rounds.len(), 1);
+    }
+
+    #[test]
+    fn voting_improves_attack_rejection() {
+        let b = ScenarioBuilder::default();
+        let train: Vec<_> = (0..15).map(|i| b.legitimate(0, 200 + i).unwrap()).collect();
+        let det = Detector::train_from_traces(&train, Config::default()).unwrap();
+        let voting = VotingDetector::new(det, 5).unwrap();
+        let clips: Vec<_> = (0..5).map(|i| b.reenactment(0, 300 + i).unwrap()).collect();
+        let verdict = voting.detect(&clips).unwrap();
+        assert!(!verdict.accepted, "5-round attack fused to accept");
+        assert!(verdict.rejection_votes >= 4);
+    }
+
+    #[test]
+    fn detect_requires_enough_clips() {
+        let b = ScenarioBuilder::default();
+        let train: Vec<_> = (0..15).map(|i| b.legitimate(0, 400 + i).unwrap()).collect();
+        let det = Detector::train_from_traces(&train, Config::default()).unwrap();
+        let voting = VotingDetector::new(det, 3).unwrap();
+        let clips: Vec<_> = (0..2).map(|i| b.legitimate(0, 500 + i).unwrap()).collect();
+        assert!(voting.detect(&clips).is_err());
+    }
+
+    #[test]
+    fn zero_rounds_rejected() {
+        let b = ScenarioBuilder::default();
+        let train: Vec<_> = (0..15).map(|i| b.legitimate(0, 600 + i).unwrap()).collect();
+        let det = Detector::train_from_traces(&train, Config::default()).unwrap();
+        assert!(VotingDetector::new(det, 0).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the detection pipeline.
+
+use lumen_core::features::{estimate_delay, match_changes, FeatureVector};
+use lumen_core::metrics::Confusion;
+use lumen_core::preprocess::preprocess;
+use lumen_core::roc::roc_curve;
+use lumen_core::voting::combine_votes;
+use lumen_core::Config;
+use lumen_dsp::Signal;
+use proptest::prelude::*;
+
+fn times(max: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..15.0, 0..max).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn matching_is_one_to_one_and_within_window(tx in times(8), rx in times(8), window in 0.1f64..3.0) {
+        let pairs = match_changes(&tx, &rx, window);
+        let mut tx_used = std::collections::HashSet::new();
+        let mut rx_used = std::collections::HashSet::new();
+        for (i, j) in &pairs {
+            prop_assert!(tx_used.insert(*i), "tx index {i} reused");
+            prop_assert!(rx_used.insert(*j), "rx index {j} reused");
+            prop_assert!((tx[*i] - rx[*j]).abs() <= window + 1e-9);
+        }
+        prop_assert!(pairs.len() <= tx.len().min(rx.len()));
+    }
+
+    #[test]
+    fn matching_count_is_monotone_in_window(tx in times(8), rx in times(8), w in 0.1f64..2.0, dw in 0.1f64..2.0) {
+        let narrow = match_changes(&tx, &rx, w).len();
+        let wide = match_changes(&tx, &rx, w + dw).len();
+        prop_assert!(wide >= narrow);
+    }
+
+    #[test]
+    fn identical_times_match_fully(tx in times(8)) {
+        let pairs = match_changes(&tx, &tx, 0.5);
+        prop_assert_eq!(pairs.len(), tx.len());
+    }
+
+    #[test]
+    fn delay_estimate_is_clamped(tx in times(6), rx in times(6), window in 0.5f64..2.0, cap in 0.1f64..2.0) {
+        let pairs = match_changes(&tx, &rx, window);
+        let d = estimate_delay(&tx, &rx, &pairs, cap);
+        prop_assert!((0.0..=cap).contains(&d));
+    }
+
+    #[test]
+    fn preprocess_never_panics_on_random_signals(
+        samples in prop::collection::vec(0.0f64..255.0, 10..200),
+        prominence in 0.1f64..20.0,
+    ) {
+        let config = Config::default();
+        let signal = Signal::new(samples, 10.0).unwrap();
+        let out = preprocess(&signal, prominence, &config).unwrap();
+        prop_assert_eq!(out.smoothed.len(), signal.len());
+        prop_assert!(out.smoothed.samples().iter().all(|&v| v >= 0.0));
+        for p in &out.peaks {
+            prop_assert!(p.prominence >= prominence);
+        }
+    }
+
+    #[test]
+    fn confusion_rates_are_consistent(
+        outcomes in prop::collection::vec((any::<bool>(), any::<bool>()), 1..100)
+    ) {
+        let mut c = Confusion::new();
+        for (legit, accepted) in &outcomes {
+            c.record(*legit, *accepted);
+        }
+        prop_assert!((c.tar() + c.frr() - 1.0).abs() < 1e-12);
+        prop_assert!((c.trr() + c.far() - 1.0).abs() < 1e-12);
+        prop_assert_eq!(
+            c.legitimate_total() + c.attacker_total(),
+            outcomes.len()
+        );
+    }
+
+    #[test]
+    fn voting_is_monotone_in_acceptances(votes in prop::collection::vec(any::<bool>(), 1..12), coeff in 0.0f64..1.0) {
+        let verdict = combine_votes(&votes, coeff).unwrap();
+        // Flipping one rejection to acceptance can never turn an accept
+        // into a reject.
+        if let Some(pos) = votes.iter().position(|&v| !v) {
+            let mut better = votes.clone();
+            better[pos] = true;
+            let improved = combine_votes(&better, coeff).unwrap();
+            if verdict {
+                prop_assert!(improved);
+            }
+        }
+    }
+
+    #[test]
+    fn unanimous_votes_decide(coeff in 0.0f64..1.0, n in 1usize..10) {
+        prop_assert!(combine_votes(&vec![true; n], coeff).unwrap());
+        // All-reject is flagged whenever n > coeff * n, i.e. coeff < 1.
+        if coeff < 0.999 {
+            prop_assert!(!combine_votes(&vec![false; n], coeff).unwrap());
+        }
+    }
+
+    #[test]
+    fn roc_auc_is_bounded_and_curve_monotone(
+        legit in prop::collection::vec(0.5f64..20.0, 2..40),
+        attack in prop::collection::vec(0.5f64..20.0, 2..40),
+    ) {
+        let roc = roc_curve(&legit, &attack).unwrap();
+        prop_assert!((0.0..=1.0).contains(&roc.auc));
+        for w in roc.points.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+        }
+        // Endpoints: (0,·) and (1,1) are always present.
+        prop_assert!(roc.points.first().unwrap().fpr < 1e-12);
+        prop_assert!((roc.points.last().unwrap().fpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_shifted_attacks_have_higher_auc(
+        legit in prop::collection::vec(0.5f64..5.0, 3..30),
+        shift in 2.0f64..10.0,
+    ) {
+        // Attacks strictly above every legitimate score -> perfect AUC.
+        let max_legit = legit.iter().cloned().fold(f64::MIN, f64::max);
+        let attack: Vec<f64> = legit.iter().map(|s| s + max_legit + shift).collect();
+        let roc = roc_curve(&legit, &attack).unwrap();
+        prop_assert!((roc.auc - 1.0).abs() < 1e-9, "auc {}", roc.auc);
+    }
+
+    #[test]
+    fn feature_vector_roundtrip(z1 in 0.0f64..1.0, z2 in 0.0f64..1.0, z3 in -1.0f64..1.0, z4 in 0.0f64..5.0) {
+        let f = FeatureVector { z1, z2, z3, z4 };
+        prop_assert_eq!(f.as_array().to_vec(), f.to_vec());
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FeatureVector = serde_json::from_str(&json).unwrap();
+        // JSON float formatting may lose the last ULP; compare within 1e-12.
+        for (a, b) in f.as_array().iter().zip(back.as_array()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+use std::fmt;
+
+/// Errors produced by signal-processing routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The operation requires a non-empty signal.
+    EmptySignal,
+    /// A sample rate must be finite and strictly positive.
+    InvalidSampleRate(f64),
+    /// Two signals that must have equal length differ.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// A window is longer than the signal it is applied to.
+    WindowTooLarge {
+        /// Requested window length.
+        window: usize,
+        /// Signal length.
+        len: usize,
+    },
+    /// A parameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Samples contain a NaN or infinity where finite values are required.
+    NonFiniteSample {
+        /// Index of the first offending sample.
+        index: usize,
+    },
+}
+
+impl DspError {
+    /// Convenience constructor for [`DspError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        DspError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::EmptySignal => write!(f, "signal is empty"),
+            DspError::InvalidSampleRate(rate) => {
+                write!(f, "sample rate {rate} is not finite and positive")
+            }
+            DspError::LengthMismatch { left, right } => {
+                write!(f, "signal lengths differ: {left} vs {right}")
+            }
+            DspError::WindowTooLarge { window, len } => {
+                write!(f, "window of {window} samples exceeds signal length {len}")
+            }
+            DspError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DspError::NonFiniteSample { index } => {
+                write!(f, "non-finite sample at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DspError::LengthMismatch { left: 3, right: 5 };
+        assert!(err.to_string().contains("3 vs 5"));
+        let err = DspError::invalid_parameter("cutoff", "must be below Nyquist");
+        assert!(err.to_string().contains("cutoff"));
+        assert!(err.to_string().contains("Nyquist"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,98 @@
+//! Sliding-window median filtering.
+//!
+//! Not part of the paper's chain; used by the ablation experiments as an
+//! alternative de-noising stage (a median is the classic way to remove the
+//! burst artifacts that blinks and brief occlusions put into the ROI trace,
+//! where a linear low-pass only smears them).
+
+use crate::{DspError, Result, Signal};
+
+/// Centered sliding-window median with a `window`-sample window (clipped at
+/// the signal edges).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptySignal`] for empty input,
+/// [`DspError::InvalidParameter`] for a zero window and
+/// [`DspError::WindowTooLarge`] when the window exceeds the signal length.
+///
+/// # Example
+///
+/// ```
+/// use lumen_dsp::{Signal, filters::median::median_filter};
+///
+/// # fn main() -> Result<(), lumen_dsp::DspError> {
+/// // A single-sample spike vanishes under a 3-sample median.
+/// let s = Signal::new(vec![1.0, 1.0, 99.0, 1.0, 1.0], 10.0)?;
+/// let out = median_filter(&s, 3)?;
+/// assert_eq!(out.samples()[2], 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn median_filter(signal: &Signal, window: usize) -> Result<Signal> {
+    if signal.is_empty() {
+        return Err(DspError::EmptySignal);
+    }
+    if window == 0 {
+        return Err(DspError::invalid_parameter("window", "must be non-zero"));
+    }
+    if window > signal.len() {
+        return Err(DspError::WindowTooLarge {
+            window,
+            len: signal.len(),
+        });
+    }
+    let x = signal.samples();
+    let half_left = (window - 1) / 2;
+    let half_right = window / 2;
+    let out: Vec<f64> = (0..x.len())
+        .map(|i| {
+            let start = i.saturating_sub(half_left);
+            let end = (i + half_right + 1).min(x.len());
+            crate::stats::median(&x[start..end]).expect("window is non-empty")
+        })
+        .collect();
+    Signal::new(out, signal.sample_rate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_impulses_keeps_steps() {
+        let mut v = vec![10.0; 30];
+        for s in v.iter_mut().skip(15) {
+            *s = 50.0;
+        }
+        v[7] = 200.0; // impulse
+        let s = Signal::new(v, 10.0).unwrap();
+        let out = median_filter(&s, 5).unwrap();
+        assert_eq!(out.samples()[7], 10.0); // impulse gone
+        assert_eq!(out.samples()[20], 50.0); // step preserved
+        assert_eq!(out.samples()[10], 10.0);
+    }
+
+    #[test]
+    fn preserves_constant() {
+        let s = Signal::new(vec![3.0; 10], 10.0).unwrap();
+        let out = median_filter(&s, 3).unwrap();
+        assert_eq!(out.samples(), s.samples());
+    }
+
+    #[test]
+    fn window_one_is_identity() {
+        let s = Signal::new(vec![5.0, -2.0, 9.0], 10.0).unwrap();
+        let out = median_filter(&s, 1).unwrap();
+        assert_eq!(out.samples(), s.samples());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let s = Signal::new(vec![1.0; 4], 10.0).unwrap();
+        assert!(median_filter(&s, 0).is_err());
+        assert!(median_filter(&s, 5).is_err());
+        let empty = Signal::new(vec![], 10.0).unwrap();
+        assert!(median_filter(&empty, 1).is_err());
+    }
+}

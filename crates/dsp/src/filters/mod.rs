@@ -1,0 +1,22 @@
+//! The filter bank used by the preprocessing chain (Sec. V of the paper).
+//!
+//! The chain, in order:
+//!
+//! 1. [`fir::lowpass`] with a 1 Hz cut-off removes broadband noise;
+//! 2. [`moving::moving_variance`] (window 10) turns luminance steps into
+//!    variance peaks;
+//! 3. [`threshold::threshold_filter`] (cut-off 2) deletes small noise spikes;
+//! 4. [`moving::moving_rms`] (window 30) merges neighbouring sub-peaks;
+//! 5. [`savgol::savgol_smooth`] (window 31) polynomial smoothing;
+//! 6. [`moving::moving_average`] (window 10) final smoothing.
+//!
+//! [`biquad`] additionally provides IIR Butterworth sections (with a
+//! zero-phase `filtfilt`) as an alternative low-pass implementation used in
+//! ablation benchmarks.
+
+pub mod biquad;
+pub mod fir;
+pub mod median;
+pub mod moving;
+pub mod savgol;
+pub mod threshold;

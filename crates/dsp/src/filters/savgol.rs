@@ -1,0 +1,251 @@
+//! Savitzky–Golay polynomial smoothing (Sec. V: window length 31).
+//!
+//! The smoother fits a degree-`p` polynomial to each window by linear least
+//! squares and replaces the center sample with the fitted value. For
+//! uniformly spaced samples the fit reduces to a fixed convolution kernel,
+//! which we derive by solving the normal equations of the Vandermonde system
+//! with Gaussian elimination — no external linear-algebra dependency.
+
+use crate::filters::fir::convolve_same;
+use crate::{DspError, Result, Signal};
+
+/// Solves the dense linear system `a · x = b` in place by Gaussian
+/// elimination with partial pivoting.
+///
+/// `a` is row-major `n × n`. Returns `None` when the matrix is singular to
+/// working precision.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot_row = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("pivot comparison on finite values")
+        })?;
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        // Eliminate below.
+        #[allow(clippy::needless_range_loop)]
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in row + 1..n {
+            acc -= a[row][col] * x[col];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Computes the Savitzky–Golay smoothing kernel for an odd `window` length
+/// and polynomial order `polyorder`.
+///
+/// The returned kernel, convolved with a signal, yields the least-squares
+/// polynomial estimate at each window center.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `window` is even or zero, or
+/// when `polyorder >= window`.
+pub fn savgol_coeffs(window: usize, polyorder: usize) -> Result<Vec<f64>> {
+    if window == 0 || window.is_multiple_of(2) {
+        return Err(DspError::invalid_parameter(
+            "window",
+            format!("must be odd and non-zero, got {window}"),
+        ));
+    }
+    if polyorder >= window {
+        return Err(DspError::invalid_parameter(
+            "polyorder",
+            format!("order {polyorder} must be below window length {window}"),
+        ));
+    }
+    let half = (window / 2) as isize;
+    let p = polyorder + 1;
+    // Normal equations: (A^T A) c = A^T e_center, where A[i][j] = x_i^j and
+    // the kernel is h = A (A^T A)^{-1} a_0 row. Equivalently, kernel weight
+    // for offset x is the value at 0 of the polynomial fit to a unit impulse;
+    // we compute G = (A^T A)^{-1} A^T and take its first row.
+    let xs: Vec<f64> = (-half..=half).map(|x| x as f64).collect();
+    // ata[j][k] = sum_i x_i^(j+k)
+    let mut moments = vec![0.0; 2 * p];
+    for &x in &xs {
+        let mut pw = 1.0;
+        for m in moments.iter_mut() {
+            *m += pw;
+            pw *= x;
+        }
+    }
+    let ata: Vec<Vec<f64>> = (0..p)
+        .map(|j| (0..p).map(|k| moments[j + k]).collect())
+        .collect();
+    // Solve (A^T A) c = e_0 -> c gives first row of (A^T A)^{-1}.
+    let mut e0 = vec![0.0; p];
+    e0[0] = 1.0;
+    let c = solve_linear(ata, e0)
+        .ok_or_else(|| DspError::invalid_parameter("window", "normal equations are singular"))?;
+    // Kernel h[i] = sum_j c[j] * x_i^j.
+    let kernel: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            let mut pw = 1.0;
+            let mut acc = 0.0;
+            for &cj in &c {
+                acc += cj * pw;
+                pw *= x;
+            }
+            acc
+        })
+        .collect();
+    Ok(kernel)
+}
+
+/// Smooths `signal` with a Savitzky–Golay filter.
+///
+/// When the signal is shorter than `window`, the window is shrunk to the
+/// largest odd length that fits (with `polyorder` reduced accordingly); this
+/// keeps short clips — e.g. 15 s at 5 Hz in the Fig. 16 sampling-rate study —
+/// processable without special-casing at the call site.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptySignal`] for an empty signal and propagates
+/// [`savgol_coeffs`] errors.
+///
+/// # Example
+///
+/// ```
+/// use lumen_dsp::{Signal, filters::savgol::savgol_smooth};
+///
+/// # fn main() -> Result<(), lumen_dsp::DspError> {
+/// let noisy = Signal::from_fn(100, 10.0, |t| t + ((t * 97.0).sin() * 0.1))?;
+/// let smooth = savgol_smooth(&noisy, 31, 3)?;
+/// assert_eq!(smooth.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn savgol_smooth(signal: &Signal, window: usize, polyorder: usize) -> Result<Signal> {
+    if signal.is_empty() {
+        return Err(DspError::EmptySignal);
+    }
+    let mut window = window;
+    let mut polyorder = polyorder;
+    if window > signal.len() {
+        window = if signal.len().is_multiple_of(2) {
+            signal.len() - 1
+        } else {
+            signal.len()
+        };
+        if window == 0 {
+            window = 1;
+        }
+        polyorder = polyorder.min(window.saturating_sub(1));
+    }
+    let kernel = savgol_coeffs(window, polyorder)?;
+    let out = convolve_same(signal.samples(), &kernel)?;
+    Signal::new(out, signal.sample_rate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coeffs_reject_bad_parameters() {
+        assert!(savgol_coeffs(0, 0).is_err());
+        assert!(savgol_coeffs(10, 2).is_err());
+        assert!(savgol_coeffs(5, 5).is_err());
+    }
+
+    #[test]
+    fn kernel_sums_to_one() {
+        for (w, p) in [(5, 2), (7, 3), (31, 3), (11, 4)] {
+            let k = savgol_coeffs(w, p).unwrap();
+            let sum: f64 = k.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "window {w} order {p}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn kernel_is_symmetric() {
+        let k = savgol_coeffs(9, 2).unwrap();
+        for i in 0..k.len() {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_scipy_reference_5_2() {
+        // scipy.signal.savgol_coeffs(5, 2) = [-3/35, 12/35, 17/35, 12/35, -3/35]
+        let k = savgol_coeffs(5, 2).unwrap();
+        let expected = [
+            -3.0 / 35.0,
+            12.0 / 35.0,
+            17.0 / 35.0,
+            12.0 / 35.0,
+            -3.0 / 35.0,
+        ];
+        for (a, b) in k.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn preserves_polynomials_up_to_order() {
+        // A degree-3 filter must reproduce a cubic exactly (mid-signal).
+        let s =
+            Signal::from_fn(60, 10.0, |t| 1.0 + 2.0 * t - 0.5 * t * t + 0.1 * t * t * t).unwrap();
+        let out = savgol_smooth(&s, 11, 3).unwrap();
+        for i in 10..50 {
+            assert!(
+                (out.samples()[i] - s.samples()[i]).abs() < 1e-6,
+                "deviation at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn attenuates_noise() {
+        let noisy = Signal::from_fn(200, 10.0, |t| (t * 131.7).sin()).unwrap();
+        let out = savgol_smooth(&noisy, 31, 3).unwrap();
+        let in_rms = crate::stats::rms(noisy.samples());
+        let out_rms = crate::stats::rms(out.samples());
+        assert!(out_rms < in_rms * 0.5, "{out_rms} !< {in_rms}");
+    }
+
+    #[test]
+    fn short_signal_shrinks_window() {
+        let s = Signal::new(vec![1.0, 2.0, 3.0, 4.0], 10.0).unwrap();
+        let out = savgol_smooth(&s, 31, 3).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn solve_linear_simple_system() {
+        // 2x + y = 5, x - y = 1 -> x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_linear_detects_singularity() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+}

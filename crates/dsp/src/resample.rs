@@ -1,0 +1,142 @@
+//! Resampling — the Fig. 16 sampling-rate study re-runs the whole pipeline
+//! at 5, 8 and 10 Hz, which requires rate conversion of the simulated
+//! luminance traces.
+
+use crate::{DspError, Result, Signal};
+
+/// Resamples `signal` to `new_rate` Hz by linear interpolation.
+///
+/// The output covers the same time span (`floor(duration · new_rate)`
+/// samples). No anti-aliasing filter is applied; callers downsampling
+/// broadband signals should low-pass first (see
+/// [`crate::filters::fir::lowpass`]) or use [`decimate`].
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptySignal`] for an empty input and
+/// [`DspError::InvalidSampleRate`] for a non-positive target rate.
+///
+/// # Example
+///
+/// ```
+/// use lumen_dsp::{Signal, resample::resample_linear};
+///
+/// # fn main() -> Result<(), lumen_dsp::DspError> {
+/// let s = Signal::from_fn(100, 10.0, |t| t)?; // 10 s ramp
+/// let down = resample_linear(&s, 5.0)?;
+/// assert_eq!(down.len(), 50);
+/// assert_eq!(down.sample_rate(), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn resample_linear(signal: &Signal, new_rate: f64) -> Result<Signal> {
+    if signal.is_empty() {
+        return Err(DspError::EmptySignal);
+    }
+    if !(new_rate.is_finite() && new_rate > 0.0) {
+        return Err(DspError::InvalidSampleRate(new_rate));
+    }
+    let n_out = (signal.duration() * new_rate).floor().max(1.0) as usize;
+    let x = signal.samples();
+    let ratio = signal.sample_rate() / new_rate;
+    let out: Vec<f64> = (0..n_out)
+        .map(|i| {
+            let pos = i as f64 * ratio;
+            let lo = pos.floor() as usize;
+            if lo + 1 >= x.len() {
+                x[x.len() - 1]
+            } else {
+                let frac = pos - lo as f64;
+                x[lo] * (1.0 - frac) + x[lo + 1] * frac
+            }
+        })
+        .collect();
+    Signal::new(out, new_rate)
+}
+
+/// Keeps every `factor`-th sample after low-pass filtering at 80 % of the
+/// new Nyquist frequency (a guard band against aliasing).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for a zero factor,
+/// [`DspError::EmptySignal`] for an empty signal, and propagates filter
+/// design errors.
+pub fn decimate(signal: &Signal, factor: usize) -> Result<Signal> {
+    if factor == 0 {
+        return Err(DspError::invalid_parameter("factor", "must be non-zero"));
+    }
+    if signal.is_empty() {
+        return Err(DspError::EmptySignal);
+    }
+    if factor == 1 {
+        return Ok(signal.clone());
+    }
+    let new_rate = signal.sample_rate() / factor as f64;
+    let filtered = crate::filters::fir::lowpass(signal, 0.4 * new_rate)?;
+    let out: Vec<f64> = filtered.samples().iter().step_by(factor).copied().collect();
+    Signal::new(out, new_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resample_identity_rate() {
+        let s = Signal::from_fn(50, 10.0, |t| t * t).unwrap();
+        let out = resample_linear(&s, 10.0).unwrap();
+        assert_eq!(out.len(), 50);
+        for (a, b) in out.samples().iter().zip(s.samples()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_preserves_ramp() {
+        let s = Signal::from_fn(100, 10.0, |t| 3.0 * t).unwrap();
+        let out = resample_linear(&s, 8.0).unwrap();
+        for (i, &v) in out.samples().iter().enumerate() {
+            let t = i as f64 / 8.0;
+            if t < 9.8 {
+                assert!((v - 3.0 * t).abs() < 1e-9, "at {t}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn resample_upsamples() {
+        let s = Signal::from_fn(10, 10.0, |t| t).unwrap();
+        let out = resample_linear(&s, 20.0).unwrap();
+        assert_eq!(out.len(), 20);
+        assert_eq!(out.sample_rate(), 20.0);
+    }
+
+    #[test]
+    fn resample_rejects_bad_rate() {
+        let s = Signal::from_fn(10, 10.0, |t| t).unwrap();
+        assert!(resample_linear(&s, 0.0).is_err());
+        assert!(resample_linear(&s, -1.0).is_err());
+    }
+
+    #[test]
+    fn decimate_halves_rate() {
+        let s = Signal::from_fn(100, 10.0, |t| (t * 0.6).sin()).unwrap();
+        let out = decimate(&s, 2).unwrap();
+        assert_eq!(out.sample_rate(), 5.0);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn decimate_factor_one_is_identity() {
+        let s = Signal::from_fn(10, 10.0, |t| t).unwrap();
+        let out = decimate(&s, 1).unwrap();
+        assert_eq!(out.samples(), s.samples());
+    }
+
+    #[test]
+    fn decimate_rejects_zero() {
+        let s = Signal::from_fn(10, 10.0, |t| t).unwrap();
+        assert!(decimate(&s, 0).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the DSP primitives.
+
+use lumen_dsp::filters::{fir, moving, savgol, threshold};
+use lumen_dsp::peaks::{find_peaks, PeakConfig};
+use lumen_dsp::{dtw, normalize, stats, Signal};
+use proptest::prelude::*;
+
+fn finite_samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn pearson_is_bounded(x in finite_samples(64), y in finite_samples(64)) {
+        let n = x.len().min(y.len());
+        let r = stats::pearson(&x[..n], &y[..n]).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn pearson_is_symmetric(x in finite_samples(64), y in finite_samples(64)) {
+        let n = x.len().min(y.len());
+        let a = stats::pearson(&x[..n], &y[..n]).unwrap();
+        let b = stats::pearson(&y[..n], &x[..n]).unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_shift_scale_invariant(x in finite_samples(64), scale in 0.1f64..10.0, shift in -50.0f64..50.0) {
+        prop_assume!(x.len() >= 3);
+        let y: Vec<f64> = x.iter().map(|v| v * scale + shift).collect();
+        if stats::stddev_population(&x) > 1e-6 {
+            let r = stats::pearson(&x, &y).unwrap();
+            prop_assert!((r - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn variance_is_non_negative(x in finite_samples(64)) {
+        prop_assert!(stats::variance_population(&x) >= 0.0);
+        prop_assert!(stats::variance_sample(&x) >= 0.0);
+    }
+
+    #[test]
+    fn moving_average_stays_in_range(x in finite_samples(64), w in 1usize..10) {
+        prop_assume!(w <= x.len());
+        let s = Signal::new(x.clone(), 10.0).unwrap();
+        let out = moving::moving_average(&s, w).unwrap();
+        let lo = x.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = x.iter().cloned().fold(f64::MIN, f64::max);
+        for &v in out.samples() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_variance_non_negative(x in finite_samples(64), w in 1usize..10) {
+        prop_assume!(w <= x.len());
+        let s = Signal::new(x, 10.0).unwrap();
+        let out = moving::moving_variance(&s, w).unwrap();
+        prop_assert!(out.samples().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn fir_lowpass_is_linear(x in finite_samples(48), a in -3.0f64..3.0) {
+        let sx = Signal::new(x.clone(), 10.0).unwrap();
+        let scaled = Signal::new(x.iter().map(|v| a * v).collect(), 10.0).unwrap();
+        let f1 = fir::lowpass(&sx, 1.0).unwrap();
+        let f2 = fir::lowpass(&scaled, 1.0).unwrap();
+        for (u, v) in f1.samples().iter().zip(f2.samples()) {
+            prop_assert!((a * u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fir_lowpass_preserves_constant(level in -100.0f64..100.0, n in 8usize..64) {
+        let s = Signal::new(vec![level; n], 10.0).unwrap();
+        let out = fir::lowpass(&s, 1.0).unwrap();
+        for &v in out.samples() {
+            prop_assert!((v - level).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn savgol_preserves_linear_trend(a in -5.0f64..5.0, b in -50.0f64..50.0) {
+        let s = Signal::from_fn(60, 10.0, |t| a * t + b).unwrap();
+        let out = savgol::savgol_smooth(&s, 11, 2).unwrap();
+        for i in 8..52 {
+            prop_assert!((out.samples()[i] - s.samples()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn threshold_output_never_below_cutoff(x in finite_samples(64), cutoff in -10.0f64..10.0) {
+        let s = Signal::new(x, 10.0).unwrap();
+        let out = threshold::threshold_filter(&s, cutoff).unwrap();
+        for &v in out.samples() {
+            prop_assert!(v == 0.0 || v >= cutoff);
+        }
+    }
+
+    #[test]
+    fn peak_heights_match_signal(x in finite_samples(64)) {
+        let peaks = find_peaks(&x, &PeakConfig::new());
+        for p in peaks {
+            prop_assert_eq!(p.height, x[p.index]);
+            prop_assert!(p.prominence >= 0.0);
+            prop_assert!(p.index > 0 && p.index < x.len() - 1);
+        }
+    }
+
+    #[test]
+    fn peaks_respect_min_distance(x in finite_samples(64), d in 2usize..8) {
+        let peaks = find_peaks(&x, &PeakConfig::new().min_distance(d));
+        for w in peaks.windows(2) {
+            prop_assert!(w[1].index - w[0].index >= d);
+        }
+    }
+
+    #[test]
+    fn dtw_identity_is_zero(x in finite_samples(32)) {
+        prop_assert_eq!(dtw::dtw_distance(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dtw_is_symmetric_and_non_negative(x in finite_samples(24), y in finite_samples(24)) {
+        let a = dtw::dtw_distance(&x, &y).unwrap();
+        let b = dtw::dtw_distance(&y, &x).unwrap();
+        prop_assert!(a >= 0.0);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_min_max_in_unit_interval(x in finite_samples(64)) {
+        let s = Signal::new(x, 10.0).unwrap();
+        let out = normalize::normalize_min_max(&s).unwrap();
+        for &v in out.samples() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shift_roundtrip_preserves_interior(x in finite_samples(64), k in 0usize..5) {
+        prop_assume!(x.len() > 2 * k + 2);
+        let s = Signal::new(x.clone(), 10.0).unwrap();
+        let delay = k as f64 / 10.0;
+        let roundtrip = s.shift(delay).shift(-delay);
+        // Interior samples (away from both edges) survive the round trip.
+        #[allow(clippy::needless_range_loop)]
+        for i in k..(x.len() - k) {
+            prop_assert_eq!(roundtrip.samples()[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn split_even_partitions(x in finite_samples(64), parts in 1usize..6) {
+        prop_assume!(parts <= x.len());
+        let s = Signal::new(x.clone(), 10.0).unwrap();
+        let segs = s.split_even(parts).unwrap();
+        let rejoined: Vec<f64> = segs.iter().flat_map(|g| g.samples().to_vec()).collect();
+        prop_assert_eq!(rejoined, x);
+    }
+}

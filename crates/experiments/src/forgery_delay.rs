@@ -1,0 +1,127 @@
+//! Fig. 17 — effectiveness against the strongest attacker: one who forges
+//! the exact reflected-luminance signal but pays a processing delay. The
+//! paper reports the rejection rate "quickly rises to about 80 % when the
+//! delay is 1.3 seconds".
+
+use crate::runner::{pct, render_table};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset::{legitimate_features, split_train_test};
+use lumen_core::detector::Detector;
+use lumen_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Options for the forgery-delay experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayOpts {
+    /// The impersonated volunteer.
+    pub victim: usize,
+    /// Attack clips per delay.
+    pub clips: usize,
+    /// Training clips (legitimate).
+    pub train_clips: usize,
+    /// Forgery delays to sweep, seconds.
+    pub delays: Vec<f64>,
+}
+
+impl Default for DelayOpts {
+    fn default() -> Self {
+        DelayOpts {
+            victim: 0,
+            clips: 40,
+            train_clips: 20,
+            delays: vec![0.0, 0.3, 0.6, 0.9, 1.1, 1.3, 1.6, 2.0, 2.5],
+        }
+    }
+}
+
+/// One delay's row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayRow {
+    /// Forgery delay, seconds.
+    pub delay: f64,
+    /// Rejection rate of the forged clips.
+    pub rejection_rate: f64,
+}
+
+/// The Fig. 17 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayResult {
+    /// Rows, smallest delay first.
+    pub rows: Vec<DelayRow>,
+}
+
+impl DelayResult {
+    /// Renders the result as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| vec![format!("{:.1} s", r.delay), pct(r.rejection_rate)])
+            .collect();
+        render_table(
+            "Fig. 17 — rejection rate vs forgery-processing delay",
+            &["delay", "rejection"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the Fig. 17 experiment: an [`lumen_attack::adaptive::AdaptiveForger`]
+/// who reproduces the *exact* legitimate luminance signal, shipped late by
+/// each swept delay.
+///
+/// # Errors
+///
+/// Propagates simulation, feature-extraction and LOF errors.
+pub fn run(opts: DelayOpts) -> ExpResult<DelayResult> {
+    let builder = ScenarioBuilder::default();
+    let config = Config::default();
+    let legit = legitimate_features(
+        &builder,
+        opts.victim,
+        opts.train_clips + 10,
+        30_000,
+        &config,
+    )?;
+    let (train, _) = split_train_test(&legit, opts.train_clips, 13);
+    let det = Detector::train(&train, config)?;
+
+    let mut rows = Vec::new();
+    for &delay in &opts.delays {
+        let mut rejected = 0usize;
+        for i in 0..opts.clips as u64 {
+            let pair = builder.adaptive(opts.victim, delay, 31_000 + i)?;
+            if !det.detect(&pair)?.accepted {
+                rejected += 1;
+            }
+        }
+        rows.push(DelayRow {
+            delay,
+            rejection_rate: rejected as f64 / opts.clips as f64,
+        });
+    }
+    Ok(DelayResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_rises_with_delay() {
+        let result = run(DelayOpts {
+            victim: 0,
+            clips: 12,
+            train_clips: 12,
+            delays: vec![0.0, 1.5],
+        })
+        .unwrap();
+        let fast = result.rows[0].rejection_rate;
+        let slow = result.rows[1].rejection_rate;
+        // A perfect instant forgery passes (low rejection); a 1.5 s-late
+        // one is mostly caught.
+        assert!(fast < 0.5, "instant forgery rejected at {fast}");
+        assert!(slow > 0.6, "late forgery only rejected at {slow}");
+    }
+}

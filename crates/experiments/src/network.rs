@@ -1,0 +1,148 @@
+//! Network sensitivity (extension; the paper's Sec. IX discussion asks for
+//! "more influential factors"): how do one-way delay and packet loss affect
+//! the defense? Delay is compensated by the feature extractor up to its
+//! cap; loss degrades the displayed signal before it ever reaches the face.
+
+use crate::runner::{pct, render_table, user_features};
+use crate::ExpResult;
+use lumen_chat::channel::ChannelConfig;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_chat::session::SessionConfig;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::metrics::Confusion;
+use lumen_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Options for the network sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkOpts {
+    /// Volunteers per condition.
+    pub users: usize,
+    /// Clips per role per volunteer.
+    pub clips: usize,
+    /// Training instances.
+    pub train_count: usize,
+    /// One-way delays to sweep, seconds.
+    pub delays: Vec<f64>,
+    /// Drop probabilities to sweep.
+    pub drops: Vec<f64>,
+}
+
+impl Default for NetworkOpts {
+    fn default() -> Self {
+        NetworkOpts {
+            users: 3,
+            clips: 24,
+            train_count: 16,
+            delays: vec![0.0, 0.12, 0.3, 0.45],
+            drops: vec![0.0, 0.05, 0.2],
+        }
+    }
+}
+
+/// One network condition's row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkRow {
+    /// One-way delay, seconds.
+    pub delay: f64,
+    /// Packet drop probability.
+    pub drop_prob: f64,
+    /// Mean TAR.
+    pub tar: f64,
+    /// Mean TRR.
+    pub trr: f64,
+}
+
+/// The network-sensitivity result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkResult {
+    /// Rows for the delay × loss grid.
+    pub rows: Vec<NetworkRow>,
+}
+
+impl NetworkResult {
+    /// Renders the result as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0} ms", r.delay * 1000.0),
+                    format!("{:.0}%", r.drop_prob * 100.0),
+                    pct(r.tar),
+                    pct(r.trr),
+                ]
+            })
+            .collect();
+        render_table(
+            "Network sensitivity — one-way delay × packet loss",
+            &["delay", "loss", "TAR", "TRR"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the network sweep. Training happens under the same condition being
+/// tested (each deployment trains on its own link).
+///
+/// # Errors
+///
+/// Propagates simulation and detection errors.
+pub fn run(opts: NetworkOpts) -> ExpResult<NetworkResult> {
+    let config = Config::default();
+    let mut rows = Vec::new();
+    for &delay in &opts.delays {
+        for &drop_prob in &opts.drops {
+            let channel = ChannelConfig {
+                base_delay: delay,
+                jitter: 0.015,
+                drop_prob,
+            };
+            let builder = ScenarioBuilder::default().with_session(SessionConfig {
+                forward: channel,
+                backward: channel,
+                ..SessionConfig::default()
+            });
+            let mut c = Confusion::new();
+            for u in 0..opts.users {
+                let (legit, attack) = user_features(&builder, u, opts.clips, &config)?;
+                let (train, test) = split_train_test(&legit, opts.train_count, 85 + u as u64);
+                let det = Detector::train(&train, config)?;
+                for f in &test {
+                    c.record(true, det.judge(f)?.accepted);
+                }
+                for f in &attack {
+                    c.record(false, det.judge(f)?.accepted);
+                }
+            }
+            rows.push(NetworkRow {
+                delay,
+                drop_prob,
+                tar: c.tar(),
+                trr: c.trr(),
+            });
+        }
+    }
+    Ok(NetworkResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_network_is_usable() {
+        let r = run(NetworkOpts {
+            users: 2,
+            clips: 14,
+            train_count: 10,
+            delays: vec![0.12],
+            drops: vec![0.0],
+        })
+        .unwrap();
+        assert!(r.rows[0].tar > 0.75, "TAR {}", r.rows[0].tar);
+        assert!(r.rows[0].trr > 0.75, "TRR {}", r.rows[0].trr);
+    }
+}

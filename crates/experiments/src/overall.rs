@@ -1,0 +1,195 @@
+//! Fig. 11 — overall system performance: per-user true acceptance rate
+//! (classifier trained on the user's *own* data and on *another user's*
+//! data) and per-user true rejection rate against ICFace-style reenactment.
+//!
+//! Protocol (Sec. VIII-C): 40 clips per role per volunteer; 20 rounds; each
+//! round randomly picks 20 instances for training and tests on the rest.
+
+use crate::runner::{parallel_map, pct, render_table, user_features};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::metrics::{mean_std, Confusion};
+use lumen_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Options for the overall experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverallOpts {
+    /// Number of volunteers.
+    pub users: usize,
+    /// Clips per role per volunteer.
+    pub clips: usize,
+    /// Evaluation rounds (random re-splits).
+    pub rounds: usize,
+    /// Training instances per round.
+    pub train_count: usize,
+}
+
+impl Default for OverallOpts {
+    fn default() -> Self {
+        OverallOpts {
+            users: 10,
+            clips: 40,
+            rounds: 20,
+            train_count: 20,
+        }
+    }
+}
+
+/// One volunteer's row of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserRow {
+    /// Volunteer index.
+    pub user: usize,
+    /// Mean TAR with own-data training.
+    pub tar_own: f64,
+    /// TAR standard deviation (own).
+    pub tar_own_std: f64,
+    /// Mean TAR with another volunteer's training data.
+    pub tar_others: f64,
+    /// TAR standard deviation (others).
+    pub tar_others_std: f64,
+    /// Mean TRR against reenactment.
+    pub trr: f64,
+    /// TRR standard deviation.
+    pub trr_std: f64,
+}
+
+/// The complete Fig. 11 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverallResult {
+    /// Per-volunteer rows.
+    pub rows: Vec<UserRow>,
+    /// Mean TAR across volunteers (own-data training).
+    pub mean_tar_own: f64,
+    /// Mean TAR across volunteers (others'-data training).
+    pub mean_tar_others: f64,
+    /// Mean TRR across volunteers.
+    pub mean_trr: f64,
+}
+
+impl OverallResult {
+    /// Renders the result as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("user-{}", r.user + 1),
+                    pct(r.tar_own),
+                    pct(r.tar_others),
+                    pct(r.trr),
+                ]
+            })
+            .chain(std::iter::once(vec![
+                "mean".to_string(),
+                pct(self.mean_tar_own),
+                pct(self.mean_tar_others),
+                pct(self.mean_trr),
+            ]))
+            .collect();
+        render_table(
+            "Fig. 11 — overall performance (single detection)",
+            &["user", "TAR (own)", "TAR (others)", "TRR"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the Fig. 11 experiment.
+///
+/// # Errors
+///
+/// Propagates simulation, feature-extraction and LOF errors.
+pub fn run(opts: OverallOpts) -> ExpResult<OverallResult> {
+    let builder = ScenarioBuilder::default();
+    let config = Config::default();
+
+    // Generate every user's feature sets in parallel.
+    let users: Vec<usize> = (0..opts.users).collect();
+    let feature_sets = parallel_map(users, |&u| user_features(&builder, u, opts.clips, &config))?;
+
+    let rows: Vec<UserRow> = (0..opts.users)
+        .map(|u| {
+            let (legit, attack) = &feature_sets[u];
+            let (other_legit, _) = &feature_sets[(u + 1) % opts.users];
+            let mut tar_own = Vec::new();
+            let mut tar_others = Vec::new();
+            let mut trr = Vec::new();
+            for round in 0..opts.rounds as u64 {
+                // Own-data training.
+                let (train, test) = split_train_test(legit, opts.train_count, 77 + round);
+                let det = Detector::train(&train, config)?;
+                let mut c = Confusion::new();
+                for f in &test {
+                    c.record(true, det.judge(f)?.accepted);
+                }
+                tar_own.push(c.tar());
+                // TRR with the same own-data model.
+                let mut c = Confusion::new();
+                for f in attack {
+                    c.record(false, det.judge(f)?.accepted);
+                }
+                trr.push(c.trr());
+                // Others'-data training, tested on this user's clips.
+                let (train_o, _) = split_train_test(other_legit, opts.train_count, 977 + round);
+                let det_o = Detector::train(&train_o, config)?;
+                let mut c = Confusion::new();
+                for f in legit {
+                    c.record(true, det_o.judge(f)?.accepted);
+                }
+                tar_others.push(c.tar());
+            }
+            let (to, tos) = mean_std(&tar_own);
+            let (tt, tts) = mean_std(&tar_others);
+            let (tr, trs) = mean_std(&trr);
+            Ok(UserRow {
+                user: u,
+                tar_own: to,
+                tar_own_std: tos,
+                tar_others: tt,
+                tar_others_std: tts,
+                trr: tr,
+                trr_std: trs,
+            })
+        })
+        .collect::<ExpResult<_>>()?;
+
+    let mean = |f: fn(&UserRow) -> f64| rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64;
+    Ok(OverallResult {
+        mean_tar_own: mean(|r| r.tar_own),
+        mean_tar_others: mean(|r| r.tar_others),
+        mean_trr: mean(|r| r.trr),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_overall_run_hits_calibration_band() {
+        // Reduced size for test speed; the full run is exercised by the
+        // binary and the workspace integration tests.
+        let result = run(OverallOpts {
+            users: 3,
+            clips: 12,
+            rounds: 4,
+            train_count: 8,
+        })
+        .unwrap();
+        assert_eq!(result.rows.len(), 3);
+        assert!(
+            result.mean_tar_own > 0.75,
+            "TAR(own) {}",
+            result.mean_tar_own
+        );
+        assert!(result.mean_trr > 0.75, "TRR {}", result.mean_trr);
+        let table = result.print();
+        assert!(table.contains("mean"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Panel-technology ablation (extension; Sec. II-D claims the insight holds
+//! "for all types of screens including LED, LCD, and OLED since they all
+//! reduce the amount of emitted light when displaying darker scenes").
+
+use crate::runner::{pct, render_table, user_features};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::metrics::Confusion;
+use lumen_core::Config;
+use lumen_video::screen::{PanelKind, Screen};
+use lumen_video::synth::SynthConfig;
+use serde::{Deserialize, Serialize};
+
+/// Options for the panel ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PanelOpts {
+    /// Volunteers per panel kind.
+    pub users: usize,
+    /// Clips per role per volunteer.
+    pub clips: usize,
+    /// Training instances.
+    pub train_count: usize,
+}
+
+impl Default for PanelOpts {
+    fn default() -> Self {
+        PanelOpts {
+            users: 3,
+            clips: 24,
+            train_count: 16,
+        }
+    }
+}
+
+/// One panel kind's row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanelRow {
+    /// Panel label.
+    pub panel: String,
+    /// Relative luminous efficiency.
+    pub efficiency: f64,
+    /// Mean TAR.
+    pub tar: f64,
+    /// Mean TRR.
+    pub trr: f64,
+}
+
+/// The panel-ablation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PanelResult {
+    /// One row per panel kind.
+    pub rows: Vec<PanelRow>,
+}
+
+impl PanelResult {
+    /// Renders the result as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.panel.clone(),
+                    format!("{:.2}", r.efficiency),
+                    pct(r.tar),
+                    pct(r.trr),
+                ]
+            })
+            .collect();
+        render_table(
+            "Panel ablation — LED vs LCD vs OLED (27\", 85% brightness)",
+            &["panel", "efficiency", "TAR", "TRR"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the panel ablation.
+///
+/// # Errors
+///
+/// Propagates simulation and detection errors.
+pub fn run(opts: PanelOpts) -> ExpResult<PanelResult> {
+    let config = Config::default();
+    let mut rows = Vec::new();
+    for (label, kind) in [
+        ("LED", PanelKind::Led),
+        ("LCD", PanelKind::Lcd),
+        ("OLED", PanelKind::Oled),
+    ] {
+        let screen = Screen {
+            kind,
+            ..Screen::dell_27in()
+        };
+        let builder = ScenarioBuilder::default().with_conditions(SynthConfig {
+            screen,
+            ..SynthConfig::default()
+        });
+        let mut c = Confusion::new();
+        for u in 0..opts.users {
+            let (legit, attack) = user_features(&builder, u, opts.clips, &config)?;
+            let (train, test) = split_train_test(&legit, opts.train_count, 65 + u as u64);
+            let det = Detector::train(&train, config)?;
+            for f in &test {
+                c.record(true, det.judge(f)?.accepted);
+            }
+            for f in &attack {
+                c.record(false, det.judge(f)?.accepted);
+            }
+        }
+        rows.push(PanelRow {
+            panel: label.to_string(),
+            efficiency: kind.efficiency(),
+            tar: c.tar(),
+            trr: c.trr(),
+        });
+    }
+    Ok(PanelResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_panel_kinds_defend() {
+        let r = run(PanelOpts {
+            users: 2,
+            clips: 12,
+            train_count: 8,
+        })
+        .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert!(
+                row.tar > 0.6 && row.trr > 0.6,
+                "{}: TAR {} TRR {}",
+                row.panel,
+                row.tar,
+                row.trr
+            );
+        }
+    }
+}

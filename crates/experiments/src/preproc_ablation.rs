@@ -1,0 +1,221 @@
+//! Preprocessing-chain ablation (extension; DESIGN.md design-choice audit):
+//! the paper's exact Sec. V chain versus variants that add a median
+//! de-burst stage or a linear detrend in front, and versus a chain without
+//! the threshold filter. Quantifies how much each stage earns.
+
+use crate::runner::{pct, render_table};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_chat::trace::TracePair;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::features::extract_features;
+use lumen_core::metrics::Confusion;
+use lumen_core::preprocess::{preprocess, Preprocessed};
+use lumen_core::Config;
+use lumen_dsp::detrend::remove_linear;
+use lumen_dsp::filters::median::median_filter;
+use lumen_dsp::Signal;
+use serde::{Deserialize, Serialize};
+
+/// Preprocessing variants under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// The paper's exact Sec. V chain.
+    Paper,
+    /// A 5-sample median filter ahead of the chain (de-burst).
+    MedianFront,
+    /// Linear detrend ahead of the chain (the variance stage should make
+    /// this redundant).
+    DetrendFront,
+    /// The paper's chain with the threshold filter disabled.
+    NoThreshold,
+}
+
+impl Variant {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Paper => "paper chain",
+            Variant::MedianFront => "+ median(5) front",
+            Variant::DetrendFront => "+ detrend front",
+            Variant::NoThreshold => "- threshold filter",
+        }
+    }
+
+    fn prepare(&self, signal: &Signal, _config: &Config) -> ExpResult<Signal> {
+        Ok(match self {
+            Variant::MedianFront => median_filter(signal, 5.min(signal.len()))?,
+            Variant::DetrendFront => {
+                // Detrending shifts the baseline to ~0; restore the mean so
+                // the rest of the chain sees luminance-scale values.
+                let mean = signal.mean();
+                remove_linear(signal)?.map(|v| v + mean)
+            }
+            _ => signal.clone(),
+        })
+    }
+
+    fn config(&self, base: &Config) -> Config {
+        match self {
+            Variant::NoThreshold => Config {
+                variance_threshold: 0.0,
+                ..*base
+            },
+            _ => *base,
+        }
+    }
+
+    fn preprocess(
+        &self,
+        signal: &Signal,
+        prominence: f64,
+        config: &Config,
+    ) -> ExpResult<Preprocessed> {
+        let prepared = self.prepare(signal, config)?;
+        Ok(preprocess(&prepared, prominence, &self.config(config))?)
+    }
+
+    fn features(
+        &self,
+        pair: &TracePair,
+        config: &Config,
+    ) -> ExpResult<lumen_core::features::FeatureVector> {
+        let tx = self.preprocess(&pair.tx, config.tx_prominence, config)?;
+        let rx = self.preprocess(&pair.rx, config.rx_prominence, config)?;
+        Ok(extract_features(&tx, &rx, &self.config(config))?)
+    }
+}
+
+/// Options for the preprocessing ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreprocOpts {
+    /// Volunteers.
+    pub users: usize,
+    /// Clips per role per volunteer.
+    pub clips: usize,
+    /// Training instances.
+    pub train_count: usize,
+}
+
+impl Default for PreprocOpts {
+    fn default() -> Self {
+        PreprocOpts {
+            users: 3,
+            clips: 24,
+            train_count: 16,
+        }
+    }
+}
+
+/// One variant's row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreprocRow {
+    /// Variant label.
+    pub variant: String,
+    /// Mean TAR.
+    pub tar: f64,
+    /// Mean TRR.
+    pub trr: f64,
+}
+
+/// The preprocessing-ablation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreprocResult {
+    /// One row per variant.
+    pub rows: Vec<PreprocRow>,
+}
+
+impl PreprocResult {
+    /// Renders the result as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| vec![r.variant.clone(), pct(r.tar), pct(r.trr)])
+            .collect();
+        render_table(
+            "Ablation — preprocessing-chain variants",
+            &["variant", "TAR", "TRR"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the preprocessing ablation.
+///
+/// # Errors
+///
+/// Propagates simulation and detection errors.
+pub fn run(opts: PreprocOpts) -> ExpResult<PreprocResult> {
+    let builder = ScenarioBuilder::default();
+    let config = Config::default();
+    let mut rows = Vec::new();
+    for variant in [
+        Variant::Paper,
+        Variant::MedianFront,
+        Variant::DetrendFront,
+        Variant::NoThreshold,
+    ] {
+        let mut c = Confusion::new();
+        for u in 0..opts.users {
+            let legit_pairs: Vec<TracePair> = (0..opts.clips as u64)
+                .map(|i| builder.legitimate(u, 110_000 + u as u64 * 1000 + i))
+                .collect::<Result<_, _>>()?;
+            let attack_pairs: Vec<TracePair> = (0..opts.clips as u64)
+                .map(|i| builder.reenactment(u, 120_000 + u as u64 * 1000 + i))
+                .collect::<Result<_, _>>()?;
+            let legit_features = legit_pairs
+                .iter()
+                .map(|p| variant.features(p, &config))
+                .collect::<ExpResult<Vec<_>>>()?;
+            let attack_features = attack_pairs
+                .iter()
+                .map(|p| variant.features(p, &config))
+                .collect::<ExpResult<Vec<_>>>()?;
+            let (train, test) = split_train_test(&legit_features, opts.train_count, 115 + u as u64);
+            let det = Detector::train(&train, variant.config(&config))?;
+            for f in &test {
+                c.record(true, det.judge(f)?.accepted);
+            }
+            for f in &attack_features {
+                c.record(false, det.judge(f)?.accepted);
+            }
+        }
+        rows.push(PreprocRow {
+            variant: variant.label().to_string(),
+            tar: c.tar(),
+            trr: c.trr(),
+        });
+    }
+    Ok(PreprocResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chain_is_competitive() {
+        let r = run(PreprocOpts {
+            users: 2,
+            clips: 12,
+            train_count: 8,
+        })
+        .unwrap();
+        assert_eq!(r.rows.len(), 4);
+        let paper = &r.rows[0];
+        let bal = |row: &PreprocRow| 0.5 * (row.tar + row.trr);
+        // The paper chain must not be dominated by a wide margin by any
+        // variant at this scale.
+        for other in &r.rows[1..] {
+            assert!(
+                bal(paper) + 0.15 >= bal(other),
+                "paper {:.3} vs {} {:.3}",
+                bal(paper),
+                other.variant,
+                bal(other)
+            );
+        }
+    }
+}

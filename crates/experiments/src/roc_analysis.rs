@@ -1,0 +1,127 @@
+//! ROC analysis (extension): threshold-free separability of the LOF scores
+//! between legitimate users and reenactment attacks, per volunteer and
+//! pooled, with AUC.
+
+use crate::runner::{parallel_map, render_table, user_features};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::roc::{roc_curve, RocCurve};
+use lumen_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Options for the ROC analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocOpts {
+    /// Volunteers.
+    pub users: usize,
+    /// Clips per role per volunteer.
+    pub clips: usize,
+    /// Training instances per volunteer.
+    pub train_count: usize,
+}
+
+impl Default for RocOpts {
+    fn default() -> Self {
+        RocOpts {
+            users: 10,
+            clips: 40,
+            train_count: 20,
+        }
+    }
+}
+
+/// The ROC-analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocResult {
+    /// AUC per volunteer.
+    pub per_user_auc: Vec<(usize, f64)>,
+    /// Pooled ROC over all volunteers' scores.
+    pub pooled: RocCurve,
+}
+
+impl RocResult {
+    /// Renders the result as an aligned table plus the pooled curve sketch.
+    pub fn print(&self) -> String {
+        let mut rows: Vec<Vec<String>> = self
+            .per_user_auc
+            .iter()
+            .map(|(u, auc)| vec![format!("user-{}", u + 1), format!("{auc:.3}")])
+            .collect();
+        rows.push(vec!["pooled".into(), format!("{:.3}", self.pooled.auc)]);
+        let mut out = render_table(
+            "ROC analysis — LOF score separability",
+            &["user", "AUC"],
+            &rows,
+        );
+        out.push_str("pooled ROC (FPR → TPR): ");
+        for target in [0.01, 0.02, 0.05, 0.1, 0.2] {
+            // The last point at or below the target FPR.
+            let tpr = self
+                .pooled
+                .points
+                .iter()
+                .filter(|p| p.fpr <= target + 1e-12)
+                .map(|p| p.tpr)
+                .fold(0.0f64, f64::max);
+            out.push_str(&format!("{:.0}%→{:.0}%  ", target * 100.0, tpr * 100.0));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Runs the ROC analysis.
+///
+/// # Errors
+///
+/// Propagates simulation and scoring errors.
+pub fn run(opts: RocOpts) -> ExpResult<RocResult> {
+    let builder = ScenarioBuilder::default();
+    let config = Config::default();
+    let users: Vec<usize> = (0..opts.users).collect();
+    let feature_sets = parallel_map(users, |&u| user_features(&builder, u, opts.clips, &config))?;
+
+    let mut per_user_auc = Vec::new();
+    let mut pooled_legit = Vec::new();
+    let mut pooled_attack = Vec::new();
+    for (u, (legit, attack)) in feature_sets.iter().enumerate() {
+        let (train, test) = split_train_test(legit, opts.train_count, 500 + u as u64);
+        let det = Detector::train(&train, config)?;
+        let legit_scores: Vec<f64> = test
+            .iter()
+            .map(|f| det.score(f))
+            .collect::<Result<_, _>>()?;
+        let attack_scores: Vec<f64> = attack
+            .iter()
+            .map(|f| det.score(f))
+            .collect::<Result<_, _>>()?;
+        let roc = roc_curve(&legit_scores, &attack_scores)?;
+        per_user_auc.push((u, roc.auc));
+        pooled_legit.extend(legit_scores);
+        pooled_attack.extend(attack_scores);
+    }
+    let pooled = roc_curve(&pooled_legit, &pooled_attack)?;
+    Ok(RocResult {
+        per_user_auc,
+        pooled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_is_high_for_the_detector() {
+        let r = run(RocOpts {
+            users: 3,
+            clips: 16,
+            train_count: 10,
+        })
+        .unwrap();
+        assert_eq!(r.per_user_auc.len(), 3);
+        assert!(r.pooled.auc > 0.9, "pooled AUC {}", r.pooled.auc);
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared experiment infrastructure: parallel mapping, dataset helpers and
+//! table rendering.
+
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset;
+use lumen_core::detector::Detector;
+use lumen_core::features::FeatureVector;
+use lumen_core::metrics::Confusion;
+use lumen_core::Config;
+
+/// Maps `f` over `items` on scoped worker threads with dynamic load
+/// balancing (a crossbeam work queue), preserving input order in the
+/// output.
+///
+/// # Errors
+///
+/// Propagates the first error any worker produced.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> ExpResult<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> ExpResult<R> + Sync,
+{
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, &T)>();
+    for task in items.iter().enumerate() {
+        task_tx.send(task).expect("queue is open");
+    }
+    drop(task_tx);
+
+    let mut slots: Vec<Option<ExpResult<R>>> = (0..items.len()).map(|_| None).collect();
+    let done: Vec<(usize, ExpResult<R>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                while let Ok((idx, item)) = task_rx.recv() {
+                    out.push((idx, f(item)));
+                }
+                out
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+    for (idx, r) in done {
+        slots[idx] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task completed"))
+        .collect()
+}
+
+/// Legitimate + attack feature sets for one volunteer (`clips` of each),
+/// with disjoint deterministic seed blocks per user.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn user_features(
+    builder: &ScenarioBuilder,
+    user: usize,
+    clips: usize,
+    config: &Config,
+) -> ExpResult<(Vec<FeatureVector>, Vec<FeatureVector>)> {
+    let legit_base = 100_000 + (user as u64) * 1_000;
+    let attack_base = 500_000 + (user as u64) * 1_000;
+    let legit = dataset::legitimate_features(builder, user, clips, legit_base, config)?;
+    let attack = dataset::attack_features(builder, user, clips, attack_base, config)?;
+    Ok((legit, attack))
+}
+
+/// Evaluates a trained detector on pre-extracted features, filling a
+/// confusion matrix.
+///
+/// # Errors
+///
+/// Propagates LOF scoring errors.
+pub fn evaluate(
+    detector: &Detector,
+    legit: &[FeatureVector],
+    attack: &[FeatureVector],
+) -> ExpResult<Confusion> {
+    let mut c = Confusion::new();
+    for f in legit {
+        c.record(true, detector.judge(f)?.accepted);
+    }
+    for f in attack {
+        c.record(false, detector.judge(f)?.accepted);
+    }
+    Ok(c)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", 100.0 * x)
+}
+
+/// Renders a simple aligned table to a string.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>width$}", h, width = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(header_line.join("  ").len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let out = parallel_map(items.clone(), |&x| Ok(x * 2)).unwrap();
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_propagates_errors() {
+        let items: Vec<u64> = (0..10).collect();
+        let out = parallel_map(items, |&x| if x == 7 { Err("boom".into()) } else { Ok(x) });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["user", "tar"],
+            &[
+                vec!["user-1".into(), "92.5%".into()],
+                vec!["user-2".into(), "93.0%".into()],
+            ],
+        );
+        assert!(t.contains("## demo"));
+        assert!(t.contains("user-1"));
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.925), " 92.5%");
+    }
+}

@@ -1,0 +1,151 @@
+//! Fig. 13 — influence of screen size: the defense degrades gracefully from
+//! a 27-inch monitor down to a 14-inch laptop, works on a 6-inch phone only
+//! at ~10 cm, and fails with the phone at arm's length (Sec. VIII-E).
+
+use crate::runner::{pct, render_table, user_features};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::metrics::Confusion;
+use lumen_core::Config;
+use lumen_video::screen::Screen;
+use lumen_video::synth::SynthConfig;
+use serde::{Deserialize, Serialize};
+
+/// Options for the screen-size experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreenOpts {
+    /// Volunteers sampled per screen.
+    pub users: usize,
+    /// Clips per role per volunteer.
+    pub clips: usize,
+    /// Training instances.
+    pub train_count: usize,
+}
+
+impl Default for ScreenOpts {
+    fn default() -> Self {
+        ScreenOpts {
+            users: 5,
+            clips: 30,
+            train_count: 20,
+        }
+    }
+}
+
+/// One screen's row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScreenRow {
+    /// Screen label.
+    pub label: String,
+    /// Illuminance gain of the screen (diagnostic).
+    pub gain: f64,
+    /// Mean TAR.
+    pub tar: f64,
+    /// Mean TRR.
+    pub trr: f64,
+}
+
+/// The Fig. 13 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScreenResult {
+    /// Rows, largest screen first.
+    pub rows: Vec<ScreenRow>,
+}
+
+impl ScreenResult {
+    /// Renders the result as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    format!("{:.4}", r.gain),
+                    pct(r.tar),
+                    pct(r.trr),
+                ]
+            })
+            .collect();
+        render_table(
+            "Fig. 13 — influence of screen size",
+            &["screen", "gain", "TAR", "TRR"],
+            &rows,
+        )
+    }
+}
+
+/// The screens the experiment sweeps, mirroring the paper's testbed
+/// (Fig. 10) plus the two phone placements of Sec. VIII-E.
+pub fn screens() -> Vec<(String, Screen)> {
+    vec![
+        ("27\" monitor".into(), Screen::dell_27in()),
+        ("24\" monitor".into(), Screen::monitor_24in()),
+        ("19\" monitor".into(), Screen::monitor_19in()),
+        ("6\" phone @10cm".into(), Screen::phone_6in_close()),
+        ("6\" phone @40cm".into(), Screen::phone_6in_far()),
+    ]
+}
+
+/// Runs the Fig. 13 experiment.
+///
+/// # Errors
+///
+/// Propagates simulation, feature-extraction and LOF errors.
+pub fn run(opts: ScreenOpts) -> ExpResult<ScreenResult> {
+    let config = Config::default();
+    let mut rows = Vec::new();
+    for (label, screen) in screens() {
+        let builder = ScenarioBuilder::default().with_conditions(SynthConfig {
+            screen,
+            ..SynthConfig::default()
+        });
+        let mut c = Confusion::new();
+        for u in 0..opts.users {
+            let (legit, attack) = user_features(&builder, u, opts.clips, &config)?;
+            let (train, test) = split_train_test(&legit, opts.train_count, 41 + u as u64);
+            let det = Detector::train(&train, config)?;
+            for f in &test {
+                c.record(true, det.judge(f)?.accepted);
+            }
+            for f in &attack {
+                c.record(false, det.judge(f)?.accepted);
+            }
+        }
+        rows.push(ScreenRow {
+            label,
+            gain: screen.illuminance_gain(),
+            tar: c.tar(),
+            trr: c.trr(),
+        });
+    }
+    Ok(ScreenResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_screens_defend_better() {
+        let result = run(ScreenOpts {
+            users: 2,
+            clips: 10,
+            train_count: 7,
+        })
+        .unwrap();
+        assert_eq!(result.rows.len(), 5);
+        let tar27 = result.rows[0].tar;
+        let tar_far_phone = result.rows[4].tar;
+        // The far phone must be clearly worse than the desktop monitor on
+        // at least one axis (the paper: not usable at all).
+        let trr27 = result.rows[0].trr;
+        let trr_far = result.rows[4].trr;
+        assert!(
+            tar_far_phone + 0.05 < tar27 || trr_far + 0.05 < trr27,
+            "far phone ({tar_far_phone}, {trr_far}) not worse than 27\" ({tar27}, {trr27})"
+        );
+    }
+}

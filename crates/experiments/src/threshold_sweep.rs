@@ -1,0 +1,155 @@
+//! Fig. 12 — influence of the decision threshold τ: FAR and FRR sweeps and
+//! the equal error rate.
+//!
+//! The paper sweeps τ from 1.5 to 4 with 20 training instances and finds a
+//! balanced FAR/FRR (EER ≈ 5.5 %) for τ between 2.8 and 3.
+
+use crate::runner::{parallel_map, pct, render_table, user_features};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::metrics::{equal_error_rate, SweepPoint};
+use lumen_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Options for the threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepOpts {
+    /// Number of volunteers contributing scores.
+    pub users: usize,
+    /// Clips per role per volunteer.
+    pub clips: usize,
+    /// Training instances.
+    pub train_count: usize,
+    /// Sweep start.
+    pub tau_min: f64,
+    /// Sweep end (inclusive).
+    pub tau_max: f64,
+    /// Sweep step.
+    pub tau_step: f64,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            users: 10,
+            clips: 40,
+            train_count: 20,
+            tau_min: 1.5,
+            tau_max: 4.0,
+            tau_step: 0.1,
+        }
+    }
+}
+
+/// The Fig. 12 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// FAR/FRR per threshold.
+    pub points: Vec<SweepPoint>,
+    /// The interpolated equal error rate, if the curves cross.
+    pub eer: Option<f64>,
+    /// Threshold nearest the crossing.
+    pub eer_threshold: Option<f64>,
+}
+
+impl SweepResult {
+    /// Renders the sweep as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| vec![format!("{:.1}", p.threshold), pct(p.far), pct(p.frr)])
+            .collect();
+        let mut out = render_table(
+            "Fig. 12 — decision threshold sweep",
+            &["τ", "FAR", "FRR"],
+            &rows,
+        );
+        if let (Some(eer), Some(tau)) = (self.eer, self.eer_threshold) {
+            out.push_str(&format!("EER ≈ {} near τ ≈ {tau:.2}\n", pct(eer)));
+        }
+        out
+    }
+}
+
+/// Runs the Fig. 12 experiment. LOF scores are threshold-independent, so
+/// each instance is scored once and the sweep reuses the scores.
+///
+/// # Errors
+///
+/// Propagates simulation, feature-extraction and LOF errors.
+pub fn run(opts: SweepOpts) -> ExpResult<SweepResult> {
+    let builder = ScenarioBuilder::default();
+    let config = Config::default();
+    let users: Vec<usize> = (0..opts.users).collect();
+    let feature_sets = parallel_map(users, |&u| user_features(&builder, u, opts.clips, &config))?;
+
+    // Collect LOF scores of all test instances, per ground truth.
+    let mut legit_scores = Vec::new();
+    let mut attack_scores = Vec::new();
+    for (u, (legit, attack)) in feature_sets.iter().enumerate() {
+        let (train, test) = split_train_test(legit, opts.train_count, 300 + u as u64);
+        let det = Detector::train(&train, config)?;
+        for f in &test {
+            legit_scores.push(det.score(f)?);
+        }
+        for f in attack {
+            attack_scores.push(det.score(f)?);
+        }
+    }
+
+    let mut points = Vec::new();
+    let mut tau = opts.tau_min;
+    while tau <= opts.tau_max + 1e-9 {
+        let frr = legit_scores.iter().filter(|&&s| s > tau).count() as f64
+            / legit_scores.len().max(1) as f64;
+        let far = attack_scores.iter().filter(|&&s| s <= tau).count() as f64
+            / attack_scores.len().max(1) as f64;
+        points.push(SweepPoint {
+            threshold: tau,
+            far,
+            frr,
+        });
+        tau += opts.tau_step;
+    }
+    let eer = equal_error_rate(&points);
+    let eer_threshold = points
+        .iter()
+        .min_by(|a, b| {
+            (a.far - a.frr)
+                .abs()
+                .partial_cmp(&(b.far - b.frr).abs())
+                .expect("finite rates")
+        })
+        .map(|p| p.threshold);
+    Ok(SweepResult {
+        points,
+        eer,
+        eer_threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_curves_are_monotone_and_cross() {
+        let result = run(SweepOpts {
+            users: 3,
+            clips: 12,
+            train_count: 8,
+            ..SweepOpts::default()
+        })
+        .unwrap();
+        // FAR grows with τ, FRR shrinks.
+        for w in result.points.windows(2) {
+            assert!(w[1].far >= w[0].far - 1e-9);
+            assert!(w[1].frr <= w[0].frr + 1e-9);
+        }
+        let eer = result.eer.expect("curves cross");
+        assert!(eer < 0.35, "EER {eer}");
+    }
+}

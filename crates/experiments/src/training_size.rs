@@ -1,0 +1,143 @@
+//! Fig. 15 — influence of the number of training instances: the paper finds
+//! 8 instances already give ≈ 92 % TAR / 91 % TRR, rising to ≈ 95 % with
+//! 20, with standard deviations shrinking.
+
+use crate::runner::{pct, render_table, user_features};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::metrics::{mean_std, Confusion};
+use lumen_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Options for the training-size experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingOpts {
+    /// The volunteer whose data is used (the paper uses one volunteer).
+    pub user: usize,
+    /// Clips per role.
+    pub clips: usize,
+    /// Training sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Random re-splits per size.
+    pub repeats: usize,
+}
+
+impl Default for TrainingOpts {
+    fn default() -> Self {
+        TrainingOpts {
+            user: 0,
+            clips: 40,
+            sizes: vec![6, 8, 12, 16, 20],
+            repeats: 20,
+        }
+    }
+}
+
+/// One training-size row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRow {
+    /// Training instances used.
+    pub train_count: usize,
+    /// Mean TAR.
+    pub tar: f64,
+    /// TAR standard deviation across repeats.
+    pub tar_std: f64,
+    /// Mean TRR.
+    pub trr: f64,
+    /// TRR standard deviation across repeats.
+    pub trr_std: f64,
+}
+
+/// The Fig. 15 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingResult {
+    /// Rows, smallest size first.
+    pub rows: Vec<TrainingRow>,
+}
+
+impl TrainingResult {
+    /// Renders the result as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.train_count.to_string(),
+                    format!("{} ±{:4.1}", pct(r.tar), 100.0 * r.tar_std),
+                    format!("{} ±{:4.1}", pct(r.trr), 100.0 * r.trr_std),
+                ]
+            })
+            .collect();
+        render_table(
+            "Fig. 15 — influence of training-set size",
+            &["train", "TAR", "TRR"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the Fig. 15 experiment.
+///
+/// # Errors
+///
+/// Propagates simulation, feature-extraction and LOF errors.
+pub fn run(opts: TrainingOpts) -> ExpResult<TrainingResult> {
+    let builder = ScenarioBuilder::default();
+    let config = Config::default();
+    let (legit, attack) = user_features(&builder, opts.user, opts.clips, &config)?;
+    let mut rows = Vec::new();
+    for &size in &opts.sizes {
+        let mut tars = Vec::new();
+        let mut trrs = Vec::new();
+        for rep in 0..opts.repeats as u64 {
+            let (train, test) = split_train_test(&legit, size, 800 + rep);
+            let det = Detector::train(&train, config)?;
+            let mut c = Confusion::new();
+            for f in &test {
+                c.record(true, det.judge(f)?.accepted);
+            }
+            tars.push(c.tar());
+            let mut c = Confusion::new();
+            for f in &attack {
+                c.record(false, det.judge(f)?.accepted);
+            }
+            trrs.push(c.trr());
+        }
+        let (tar, tar_std) = mean_std(&tars);
+        let (trr, trr_std) = mean_std(&trrs);
+        rows.push(TrainingRow {
+            train_count: size,
+            tar,
+            tar_std,
+            trr,
+            trr_std,
+        });
+    }
+    Ok(TrainingResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_training_is_not_worse() {
+        let result = run(TrainingOpts {
+            user: 1,
+            clips: 24,
+            sizes: vec![6, 12, 18],
+            repeats: 6,
+        })
+        .unwrap();
+        assert_eq!(result.rows.len(), 3);
+        let small = &result.rows[0];
+        let large = &result.rows[2];
+        // With more knowledge, mean accuracy should not collapse and the
+        // spread should not blow up.
+        assert!(large.tar >= small.tar - 0.1);
+        assert!(large.tar_std <= small.tar_std + 0.1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Fig. 14 — influence of the number of detection attempts: majority voting
+//! over D rounds improves both rates and shrinks their variance.
+
+use crate::runner::{pct, render_table, user_features};
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset::split_train_test;
+use lumen_core::detector::Detector;
+use lumen_core::metrics::mean_std;
+use lumen_core::voting::combine_votes;
+use lumen_core::Config;
+use serde::{Deserialize, Serialize};
+
+/// Options for the voting experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VotingOpts {
+    /// Volunteers.
+    pub users: usize,
+    /// Clips per role per volunteer (grouped into voting rounds).
+    pub clips: usize,
+    /// Training instances.
+    pub train_count: usize,
+    /// Largest D evaluated (1..=max_rounds).
+    pub max_rounds: usize,
+    /// Random re-splits per configuration.
+    pub repeats: usize,
+}
+
+impl Default for VotingOpts {
+    fn default() -> Self {
+        VotingOpts {
+            users: 5,
+            clips: 40,
+            train_count: 20,
+            max_rounds: 5,
+            repeats: 10,
+        }
+    }
+}
+
+/// One D's row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VotingRow {
+    /// Number of detection attempts fused.
+    pub rounds: usize,
+    /// Mean TAR.
+    pub tar: f64,
+    /// TAR standard deviation across users/repeats.
+    pub tar_std: f64,
+    /// Mean TRR.
+    pub trr: f64,
+    /// TRR standard deviation.
+    pub trr_std: f64,
+}
+
+/// The Fig. 14 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VotingResult {
+    /// Rows for D = 1..=max_rounds.
+    pub rows: Vec<VotingRow>,
+}
+
+impl VotingResult {
+    /// Renders the result as an aligned table.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rounds.to_string(),
+                    format!("{} ±{:4.1}", pct(r.tar), 100.0 * r.tar_std),
+                    format!("{} ±{:4.1}", pct(r.trr), 100.0 * r.trr_std),
+                ]
+            })
+            .collect();
+        render_table(
+            "Fig. 14 — influence of detection attempts (majority voting)",
+            &["D", "TAR", "TRR"],
+            &rows,
+        )
+    }
+}
+
+/// Runs the Fig. 14 experiment.
+///
+/// # Errors
+///
+/// Propagates simulation, feature-extraction and LOF errors.
+pub fn run(opts: VotingOpts) -> ExpResult<VotingResult> {
+    let builder = ScenarioBuilder::default();
+    let config = Config::default();
+    let mut per_d_tar: Vec<Vec<f64>> = vec![Vec::new(); opts.max_rounds];
+    let mut per_d_trr: Vec<Vec<f64>> = vec![Vec::new(); opts.max_rounds];
+
+    for u in 0..opts.users {
+        let (legit, attack) = user_features(&builder, u, opts.clips, &config)?;
+        for rep in 0..opts.repeats as u64 {
+            let (train, test) = split_train_test(&legit, opts.train_count, 600 + rep);
+            let det = Detector::train(&train, config)?;
+            let legit_votes: Vec<bool> = test
+                .iter()
+                .map(|f| Ok(det.judge(f)?.accepted))
+                .collect::<ExpResult<_>>()?;
+            let attack_votes: Vec<bool> = attack
+                .iter()
+                .map(|f| Ok(det.judge(f)?.accepted))
+                .collect::<ExpResult<_>>()?;
+            for d in 1..=opts.max_rounds {
+                let fuse = |votes: &[bool]| -> ExpResult<(usize, usize)> {
+                    let mut accepted = 0;
+                    let mut total = 0;
+                    for group in votes.chunks(d) {
+                        if group.len() < d {
+                            continue;
+                        }
+                        total += 1;
+                        if combine_votes(group, config.vote_coefficient)? {
+                            accepted += 1;
+                        }
+                    }
+                    Ok((accepted, total))
+                };
+                let (la, lt) = fuse(&legit_votes)?;
+                if lt > 0 {
+                    per_d_tar[d - 1].push(la as f64 / lt as f64);
+                }
+                let (aa, at) = fuse(&attack_votes)?;
+                if at > 0 {
+                    per_d_trr[d - 1].push(1.0 - aa as f64 / at as f64);
+                }
+            }
+        }
+    }
+
+    let rows = (0..opts.max_rounds)
+        .map(|i| {
+            let (tar, tar_std) = mean_std(&per_d_tar[i]);
+            let (trr, trr_std) = mean_std(&per_d_trr[i]);
+            VotingRow {
+                rounds: i + 1,
+                tar,
+                tar_std,
+                trr,
+                trr_std,
+            }
+        })
+        .collect();
+    Ok(VotingResult { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voting_improves_acceptance() {
+        let result = run(VotingOpts {
+            users: 2,
+            clips: 20,
+            train_count: 10,
+            max_rounds: 3,
+            repeats: 4,
+        })
+        .unwrap();
+        assert_eq!(result.rows.len(), 3);
+        let d1 = &result.rows[0];
+        let d3 = &result.rows[2];
+        // With the 0.7 coefficient, D = 3 requires all three rounds to
+        // reject, so TAR can only improve.
+        assert!(d3.tar >= d1.tar - 1e-9, "TAR {} -> {}", d1.tar, d3.tar);
+    }
+}

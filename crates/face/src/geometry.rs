@@ -1,0 +1,152 @@
+//! Parametric face geometry with ground-truth landmarks.
+//!
+//! All facial features are placed relative to a face center and a `scale`
+//! (face height in pixels), so head motion is a translation of the geometry
+//! and distance changes are a scale change — the two pose variations the
+//! paper's volunteers produced ("the volunteer can freely move the head as
+//! long as the whole face can be captured").
+
+use crate::landmarks::{Landmark, LandmarkSet};
+
+/// Relative vertical extent of the specular nasal ridge (top, bottom) in
+/// units of `scale`, measured from the face center.
+pub const RIDGE_TOP: f64 = -0.05;
+/// Bottom of the ridge band.
+pub const RIDGE_BOTTOM: f64 = 0.18;
+/// Vertical position of the lower nasal-bridge landmark.
+pub const LOWER_BRIDGE_Y: f64 = 0.10;
+/// Vertical position of the nasal-tip landmarks.
+pub const TIP_Y: f64 = 0.16;
+/// Top of the nasal-bridge landmark run.
+pub const UPPER_BRIDGE_Y: f64 = -0.05;
+
+/// A face pose within a frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceGeometry {
+    /// Face center x in pixels.
+    pub cx: f64,
+    /// Face center y in pixels.
+    pub cy: f64,
+    /// Face height in pixels.
+    pub scale: f64,
+}
+
+impl FaceGeometry {
+    /// A face centered in a `width × height` frame, sized to fill ~70 % of
+    /// the frame height.
+    pub fn centered(width: usize, height: usize) -> Self {
+        FaceGeometry {
+            cx: width as f64 / 2.0,
+            cy: height as f64 / 2.0,
+            scale: height as f64 * 0.7,
+        }
+    }
+
+    /// Returns the pose translated by `(dx, dy)` pixels (head motion).
+    pub fn moved(&self, dx: f64, dy: f64) -> Self {
+        FaceGeometry {
+            cx: self.cx + dx,
+            cy: self.cy + dy,
+            scale: self.scale,
+        }
+    }
+
+    /// Semi-axes of the face ellipse (width, height).
+    pub fn face_axes(&self) -> (f64, f64) {
+        (0.30 * self.scale, 0.42 * self.scale)
+    }
+
+    /// Half-width of the specular nasal ridge band.
+    pub fn ridge_half_width(&self) -> f64 {
+        (0.022 * self.scale).max(1.0)
+    }
+
+    /// Ground-truth landmark set for this pose.
+    pub fn landmarks(&self) -> LandmarkSet {
+        let bridge_ys = [
+            UPPER_BRIDGE_Y,
+            UPPER_BRIDGE_Y + (LOWER_BRIDGE_Y - UPPER_BRIDGE_Y) / 3.0,
+            UPPER_BRIDGE_Y + 2.0 * (LOWER_BRIDGE_Y - UPPER_BRIDGE_Y) / 3.0,
+            LOWER_BRIDGE_Y,
+        ];
+        let nasal_bridge = bridge_ys.map(|ry| Landmark::new(self.cx, self.cy + ry * self.scale));
+        let tip_xs = [-0.06, -0.03, 0.0, 0.03, 0.06];
+        let nasal_tip = tip_xs.map(|rx| {
+            Landmark::new(
+                self.cx + rx * self.scale,
+                self.cy + TIP_Y * self.scale - (rx.abs() * 0.15) * self.scale,
+            )
+        });
+        LandmarkSet {
+            nasal_bridge,
+            nasal_tip,
+        }
+    }
+
+    /// `true` when the whole face ellipse fits inside a `width × height`
+    /// frame.
+    pub fn fits(&self, width: usize, height: usize) -> bool {
+        let (ax, ay) = self.face_axes();
+        self.cx - ax >= 0.0
+            && self.cy - ay >= 0.0
+            && self.cx + ax < width as f64
+            && self.cy + ay < height as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_face_fits() {
+        let g = FaceGeometry::centered(160, 120);
+        assert!(g.fits(160, 120));
+        assert!(!g.moved(100.0, 0.0).fits(160, 120));
+    }
+
+    #[test]
+    fn landmarks_follow_pose() {
+        let g = FaceGeometry::centered(160, 120);
+        let base = g.landmarks();
+        let moved = g.moved(5.0, -3.0).landmarks();
+        for (a, b) in base.nasal_bridge.iter().zip(&moved.nasal_bridge) {
+            assert!((b.x - a.x - 5.0).abs() < 1e-12);
+            assert!((b.y - a.y + 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bridge_is_vertical_and_ordered() {
+        let lm = FaceGeometry::centered(160, 120).landmarks();
+        for w in lm.nasal_bridge.windows(2) {
+            assert!(w[1].y > w[0].y);
+            assert_eq!(w[1].x, w[0].x);
+        }
+    }
+
+    #[test]
+    fn roi_side_scales_with_face() {
+        let small = FaceGeometry {
+            cx: 80.0,
+            cy: 60.0,
+            scale: 60.0,
+        };
+        let large = FaceGeometry {
+            cx: 80.0,
+            cy: 60.0,
+            scale: 120.0,
+        };
+        let s = small.landmarks().roi_side();
+        let l = large.landmarks().roi_side();
+        assert!((l / s - 2.0).abs() < 1e-9);
+        // l = |TIP_Y - LOWER_BRIDGE_Y| * scale = 0.06 * scale.
+        assert!((s - 0.06 * 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tip_sits_below_lower_bridge() {
+        let lm = FaceGeometry::centered(200, 200).landmarks();
+        assert!(lm.tip_center().y > lm.lower_bridge().y);
+    }
+}

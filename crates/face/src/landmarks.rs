@@ -1,0 +1,134 @@
+//! Landmark types mirroring the paper's facial-recognition API output:
+//! four nasal-bridge points and five nasal-tip points (Fig. 5).
+
+/// A sub-pixel image location.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Landmark {
+    /// Horizontal coordinate in pixels.
+    pub x: f64,
+    /// Vertical coordinate in pixels (downwards).
+    pub y: f64,
+}
+
+impl Landmark {
+    /// Creates a landmark.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Landmark { x, y }
+    }
+
+    /// Euclidean distance to another landmark.
+    pub fn distance(&self, other: &Landmark) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// The nine nasal landmarks the paper's pipeline consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LandmarkSet {
+    /// Four points along the nasal bridge, top to bottom.
+    pub nasal_bridge: [Landmark; 4],
+    /// Five points across the nasal tip, left to right.
+    pub nasal_tip: [Landmark; 5],
+}
+
+impl LandmarkSet {
+    /// The lower nasal-bridge point `(a1, b1)` — the ROI center (Fig. 5).
+    pub fn lower_bridge(&self) -> Landmark {
+        self.nasal_bridge[3]
+    }
+
+    /// The central nasal-tip point `(a2, b2)`.
+    pub fn tip_center(&self) -> Landmark {
+        self.nasal_tip[2]
+    }
+
+    /// The interest-square side `l = |b1 - b2|` (Fig. 5).
+    pub fn roi_side(&self) -> f64 {
+        (self.lower_bridge().y - self.tip_center().y).abs()
+    }
+
+    /// Mean localization error against a reference set (pixel RMS over all
+    /// nine landmarks) — used to validate the detector.
+    pub fn rms_error(&self, reference: &LandmarkSet) -> f64 {
+        let mut sum = 0.0;
+        for (a, b) in self.nasal_bridge.iter().zip(&reference.nasal_bridge) {
+            sum += a.distance(b).powi(2);
+        }
+        for (a, b) in self.nasal_tip.iter().zip(&reference.nasal_tip) {
+            sum += a.distance(b).powi(2);
+        }
+        (sum / 9.0).sqrt()
+    }
+
+    /// Translates every landmark by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> LandmarkSet {
+        let mv = |l: &Landmark| Landmark::new(l.x + dx, l.y + dy);
+        LandmarkSet {
+            nasal_bridge: [
+                mv(&self.nasal_bridge[0]),
+                mv(&self.nasal_bridge[1]),
+                mv(&self.nasal_bridge[2]),
+                mv(&self.nasal_bridge[3]),
+            ],
+            nasal_tip: [
+                mv(&self.nasal_tip[0]),
+                mv(&self.nasal_tip[1]),
+                mv(&self.nasal_tip[2]),
+                mv(&self.nasal_tip[3]),
+                mv(&self.nasal_tip[4]),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> LandmarkSet {
+        LandmarkSet {
+            nasal_bridge: [
+                Landmark::new(50.0, 30.0),
+                Landmark::new(50.0, 35.0),
+                Landmark::new(50.0, 40.0),
+                Landmark::new(50.0, 45.0),
+            ],
+            nasal_tip: [
+                Landmark::new(44.0, 51.0),
+                Landmark::new(47.0, 52.0),
+                Landmark::new(50.0, 52.0),
+                Landmark::new(53.0, 52.0),
+                Landmark::new(56.0, 51.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Landmark::new(0.0, 0.0);
+        let b = Landmark::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roi_side_is_vertical_gap() {
+        let set = sample_set();
+        assert_eq!(set.lower_bridge(), Landmark::new(50.0, 45.0));
+        assert_eq!(set.tip_center(), Landmark::new(50.0, 52.0));
+        assert_eq!(set.roi_side(), 7.0);
+    }
+
+    #[test]
+    fn rms_error_zero_on_identity() {
+        let set = sample_set();
+        assert_eq!(set.rms_error(&set), 0.0);
+    }
+
+    #[test]
+    fn rms_error_of_uniform_shift() {
+        let set = sample_set();
+        let shifted = set.translated(3.0, 4.0);
+        assert!((set.rms_error(&shifted) - 5.0).abs() < 1e-12);
+        assert_eq!(shifted.roi_side(), set.roi_side());
+    }
+}

@@ -1,0 +1,141 @@
+//! Landmark-detector evaluation harness.
+//!
+//! Quantifies detection rate and localization error over a grid of poses
+//! and illumination levels — the numbers behind the claim that the ROI can
+//! be "robustly located" (Sec. II-E). Used by tests and available for
+//! tuning alternative detectors.
+
+use crate::detect::detect_landmarks;
+use crate::geometry::FaceGeometry;
+use crate::render::FaceRenderer;
+use lumen_video::Result;
+
+/// Aggregate evaluation outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorReport {
+    /// Poses evaluated.
+    pub attempted: usize,
+    /// Poses with a successful detection.
+    pub detected: usize,
+    /// Mean RMS landmark error over successful detections, pixels.
+    pub mean_rms_error: f64,
+    /// Worst RMS error observed, pixels.
+    pub max_rms_error: f64,
+}
+
+impl DetectorReport {
+    /// Fraction of poses detected.
+    pub fn detection_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Evaluates the landmark detector over a pose × illumination grid.
+///
+/// `offsets` are (dx, dy) head displacements from center; `levels` are skin
+/// illumination levels. Poses whose face leaves the frame are skipped.
+///
+/// # Errors
+///
+/// Propagates rendering errors.
+pub fn evaluate_detector(
+    renderer: &FaceRenderer,
+    offsets: &[(f64, f64)],
+    levels: &[f64],
+) -> Result<DetectorReport> {
+    let base = FaceGeometry::centered(renderer.width, renderer.height);
+    let mut attempted = 0usize;
+    let mut detected = 0usize;
+    let mut err_sum = 0.0;
+    let mut err_max = 0.0f64;
+    for &(dx, dy) in offsets {
+        let geom = base.moved(dx, dy);
+        if !geom.fits(renderer.width, renderer.height) {
+            continue;
+        }
+        for &level in levels {
+            attempted += 1;
+            let frame = renderer.render(&geom, level)?;
+            if let Some(found) = detect_landmarks(&frame) {
+                detected += 1;
+                let err = found.rms_error(&geom.landmarks());
+                err_sum += err;
+                err_max = err_max.max(err);
+            }
+        }
+    }
+    Ok(DetectorReport {
+        attempted,
+        detected,
+        mean_rms_error: if detected == 0 {
+            f64::NAN
+        } else {
+            err_sum / detected as f64
+        },
+        max_rms_error: err_max,
+    })
+}
+
+/// A standard pose grid: a 5 × 3 lattice of head offsets.
+pub fn standard_offsets() -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for dx in [-12.0, -6.0, 0.0, 6.0, 12.0] {
+        for dy in [-5.0, 0.0, 5.0] {
+            out.push((dx, dy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_clears_the_robustness_bar() {
+        let report = evaluate_detector(
+            &FaceRenderer::default(),
+            &standard_offsets(),
+            &[100.0, 130.0, 160.0],
+        )
+        .unwrap();
+        assert!(
+            report.attempted >= 40,
+            "grid too small: {}",
+            report.attempted
+        );
+        assert!(
+            report.detection_rate() > 0.97,
+            "detection rate {}",
+            report.detection_rate()
+        );
+        assert!(
+            report.mean_rms_error < 6.0,
+            "mean rms {}",
+            report.mean_rms_error
+        );
+        assert!(
+            report.max_rms_error < 12.0,
+            "max rms {}",
+            report.max_rms_error
+        );
+    }
+
+    #[test]
+    fn empty_grid_is_handled() {
+        let report = evaluate_detector(&FaceRenderer::default(), &[], &[130.0]).unwrap();
+        assert_eq!(report.attempted, 0);
+        assert_eq!(report.detection_rate(), 0.0);
+    }
+
+    #[test]
+    fn out_of_frame_poses_are_skipped() {
+        let report =
+            evaluate_detector(&FaceRenderer::default(), &[(500.0, 0.0)], &[130.0]).unwrap();
+        assert_eq!(report.attempted, 0);
+    }
+}

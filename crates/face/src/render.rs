@@ -1,0 +1,190 @@
+//! Face rasterization.
+//!
+//! Renders a stylized but photometrically meaningful face: an elliptical
+//! skin region at the commanded illumination level, darker eyes and mouth,
+//! and a brighter specular band along the nasal ridge (noses catch frontal
+//! light — the reason the paper's ROI is easy to find and photometrically
+//! stable). The renderer is shared by the detector tests, the full-frame
+//! pipeline in `lumen-core`, and the Fig. 3 feasibility experiment.
+
+use crate::geometry::{FaceGeometry, RIDGE_BOTTOM, RIDGE_TOP};
+use lumen_video::frame::Frame;
+use lumen_video::pixel::Rgb;
+use lumen_video::{Result, VideoError};
+
+/// Face renderer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaceRenderer {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Background luminance (the room behind the callee).
+    pub background: f64,
+    /// Specular gain of the nasal ridge relative to surrounding skin.
+    pub ridge_gain: f64,
+    /// Relative luminance of eyes and mouth versus skin.
+    pub feature_darkness: f64,
+}
+
+impl Default for FaceRenderer {
+    fn default() -> Self {
+        FaceRenderer {
+            width: 160,
+            height: 120,
+            background: 28.0,
+            ridge_gain: 1.22,
+            feature_darkness: 0.35,
+        }
+    }
+}
+
+fn in_ellipse(x: f64, y: f64, cx: f64, cy: f64, ax: f64, ay: f64) -> bool {
+    let dx = (x - cx) / ax;
+    let dy = (y - cy) / ay;
+    dx * dx + dy * dy <= 1.0
+}
+
+impl FaceRenderer {
+    /// Renders the face at `skin_level` luminance (what the camera exposes
+    /// the skin to, 0–255).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidParameter`] when the face does not fit
+    /// in the frame or `skin_level` leaves `[0, 255]`.
+    pub fn render(&self, geom: &FaceGeometry, skin_level: f64) -> Result<Frame> {
+        if !(0.0..=255.0).contains(&skin_level) {
+            return Err(VideoError::invalid_parameter(
+                "skin_level",
+                "must be within [0, 255]",
+            ));
+        }
+        if !geom.fits(self.width, self.height) {
+            return Err(VideoError::invalid_parameter(
+                "geom",
+                "face does not fit inside the frame",
+            ));
+        }
+        let (ax, ay) = geom.face_axes();
+        let ridge_hw = geom.ridge_half_width();
+        let eye_dx = 0.12 * geom.scale;
+        let eye_y = geom.cy - 0.10 * geom.scale;
+        let eye_ax = 0.05 * geom.scale;
+        let eye_ay = 0.03 * geom.scale;
+        let mouth_y = geom.cy + 0.28 * geom.scale;
+        let mouth_ax = 0.10 * geom.scale;
+        let mouth_ay = 0.025 * geom.scale;
+
+        Frame::from_fn(self.width, self.height, |xi, yi| {
+            let x = xi as f64;
+            let y = yi as f64;
+            if !in_ellipse(x, y, geom.cx, geom.cy, ax, ay) {
+                return Rgb::from_luminance(self.background);
+            }
+            // Eyes and mouth: darker features.
+            let in_eye = in_ellipse(x, y, geom.cx - eye_dx, eye_y, eye_ax, eye_ay)
+                || in_ellipse(x, y, geom.cx + eye_dx, eye_y, eye_ax, eye_ay);
+            let in_mouth = in_ellipse(x, y, geom.cx, mouth_y, mouth_ax, mouth_ay);
+            if in_eye || in_mouth {
+                return Rgb::from_luminance(skin_level * self.feature_darkness);
+            }
+            // Specular nasal ridge band.
+            let ridge_top = geom.cy + RIDGE_TOP * geom.scale;
+            let ridge_bottom = geom.cy + RIDGE_BOTTOM * geom.scale;
+            if (x - geom.cx).abs() <= ridge_hw && (ridge_top..=ridge_bottom).contains(&y) {
+                return Rgb::from_luminance(skin_level * self.ridge_gain);
+            }
+            // Mild lambertian falloff toward the face boundary.
+            let r2 = ((x - geom.cx) / ax).powi(2) + ((y - geom.cy) / ay).powi(2);
+            let shade = 1.0 - 0.18 * r2;
+            Rgb::from_luminance(skin_level * shade)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_video::frame::Region;
+
+    fn render_default(level: f64) -> (Frame, FaceGeometry) {
+        let geom = FaceGeometry::centered(160, 120);
+        let frame = FaceRenderer::default().render(&geom, level).unwrap();
+        (frame, geom)
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let geom = FaceGeometry::centered(160, 120);
+        let r = FaceRenderer::default();
+        assert!(r.render(&geom, 300.0).is_err());
+        assert!(r.render(&geom.moved(200.0, 0.0), 120.0).is_err());
+    }
+
+    #[test]
+    fn face_is_brighter_than_background() {
+        let (frame, geom) = render_default(140.0);
+        let face = frame.get(geom.cx as usize, geom.cy as usize).unwrap();
+        let corner = frame.get(2, 2).unwrap();
+        assert!(face.luminance() > corner.luminance() + 50.0);
+    }
+
+    #[test]
+    fn ridge_is_brightest_feature() {
+        let (frame, geom) = render_default(140.0);
+        // Point on the ridge, below center.
+        let ridge = frame
+            .get(geom.cx as usize, (geom.cy + 0.05 * geom.scale) as usize)
+            .unwrap();
+        // Cheek at same height, off the ridge.
+        let cheek = frame
+            .get(
+                (geom.cx + 0.15 * geom.scale) as usize,
+                (geom.cy + 0.05 * geom.scale) as usize,
+            )
+            .unwrap();
+        assert!(ridge.luminance() > cheek.luminance() + 15.0);
+    }
+
+    #[test]
+    fn eyes_are_dark() {
+        let (frame, geom) = render_default(140.0);
+        let eye = frame
+            .get(
+                (geom.cx - 0.12 * geom.scale) as usize,
+                (geom.cy - 0.10 * geom.scale) as usize,
+            )
+            .unwrap();
+        assert!(eye.luminance() < 0.5 * 140.0);
+    }
+
+    #[test]
+    fn roi_luminance_tracks_skin_level() {
+        let geom = FaceGeometry::centered(160, 120);
+        let r = FaceRenderer::default();
+        let lm = geom.landmarks();
+        let side = lm.roi_side().round().max(2.0) as usize;
+        let region = Region::square_centered(
+            lm.lower_bridge().x.round() as usize,
+            lm.lower_bridge().y.round() as usize,
+            side,
+        );
+        let dark = r
+            .render(&geom, 100.0)
+            .unwrap()
+            .region_luminance(region)
+            .unwrap();
+        let bright = r
+            .render(&geom, 130.0)
+            .unwrap()
+            .region_luminance(region)
+            .unwrap();
+        // ROI luminance rises roughly proportionally (ridge gain 1.22).
+        let delta = bright - dark;
+        assert!(
+            (25.0..48.0).contains(&delta),
+            "ROI delta {delta} for a 30-level skin change"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Interest-area (ROI) construction and luminance extraction.
+//!
+//! Fig. 5 of the paper: the interest area is a square of side
+//! `l = |b1 - b2|` centered at the lower nasal-bridge point `(a1, b1)`,
+//! where `(a2, b2)` is the nasal tip. Using landmark-relative sizing makes
+//! the ROI invariant to frame resolution and face distance ("the sampled
+//! frames can vary in size depending on camera hardware").
+
+use crate::landmarks::LandmarkSet;
+use lumen_video::frame::{Frame, Region};
+use lumen_video::{Result, VideoError};
+
+/// Builds the interest square from a landmark set. The side is at least
+/// 2 px so a tiny face still yields a measurable patch.
+pub fn roi_region(landmarks: &LandmarkSet) -> Region {
+    let center = landmarks.lower_bridge();
+    let side = landmarks.roi_side().round().max(2.0) as usize;
+    Region::square_centered(
+        center.x.round().max(0.0) as usize,
+        center.y.round().max(0.0) as usize,
+        side,
+    )
+}
+
+/// Mean luminance of the interest square, clamped to the frame bounds.
+///
+/// # Errors
+///
+/// Returns [`VideoError::OutOfBounds`] when the ROI lies entirely outside
+/// the frame.
+pub fn roi_luminance(frame: &Frame, landmarks: &LandmarkSet) -> Result<f64> {
+    let r = roi_region(landmarks);
+    // Clamp to the frame.
+    let x1 = r.x.min(frame.width());
+    let y1 = r.y.min(frame.height());
+    let x2 = (r.x + r.width).min(frame.width());
+    let y2 = (r.y + r.height).min(frame.height());
+    if x2 <= x1 || y2 <= y1 {
+        return Err(VideoError::OutOfBounds {
+            what: format!(
+                "ROI {r:?} outside {}x{} frame",
+                frame.width(),
+                frame.height()
+            ),
+        });
+    }
+    frame.region_luminance(Region::new(x1, y1, x2 - x1, y2 - y1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::FaceGeometry;
+    use crate::render::FaceRenderer;
+    use lumen_video::pixel::Rgb;
+
+    #[test]
+    fn region_is_centered_square() {
+        let lm = FaceGeometry::centered(160, 120).landmarks();
+        let r = roi_region(&lm);
+        assert_eq!(r.width, r.height);
+        let cx = lm.lower_bridge().x.round() as usize;
+        assert!(r.x <= cx && cx < r.x + r.width);
+    }
+
+    #[test]
+    fn luminance_reads_ridge_area() {
+        let geom = FaceGeometry::centered(160, 120);
+        let frame = FaceRenderer::default().render(&geom, 140.0).unwrap();
+        let lum = roi_luminance(&frame, &geom.landmarks()).unwrap();
+        // ROI covers the bright ridge plus surrounding skin.
+        assert!(lum > 120.0, "ROI luminance {lum}");
+    }
+
+    #[test]
+    fn roi_outside_frame_errors() {
+        let frame = Frame::filled(40, 40, Rgb::grey(50)).unwrap();
+        let lm = FaceGeometry {
+            cx: 500.0,
+            cy: 500.0,
+            scale: 100.0,
+        }
+        .landmarks();
+        assert!(roi_luminance(&frame, &lm).is_err());
+    }
+
+    #[test]
+    fn roi_partially_clamped_still_reads() {
+        let frame = Frame::filled(40, 40, Rgb::grey(50)).unwrap();
+        // Face centered near the bottom edge: ROI (around y = 39) clips at
+        // the frame boundary but still yields a reading.
+        let lm = FaceGeometry {
+            cx: 20.0,
+            cy: 33.0,
+            scale: 60.0,
+        }
+        .landmarks();
+        let lum = roi_luminance(&frame, &lm).unwrap();
+        assert!((lum - 50.0).abs() < 1e-9);
+    }
+}

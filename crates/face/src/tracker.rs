@@ -1,0 +1,150 @@
+//! Temporal landmark tracking.
+//!
+//! Sec. V of the paper names "inaccurate face localization" as a noise
+//! source that jitters the interest area. The tracker smooths detections
+//! with an exponential moving average and can *inject* controlled jitter so
+//! experiments can sweep localization quality.
+
+use crate::landmarks::{Landmark, LandmarkSet};
+use lumen_video::noise::{gaussian, seeded_rng};
+use rand_chacha::ChaCha8Rng;
+
+/// An exponential-moving-average landmark tracker with optional synthetic
+/// jitter injection.
+#[derive(Debug, Clone)]
+pub struct LandmarkTracker {
+    alpha: f64,
+    jitter_sigma: f64,
+    rng: ChaCha8Rng,
+    state: Option<LandmarkSet>,
+}
+
+impl LandmarkTracker {
+    /// Creates a tracker. `alpha` in `(0, 1]` is the EMA weight of the new
+    /// detection (1.0 = no smoothing); values outside the range are
+    /// clamped.
+    pub fn new(alpha: f64) -> Self {
+        LandmarkTracker {
+            alpha: alpha.clamp(0.05, 1.0),
+            jitter_sigma: 0.0,
+            rng: seeded_rng(0),
+            state: None,
+        }
+    }
+
+    /// Enables Gaussian jitter of `sigma` pixels on every tracked landmark,
+    /// seeded deterministically.
+    pub fn with_jitter(mut self, sigma: f64, seed: u64) -> Self {
+        self.jitter_sigma = sigma.abs();
+        self.rng = seeded_rng(seed);
+        self
+    }
+
+    /// The current smoothed landmark estimate, if any detection has been
+    /// observed.
+    pub fn current(&self) -> Option<&LandmarkSet> {
+        self.state.as_ref()
+    }
+
+    /// Feeds one detection (or `None` on detection failure) and returns the
+    /// updated estimate. On failure the tracker coasts on its last state.
+    pub fn update(&mut self, detection: Option<LandmarkSet>) -> Option<LandmarkSet> {
+        if let Some(mut det) = detection {
+            if self.jitter_sigma > 0.0 {
+                let dx = self.jitter_sigma * gaussian(&mut self.rng);
+                let dy = self.jitter_sigma * gaussian(&mut self.rng);
+                det = det.translated(dx, dy);
+            }
+            let next = match &self.state {
+                None => det,
+                Some(prev) => blend(prev, &det, self.alpha),
+            };
+            self.state = Some(next);
+        }
+        self.state
+    }
+
+    /// Forgets the tracked state (e.g. after the face leaves the frame).
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+fn blend(prev: &LandmarkSet, new: &LandmarkSet, alpha: f64) -> LandmarkSet {
+    let mix = |a: &Landmark, b: &Landmark| {
+        Landmark::new(a.x + alpha * (b.x - a.x), a.y + alpha * (b.y - a.y))
+    };
+    LandmarkSet {
+        nasal_bridge: [
+            mix(&prev.nasal_bridge[0], &new.nasal_bridge[0]),
+            mix(&prev.nasal_bridge[1], &new.nasal_bridge[1]),
+            mix(&prev.nasal_bridge[2], &new.nasal_bridge[2]),
+            mix(&prev.nasal_bridge[3], &new.nasal_bridge[3]),
+        ],
+        nasal_tip: [
+            mix(&prev.nasal_tip[0], &new.nasal_tip[0]),
+            mix(&prev.nasal_tip[1], &new.nasal_tip[1]),
+            mix(&prev.nasal_tip[2], &new.nasal_tip[2]),
+            mix(&prev.nasal_tip[3], &new.nasal_tip[3]),
+            mix(&prev.nasal_tip[4], &new.nasal_tip[4]),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::FaceGeometry;
+
+    fn landmarks_at(dx: f64) -> LandmarkSet {
+        FaceGeometry::centered(160, 120).moved(dx, 0.0).landmarks()
+    }
+
+    #[test]
+    fn first_detection_initializes() {
+        let mut t = LandmarkTracker::new(0.5);
+        assert!(t.current().is_none());
+        let out = t.update(Some(landmarks_at(0.0))).unwrap();
+        assert_eq!(out, landmarks_at(0.0));
+    }
+
+    #[test]
+    fn ema_smooths_jumps() {
+        let mut t = LandmarkTracker::new(0.5);
+        t.update(Some(landmarks_at(0.0)));
+        let out = t.update(Some(landmarks_at(10.0))).unwrap();
+        let x = out.lower_bridge().x;
+        let x0 = landmarks_at(0.0).lower_bridge().x;
+        assert!((x - (x0 + 5.0)).abs() < 1e-9, "x {x}");
+    }
+
+    #[test]
+    fn coasts_through_detection_failure() {
+        let mut t = LandmarkTracker::new(0.7);
+        t.update(Some(landmarks_at(3.0)));
+        let held = t.update(None).unwrap();
+        assert_eq!(held, landmarks_at(3.0));
+    }
+
+    #[test]
+    fn jitter_perturbs_deterministically() {
+        let mut a = LandmarkTracker::new(1.0).with_jitter(2.0, 9);
+        let mut b = LandmarkTracker::new(1.0).with_jitter(2.0, 9);
+        let la = a.update(Some(landmarks_at(0.0))).unwrap();
+        let lb = b.update(Some(landmarks_at(0.0))).unwrap();
+        assert_eq!(la, lb);
+        assert_ne!(la, landmarks_at(0.0));
+        let mut c = LandmarkTracker::new(1.0).with_jitter(2.0, 10);
+        let lc = c.update(Some(landmarks_at(0.0))).unwrap();
+        assert_ne!(la, lc);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut t = LandmarkTracker::new(0.5);
+        t.update(Some(landmarks_at(0.0)));
+        t.reset();
+        assert!(t.current().is_none());
+        assert!(t.update(None).is_none());
+    }
+}

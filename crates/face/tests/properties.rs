@@ -1,0 +1,52 @@
+//! Property-based tests for rendering and landmark detection.
+
+use lumen_face::detect::detect_landmarks;
+use lumen_face::geometry::FaceGeometry;
+use lumen_face::render::FaceRenderer;
+use lumen_face::roi::{roi_luminance, roi_region};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn detector_tracks_pose_within_tolerance(dx in -12.0f64..12.0, dy in -6.0f64..6.0, level in 90.0f64..180.0) {
+        let geom = FaceGeometry::centered(160, 120).moved(dx, dy);
+        prop_assume!(geom.fits(160, 120));
+        let frame = FaceRenderer::default().render(&geom, level).unwrap();
+        let found = detect_landmarks(&frame);
+        prop_assert!(found.is_some(), "no detection at ({dx}, {dy})");
+        let err = found.unwrap().rms_error(&geom.landmarks());
+        prop_assert!(err < 8.0, "rms {err} at ({dx}, {dy}), level {level}");
+    }
+
+    #[test]
+    fn roi_region_is_square_and_near_center(dx in -10.0f64..10.0, dy in -5.0f64..5.0) {
+        let geom = FaceGeometry::centered(160, 120).moved(dx, dy);
+        prop_assume!(geom.fits(160, 120));
+        let lm = geom.landmarks();
+        let r = roi_region(&lm);
+        prop_assert_eq!(r.width, r.height);
+        let cx = lm.lower_bridge().x.round() as usize;
+        prop_assert!(r.x <= cx && cx <= r.x + r.width);
+    }
+
+    #[test]
+    fn roi_luminance_monotone_in_skin_level(l1 in 60.0f64..140.0, delta in 10.0f64..60.0) {
+        let geom = FaceGeometry::centered(160, 120);
+        let renderer = FaceRenderer::default();
+        let lm = geom.landmarks();
+        let dark = roi_luminance(&renderer.render(&geom, l1).unwrap(), &lm).unwrap();
+        let bright =
+            roi_luminance(&renderer.render(&geom, (l1 + delta).min(208.0)).unwrap(), &lm).unwrap();
+        prop_assert!(bright > dark);
+    }
+
+    #[test]
+    fn landmark_translation_commutes(dx in -8.0f64..8.0, dy in -8.0f64..8.0) {
+        let base = FaceGeometry::centered(160, 120);
+        let a = base.moved(dx, dy).landmarks();
+        let b = base.landmarks().translated(dx, dy);
+        prop_assert!(a.rms_error(&b) < 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! Distance metrics on feature vectors.
+//!
+//! The paper uses the Euclidean distance "on the feature hyperplane"
+//! (Eq. 7); Manhattan and Chebyshev are provided for ablation studies.
+
+/// A distance metric over `&[f64]` feature vectors.
+///
+/// Implementations must be symmetric, non-negative and zero on identical
+/// inputs. Callers guarantee equal dimensionality.
+pub trait Metric {
+    /// Distance between `a` and `b`.
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64;
+}
+
+/// Euclidean (L2) distance — the paper's metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Manhattan (L1) distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+}
+
+/// Chebyshev (L∞) distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345() {
+        assert!((Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_sums_axes() {
+        assert_eq!(Manhattan.distance(&[1.0, 2.0], &[4.0, -2.0]), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_takes_max_axis() {
+        assert_eq!(Chebyshev.distance(&[1.0, 2.0], &[4.0, -2.0]), 4.0);
+    }
+
+    #[test]
+    fn identity_and_symmetry() {
+        let a = [1.5, -2.0, 0.25];
+        let b = [0.0, 3.0, 1.0];
+        for d in [
+            &Euclidean as &dyn Metric,
+            &Manhattan as &dyn Metric,
+            &Chebyshev as &dyn Metric,
+        ] {
+            assert_eq!(d.distance(&a, &a), 0.0);
+            assert!((d.distance(&a, &b) - d.distance(&b, &a)).abs() < 1e-12);
+            assert!(d.distance(&a, &b) > 0.0);
+        }
+    }
+}

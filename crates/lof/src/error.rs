@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors produced by the LOF components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LofError {
+    /// The training set is empty.
+    EmptyTrainingSet,
+    /// `k` must be at least 1 and at most the training-set size.
+    InvalidNeighbourCount {
+        /// Requested k.
+        k: usize,
+        /// Number of training points.
+        train_len: usize,
+    },
+    /// All feature vectors must share one dimensionality.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension found.
+        found: usize,
+    },
+    /// A feature vector contains NaN or infinity.
+    NonFiniteFeature {
+        /// Index of the offending vector within its collection.
+        index: usize,
+    },
+    /// A parameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl LofError {
+    /// Convenience constructor for [`LofError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        LofError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for LofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LofError::EmptyTrainingSet => write!(f, "training set is empty"),
+            LofError::InvalidNeighbourCount { k, train_len } => {
+                write!(f, "k = {k} is invalid for {train_len} training points")
+            }
+            LofError::DimensionMismatch { expected, found } => {
+                write!(
+                    f,
+                    "feature dimension mismatch: expected {expected}, found {found}"
+                )
+            }
+            LofError::NonFiniteFeature { index } => {
+                write!(f, "non-finite feature in vector {index}")
+            }
+            LofError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LofError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LofError::InvalidNeighbourCount { k: 9, train_len: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LofError>();
+    }
+}

@@ -1,0 +1,142 @@
+//! LOF score grids for visualization — Fig. 9 of the paper shades the
+//! (z1, z2) plane by LOF value to show the attacker standing out of the
+//! legitimate cluster.
+
+use crate::lof::LofModel;
+use crate::{LofError, Result};
+
+/// A rectangular grid of LOF scores over a 2-D slice of the feature space.
+#[derive(Debug, Clone)]
+pub struct ScoreGrid {
+    /// Sampled x coordinates (first varied dimension).
+    pub xs: Vec<f64>,
+    /// Sampled y coordinates (second varied dimension).
+    pub ys: Vec<f64>,
+    /// `scores[j][i]` is the LOF score at `(xs[i], ys[j])`.
+    pub scores: Vec<Vec<f64>>,
+}
+
+impl ScoreGrid {
+    /// Renders the grid as rows of tab-separated values, y descending, for
+    /// quick terminal inspection.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        for (j, row) in self.scores.iter().enumerate().rev() {
+            out.push_str(&format!("{:6.3}", self.ys[j]));
+            for s in row {
+                out.push_str(&format!("\t{s:6.3}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("      ");
+        for x in &self.xs {
+            out.push_str(&format!("\t{x:6.3}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Evaluates LOF scores on a `nx × ny` grid spanning
+/// `[x_range.0, x_range.1] × [y_range.0, y_range.1]`.
+///
+/// The model must be two-dimensional (fit on 2-D vectors such as
+/// `(z1, z2)`); project higher-dimensional features before fitting.
+///
+/// # Errors
+///
+/// Returns [`LofError::DimensionMismatch`] for a non-2-D model and
+/// [`LofError::InvalidParameter`] for empty/degenerate ranges.
+pub fn score_grid(
+    model: &LofModel,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    nx: usize,
+    ny: usize,
+) -> Result<ScoreGrid> {
+    if model.dim() != 2 {
+        return Err(LofError::DimensionMismatch {
+            expected: 2,
+            found: model.dim(),
+        });
+    }
+    if nx < 2 || ny < 2 {
+        return Err(LofError::invalid_parameter(
+            "nx/ny",
+            "grid needs at least 2 points per axis",
+        ));
+    }
+    if x_range.1 <= x_range.0 || y_range.1 <= y_range.0 {
+        return Err(LofError::invalid_parameter(
+            "range",
+            "ranges must be increasing",
+        ));
+    }
+    let xs: Vec<f64> = (0..nx)
+        .map(|i| x_range.0 + (x_range.1 - x_range.0) * i as f64 / (nx - 1) as f64)
+        .collect();
+    let ys: Vec<f64> = (0..ny)
+        .map(|j| y_range.0 + (y_range.1 - y_range.0) * j as f64 / (ny - 1) as f64)
+        .collect();
+    let scores = ys
+        .iter()
+        .map(|&y| xs.iter().map(|&x| model.score(&[x, y])).collect())
+        .collect::<Result<Vec<Vec<f64>>>>()?;
+    Ok(ScoreGrid { xs, ys, scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LofModel {
+        LofModel::fit(
+            vec![
+                vec![0.9, 0.9],
+                vec![1.0, 0.95],
+                vec![0.95, 1.0],
+                vec![1.0, 1.0],
+                vec![0.92, 0.97],
+                vec![0.97, 0.92],
+            ],
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_shape_and_orientation() {
+        let g = score_grid(&model(), (0.0, 1.0), (0.0, 1.0), 5, 4).unwrap();
+        assert_eq!(g.xs.len(), 5);
+        assert_eq!(g.ys.len(), 4);
+        assert_eq!(g.scores.len(), 4);
+        assert_eq!(g.scores[0].len(), 5);
+        assert_eq!(g.xs[0], 0.0);
+        assert_eq!(*g.xs.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn scores_larger_far_from_cluster() {
+        let g = score_grid(&model(), (0.0, 1.0), (0.0, 1.0), 11, 11).unwrap();
+        // Cluster sits near (0.95, 0.95) -> top-right corner of the grid.
+        let near = g.scores[10][10];
+        let far = g.scores[0][0];
+        assert!(far > near, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let m = model();
+        assert!(score_grid(&m, (1.0, 0.0), (0.0, 1.0), 5, 5).is_err());
+        assert!(score_grid(&m, (0.0, 1.0), (0.0, 1.0), 1, 5).is_err());
+        let m3 = LofModel::fit(vec![vec![0.0; 3]; 5], 2).unwrap();
+        assert!(score_grid(&m3, (0.0, 1.0), (0.0, 1.0), 5, 5).is_err());
+    }
+
+    #[test]
+    fn tsv_contains_all_rows() {
+        let g = score_grid(&model(), (0.0, 1.0), (0.0, 1.0), 3, 3).unwrap();
+        let tsv = g.to_tsv();
+        assert_eq!(tsv.lines().count(), 4);
+    }
+}

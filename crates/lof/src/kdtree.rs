@@ -1,0 +1,279 @@
+//! A k-d tree for exact nearest-neighbour search.
+//!
+//! The paper's training sets are tiny (8–20 vectors), where the brute-force
+//! [`crate::knn::KnnIndex`] wins outright. Deployments that accumulate
+//! per-organization training pools (hundreds to thousands of legitimate
+//! clips) benefit from a tree; `lumen-bench` carries the crossover
+//! benchmark. Results are exact and identical to brute force (including
+//! the by-index tie-break), which the test suite asserts.
+
+use crate::distance::Euclidean;
+use crate::distance::Metric;
+use crate::knn::Neighbour;
+use crate::{LofError, Result};
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into `points`.
+    point: usize,
+    /// Split dimension at this node.
+    axis: usize,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// An exact k-d tree over owned points (Euclidean metric).
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    dim: usize,
+    root: Option<Box<Node>>,
+}
+
+impl KdTree {
+    /// Builds a balanced tree by recursive median splits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::EmptyTrainingSet`] for no points,
+    /// [`LofError::DimensionMismatch`] for ragged input and
+    /// [`LofError::NonFiniteFeature`] for NaN/inf coordinates.
+    pub fn new(points: Vec<Vec<f64>>) -> Result<Self> {
+        let dim = points.first().ok_or(LofError::EmptyTrainingSet)?.len();
+        for (index, p) in points.iter().enumerate() {
+            if p.len() != dim {
+                return Err(LofError::DimensionMismatch {
+                    expected: dim,
+                    found: p.len(),
+                });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(LofError::NonFiniteFeature { index });
+            }
+        }
+        let mut indices: Vec<usize> = (0..points.len()).collect();
+        let root = Self::build(&points, &mut indices, 0, dim);
+        Ok(KdTree { points, dim, root })
+    }
+
+    fn build(
+        points: &[Vec<f64>],
+        indices: &mut [usize],
+        depth: usize,
+        dim: usize,
+    ) -> Option<Box<Node>> {
+        if indices.is_empty() {
+            return None;
+        }
+        let axis = depth % dim;
+        indices.sort_by(|&a, &b| {
+            points[a][axis]
+                .partial_cmp(&points[b][axis])
+                .expect("finite coordinates")
+                .then(a.cmp(&b))
+        });
+        let mid = indices.len() / 2;
+        let point = indices[mid];
+        let (left_idx, rest) = indices.split_at_mut(mid);
+        let right_idx = &mut rest[1..];
+        Some(Box::new(Node {
+            point,
+            axis,
+            left: Self::build(points, left_idx, depth + 1, dim),
+            right: Self::build(points, right_idx, depth + 1, dim),
+        }))
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the tree holds no points (never for a constructed tree).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `k` nearest neighbours of `query`, sorted by ascending distance
+    /// with ties broken by index — bit-identical to
+    /// [`crate::knn::KnnIndex::nearest`].
+    ///
+    /// `exclude` removes one point (by index) for leave-one-out queries.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::knn::KnnIndex::nearest`].
+    pub fn nearest(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Result<Vec<Neighbour>> {
+        if query.len() != self.dim {
+            return Err(LofError::DimensionMismatch {
+                expected: self.dim,
+                found: query.len(),
+            });
+        }
+        if query.iter().any(|v| !v.is_finite()) {
+            return Err(LofError::NonFiniteFeature { index: 0 });
+        }
+        let candidates = self.points.len() - usize::from(exclude.is_some());
+        if k == 0 || k > candidates {
+            return Err(LofError::InvalidNeighbourCount {
+                k,
+                train_len: candidates,
+            });
+        }
+        // Bounded max-heap of the best k, ordered worst-first.
+        let mut best: Vec<Neighbour> = Vec::with_capacity(k + 1);
+        self.search(self.root.as_deref(), query, k, exclude, &mut best);
+        best.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+                .then(a.index.cmp(&b.index))
+        });
+        Ok(best)
+    }
+
+    fn search(
+        &self,
+        node: Option<&Node>,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+        best: &mut Vec<Neighbour>,
+    ) {
+        let Some(node) = node else { return };
+        let point = &self.points[node.point];
+        if Some(node.point) != exclude {
+            let distance = Euclidean.distance(query, point);
+            Self::offer(
+                best,
+                Neighbour {
+                    index: node.point,
+                    distance,
+                },
+                k,
+            );
+        }
+        let delta = query[node.axis] - point[node.axis];
+        let (near, far) = if delta <= 0.0 {
+            (node.left.as_deref(), node.right.as_deref())
+        } else {
+            (node.right.as_deref(), node.left.as_deref())
+        };
+        self.search(near, query, k, exclude, best);
+        // Prune: visit the far side only if the splitting plane is closer
+        // than the current worst retained neighbour (or we lack k yet).
+        let worst = Self::worst(best, k);
+        if best.len() < k || delta.abs() <= worst {
+            self.search(far, query, k, exclude, best);
+        }
+    }
+
+    fn offer(best: &mut Vec<Neighbour>, candidate: Neighbour, k: usize) {
+        best.push(candidate);
+        best.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+                .then(a.index.cmp(&b.index))
+        });
+        best.truncate(k);
+    }
+
+    fn worst(best: &[Neighbour], k: usize) -> f64 {
+        if best.len() < k {
+            f64::INFINITY
+        } else {
+            best.last().map(|n| n.distance).unwrap_or(f64::INFINITY)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnIndex;
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..7 {
+            for j in 0..7 {
+                pts.push(vec![i as f64 * 1.3, j as f64 * 0.7]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            KdTree::new(vec![]),
+            Err(LofError::EmptyTrainingSet)
+        ));
+        assert!(KdTree::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(KdTree::new(vec![vec![f64::NAN]]).is_err());
+        assert_eq!(KdTree::new(grid_points()).unwrap().len(), 49);
+    }
+
+    #[test]
+    fn matches_brute_force_exactly() {
+        let pts = grid_points();
+        let tree = KdTree::new(pts.clone()).unwrap();
+        let brute = KnnIndex::new(pts).unwrap();
+        for (qx, qy) in [
+            (0.0, 0.0),
+            (3.1, 2.2),
+            (9.0, 5.0),
+            (-2.0, 1.0),
+            (4.55, 2.45),
+        ] {
+            let q = [qx, qy];
+            for k in [1, 3, 7] {
+                let a = tree.nearest(&q, k, None).unwrap();
+                let b = brute.nearest(&q, k, None).unwrap();
+                assert_eq!(a, b, "query {q:?}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn leave_one_out_matches_brute_force() {
+        let pts = grid_points();
+        let tree = KdTree::new(pts.clone()).unwrap();
+        let brute = KnnIndex::new(pts.clone()).unwrap();
+        for exclude in [0, 24, 48] {
+            let q = &pts[exclude];
+            let a = tree.nearest(q, 5, Some(exclude)).unwrap();
+            let b = brute.nearest(q, 5, Some(exclude)).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn query_validation() {
+        let tree = KdTree::new(grid_points()).unwrap();
+        assert!(tree.nearest(&[1.0], 1, None).is_err());
+        assert!(tree.nearest(&[1.0, f64::NAN], 1, None).is_err());
+        assert!(tree.nearest(&[1.0, 1.0], 0, None).is_err());
+        assert!(tree.nearest(&[1.0, 1.0], 50, None).is_err());
+        assert!(tree.nearest(&[1.0, 1.0], 49, None).is_ok());
+        assert!(tree.nearest(&[1.0, 1.0], 49, Some(0)).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_by_index() {
+        let tree = KdTree::new(vec![vec![1.0, 1.0]; 5]).unwrap();
+        let nn = tree.nearest(&[1.0, 1.0], 3, None).unwrap();
+        let order: Vec<usize> = nn.iter().map(|n| n.index).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

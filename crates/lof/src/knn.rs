@@ -1,0 +1,212 @@
+//! Exact k-nearest-neighbour search.
+//!
+//! The paper's feature space is four-dimensional and training sets hold
+//! 8–20 instances (Sec. VIII-G), so an exact brute-force scan is both the
+//! fastest and the simplest correct choice; the index still validates
+//! dimensions and supports leave-one-out queries needed by the LOF
+//! training-side densities.
+
+use crate::distance::{Euclidean, Metric};
+use crate::{LofError, Result};
+
+/// A neighbour returned by a k-NN query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbour {
+    /// Index of the neighbour in the index's point set.
+    pub index: usize,
+    /// Distance to the query point.
+    pub distance: f64,
+}
+
+/// An exact k-nearest-neighbour index over owned points.
+#[derive(Debug, Clone)]
+pub struct KnnIndex<M: Metric = Euclidean> {
+    points: Vec<Vec<f64>>,
+    dim: usize,
+    metric: M,
+}
+
+impl KnnIndex<Euclidean> {
+    /// Builds an index with the Euclidean metric (the paper's choice).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::EmptyTrainingSet`] for no points,
+    /// [`LofError::DimensionMismatch`] for ragged input and
+    /// [`LofError::NonFiniteFeature`] for NaN/inf coordinates.
+    pub fn new(points: Vec<Vec<f64>>) -> Result<Self> {
+        Self::with_metric(points, Euclidean)
+    }
+}
+
+impl<M: Metric> KnnIndex<M> {
+    /// Builds an index with a custom metric.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KnnIndex::new`].
+    pub fn with_metric(points: Vec<Vec<f64>>, metric: M) -> Result<Self> {
+        let dim = points.first().ok_or(LofError::EmptyTrainingSet)?.len();
+        for (index, p) in points.iter().enumerate() {
+            if p.len() != dim {
+                return Err(LofError::DimensionMismatch {
+                    expected: dim,
+                    found: p.len(),
+                });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(LofError::NonFiniteFeature { index });
+            }
+        }
+        Ok(KnnIndex {
+            points,
+            dim,
+            metric,
+        })
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the index holds no points (never true for a constructed
+    /// index, kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows the indexed points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The `k` nearest neighbours of `query`, sorted by ascending distance.
+    /// Ties are broken by index for determinism.
+    ///
+    /// `exclude` removes one point (by index) from consideration — used for
+    /// leave-one-out queries when scoring a training point against its own
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::DimensionMismatch`] for a query of the wrong
+    /// dimension, [`LofError::NonFiniteFeature`] for non-finite coordinates
+    /// and [`LofError::InvalidNeighbourCount`] when `k` is zero or exceeds
+    /// the number of candidates.
+    pub fn nearest(
+        &self,
+        query: &[f64],
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Result<Vec<Neighbour>> {
+        if query.len() != self.dim {
+            return Err(LofError::DimensionMismatch {
+                expected: self.dim,
+                found: query.len(),
+            });
+        }
+        if query.iter().any(|v| !v.is_finite()) {
+            return Err(LofError::NonFiniteFeature { index: 0 });
+        }
+        let candidates = self.points.len() - usize::from(exclude.is_some());
+        if k == 0 || k > candidates {
+            return Err(LofError::InvalidNeighbourCount {
+                k,
+                train_len: candidates,
+            });
+        }
+        let mut all: Vec<Neighbour> = self
+            .points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != exclude)
+            .map(|(index, p)| Neighbour {
+                index,
+                distance: self.metric.distance(query, p),
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+                .then(a.index.cmp(&b.index))
+        });
+        all.truncate(k);
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> KnnIndex {
+        KnnIndex::new(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![5.0, 5.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            KnnIndex::new(vec![]),
+            Err(LofError::EmptyTrainingSet)
+        ));
+        assert!(KnnIndex::new(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(KnnIndex::new(vec![vec![f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let idx = index();
+        let nn = idx.nearest(&[0.0, 0.0], 3, None).unwrap();
+        let order: Vec<usize> = nn.iter().map(|n| n.index).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert_eq!(nn[0].distance, 0.0);
+        assert_eq!(nn[1].distance, 1.0);
+        assert_eq!(nn[2].distance, 2.0);
+    }
+
+    #[test]
+    fn exclude_performs_leave_one_out() {
+        let idx = index();
+        let nn = idx.nearest(&[0.0, 0.0], 3, Some(0)).unwrap();
+        let order: Vec<usize> = nn.iter().map(|n| n.index).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn k_bounds_are_enforced() {
+        let idx = index();
+        assert!(idx.nearest(&[0.0, 0.0], 0, None).is_err());
+        assert!(idx.nearest(&[0.0, 0.0], 5, None).is_err());
+        assert!(idx.nearest(&[0.0, 0.0], 4, Some(1)).is_err());
+        assert!(idx.nearest(&[0.0, 0.0], 4, None).is_ok());
+    }
+
+    #[test]
+    fn query_validation() {
+        let idx = index();
+        assert!(idx.nearest(&[0.0], 1, None).is_err());
+        assert!(idx.nearest(&[f64::INFINITY, 0.0], 1, None).is_err());
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let idx = KnnIndex::new(vec![vec![1.0], vec![-1.0], vec![1.0]]).unwrap();
+        let nn = idx.nearest(&[0.0], 3, None).unwrap();
+        let order: Vec<usize> = nn.iter().map(|n| n.index).collect();
+        // All three are at distance 1.0; ties resolve by ascending index.
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+}

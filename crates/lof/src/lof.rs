@@ -1,0 +1,250 @@
+//! The Local Outlier Factor model (Eqs. 7–8 of the paper, following
+//! Breunig et al., SIGMOD 2000).
+//!
+//! In *novelty* mode — the mode the paper uses — the model is fitted on
+//! legitimate users' feature vectors only, and each query point is scored
+//! against that fixed set:
+//!
+//! * `k-distance(r)`: distance from training point `r` to its k-th nearest
+//!   *other* training point;
+//! * `reach-dist(z, r) = max(k-distance(r), d(z, r))` (Eq. 7's inner term);
+//! * `LRD(z)`: inverse mean reachability distance from `z` to its `k`
+//!   nearest training points (Eq. 7);
+//! * `LOF(z)`: mean ratio of the neighbours' LRD to `LRD(z)` (Eq. 8).
+//!
+//! Scores near 1 indicate the query sits inside the legitimate cluster;
+//! scores well above 1 indicate an outlier (the paper's attacker).
+
+use crate::knn::KnnIndex;
+use crate::{LofError, Result};
+
+/// A fitted LOF model in novelty-detection mode.
+#[derive(Debug, Clone)]
+pub struct LofModel {
+    index: KnnIndex,
+    k: usize,
+    /// k-distance of every training point (leave-one-out).
+    k_distances: Vec<f64>,
+    /// Local reachability density of every training point (leave-one-out).
+    lrds: Vec<f64>,
+}
+
+impl LofModel {
+    /// Fits the model on `train` with `k` neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::EmptyTrainingSet`] / [`LofError::DimensionMismatch`] /
+    /// [`LofError::NonFiniteFeature`] for malformed training data, and
+    /// [`LofError::InvalidNeighbourCount`] when `k` is zero or `k >=
+    /// train.len()` (each training point needs `k` *other* points).
+    pub fn fit(train: Vec<Vec<f64>>, k: usize) -> Result<Self> {
+        let index = KnnIndex::new(train)?;
+        if k == 0 || k >= index.len() {
+            return Err(LofError::InvalidNeighbourCount {
+                k,
+                train_len: index.len(),
+            });
+        }
+        // Leave-one-out k-distances for every training point.
+        let k_distances: Vec<f64> = (0..index.len())
+            .map(|i| {
+                let nn = index.nearest(&index.points()[i], k, Some(i))?;
+                Ok(nn[k - 1].distance)
+            })
+            .collect::<Result<_>>()?;
+        // Leave-one-out LRDs for every training point.
+        let lrds: Vec<f64> = (0..index.len())
+            .map(|i| {
+                let nn = index.nearest(&index.points()[i], k, Some(i))?;
+                let mean_reach = nn
+                    .iter()
+                    .map(|n| n.distance.max(k_distances[n.index]))
+                    .sum::<f64>()
+                    / k as f64;
+                Ok(if mean_reach == 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0 / mean_reach
+                })
+            })
+            .collect::<Result<_>>()?;
+        Ok(LofModel {
+            index,
+            k,
+            k_distances,
+            lrds,
+        })
+    }
+
+    /// The neighbour count the model was fitted with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of training points.
+    pub fn train_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Dimensionality of the feature space.
+    pub fn dim(&self) -> usize {
+        self.index.dim()
+    }
+
+    /// Borrows the training points (row-major).
+    pub fn training_points(&self) -> &[Vec<f64>] {
+        self.index.points()
+    }
+
+    /// The `k` nearest training points to `query`, with distances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::DimensionMismatch`] / [`LofError::NonFiniteFeature`]
+    /// for malformed queries.
+    pub fn neighbours(&self, query: &[f64]) -> Result<Vec<crate::knn::Neighbour>> {
+        self.index.nearest(query, self.k, None)
+    }
+
+    /// Local reachability density of a query point (Eq. 7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::DimensionMismatch`] / [`LofError::NonFiniteFeature`]
+    /// for malformed queries.
+    pub fn lrd(&self, query: &[f64]) -> Result<f64> {
+        let nn = self.index.nearest(query, self.k, None)?;
+        let mean_reach = nn
+            .iter()
+            .map(|n| n.distance.max(self.k_distances[n.index]))
+            .sum::<f64>()
+            / self.k as f64;
+        Ok(if mean_reach == 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / mean_reach
+        })
+    }
+
+    /// LOF score of a query point (Eq. 8). Scores near 1 mean inlier;
+    /// larger means more outlying.
+    ///
+    /// Degenerate densities (duplicated training points producing infinite
+    /// LRD) are resolved conservatively: a query with infinite density is an
+    /// inlier (score 1); a finite-density query compared against
+    /// infinite-density neighbours scores `f64::INFINITY`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LofError::DimensionMismatch`] / [`LofError::NonFiniteFeature`]
+    /// for malformed queries.
+    pub fn score(&self, query: &[f64]) -> Result<f64> {
+        let nn = self.index.nearest(query, self.k, None)?;
+        let lrd_q = self.lrd(query)?;
+        if lrd_q.is_infinite() {
+            return Ok(1.0);
+        }
+        let mean_nb_lrd = nn.iter().map(|n| self.lrds[n.index]).sum::<f64>() / self.k as f64;
+        Ok(mean_nb_lrd / lrd_q)
+    }
+
+    /// Scores every training point against the rest of the training set
+    /// (classic, non-novelty LOF). Useful for choosing `τ` from legitimate
+    /// data alone.
+    pub fn training_scores(&self) -> Vec<f64> {
+        (0..self.index.len())
+            .map(|i| {
+                let nn = self
+                    .index
+                    .nearest(&self.index.points()[i], self.k, Some(i))
+                    .expect("training points are valid");
+                let lrd_i = self.lrds[i];
+                if lrd_i.is_infinite() {
+                    return 1.0;
+                }
+                let mean_nb = nn.iter().map(|n| self.lrds[n.index]).sum::<f64>() / self.k as f64;
+                mean_nb / lrd_i
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 1.0],
+            vec![1.1, 0.9],
+            vec![0.9, 1.1],
+            vec![1.05, 1.05],
+            vec![0.95, 0.95],
+            vec![1.0, 1.1],
+            vec![1.1, 1.0],
+        ]
+    }
+
+    #[test]
+    fn fit_validates_k() {
+        assert!(LofModel::fit(cluster(), 0).is_err());
+        assert!(LofModel::fit(cluster(), 7).is_err());
+        assert!(LofModel::fit(cluster(), 6).is_ok());
+    }
+
+    #[test]
+    fn inlier_scores_near_one() {
+        let model = LofModel::fit(cluster(), 3).unwrap();
+        let s = model.score(&[1.0, 1.02]).unwrap();
+        assert!(s < 1.5, "inlier score {s}");
+    }
+
+    #[test]
+    fn outlier_scores_high() {
+        let model = LofModel::fit(cluster(), 3).unwrap();
+        let s = model.score(&[10.0, -10.0]).unwrap();
+        assert!(s > 3.0, "outlier score {s}");
+    }
+
+    #[test]
+    fn scores_grow_with_distance() {
+        let model = LofModel::fit(cluster(), 3).unwrap();
+        let near = model.score(&[1.3, 1.3]).unwrap();
+        let mid = model.score(&[2.0, 2.0]).unwrap();
+        let far = model.score(&[4.0, 4.0]).unwrap();
+        assert!(near < mid && mid < far, "{near} {mid} {far}");
+    }
+
+    #[test]
+    fn duplicate_training_points_do_not_panic() {
+        let train = vec![vec![1.0, 1.0]; 6];
+        let model = LofModel::fit(train, 3).unwrap();
+        let dup = model.score(&[1.0, 1.0]).unwrap();
+        assert_eq!(dup, 1.0);
+        let away = model.score(&[5.0, 5.0]).unwrap();
+        assert!(away > 1.0 || away.is_infinite());
+    }
+
+    #[test]
+    fn training_scores_are_near_one_for_uniform_cluster() {
+        let model = LofModel::fit(cluster(), 3).unwrap();
+        for s in model.training_scores() {
+            assert!(s > 0.5 && s < 2.0, "training score {s}");
+        }
+    }
+
+    #[test]
+    fn query_validation_propagates() {
+        let model = LofModel::fit(cluster(), 3).unwrap();
+        assert!(model.score(&[1.0]).is_err());
+        assert!(model.score(&[f64::NAN, 0.0]).is_err());
+    }
+
+    #[test]
+    fn lrd_is_positive() {
+        let model = LofModel::fit(cluster(), 3).unwrap();
+        assert!(model.lrd(&[1.0, 1.0]).unwrap() > 0.0);
+        assert!(model.lrd(&[100.0, 100.0]).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by the optics simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VideoError {
+    /// A geometric or physical parameter is outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A frame coordinate or region is out of bounds.
+    OutOfBounds {
+        /// Human-readable description of the access.
+        what: String,
+    },
+    /// Propagated signal-processing error.
+    Dsp(lumen_dsp::DspError),
+}
+
+impl VideoError {
+    /// Convenience constructor for [`VideoError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, reason: impl Into<String>) -> Self {
+        VideoError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            VideoError::OutOfBounds { what } => write!(f, "out of bounds: {what}"),
+            VideoError::Dsp(e) => write!(f, "signal processing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VideoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VideoError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lumen_dsp::DspError> for VideoError {
+    fn from(e: lumen_dsp::DspError) -> Self {
+        VideoError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = VideoError::from(lumen_dsp::DspError::EmptySignal);
+        assert!(e.to_string().contains("signal processing"));
+        assert!(e.source().is_some());
+        let e = VideoError::invalid_parameter("distance", "must be positive");
+        assert!(e.to_string().contains("distance"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Dynamic auto-exposure.
+//!
+//! The static model in [`crate::camera::Camera::settled_gain`] assumes AE
+//! has converged before a clip starts. Real AE is a feedback loop with a
+//! time constant: after a scene change it converges over a few hundred
+//! milliseconds, and that transient is visible in luminance traces (the
+//! paper's metering scripts include an exposure-convergence ramp for the
+//! caller's side; this module provides the same physics for the callee's
+//! camera, used by the synthesizer tests and available for higher-fidelity
+//! studies).
+
+use crate::camera::Camera;
+use crate::{Result, VideoError};
+
+/// A first-order auto-exposure loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoExposure {
+    camera: Camera,
+    /// Convergence time constant, seconds.
+    pub time_constant: f64,
+    gain: f64,
+}
+
+impl AutoExposure {
+    /// Creates a loop for `camera` with the given time constant, starting
+    /// at unity gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidParameter`] for a non-positive time
+    /// constant.
+    pub fn new(camera: Camera, time_constant: f64) -> Result<Self> {
+        if !(time_constant.is_finite() && time_constant > 0.0) {
+            return Err(VideoError::invalid_parameter(
+                "time_constant",
+                "must be finite and positive",
+            ));
+        }
+        Ok(AutoExposure {
+            camera,
+            time_constant,
+            gain: 1.0,
+        })
+    }
+
+    /// The camera driven by this loop.
+    pub fn camera(&self) -> &Camera {
+        &self.camera
+    }
+
+    /// Current gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Jumps the loop to its settled state for `mean_radiance` (e.g. at
+    /// session start after the preroll).
+    pub fn settle(&mut self, mean_radiance: f64) {
+        self.gain = self.camera.settled_gain(mean_radiance);
+    }
+
+    /// Advances the loop by `dt` seconds given the currently metered
+    /// radiance, and returns the new gain. The gain moves exponentially
+    /// toward the target `target_level / radiance`, clamped to the camera's
+    /// gain limits.
+    pub fn step(&mut self, metered_radiance: f64, dt: f64) -> f64 {
+        let target = self.camera.settled_gain(metered_radiance);
+        let alpha = 1.0 - (-dt.max(0.0) / self.time_constant).exp();
+        self.gain += alpha * (target - self.gain);
+        self.gain = self
+            .gain
+            .clamp(self.camera.gain_limits.0, self.camera.gain_limits.1);
+        self.gain
+    }
+
+    /// Runs the loop over a radiance trace and returns the gain trajectory.
+    pub fn track(&mut self, radiances: &[f64], dt: f64) -> Vec<f64> {
+        radiances.iter().map(|&r| self.step(r, dt)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ae() -> AutoExposure {
+        AutoExposure::new(Camera::nexus6_front(), 0.4).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(AutoExposure::new(Camera::nexus6_front(), 0.0).is_err());
+        assert!(AutoExposure::new(Camera::nexus6_front(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn converges_to_settled_gain() {
+        let mut loop_ = ae();
+        let radiance = 60.0;
+        let target = Camera::nexus6_front().settled_gain(radiance);
+        for _ in 0..100 {
+            loop_.step(radiance, 0.1);
+        }
+        assert!(
+            (loop_.gain() - target).abs() < 1e-3,
+            "gain {}",
+            loop_.gain()
+        );
+    }
+
+    #[test]
+    fn time_constant_sets_convergence_speed() {
+        let mut fast = AutoExposure::new(Camera::nexus6_front(), 0.2).unwrap();
+        let mut slow = AutoExposure::new(Camera::nexus6_front(), 2.0).unwrap();
+        fast.settle(120.0);
+        slow.settle(120.0);
+        // Scene brightens: radiance doubles; after 0.3 s the fast loop has
+        // moved further toward the new target.
+        let target = Camera::nexus6_front().settled_gain(240.0);
+        let start = Camera::nexus6_front().settled_gain(120.0);
+        for _ in 0..3 {
+            fast.step(240.0, 0.1);
+            slow.step(240.0, 0.1);
+        }
+        let fast_progress = (fast.gain() - start) / (target - start);
+        let slow_progress = (slow.gain() - start) / (target - start);
+        assert!(
+            fast_progress > slow_progress + 0.2,
+            "fast {fast_progress} vs slow {slow_progress}"
+        );
+    }
+
+    #[test]
+    fn settle_jumps_instantly() {
+        let mut loop_ = ae();
+        loop_.settle(57.5);
+        assert!((loop_.gain() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_respects_limits_during_transients() {
+        let mut loop_ = ae();
+        let gains = loop_.track(&[1e-6, 1e6, 1e-6, 1e6], 10.0);
+        let cam = Camera::nexus6_front();
+        for g in gains {
+            assert!(g >= cam.gain_limits.0 && g <= cam.gain_limits.1);
+        }
+    }
+
+    #[test]
+    fn zero_dt_keeps_gain() {
+        let mut loop_ = ae();
+        loop_.settle(60.0);
+        let before = loop_.gain();
+        loop_.step(240.0, 0.0);
+        assert_eq!(loop_.gain(), before);
+    }
+}

@@ -1,0 +1,418 @@
+//! Caller-side spot metering: how the legitimate user actually *creates*
+//! luminance changes.
+//!
+//! Sec. II-B: "In spot metering, the camera measures only a small area
+//! around a selected point... by moving the metering spot between
+//! high-luminance and low-luminance areas, the legitimate user can easily
+//! control the overall luminance of its video. Since the exposure only
+//! changes the brightness of each pixel, this method can reserve partial
+//! information (e.g. the face of the legitimate user) in the scene."
+//!
+//! [`MeteringScript`](crate::content::MeteringScript) abstracts the
+//! *result* of that behaviour; this module models the *mechanism*: a scene
+//! with regions of different radiance, a camera whose exposure follows the
+//! metered spot, and a tap sequence. The derived overall-luminance trace is
+//! what the rest of the pipeline consumes — and a test asserts it has the
+//! same step structure the abstract scripts produce.
+
+use crate::noise::substream;
+use crate::{Result, VideoError};
+use lumen_dsp::Signal;
+use rand::Rng;
+
+/// A named region of the caller's scene with a relative radiance.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SceneRegion {
+    /// Label ("window", "wall", "face", ...).
+    pub name: String,
+    /// Relative radiance of the region (arbitrary units, > 0).
+    pub radiance: f64,
+    /// Fraction of the frame the region covers, `(0, 1]`; fractions over
+    /// all regions should sum to ~1.
+    pub coverage: f64,
+}
+
+/// The caller's scene: a set of regions the metering spot can land on.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Scene {
+    regions: Vec<SceneRegion>,
+}
+
+impl Scene {
+    /// Creates a scene.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidParameter`] when empty, when any
+    /// radiance/coverage is non-positive, or when coverages exceed 1.
+    pub fn new(regions: Vec<SceneRegion>) -> Result<Self> {
+        if regions.is_empty() {
+            return Err(VideoError::invalid_parameter(
+                "regions",
+                "a scene needs at least one region",
+            ));
+        }
+        let mut total = 0.0;
+        for r in &regions {
+            if !(r.radiance.is_finite() && r.radiance > 0.0) {
+                return Err(VideoError::invalid_parameter(
+                    "radiance",
+                    format!("region `{}` must have positive radiance", r.name),
+                ));
+            }
+            if !(r.coverage.is_finite() && r.coverage > 0.0 && r.coverage <= 1.0) {
+                return Err(VideoError::invalid_parameter(
+                    "coverage",
+                    format!("region `{}` coverage must lie in (0, 1]", r.name),
+                ));
+            }
+            total += r.coverage;
+        }
+        if total > 1.0 + 1e-9 {
+            return Err(VideoError::invalid_parameter(
+                "coverage",
+                format!("coverages sum to {total}, must be <= 1"),
+            ));
+        }
+        Ok(Scene { regions })
+    }
+
+    /// A typical home-office scene: a bright window, a mid desk lamp zone,
+    /// the caller's face, and a dark wall.
+    pub fn home_office() -> Self {
+        Scene::new(vec![
+            SceneRegion {
+                name: "window".into(),
+                radiance: 180.0,
+                coverage: 0.18,
+            },
+            SceneRegion {
+                name: "lamp-zone".into(),
+                radiance: 110.0,
+                coverage: 0.22,
+            },
+            SceneRegion {
+                name: "face".into(),
+                radiance: 80.0,
+                coverage: 0.25,
+            },
+            SceneRegion {
+                name: "wall".into(),
+                radiance: 55.0,
+                coverage: 0.35,
+            },
+        ])
+        .expect("preset scene is valid")
+    }
+
+    /// The regions.
+    pub fn regions(&self) -> &[SceneRegion] {
+        &self.regions
+    }
+
+    /// Coverage-weighted mean radiance of the scene.
+    pub fn mean_radiance(&self) -> f64 {
+        let total: f64 = self.regions.iter().map(|r| r.coverage).sum();
+        self.regions
+            .iter()
+            .map(|r| r.radiance * r.coverage)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Region index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.regions.iter().position(|r| r.name == name)
+    }
+
+    /// The brightest and darkest region indices.
+    pub fn extremes(&self) -> (usize, usize) {
+        let mut bright = 0;
+        let mut dark = 0;
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.radiance > self.regions[bright].radiance {
+                bright = i;
+            }
+            if r.radiance < self.regions[dark].radiance {
+                dark = i;
+            }
+        }
+        (bright, dark)
+    }
+}
+
+/// One metering tap: at `time`, the spot moves to region `region`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MeteringTap {
+    /// When the tap happens, seconds.
+    pub time: f64,
+    /// Index of the metered region.
+    pub region: usize,
+}
+
+/// A camera in spot-metering mode over a [`Scene`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotMeteredCamera {
+    scene: Scene,
+    /// Exposure target for the metered spot (middle grey).
+    pub target_level: f64,
+    /// Exposure convergence time constant, seconds.
+    pub time_constant: f64,
+    /// Exposure gain limits.
+    pub gain_limits: (f64, f64),
+}
+
+impl SpotMeteredCamera {
+    /// Creates a camera over `scene` with phone-like defaults.
+    pub fn new(scene: Scene) -> Self {
+        SpotMeteredCamera {
+            scene,
+            target_level: 118.0,
+            time_constant: 0.3,
+            gain_limits: (0.3, 8.0),
+        }
+    }
+
+    /// The scene.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Simulates the camera over `duration` seconds at `sample_rate`,
+    /// following `taps` (sorted by time; the spot starts on `taps[0]`'s
+    /// region or region 0 if empty). Returns the overall luminance of the
+    /// produced video — the signal the callee's screen will display.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidParameter`] for bad timing/rates or a
+    /// tap pointing at a missing region.
+    pub fn film(&self, taps: &[MeteringTap], duration: f64, sample_rate: f64) -> Result<Signal> {
+        if !(duration.is_finite() && duration > 0.0) {
+            return Err(VideoError::invalid_parameter(
+                "duration",
+                "must be finite and positive",
+            ));
+        }
+        if !(sample_rate.is_finite() && sample_rate > 0.0) {
+            return Err(VideoError::invalid_parameter(
+                "sample_rate",
+                "must be finite and positive",
+            ));
+        }
+        for t in taps {
+            if t.region >= self.scene.regions.len() {
+                return Err(VideoError::invalid_parameter(
+                    "taps",
+                    format!("region index {} out of range", t.region),
+                ));
+            }
+        }
+        let n = (duration * sample_rate).round() as usize;
+        let dt = 1.0 / sample_rate;
+        let mut current_region = taps.first().map(|t| t.region).unwrap_or(0);
+        let mut tap_iter = taps.iter().peekable();
+        // Exposure settles on the initial spot.
+        let mut gain = (self.target_level / self.scene.regions[current_region].radiance)
+            .clamp(self.gain_limits.0, self.gain_limits.1);
+        let alpha = 1.0 - (-dt / self.time_constant).exp();
+        let mean_radiance = self.scene.mean_radiance();
+
+        let samples: Vec<f64> = (0..n)
+            .map(|i| {
+                let now = i as f64 * dt;
+                while let Some(tap) = tap_iter.peek() {
+                    if tap.time <= now {
+                        current_region = tap.region;
+                        tap_iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                let spot = self.scene.regions[current_region].radiance;
+                let target_gain =
+                    (self.target_level / spot).clamp(self.gain_limits.0, self.gain_limits.1);
+                gain += alpha * (target_gain - gain);
+                (gain * mean_radiance).clamp(0.0, 255.0)
+            })
+            .collect();
+        Ok(Signal::new(samples, sample_rate)?)
+    }
+
+    /// Generates a natural tap sequence alternating between the scene's
+    /// extremes with randomized timing (the behaviour the paper asked its
+    /// volunteers to perform).
+    pub fn natural_taps<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        duration: f64,
+        min_gap: f64,
+        max_gap: f64,
+    ) -> Vec<MeteringTap> {
+        let (bright, dark) = self.scene.extremes();
+        let mut taps = Vec::new();
+        let mut on_bright = rng.gen::<bool>();
+        let mut t = rng.gen_range(1.5..3.5);
+        while t < duration - 2.0 {
+            taps.push(MeteringTap {
+                time: t,
+                region: if on_bright { bright } else { dark },
+            });
+            on_bright = !on_bright;
+            t += rng.gen_range(min_gap..max_gap);
+        }
+        taps
+    }
+}
+
+/// Convenience: a whole spot-metered caller video from a seed, matching the
+/// abstract [`MeteringScript`](crate::content::MeteringScript) statistics.
+///
+/// # Errors
+///
+/// Propagates [`SpotMeteredCamera::film`] errors.
+pub fn spot_metered_video(seed: u64, duration: f64, sample_rate: f64) -> Result<Signal> {
+    let camera = SpotMeteredCamera::new(Scene::home_office());
+    let mut rng = substream(seed, 80);
+    let taps = camera.natural_taps(&mut rng, duration, 4.5, 8.5);
+    camera.film(&taps, duration, sample_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::seeded_rng;
+
+    #[test]
+    fn scene_validates() {
+        assert!(Scene::new(vec![]).is_err());
+        assert!(Scene::new(vec![SceneRegion {
+            name: "x".into(),
+            radiance: -1.0,
+            coverage: 0.5,
+        }])
+        .is_err());
+        assert!(Scene::new(vec![
+            SceneRegion {
+                name: "a".into(),
+                radiance: 10.0,
+                coverage: 0.7,
+            },
+            SceneRegion {
+                name: "b".into(),
+                radiance: 10.0,
+                coverage: 0.7,
+            },
+        ])
+        .is_err());
+        assert!(Scene::home_office().index_of("window").is_some());
+    }
+
+    #[test]
+    fn metering_dark_spot_brightens_video() {
+        // Metering the dark wall raises exposure -> overall video brightens;
+        // metering the bright window darkens it. Exactly Sec. II-B.
+        let camera = SpotMeteredCamera::new(Scene::home_office());
+        let (bright, dark) = camera.scene().extremes();
+        let taps = vec![
+            MeteringTap {
+                time: 0.0,
+                region: bright,
+            },
+            MeteringTap {
+                time: 5.0,
+                region: dark,
+            },
+        ];
+        let video = camera.film(&taps, 10.0, 10.0).unwrap();
+        let early = video.samples()[30..45].iter().sum::<f64>() / 15.0;
+        let late = video.samples()[80..95].iter().sum::<f64>() / 15.0;
+        assert!(
+            late > early + 40.0,
+            "dark-spot metering did not brighten: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn exposure_converges_not_jumps() {
+        let camera = SpotMeteredCamera::new(Scene::home_office());
+        let (bright, dark) = camera.scene().extremes();
+        let taps = vec![
+            MeteringTap {
+                time: 0.0,
+                region: bright,
+            },
+            MeteringTap {
+                time: 5.0,
+                region: dark,
+            },
+        ];
+        let video = camera.film(&taps, 10.0, 10.0).unwrap();
+        // One tick after the tap the level is still in transit.
+        let before = video.samples()[49];
+        let just_after = video.samples()[51];
+        let settled = video.samples()[70];
+        assert!(just_after > before);
+        assert!(settled > just_after, "{before} {just_after} {settled}");
+    }
+
+    #[test]
+    fn film_validates_inputs() {
+        let camera = SpotMeteredCamera::new(Scene::home_office());
+        assert!(camera.film(&[], 0.0, 10.0).is_err());
+        assert!(camera.film(&[], 10.0, 0.0).is_err());
+        assert!(camera
+            .film(
+                &[MeteringTap {
+                    time: 1.0,
+                    region: 99,
+                }],
+                10.0,
+                10.0,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn natural_taps_alternate_extremes() {
+        let camera = SpotMeteredCamera::new(Scene::home_office());
+        let mut rng = seeded_rng(4);
+        let taps = camera.natural_taps(&mut rng, 15.0, 4.5, 8.5);
+        assert!(!taps.is_empty());
+        let (bright, dark) = camera.scene().extremes();
+        for w in taps.windows(2) {
+            assert_ne!(w[0].region, w[1].region);
+            assert!(w[1].time - w[0].time >= 4.5);
+        }
+        for t in &taps {
+            assert!(t.region == bright || t.region == dark);
+        }
+    }
+
+    #[test]
+    fn spot_metered_video_is_deterministic_and_steppy() {
+        let a = spot_metered_video(5, 15.0, 10.0).unwrap();
+        let b = spot_metered_video(5, 15.0, 10.0).unwrap();
+        assert_eq!(a, b);
+        // The video must show a substantial dynamic range (metering works).
+        let range = a.max().unwrap() - a.min().unwrap();
+        assert!(range > 50.0, "range {range}");
+    }
+
+    #[test]
+    fn mechanistic_video_drives_the_detector_pipeline() {
+        // The derived trace must produce detectable significant changes,
+        // like the abstract scripts do.
+        use lumen_dsp::filters::{fir, moving};
+        use lumen_dsp::peaks::{find_peak_times, PeakConfig};
+        let video = spot_metered_video(9, 15.0, 10.0).unwrap();
+        let filtered = fir::lowpass(&video, 1.0).unwrap();
+        let variance = moving::moving_variance(&filtered, 10).unwrap();
+        let smoothed = moving::moving_rms(&variance, 30).unwrap();
+        let peaks = find_peak_times(&smoothed, &PeakConfig::new().min_prominence(10.0));
+        assert!(!peaks.is_empty(), "no significant changes produced");
+    }
+}

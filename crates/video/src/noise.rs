@@ -1,0 +1,227 @@
+//! Seeded noise processes used throughout the simulator.
+//!
+//! Every stochastic element of the testbed — sensor noise, head motion,
+//! ambient flicker, occlusion events — is driven by a deterministic,
+//! seedable RNG (`ChaCha8`), so each experiment in `lumen-experiments` is
+//! exactly reproducible.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Creates the crate's standard deterministic RNG from a seed.
+pub fn seeded_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Derives an independent sub-stream from a parent seed and a stream label;
+/// used so one scenario seed can feed many uncorrelated noise processes.
+pub fn substream(seed: u64, label: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    rng.set_stream(label);
+    rng
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Zero-mean white Gaussian noise with standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhiteNoise {
+    /// Standard deviation of each sample.
+    pub sigma: f64,
+}
+
+impl WhiteNoise {
+    /// Creates the process; a zero `sigma` produces silence.
+    pub fn new(sigma: f64) -> Self {
+        WhiteNoise { sigma: sigma.abs() }
+    }
+
+    /// Draws the next sample.
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            0.0
+        } else {
+            self.sigma * gaussian(rng)
+        }
+    }
+
+    /// Draws `n` samples.
+    pub fn samples<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next(rng)).collect()
+    }
+}
+
+/// A mean-reverting random walk (discretized Ornstein–Uhlenbeck process):
+/// slow luminance drift from head motion and posture changes.
+///
+/// `x_{t+1} = x_t - θ·x_t·dt + σ·√dt·N(0,1)`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalk {
+    /// Mean-reversion rate θ (1/s). Larger pulls the walk back faster.
+    pub reversion: f64,
+    /// Diffusion σ (units/√s).
+    pub diffusion: f64,
+    state: f64,
+}
+
+impl RandomWalk {
+    /// Creates the walk at state 0.
+    pub fn new(reversion: f64, diffusion: f64) -> Self {
+        RandomWalk {
+            reversion: reversion.abs(),
+            diffusion: diffusion.abs(),
+            state: 0.0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Advances the walk by `dt` seconds and returns the new state.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) -> f64 {
+        let dt = dt.max(0.0);
+        self.state +=
+            -self.reversion * self.state * dt + self.diffusion * dt.sqrt() * gaussian(rng);
+        self.state
+    }
+
+    /// Generates `n` successive states at a fixed `dt`.
+    pub fn samples<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize, dt: f64) -> Vec<f64> {
+        (0..n).map(|_| self.step(rng, dt)).collect()
+    }
+}
+
+/// A Poisson burst process: occasional disturbances (blinks, talking,
+/// brief occlusions by hands or hair) that add a transient offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstProcess {
+    /// Expected bursts per second.
+    pub rate: f64,
+    /// Burst duration in seconds.
+    pub duration: f64,
+    /// Peak amplitude of a burst (sign is drawn at random per burst).
+    pub amplitude: f64,
+}
+
+impl BurstProcess {
+    /// Creates the process.
+    pub fn new(rate: f64, duration: f64, amplitude: f64) -> Self {
+        BurstProcess {
+            rate: rate.max(0.0),
+            duration: duration.max(0.0),
+            amplitude,
+        }
+    }
+
+    /// Generates `n` samples at `sample_rate` Hz: zero outside bursts, a
+    /// half-sine pulse of ±`amplitude` inside each burst.
+    pub fn samples<R: Rng + ?Sized>(&self, rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        if self.rate == 0.0 || self.duration == 0.0 || self.amplitude == 0.0 {
+            return out;
+        }
+        let p_start = (self.rate / sample_rate).min(1.0);
+        let burst_len = ((self.duration * sample_rate).round() as usize).max(1);
+        let mut i = 0;
+        while i < n {
+            if rng.gen::<f64>() < p_start {
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                for j in 0..burst_len.min(n - i) {
+                    let phase = (j as f64 + 0.5) / burst_len as f64 * std::f64::consts::PI;
+                    out[i + j] += sign * self.amplitude * phase.sin();
+                }
+                i += burst_len;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a: Vec<f64> = WhiteNoise::new(1.0).samples(&mut seeded_rng(9), 5);
+        let b: Vec<f64> = WhiteNoise::new(1.0).samples(&mut seeded_rng(9), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn substreams_differ() {
+        let a: Vec<f64> = WhiteNoise::new(1.0).samples(&mut substream(9, 0), 5);
+        let b: Vec<f64> = WhiteNoise::new(1.0).samples(&mut substream(9, 1), 5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = seeded_rng(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn white_noise_scales_with_sigma() {
+        let mut rng = seeded_rng(2);
+        let samples = WhiteNoise::new(3.0).samples(&mut rng, 10_000);
+        let var = samples.iter().map(|x| x * x).sum::<f64>() / samples.len() as f64;
+        assert!((var - 9.0).abs() < 0.6, "var {var}");
+        assert!(WhiteNoise::new(0.0)
+            .samples(&mut rng, 10)
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn random_walk_reverts_to_zero() {
+        let mut rng = seeded_rng(3);
+        let mut walk = RandomWalk::new(5.0, 1.0);
+        let samples = walk.samples(&mut rng, 50_000, 0.1);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        // Stationary variance of OU: sigma^2 / (2 theta) = 0.1.
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(var < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn bursts_are_sparse_and_bounded() {
+        let mut rng = seeded_rng(4);
+        let burst = BurstProcess::new(0.2, 0.5, 10.0);
+        let samples = burst.samples(&mut rng, 1500, 10.0);
+        let nonzero = samples.iter().filter(|&&v| v != 0.0).count();
+        // Expected about 0.2 bursts/s * 150 s * 5 samples = ~150 samples.
+        assert!(nonzero > 20 && nonzero < 600, "nonzero {nonzero}");
+        assert!(samples.iter().all(|v| v.abs() <= 10.0 + 1e-9));
+    }
+
+    #[test]
+    fn zero_rate_bursts_are_silent() {
+        let mut rng = seeded_rng(5);
+        let samples = BurstProcess::new(0.0, 0.5, 10.0).samples(&mut rng, 100, 10.0);
+        assert!(samples.iter().all(|&v| v == 0.0));
+    }
+}

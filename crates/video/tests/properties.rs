@@ -1,0 +1,134 @@
+//! Property-based tests for the optics simulator.
+
+use lumen_video::ambient::AmbientLight;
+use lumen_video::camera::{Camera, MeteringMode};
+use lumen_video::content::{MeteringScript, ScriptParams};
+use lumen_video::frame::{Frame, Region};
+use lumen_video::noise::seeded_rng;
+use lumen_video::pixel::Rgb;
+use lumen_video::profile::UserProfile;
+use lumen_video::reflection::face_radiance;
+use lumen_video::screen::{PanelKind, Screen};
+use lumen_video::synth::{ReflectionSynth, SynthConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pixel_luminance_is_bounded(r in 0u8.., g in 0u8.., b in 0u8..) {
+        let l = Rgb::new(r, g, b).luminance();
+        prop_assert!((0.0..=255.0 + 1e-9).contains(&l));
+    }
+
+    #[test]
+    fn luminance_is_monotone_per_channel(r in 0u8..255, g in 0u8.., b in 0u8..) {
+        let lo = Rgb::new(r, g, b).luminance();
+        let hi = Rgb::new(r + 1, g, b).luminance();
+        prop_assert!(hi > lo);
+    }
+
+    #[test]
+    fn frame_mean_luminance_in_pixel_range(w in 1usize..12, h in 1usize..12, level in 0u8..) {
+        let f = Frame::filled(w, h, Rgb::grey(level)).unwrap();
+        prop_assert!((f.mean_luminance() - level as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_luminance_within_frame_bounds(level in 0u8.., x in 0usize..6, y in 0usize..6, s in 1usize..5) {
+        let f = Frame::filled(12, 12, Rgb::grey(level)).unwrap();
+        let lum = f.region_luminance(Region::new(x, y, s, s)).unwrap();
+        prop_assert!((lum - level as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn screen_gain_monotone_in_diagonal(d1 in 5.0f64..40.0, delta in 0.5f64..10.0) {
+        let a = Screen::new(d1, 0.85, 0.5, PanelKind::Led).unwrap();
+        let b = Screen::new(d1 + delta, 0.85, 0.5, PanelKind::Led).unwrap();
+        prop_assert!(b.illuminance_gain() > a.illuminance_gain());
+    }
+
+    #[test]
+    fn screen_gain_monotone_in_distance(d in 5.0f64..40.0, m1 in 0.1f64..1.5, delta in 0.05f64..1.0) {
+        let a = Screen::new(d, 0.85, m1, PanelKind::Led).unwrap();
+        let b = Screen::new(d, 0.85, m1 + delta, PanelKind::Led).unwrap();
+        prop_assert!(b.illuminance_gain() < a.illuminance_gain());
+    }
+
+    #[test]
+    fn incident_is_monotone_in_display_luma(luma in 0.0f64..254.0, delta in 0.1f64..1.0) {
+        let s = Screen::dell_27in();
+        prop_assert!(s.incident(luma + delta) >= s.incident(luma));
+    }
+
+    #[test]
+    fn radiance_is_monotone_in_illumination(e1 in 0.0f64..50.0, delta in 0.1f64..20.0, idx in 0usize..10) {
+        let user = UserProfile::preset(idx);
+        let a = face_radiance(&user, e1, 30.0);
+        let b = face_radiance(&user, e1 + delta, 30.0);
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn settled_gain_respects_limits(radiance in 0.0f64..10_000.0) {
+        let cam = Camera::nexus6_front();
+        let g = cam.settled_gain(radiance);
+        prop_assert!(g >= cam.gain_limits.0 && g <= cam.gain_limits.1);
+    }
+
+    #[test]
+    fn exposure_stays_in_pixel_range(radiance in 0.0f64..5_000.0, seed in 0u64..50) {
+        let cam = Camera::new(MeteringMode::MultiZone, 115.0, (0.4, 8.0), 2.0).unwrap();
+        let mut rng = seeded_rng(seed);
+        let gain = cam.settled_gain(60.0);
+        let px = cam.expose(radiance, gain, 60.0, &mut rng);
+        prop_assert!((0.0..=255.0).contains(&px));
+    }
+
+    #[test]
+    fn script_samples_stay_in_range(seed in 0u64..200, t in 0.0f64..20.0) {
+        let script = MeteringScript::random_with_seed(seed, 15.0).unwrap();
+        let v = script.sample(t);
+        prop_assert!((0.0..=255.0).contains(&v));
+    }
+
+    #[test]
+    fn script_changes_respect_gaps(seed in 0u64..200) {
+        let script = MeteringScript::random_with_seed(seed, 15.0).unwrap();
+        let params = ScriptParams::default();
+        let times = script.change_times();
+        for w in times.windows(2) {
+            prop_assert!(w[1] - w[0] >= params.gap.0 - 1e-9);
+        }
+        if let Some(&first) = times.first() {
+            prop_assert!(first >= params.first_change.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn synthesis_output_is_valid_pixel_trace(seed in 0u64..60, user in 0usize..10) {
+        let tx = MeteringScript::random_with_seed(seed, 15.0)
+            .unwrap()
+            .sample_signal(10.0)
+            .unwrap();
+        let rx = ReflectionSynth::new(SynthConfig::default())
+            .synthesize(&tx, &UserProfile::preset(user), seed)
+            .unwrap();
+        prop_assert_eq!(rx.len(), tx.len());
+        prop_assert!(rx.samples().iter().all(|&v| (0.0..=255.0).contains(&v)));
+    }
+
+    #[test]
+    fn predicted_amplitude_scales_linearly(swing in 10.0f64..200.0, scale in 1.1f64..3.0) {
+        let synth = ReflectionSynth::new(SynthConfig::default());
+        let user = UserProfile::preset(0);
+        let a = synth.predicted_amplitude(&user, 127.0, swing);
+        let b = synth.predicted_amplitude(&user, 127.0, swing * scale);
+        prop_assert!((b / a - scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ambient_incident_is_linear(lux in 0.0f64..500.0, scale in 1.1f64..4.0) {
+        let a = AmbientLight::new(lux, 0.0).unwrap();
+        let b = AmbientLight::new(lux * scale, 0.0).unwrap();
+        prop_assert!((b.incident() - scale * a.incident()).abs() < 1e-9);
+    }
+}

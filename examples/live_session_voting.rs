@@ -1,0 +1,57 @@
+//! A longer "online meeting" with periodic liveness checks: the detector is
+//! triggered once per 15-second clip and the verdicts are fused by the
+//! paper's majority-voting rule (reject when rejections exceed 0.7·D).
+//!
+//! ```text
+//! cargo run --example live_session_voting
+//! ```
+
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::core::voting::VotingDetector;
+use lumen::core::{detector::Detector, Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chats = ScenarioBuilder::default();
+    let config = Config::default();
+
+    let training: Vec<_> = (0..20)
+        .map(|i| chats.legitimate(4, 3_000 + i))
+        .collect::<Result<_, _>>()?;
+    let detector = Detector::train_from_traces(&training, config)?;
+    let rounds = 5;
+    let voting = VotingDetector::new(detector, rounds)?;
+
+    // Scenario A: a genuine colleague on a 75-second call (5 clips).
+    let clips: Vec<_> = (0..rounds as u64)
+        .map(|i| chats.legitimate(4, 4_000 + i))
+        .collect::<Result<_, _>>()?;
+    let verdict = voting.detect(&clips)?;
+    report("genuine colleague", &verdict);
+
+    // Scenario B: an impostor running face reenactment the whole call.
+    let clips: Vec<_> = (0..rounds as u64)
+        .map(|i| chats.reenactment(4, 4_000 + i))
+        .collect::<Result<_, _>>()?;
+    let verdict = voting.detect(&clips)?;
+    report("reenactment impostor", &verdict);
+
+    Ok(())
+}
+
+fn report(who: &str, verdict: &lumen::core::voting::Verdict) {
+    let marks: String = verdict
+        .rounds
+        .iter()
+        .map(|d| if d.accepted { '+' } else { 'x' })
+        .collect();
+    println!(
+        "{who:<22} rounds [{marks}]  rejection votes {}/{}  → {}",
+        verdict.rejection_votes,
+        verdict.rounds.len(),
+        if verdict.accepted {
+            "call continues"
+        } else {
+            "ALERT: fake facial video suspected"
+        }
+    );
+}

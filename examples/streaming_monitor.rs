@@ -1,0 +1,67 @@
+//! A streaming liveness monitor: luminance samples arrive one tick at a
+//! time (as they would from a real chat client), the detector fires at
+//! every completed 15-second clip, fuses the last D verdicts, and explains
+//! any alert in terms of the deviating feature.
+//!
+//! Timeline simulated here: three genuine clips, then the stream is
+//! hijacked by a reenactment attacker mid-call.
+//!
+//! ```text
+//! cargo run --release --example streaming_monitor
+//! ```
+
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::core::stream::{SessionStatus, StreamingDetector};
+use lumen::core::{detector::Detector, Config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chats = ScenarioBuilder::default();
+    let training: Vec<_> = (0..20)
+        .map(|i| chats.legitimate(7, 6_000 + i))
+        .collect::<Result<_, _>>()?;
+    let detector = Detector::train_from_traces(&training, Config::default())?;
+    let explainer = detector.clone();
+    let mut monitor = StreamingDetector::new(detector, 15.0, 3)?;
+
+    // Clip sources: 3 genuine, then 3 attacker clips (stream hijack).
+    let mut clips = Vec::new();
+    for i in 0..3u64 {
+        clips.push(("genuine", chats.legitimate(7, 7_000 + i)?));
+    }
+    for i in 0..3u64 {
+        clips.push(("HIJACKED", chats.reenactment(7, 7_100 + i)?));
+    }
+
+    println!(
+        "{:<10} {:>6} {:>8}  {:<10} explanation",
+        "source", "clip", "LOF", "status"
+    );
+    println!("{}", "-".repeat(70));
+    for (label, pair) in &clips {
+        for (tx, rx) in pair.tx.samples().iter().zip(pair.rx.samples()) {
+            if let Some(verdict) = monitor.push(*tx, *rx)? {
+                let status = match verdict.status {
+                    SessionStatus::Gathering => "gathering",
+                    SessionStatus::Trusted => "trusted",
+                    SessionStatus::Alert => "ALERT",
+                };
+                let explanation = explainer.explain(&verdict.detection.features)?;
+                let note = if verdict.detection.accepted {
+                    String::from("-")
+                } else {
+                    format!("most deviant: {}", explanation.dominant_name())
+                };
+                println!(
+                    "{label:<10} {:>6} {:>8.2}  {status:<10} {note}",
+                    verdict.clip_index, verdict.detection.score,
+                );
+            }
+        }
+    }
+    println!(
+        "\nfinal status: {:?} after {} clips",
+        monitor.status(),
+        monitor.clips_done()
+    );
+    Ok(())
+}

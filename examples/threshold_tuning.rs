@@ -1,0 +1,49 @@
+//! Threshold tuning: sweep the LOF decision threshold τ on a small local
+//! dataset and locate the equal-error operating point — the workflow behind
+//! Fig. 12 of the paper, runnable on your own scenario configuration.
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::core::dataset::{attack_features, legitimate_features, split_train_test};
+use lumen::core::detector::Detector;
+use lumen::core::metrics::{equal_error_rate, SweepPoint};
+use lumen::core::Config;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chats = ScenarioBuilder::default();
+    let config = Config::default();
+
+    // Data: 30 legitimate + 30 attack clips of one user.
+    let legit = legitimate_features(&chats, 1, 30, 5_000, &config)?;
+    let attack = attack_features(&chats, 1, 30, 6_000, &config)?;
+    let (train, test) = split_train_test(&legit, 20, 7);
+    let detector = Detector::train(&train, config)?;
+
+    // LOF scores are threshold-free; score once, sweep after.
+    let legit_scores: Vec<f64> = test.iter().map(|f| detector.score(f).unwrap()).collect();
+    let attack_scores: Vec<f64> = attack.iter().map(|f| detector.score(f).unwrap()).collect();
+
+    println!("{:>5} {:>8} {:>8}", "τ", "FAR", "FRR");
+    let mut sweep = Vec::new();
+    let mut tau = 1.5;
+    while tau <= 4.0 + 1e-9 {
+        let frr =
+            legit_scores.iter().filter(|&&s| s > tau).count() as f64 / legit_scores.len() as f64;
+        let far =
+            attack_scores.iter().filter(|&&s| s <= tau).count() as f64 / attack_scores.len() as f64;
+        println!("{tau:>5.2} {:>7.1}% {:>7.1}%", 100.0 * far, 100.0 * frr);
+        sweep.push(SweepPoint {
+            threshold: tau,
+            far,
+            frr,
+        });
+        tau += 0.25;
+    }
+    if let Some(eer) = equal_error_rate(&sweep) {
+        println!("\nequal error rate ≈ {:.1}%", 100.0 * eer);
+    }
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! Calibration-band tests: reduced-size versions of every paper experiment
+//! must stay inside the qualitative bands of DESIGN.md §6. These are the
+//! repository's regression net for the *shape* of the reproduction.
+
+use lumen::experiments::{
+    ambient, feasibility, forgery_delay, overall, sampling_rate, screen_size, threshold_sweep,
+    training_size, voting as voting_exp,
+};
+
+#[test]
+fn fig11_band_overall_accuracy() {
+    let r = overall::run(overall::OverallOpts {
+        users: 4,
+        clips: 20,
+        rounds: 6,
+        train_count: 12,
+    })
+    .unwrap();
+    assert!(r.mean_tar_own > 0.82, "TAR(own) {}", r.mean_tar_own);
+    assert!(
+        r.mean_tar_others > 0.75,
+        "TAR(others) {}",
+        r.mean_tar_others
+    );
+    assert!(r.mean_trr > 0.80, "TRR {}", r.mean_trr);
+}
+
+#[test]
+fn fig12_band_eer_and_crossover() {
+    let r = threshold_sweep::run(threshold_sweep::SweepOpts {
+        users: 4,
+        clips: 20,
+        train_count: 12,
+        ..threshold_sweep::SweepOpts::default()
+    })
+    .unwrap();
+    let eer = r.eer.expect("FAR/FRR must cross");
+    assert!(eer < 0.20, "EER {eer}");
+    let tau = r.eer_threshold.unwrap();
+    assert!((1.5..=4.0).contains(&tau), "crossover at {tau}");
+}
+
+#[test]
+fn fig13_band_screen_size_ordering() {
+    let r = screen_size::run(screen_size::ScreenOpts {
+        users: 3,
+        clips: 14,
+        train_count: 9,
+    })
+    .unwrap();
+    let by_label = |label: &str| r.rows.iter().find(|row| row.label.contains(label)).unwrap();
+    let big = by_label("27");
+    let phone_far = by_label("@40cm");
+    // The defense must be usable on the big monitor...
+    assert!(
+        big.tar > 0.8 && big.trr > 0.75,
+        "27\": {} / {}",
+        big.tar,
+        big.trr
+    );
+    // ...and broken on the distant phone (reflection too weak).
+    assert!(
+        phone_far.trr < big.trr - 0.2,
+        "far phone TRR {} vs 27\" {}",
+        phone_far.trr,
+        big.trr
+    );
+}
+
+#[test]
+fn fig14_band_voting_helps_acceptance() {
+    let r = voting_exp::run(voting_exp::VotingOpts {
+        users: 3,
+        clips: 25,
+        train_count: 12,
+        max_rounds: 5,
+        repeats: 5,
+    })
+    .unwrap();
+    let d1 = &r.rows[0];
+    let d5 = &r.rows[4];
+    assert!(d5.tar >= d1.tar, "voting TAR {} -> {}", d1.tar, d5.tar);
+    assert!(
+        d5.tar_std <= d1.tar_std + 0.02,
+        "voting should not inflate TAR variance"
+    );
+    // With the 0.7 rule, D=5 needs 4 rejections: TRR recovers vs D=2/3.
+    assert!(d5.trr >= r.rows[2].trr - 0.05);
+}
+
+#[test]
+fn fig15_band_training_size() {
+    let r = training_size::run(training_size::TrainingOpts {
+        user: 0,
+        clips: 30,
+        sizes: vec![6, 12, 20],
+        repeats: 8,
+    })
+    .unwrap();
+    let small = &r.rows[0];
+    let large = &r.rows[2];
+    assert!(
+        large.trr >= small.trr - 0.03,
+        "TRR {} -> {}",
+        small.trr,
+        large.trr
+    );
+    assert!(
+        large.trr_std <= small.trr_std + 0.02,
+        "TRR spread should shrink: {} -> {}",
+        small.trr_std,
+        large.trr_std
+    );
+}
+
+#[test]
+fn fig16_band_sampling_rate() {
+    let r = sampling_rate::run(sampling_rate::RateOpts {
+        user: 0,
+        clips: 20,
+        train_count: 12,
+        rates: vec![5.0, 10.0],
+    })
+    .unwrap();
+    let r5 = &r.rows[0];
+    let r10 = &r.rows[1];
+    // 10 Hz must be comfortably usable; 5 Hz must be clearly degraded on
+    // at least one axis (the paper sees TRR collapse to 48 %).
+    assert!(
+        r10.tar > 0.85 && r10.trr > 0.8,
+        "10 Hz: {} / {}",
+        r10.tar,
+        r10.trr
+    );
+    assert!(
+        r5.tar < r10.tar - 0.08 || r5.trr < r10.trr - 0.08,
+        "5 Hz not degraded: {} / {} vs {} / {}",
+        r5.tar,
+        r5.trr,
+        r10.tar,
+        r10.trr
+    );
+}
+
+#[test]
+fn ambient_band_bright_light_degrades() {
+    let r = ambient::run(ambient::AmbientOpts {
+        users: 3,
+        clips: 24,
+        train_count: 16,
+        lux_levels: vec![60.0, 240.0],
+    })
+    .unwrap();
+    let dim = &r.rows[0];
+    let bright = &r.rows[1];
+    assert!(
+        bright.tar <= dim.tar + 0.1 && bright.trr <= dim.trr + 0.12,
+        "bright ambient unexpectedly helped: {bright:?} vs {dim:?}"
+    );
+}
+
+#[test]
+fn fig17_band_delay_knee() {
+    let r = forgery_delay::run(forgery_delay::DelayOpts {
+        victim: 0,
+        clips: 20,
+        train_clips: 14,
+        delays: vec![0.0, 1.3, 2.0],
+    })
+    .unwrap();
+    let instant = r.rows[0].rejection_rate;
+    let knee = r.rows[1].rejection_rate;
+    let late = r.rows[2].rejection_rate;
+    assert!(instant < 0.35, "instant forgery rejected at {instant}");
+    assert!(knee >= 0.75, "1.3 s forgery only rejected at {knee}");
+    assert!(late >= 0.85, "2.0 s forgery only rejected at {late}");
+}
+
+#[test]
+fn fig3_band_feasibility_swing() {
+    let r = feasibility::run().unwrap();
+    assert!((80.0..150.0).contains(&r.dark_level));
+    assert!(r.delta() > 12.0 && r.delta() < 60.0);
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full Fig. 4 loop from caller script
+//! to detection verdict, spanning every workspace crate.
+
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::core::voting::VotingDetector;
+use lumen::core::{detector::Detector, Config};
+
+fn trained_detector(user: usize, seed_base: u64) -> Detector {
+    let chats = ScenarioBuilder::default();
+    let training: Vec<_> = (0..20)
+        .map(|i| chats.legitimate(user, seed_base + i).unwrap())
+        .collect();
+    Detector::train_from_traces(&training, Config::default()).unwrap()
+}
+
+#[test]
+fn legitimate_sessions_are_mostly_accepted() {
+    let chats = ScenarioBuilder::default();
+    let det = trained_detector(0, 50_000);
+    let accepted = (0..30u64)
+        .filter(|&s| {
+            det.detect(&chats.legitimate(0, 51_000 + s).unwrap())
+                .unwrap()
+                .accepted
+        })
+        .count();
+    assert!(
+        accepted >= 25,
+        "accepted only {accepted}/30 legitimate clips"
+    );
+}
+
+#[test]
+fn reenactment_attacks_are_mostly_rejected() {
+    let chats = ScenarioBuilder::default();
+    let det = trained_detector(0, 50_000);
+    let rejected = (0..30u64)
+        .filter(|&s| {
+            !det.detect(&chats.reenactment(0, 52_000 + s).unwrap())
+                .unwrap()
+                .accepted
+        })
+        .count();
+    assert!(rejected >= 24, "rejected only {rejected}/30 attacks");
+}
+
+#[test]
+fn replay_attacks_are_mostly_rejected() {
+    let chats = ScenarioBuilder::default();
+    let det = trained_detector(1, 53_000);
+    let rejected = (0..20u64)
+        .filter(|&s| {
+            !det.detect(&chats.replay(1, 54_000 + s).unwrap())
+                .unwrap()
+                .accepted
+        })
+        .count();
+    assert!(rejected >= 15, "rejected only {rejected}/20 replays");
+}
+
+#[test]
+fn cross_user_training_transfers() {
+    // Train on volunteer 5, protect volunteer 6 — the paper's
+    // no-new-user-enrollment property.
+    let chats = ScenarioBuilder::default();
+    let det = trained_detector(5, 55_000);
+    let accepted = (0..20u64)
+        .filter(|&s| {
+            det.detect(&chats.legitimate(6, 56_000 + s).unwrap())
+                .unwrap()
+                .accepted
+        })
+        .count();
+    let rejected = (0..20u64)
+        .filter(|&s| {
+            !det.detect(&chats.reenactment(6, 57_000 + s).unwrap())
+                .unwrap()
+                .accepted
+        })
+        .count();
+    assert!(accepted >= 15, "cross-user TAR too low: {accepted}/20");
+    assert!(rejected >= 15, "cross-user TRR too low: {rejected}/20");
+}
+
+#[test]
+fn adaptive_forger_beaten_by_delay() {
+    let chats = ScenarioBuilder::default();
+    let det = trained_detector(0, 58_000);
+    // Instant perfect forgery passes (by design), 2-second-late forgery is
+    // caught nearly always.
+    let instant_rejected = (0..10u64)
+        .filter(|&s| {
+            !det.detect(&chats.adaptive(0, 0.0, 59_000 + s).unwrap())
+                .unwrap()
+                .accepted
+        })
+        .count();
+    let late_rejected = (0..10u64)
+        .filter(|&s| {
+            !det.detect(&chats.adaptive(0, 2.0, 59_000 + s).unwrap())
+                .unwrap()
+                .accepted
+        })
+        .count();
+    assert!(
+        instant_rejected <= 3,
+        "instant forgery rejected {instant_rejected}/10"
+    );
+    assert!(
+        late_rejected >= 8,
+        "late forgery rejected only {late_rejected}/10"
+    );
+}
+
+#[test]
+fn voting_suppresses_single_round_errors() {
+    let chats = ScenarioBuilder::default();
+    let det = trained_detector(3, 60_000);
+    let voting = VotingDetector::new(det, 5).unwrap();
+
+    let mut legit_ok = 0;
+    let mut attack_caught = 0;
+    let groups = 6u64;
+    for g in 0..groups {
+        let legit: Vec<_> = (0..5)
+            .map(|i| chats.legitimate(3, 61_000 + g * 5 + i).unwrap())
+            .collect();
+        if voting.detect(&legit).unwrap().accepted {
+            legit_ok += 1;
+        }
+        let attacks: Vec<_> = (0..5)
+            .map(|i| chats.reenactment(3, 62_000 + g * 5 + i).unwrap())
+            .collect();
+        if !voting.detect(&attacks).unwrap().accepted {
+            attack_caught += 1;
+        }
+    }
+    assert_eq!(
+        legit_ok, groups as usize,
+        "a genuine 5-round call was flagged"
+    );
+    // The 0.7·D rule needs >= 4 of 5 rejections — strict by design, so the
+    // paper's own Fig. 14 shows D = 5 TRR ≈ 94 %, not 100 %.
+    assert!(
+        attack_caught >= groups as usize - 2,
+        "only {attack_caught}/{groups} attack calls flagged"
+    );
+}
+
+#[test]
+fn detection_is_deterministic_end_to_end() {
+    let chats = ScenarioBuilder::default();
+    let det = trained_detector(2, 63_000);
+    let pair = chats.reenactment(2, 64_000).unwrap();
+    let a = det.detect(&pair).unwrap();
+    let b = det.detect(&pair).unwrap();
+    assert_eq!(a.score, b.score);
+    assert_eq!(a.features, b.features);
+}

@@ -1,0 +1,164 @@
+//! Failure-injection tests: degenerate and hostile inputs must produce
+//! errors or graceful decisions — never panics.
+
+use lumen::chat::channel::ChannelConfig;
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::chat::session::SessionConfig;
+use lumen::chat::trace::{ScenarioKind, TracePair};
+use lumen::core::{detector::Detector, Config};
+use lumen::dsp::Signal;
+use lumen::video::ambient::AmbientLight;
+use lumen::video::content::MeteringScript;
+use lumen::video::profile::UserProfile;
+use lumen::video::screen::Screen;
+use lumen::video::synth::SynthConfig;
+
+fn detector() -> Detector {
+    let chats = ScenarioBuilder::default();
+    let training: Vec<_> = (0..12)
+        .map(|i| chats.legitimate(0, 70_000 + i).unwrap())
+        .collect();
+    Detector::train_from_traces(&training, Config::default()).unwrap()
+}
+
+fn pair_from(tx: Signal, rx: Signal) -> TracePair {
+    TracePair {
+        tx,
+        rx,
+        kind: ScenarioKind::Legitimate { user: 0 },
+        seed: 0,
+        forward_delay: 0.12,
+    }
+}
+
+#[test]
+fn flat_traces_do_not_panic() {
+    let det = detector();
+    let flat = MeteringScript::constant(120.0, 15.0)
+        .unwrap()
+        .sample_signal(10.0)
+        .unwrap();
+    let pair = pair_from(flat.clone(), flat);
+    // A changeless clip carries no evidence; any decision is fine, a panic
+    // is not.
+    let _ = det.detect(&pair).unwrap();
+}
+
+#[test]
+fn saturated_sensor_does_not_panic() {
+    let det = detector();
+    let tx = MeteringScript::random_with_seed(1, 15.0)
+        .unwrap()
+        .sample_signal(10.0)
+        .unwrap();
+    let saturated = Signal::new(vec![255.0; 150], 10.0).unwrap();
+    let d = det.detect(&pair_from(tx, saturated)).unwrap();
+    // A pegged-white camera cannot show reflection changes: reject.
+    assert!(!d.accepted, "saturated feed accepted");
+}
+
+#[test]
+fn dead_camera_is_rejected() {
+    let det = detector();
+    let tx = MeteringScript::random_with_seed(2, 15.0)
+        .unwrap()
+        .sample_signal(10.0)
+        .unwrap();
+    let dead = Signal::new(vec![0.0; 150], 10.0).unwrap();
+    let d = det.detect(&pair_from(tx, dead)).unwrap();
+    assert!(!d.accepted, "black feed accepted");
+}
+
+#[test]
+fn short_clip_does_not_panic() {
+    let det = detector();
+    let tx = MeteringScript::random_with_seed(3, 3.0)
+        .unwrap()
+        .sample_signal(10.0)
+        .unwrap();
+    let rx = tx.clone();
+    let _ = det.detect(&pair_from(tx, rx)).unwrap();
+}
+
+#[test]
+fn empty_signal_is_an_error_not_a_panic() {
+    let det = detector();
+    let empty = Signal::new(vec![], 10.0).unwrap();
+    let pair = pair_from(empty.clone(), empty);
+    assert!(det.detect(&pair).is_err());
+}
+
+#[test]
+fn extreme_network_conditions_complete() {
+    let brutal = SessionConfig {
+        forward: ChannelConfig {
+            base_delay: 0.8,
+            jitter: 0.2,
+            drop_prob: 0.5,
+        },
+        backward: ChannelConfig {
+            base_delay: 0.8,
+            jitter: 0.2,
+            drop_prob: 0.5,
+        },
+        ..SessionConfig::default()
+    };
+    let chats = ScenarioBuilder::default().with_session(brutal);
+    // Half the frames lost, huge delay: sessions still complete and the
+    // detector still yields a decision.
+    let det = detector();
+    for seed in 0..5 {
+        let pair = chats.legitimate(0, 71_000 + seed).unwrap();
+        let _ = det.detect(&pair).unwrap();
+    }
+}
+
+#[test]
+fn pitch_black_room_completes() {
+    let dark = SynthConfig {
+        ambient: AmbientLight::new(0.0, 0.0).unwrap(),
+        ..SynthConfig::default()
+    };
+    let chats = ScenarioBuilder::default().with_conditions(dark);
+    let det = detector();
+    let pair = chats.legitimate(0, 72_000).unwrap();
+    let _ = det.detect(&pair).unwrap();
+}
+
+#[test]
+fn tiny_distant_screen_completes() {
+    let hopeless = SynthConfig {
+        screen: Screen::new(4.0, 0.2, 2.0, lumen::video::screen::PanelKind::Oled).unwrap(),
+        ..SynthConfig::default()
+    };
+    let chats = ScenarioBuilder::default().with_conditions(hopeless);
+    let det = detector();
+    let pair = chats.legitimate(0, 73_000).unwrap();
+    // No usable reflection: the system must answer (probably reject), not
+    // crash.
+    let _ = det.detect(&pair).unwrap();
+}
+
+#[test]
+fn training_on_garbage_is_rejected_cleanly() {
+    // Fewer instances than k+1 must error, not panic.
+    let chats = ScenarioBuilder::default();
+    let tiny: Vec<_> = (0..3)
+        .map(|i| chats.legitimate(0, 74_000 + i).unwrap())
+        .collect();
+    assert!(Detector::train_from_traces(&tiny, Config::default()).is_err());
+}
+
+#[test]
+fn hostile_profile_extremes_complete() {
+    // The most jittery possible volunteer still yields decisions.
+    let profile = UserProfile::new(99, "chaos", 1.0, 8.0, 0.2, 1.0, 12.0, 4.0).unwrap();
+    let synth = lumen::video::synth::ReflectionSynth::new(SynthConfig::default());
+    let tx = MeteringScript::random_with_seed(9, 15.0)
+        .unwrap()
+        .sample_signal(10.0)
+        .unwrap();
+    let rx = synth.synthesize(&tx, &profile, 9).unwrap();
+    let det = detector();
+    let _ = det.detect(&pair_from(tx, rx)).unwrap();
+}
