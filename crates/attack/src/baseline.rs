@@ -170,24 +170,28 @@ mod tests {
     }
 
     #[test]
-    fn correlation_accepts_legit_rejects_most_attacks() {
+    fn correlation_accepts_legit_rejects_some_attacks() {
         let det = CorrelationThresholdDetector::default();
-        let legit_ok = (0..10)
+        let legit_ok = (0..30)
             .filter(|&s| {
                 let (tx, rx) = legit_pair(s);
                 det.accepts(&tx, &rx).unwrap()
             })
             .count();
-        let attacks_rejected = (0..10)
+        let attacks_rejected = (0..30)
             .filter(|&s| {
                 let (tx, rx) = attack_pair(s);
                 !det.accepts(&tx, &rx).unwrap()
             })
             .count();
-        assert!(legit_ok >= 7, "legit accepted {legit_ok}/10");
+        assert!(legit_ok >= 24, "legit accepted {legit_ok}/30");
+        // This baseline only catches about half of the reenactment attacks
+        // (low-passed independent traces still correlate by chance) — that
+        // gap versus the LOF detector is the point of the related-work
+        // comparison, so only a weak rejection floor is asserted here.
         assert!(
-            attacks_rejected >= 6,
-            "attacks rejected {attacks_rejected}/10"
+            attacks_rejected >= 12,
+            "attacks rejected {attacks_rejected}/30"
         );
     }
 

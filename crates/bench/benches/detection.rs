@@ -68,10 +68,10 @@ fn bench_detection(c: &mut Criterion) {
         let brute = lumen_lof::knn::KnnIndex::new(points.clone()).unwrap();
         let tree = lumen_lof::kdtree::KdTree::new(points).unwrap();
         let query = [0.9, 0.9, 0.8, 0.1];
-        c.bench_function(&format!("knn_brute_force_n{n}"), |b| {
+        c.bench_function(format!("knn_brute_force_n{n}"), |b| {
             b.iter(|| brute.nearest(black_box(&query), 5, None).unwrap())
         });
-        c.bench_function(&format!("knn_kdtree_n{n}"), |b| {
+        c.bench_function(format!("knn_kdtree_n{n}"), |b| {
             b.iter(|| tree.nearest(black_box(&query), 5, None).unwrap())
         });
     }

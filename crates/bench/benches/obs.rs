@@ -1,0 +1,53 @@
+//! Observability overhead: what instrumentation costs the hot detection
+//! path. The acceptance bar is that a disabled recorder (the [`NullSink`]
+//! route, which collapses to the no-recorder state) stays within noise of
+//! the uninstrumented detector, while the buffering [`InMemorySink`] pays
+//! only for what it records.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_bench::{standard_pair, trained_detector};
+use lumen_obs::{InMemorySink, NullSink, Recorder};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_obs(c: &mut Criterion) {
+    let pair = standard_pair();
+
+    let plain = trained_detector();
+    c.bench_function("detect_uninstrumented", |b| {
+        b.iter(|| plain.detect(black_box(&pair)).unwrap())
+    });
+
+    let nulled = trained_detector().with_recorder(Recorder::new(Arc::new(NullSink)));
+    c.bench_function("detect_null_sink", |b| {
+        b.iter(|| nulled.detect(black_box(&pair)).unwrap())
+    });
+
+    let sink = Arc::new(InMemorySink::new());
+    let buffered = trained_detector().with_recorder(Recorder::new(sink.clone()));
+    c.bench_function("detect_in_memory_sink", |b| {
+        b.iter(|| {
+            let d = buffered.detect(black_box(&pair)).unwrap();
+            sink.clear();
+            d
+        })
+    });
+
+    // The raw emission primitives, for sizing a custom sink.
+    let (recorder, sink) = Recorder::in_memory();
+    c.bench_function("counter_add_in_memory", |b| {
+        b.iter(|| recorder.add("bench.counter", black_box(1)));
+    });
+    c.bench_function("span_in_memory", |b| {
+        b.iter(|| recorder.span(black_box("bench.span")));
+    });
+    sink.clear();
+
+    let disabled = Recorder::null();
+    c.bench_function("counter_add_disabled", |b| {
+        b.iter(|| disabled.add("bench.counter", black_box(1)));
+    });
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

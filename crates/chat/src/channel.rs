@@ -7,6 +7,7 @@
 
 use crate::packet::FramePacket;
 use crate::{ChatError, Result};
+use lumen_obs::Recorder;
 use lumen_video::noise::{gaussian, substream};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -71,6 +72,7 @@ pub struct NetworkChannel {
     rng: ChaCha8Rng,
     in_flight: VecDeque<(f64, FramePacket)>,
     last_delivery_ts: f64,
+    recorder: Recorder,
 }
 
 impl NetworkChannel {
@@ -86,7 +88,15 @@ impl NetworkChannel {
             rng: substream(seed, 30),
             in_flight: VecDeque::new(),
             last_delivery_ts: 0.0,
+            recorder: Recorder::null(),
         })
+    }
+
+    /// Attaches an observability recorder: the channel counts submitted,
+    /// dropped and delivered frames through it. Disabled by default.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The channel configuration.
@@ -96,7 +106,9 @@ impl NetworkChannel {
 
     /// Submits a packet at time `now`. Dropped packets vanish here.
     pub fn send(&mut self, packet: FramePacket, now: f64) {
+        self.recorder.add("chat.frames_sent", 1);
         if self.config.drop_prob > 0.0 && self.rng.gen::<f64>() < self.config.drop_prob {
+            self.recorder.add("chat.frames_dropped", 1);
             return;
         }
         let jitter = self.config.jitter * gaussian(&mut self.rng);
@@ -119,6 +131,9 @@ impl NetworkChannel {
             } else {
                 break;
             }
+        }
+        if !out.is_empty() {
+            self.recorder.add("chat.frames_delivered", out.len() as u64);
         }
         out
     }
@@ -211,6 +226,29 @@ mod tests {
         let got = ch.poll(1.0).len();
         let rate = 1.0 - got as f64 / 2000.0;
         assert!((rate - 0.3).abs() < 0.05, "drop rate {rate}");
+    }
+
+    #[test]
+    fn channel_counts_frames_through_recorder() {
+        let (rec, sink) = lumen_obs::Recorder::in_memory();
+        let mut ch = NetworkChannel::new(
+            ChannelConfig {
+                base_delay: 0.0,
+                jitter: 0.0,
+                drop_prob: 0.3,
+            },
+            9,
+        )
+        .unwrap()
+        .with_recorder(rec);
+        for i in 0..100u64 {
+            ch.send(FramePacket::new(i, 0.0, 0.0), 0.0);
+        }
+        let delivered = ch.poll(1.0).len() as u64;
+        let registry = sink.registry();
+        assert_eq!(registry.counter("chat.frames_sent"), 100);
+        assert_eq!(registry.counter("chat.frames_delivered"), delivered);
+        assert_eq!(registry.counter("chat.frames_dropped"), 100 - delivered);
     }
 
     #[test]

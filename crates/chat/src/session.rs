@@ -7,6 +7,7 @@ use crate::packet::FramePacket;
 use crate::trace::{ScenarioKind, TracePair};
 use crate::{ChatError, Result};
 use lumen_dsp::Signal;
+use lumen_obs::Recorder;
 
 /// Session parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,8 +61,13 @@ impl SessionConfig {
 /// Streams `source` through a channel tick by tick; the receiver displays
 /// the latest delivered frame and holds it across gaps (a jitter-buffer
 /// display). Returns the displayed luminance per tick.
-fn stream_through(source: &Signal, config: ChannelConfig, seed: u64) -> Result<Signal> {
-    let mut channel = NetworkChannel::new(config, seed)?;
+fn stream_through(
+    source: &Signal,
+    config: ChannelConfig,
+    seed: u64,
+    recorder: &Recorder,
+) -> Result<Signal> {
+    let mut channel = NetworkChannel::new(config, seed)?.with_recorder(recorder.clone());
     let mut clock = SimClock::at_rate(source.sample_rate());
     let mut displayed = Vec::with_capacity(source.len());
     // Until the first frame lands, the receiver shows the stream's first
@@ -70,7 +76,11 @@ fn stream_through(source: &Signal, config: ChannelConfig, seed: u64) -> Result<S
     for (i, &luma) in source.samples().iter().enumerate() {
         let now = clock.now();
         channel.send(FramePacket::new(i as u64, now, luma), now);
-        for packet in channel.poll(now) {
+        let arrived = channel.poll(now);
+        if arrived.is_empty() {
+            recorder.add("chat.frame_holds", 1);
+        }
+        for packet in arrived {
             current = packet.luma;
         }
         displayed.push(current);
@@ -92,6 +102,23 @@ pub fn run_session(
     kind: ScenarioKind,
     seed: u64,
 ) -> Result<TracePair> {
+    run_session_with(caller, callee, config, kind, seed, &Recorder::null())
+}
+
+/// [`run_session`] with live observability: both directions count their
+/// sent/dropped/delivered frames and display holds through `recorder`.
+///
+/// # Errors
+///
+/// Same conditions as [`run_session`].
+pub fn run_session_with(
+    caller: &Caller,
+    callee: &dyn CalleeBehavior,
+    config: &SessionConfig,
+    kind: ScenarioKind,
+    seed: u64,
+    recorder: &Recorder,
+) -> Result<TracePair> {
     config.validate()?;
     // Step 1-2: Alice transmits; Bob's screen displays what survives the
     // forward path.
@@ -102,11 +129,11 @@ pub fn run_session(
             "session produced no samples",
         ));
     }
-    let displayed_at_bob = stream_through(&tx, config.forward, seed ^ 0xf0_0d)?;
+    let displayed_at_bob = stream_through(&tx, config.forward, seed ^ 0xf0_0d, recorder)?;
     // Step 3: Bob's camera output (live reflection or attack).
     let rx_at_bob = callee.respond(&displayed_at_bob, seed ^ 0xbeef)?;
     // Step 4: Bob's video rides the backward path to Alice.
-    let rx_at_alice = stream_through(&rx_at_bob, config.backward, seed ^ 0xcafe)?;
+    let rx_at_alice = stream_through(&rx_at_bob, config.backward, seed ^ 0xcafe, recorder)?;
     Ok(TracePair {
         tx,
         rx: rx_at_alice,
@@ -225,6 +252,32 @@ mod tests {
         // round-trip display+return delay).
         let (lag, _) = lumen_dsp::xcorr::best_lag(b.rx.samples(), a.rx.samples(), 20).unwrap();
         assert!((8..=12).contains(&lag), "lag {lag}");
+    }
+
+    #[test]
+    fn instrumented_session_counts_both_directions() {
+        let (rec, sink) = lumen_obs::Recorder::in_memory();
+        run_session_with(
+            &caller(5),
+            &live(),
+            &SessionConfig::default(),
+            ScenarioKind::Legitimate { user: 0 },
+            5,
+            &rec,
+        )
+        .unwrap();
+        let registry = sink.registry();
+        // 150 ticks in each direction.
+        assert_eq!(registry.counter("chat.frames_sent"), 300);
+        let delivered = registry.counter("chat.frames_delivered");
+        let dropped = registry.counter("chat.frames_dropped");
+        assert!(delivered > 250, "delivered {delivered}");
+        // Undelivered frames are either dropped or still in flight at the
+        // session end — never double-counted.
+        assert!(delivered + dropped <= 300);
+        // The 120 ms base delay forces at least the first tick of each
+        // direction to hold.
+        assert!(registry.counter("chat.frame_holds") >= 2);
     }
 
     #[test]

@@ -6,7 +6,9 @@
 use crate::channel::{ChannelConfig, NetworkChannel};
 use crate::packet::FramePacket;
 use crate::Result;
+use lumen_dsp::stats::quantile;
 use lumen_dsp::Signal;
+use lumen_obs::Recorder;
 
 /// Summary statistics of one direction of a streamed session.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,18 +32,6 @@ pub struct ChannelStats {
     pub hold_fraction: f64,
 }
 
-/// Quantile of a sorted slice by linear interpolation; `None` when empty.
-fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
-    if sorted.is_empty() {
-        return None;
-    }
-    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
-}
-
 /// Streams `source` through a channel configured by `config` and measures
 /// what a receiver would observe. The stream is deterministic in `seed`.
 ///
@@ -49,7 +39,23 @@ fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
 ///
 /// Propagates channel-configuration errors.
 pub fn measure_channel(source: &Signal, config: ChannelConfig, seed: u64) -> Result<ChannelStats> {
-    let mut channel = NetworkChannel::new(config, seed)?;
+    measure_channel_with(source, config, seed, &Recorder::null())
+}
+
+/// [`measure_channel`] with live observability: per-frame delivery/loss
+/// counters flow through the channel and `recorder` gets the hold count and
+/// the summary loss/delay gauges as they are measured.
+///
+/// # Errors
+///
+/// Propagates channel-configuration errors.
+pub fn measure_channel_with(
+    source: &Signal,
+    config: ChannelConfig,
+    seed: u64,
+    recorder: &Recorder,
+) -> Result<ChannelStats> {
+    let mut channel = NetworkChannel::new(config, seed)?.with_recorder(recorder.clone());
     let dt = 1.0 / source.sample_rate();
     let mut delays = Vec::new();
     let mut delivered = 0usize;
@@ -60,6 +66,7 @@ pub fn measure_channel(source: &Signal, config: ChannelConfig, seed: u64) -> Res
         let arrived = channel.poll(now);
         if arrived.is_empty() {
             holds += 1;
+            recorder.add("chat.frame_holds", 1);
         }
         for p in arrived {
             delivered += 1;
@@ -83,10 +90,13 @@ pub fn measure_channel(source: &Signal, config: ChannelConfig, seed: u64) -> Res
     } else {
         delays.iter().sum::<f64>() / delays.len() as f64
     };
+    let loss = 1.0 - delivered as f64 / source.len().max(1) as f64;
+    recorder.gauge("chat.loss_fraction", loss);
+    recorder.gauge("chat.mean_delay_s", mean_delay);
     Ok(ChannelStats {
         sent: source.len(),
         delivered,
-        loss: 1.0 - delivered as f64 / source.len().max(1) as f64,
+        loss,
         mean_delay,
         p50_delay: quantile(&delays, 0.5).unwrap_or(0.0),
         p95_delay: quantile(&delays, 0.95).unwrap_or(0.0),
@@ -149,6 +159,34 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_measure_matches_reported_stats() {
+        let (rec, sink) = lumen_obs::Recorder::in_memory();
+        let stats = measure_channel_with(
+            &source(),
+            ChannelConfig {
+                base_delay: 0.1,
+                jitter: 0.0,
+                drop_prob: 0.25,
+            },
+            2,
+            &rec,
+        )
+        .unwrap();
+        let registry = sink.registry();
+        assert_eq!(registry.counter("chat.frames_sent") as usize, stats.sent);
+        assert_eq!(
+            registry.counter("chat.frames_delivered") as usize,
+            stats.delivered
+        );
+        assert_eq!(
+            registry.counter("chat.frame_holds") as f64,
+            stats.hold_fraction * stats.sent as f64
+        );
+        let loss = registry.gauge("chat.loss_fraction").unwrap();
+        assert!((loss - stats.loss).abs() < 1e-12);
+    }
+
+    #[test]
     fn jitter_widens_percentiles() {
         let calm = measure_channel(
             &source(),
@@ -174,14 +212,5 @@ mod tests {
             jittery.p95_delay - jittery.p50_delay > calm.p95_delay - calm.p50_delay,
             "jitter did not widen the delay spread"
         );
-    }
-
-    #[test]
-    fn quantile_interpolates() {
-        let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(quantile(&v, 0.0), Some(1.0));
-        assert_eq!(quantile(&v, 1.0), Some(4.0));
-        assert_eq!(quantile(&v, 0.5), Some(2.5));
-        assert_eq!(quantile(&[], 0.5), None);
     }
 }

@@ -69,11 +69,8 @@ impl Calibration {
             ));
         }
         scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
-        let pos = self.quantile * (scores.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        let frac = pos - lo as f64;
-        let q = scores[lo] * (1.0 - frac) + scores[hi] * frac;
+        let q = lumen_dsp::stats::quantile(&scores, self.quantile)
+            .expect("scores verified non-empty above");
         Ok((q * self.margin).max(self.min_threshold))
     }
 
@@ -101,7 +98,9 @@ mod tests {
 
     fn features() -> Vec<FeatureVector> {
         let builder = ScenarioBuilder::default();
-        legitimate_features(&builder, 0, 25, 95_000, &Config::default()).unwrap()
+        // The 0.95 quantile of leave-one-out LOF scores is heavy-tailed;
+        // below ~40 samples a single odd clip can dominate it.
+        legitimate_features(&builder, 0, 40, 95_000, &Config::default()).unwrap()
     }
 
     #[test]

@@ -51,13 +51,14 @@ impl Preprocessed {
     }
 }
 
-/// Runs the full chain on one luminance trace with the given peak
-/// prominence (10 for the transmitted signal, 0.5 for the received one).
+/// Runs stages 1–6 (the smoothing chain) on one luminance trace, leaving
+/// `peaks` empty; [`detect_changes`] runs stage 7 separately so the two
+/// phases can be timed as distinct pipeline stages.
 ///
 /// # Errors
 ///
 /// Propagates DSP errors — in practice only for an empty input signal.
-pub fn preprocess(signal: &Signal, min_prominence: f64, config: &Config) -> Result<Preprocessed> {
+pub fn smooth(signal: &Signal, config: &Config) -> Result<Preprocessed> {
     let clip = |w: usize| w.clamp(1, signal.len());
     let filtered = fir::lowpass(signal, config.lowpass_cutoff)?;
     let variance = moving::moving_variance(&filtered, clip(config.variance_window))?;
@@ -69,17 +70,34 @@ pub fn preprocess(signal: &Signal, min_prominence: f64, config: &Config) -> Resu
     // Savitzky-Golay ringing can undershoot; clamp it away so peak
     // prominences are measured against a zero floor.
     let smoothed = averaged.map(|v| v.max(0.0));
-    let peaks = find_peaks(
-        smoothed.samples(),
-        &PeakConfig::new().min_prominence(min_prominence),
-    );
     Ok(Preprocessed {
         filtered,
         variance,
         thresholded,
         smoothed,
-        peaks,
+        peaks: Vec::new(),
     })
+}
+
+/// Stage 7: finds the significant luminance changes on an already-smoothed
+/// trace.
+pub fn detect_changes(pre: &Preprocessed, min_prominence: f64) -> Vec<Peak> {
+    find_peaks(
+        pre.smoothed.samples(),
+        &PeakConfig::new().min_prominence(min_prominence),
+    )
+}
+
+/// Runs the full chain on one luminance trace with the given peak
+/// prominence (10 for the transmitted signal, 0.5 for the received one).
+///
+/// # Errors
+///
+/// Propagates DSP errors — in practice only for an empty input signal.
+pub fn preprocess(signal: &Signal, min_prominence: f64, config: &Config) -> Result<Preprocessed> {
+    let mut pre = smooth(signal, config)?;
+    pre.peaks = detect_changes(&pre, min_prominence);
+    Ok(pre)
 }
 
 /// Preprocesses the transmitted-video luminance (prominence

@@ -13,6 +13,7 @@ use crate::voting::combine_votes;
 use crate::{CoreError, Result};
 use lumen_chat::trace::{ScenarioKind, TracePair};
 use lumen_dsp::Signal;
+use lumen_obs::stage;
 use std::collections::VecDeque;
 
 /// The streaming detector's standing assessment of the remote party.
@@ -47,6 +48,7 @@ pub struct StreamingDetector {
     rx_buffer: Vec<f64>,
     history: VecDeque<bool>,
     clips_done: usize,
+    last_status: SessionStatus,
 }
 
 impl StreamingDetector {
@@ -84,6 +86,7 @@ impl StreamingDetector {
             rx_buffer: Vec::with_capacity(clip_samples),
             history: VecDeque::with_capacity(window),
             clips_done: 0,
+            last_status: SessionStatus::Gathering,
         })
     }
 
@@ -146,10 +149,23 @@ impl StreamingDetector {
         self.history.push_back(detection.accepted);
         let clip_index = self.clips_done;
         self.clips_done += 1;
+        let recorder = self.detector.recorder().clone();
+        let status = {
+            let _stage = recorder.span(stage::VOTE_FUSION);
+            self.status()
+        };
+        recorder.add("stream.clips", 1);
+        if status != self.last_status {
+            recorder.mark(
+                "stream.status",
+                &format!("{:?}->{:?}", self.last_status, status),
+            );
+            self.last_status = status;
+        }
         Ok(Some(ClipVerdict {
             clip_index,
             detection,
-            status: self.status(),
+            status,
         }))
     }
 
@@ -159,6 +175,7 @@ impl StreamingDetector {
         self.tx_buffer.clear();
         self.rx_buffer.clear();
         self.history.clear();
+        self.last_status = SessionStatus::Gathering;
     }
 }
 

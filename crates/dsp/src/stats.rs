@@ -122,6 +122,27 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
     Ok((cov / (sx * sy)).clamp(-1.0, 1.0))
 }
 
+/// Quantile of an **ascending-sorted** slice by linear interpolation
+/// between the two nearest order statistics; `None` for an empty slice.
+/// `q` is clamped to `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(lumen_dsp::stats::quantile(&sorted, 0.5), Some(2.5));
+/// ```
+pub fn quantile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
 /// Median of the samples (averaging the middle pair for even lengths);
 /// `None` for an empty slice.
 pub fn median(data: &[f64]) -> Option<f64> {
@@ -187,6 +208,23 @@ mod tests {
             Err(DspError::LengthMismatch { left: 1, right: 2 })
         ));
         assert!(matches!(pearson(&[], &[]), Err(DspError::EmptySignal)));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(quantile(&v, -1.0), Some(1.0));
+        assert_eq!(quantile(&v, 2.0), Some(4.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_agrees_with_median() {
+        let v = [1.0, 2.0, 5.0, 9.0, 11.0];
+        assert_eq!(quantile(&v, 0.5), median(&v));
     }
 
     #[test]

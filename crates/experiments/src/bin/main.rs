@@ -54,6 +54,10 @@ const IDS: &[(&str, &str)] = &[
     ("roc", "ROC curves and AUC per user and pooled"),
     ("cliplen", "clip-length sensitivity (8-30 s)"),
     ("occlusion", "TAR vs occlusion/burst disturbance intensity"),
+    (
+        "overhead",
+        "Sec. IX analogue: per-stage computation overhead breakdown",
+    ),
 ];
 
 fn run_one(id: &str, json: bool) -> ExpResult<String> {
@@ -92,6 +96,7 @@ fn run_one(id: &str, json: bool) -> ExpResult<String> {
         "roc" => emit!(roc_analysis::run(roc_analysis::RocOpts::default())?),
         "cliplen" => emit!(clip_length::run(clip_length::ClipLengthOpts::default())?),
         "occlusion" => emit!(occlusion::run(occlusion::OcclusionOpts::default())?),
+        "overhead" => emit!(overhead::run(overhead::OverheadOpts::default())?),
         other => Err(format!("unknown experiment id `{other}` (try `list`)").into()),
     }
 }

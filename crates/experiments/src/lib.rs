@@ -28,6 +28,7 @@ pub mod metering;
 pub mod network;
 pub mod occlusion;
 pub mod overall;
+pub mod overhead;
 pub mod panel;
 pub mod pipeline_stages;
 pub mod preproc_ablation;

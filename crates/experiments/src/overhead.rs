@@ -1,0 +1,141 @@
+//! Sec. IX analogue — per-stage computation overhead of the detection
+//! pipeline.
+//!
+//! The paper reports how long each step of the defense takes on a laptop
+//! and a phone (face tracking dominates; the luminance analysis itself is
+//! cheap). This experiment reproduces that breakdown for the simulator's
+//! pipeline: a trained detector runs over a batch of clips with a live
+//! [`lumen_obs`] recorder per worker thread, and the merged registry yields
+//! the per-stage latency table — preprocess, change detection, feature
+//! extraction and LOF scoring under the whole-clip `detect` span.
+
+use crate::runner::parallel_map_instrumented;
+use crate::ExpResult;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_chat::trace::TracePair;
+use lumen_core::detector::Detector;
+use lumen_core::Config;
+use lumen_obs::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// Options for the overhead experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadOpts {
+    /// Volunteer whose clips are processed.
+    pub user: usize,
+    /// Training clips for the detector.
+    pub train_clips: usize,
+    /// Clips detected under instrumentation (half legitimate, half attack).
+    pub detect_clips: usize,
+}
+
+impl Default for OverheadOpts {
+    fn default() -> Self {
+        OverheadOpts {
+            user: 0,
+            train_clips: 15,
+            detect_clips: 30,
+        }
+    }
+}
+
+/// The overhead-breakdown result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadResult {
+    /// Clips processed under instrumentation.
+    pub clips: usize,
+    /// Aggregated observability snapshot: per-stage latency distributions,
+    /// verdict counters and feature-value histograms.
+    pub snapshot: Snapshot,
+}
+
+impl OverheadResult {
+    /// Renders the per-stage latency table and pipeline counters.
+    pub fn print(&self) -> String {
+        let mut out = format!(
+            "## Sec. IX — per-stage computation overhead ({} clips)\n",
+            self.clips
+        );
+        out.push_str(&lumen_obs::report::render_text(&self.snapshot));
+        out
+    }
+}
+
+/// Runs the overhead experiment.
+///
+/// # Errors
+///
+/// Propagates simulation, training and detection errors.
+pub fn run(opts: OverheadOpts) -> ExpResult<OverheadResult> {
+    let builder = ScenarioBuilder::default();
+    let training: Vec<TracePair> = (0..opts.train_clips)
+        .map(|i| builder.legitimate(opts.user, 700_000 + i as u64))
+        .collect::<Result<_, _>>()?;
+    let detector = Detector::train_from_traces(&training, Config::default())?;
+
+    let pairs: Vec<TracePair> = (0..opts.detect_clips)
+        .map(|i| {
+            if i % 2 == 0 {
+                builder.legitimate(opts.user, 710_000 + i as u64)
+            } else {
+                builder.reenactment(opts.user, 720_000 + i as u64)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let (_verdicts, registry) = parallel_map_instrumented(pairs, |pair, recorder| {
+        // The worker's recorder attaches per clip; the clone happens outside
+        // any span so it never pollutes the measured stage latencies.
+        let instrumented = detector.clone().with_recorder(recorder.clone());
+        Ok(instrumented.detect(pair)?)
+    })?;
+    Ok(OverheadResult {
+        clips: opts.detect_clips,
+        snapshot: registry.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_obs::stage;
+
+    #[test]
+    fn overhead_breaks_down_every_stage() {
+        let r = run(OverheadOpts {
+            user: 0,
+            train_clips: 10,
+            detect_clips: 6,
+        })
+        .unwrap();
+        assert_eq!(r.clips, 6);
+        // Every batch pipeline stage appears with one span per clip.
+        for name in [
+            stage::DETECT,
+            stage::PREPROCESS,
+            stage::CHANGE_DETECTION,
+            stage::FEATURE_EXTRACTION,
+            stage::LOF_SCORING,
+        ] {
+            let row = r
+                .snapshot
+                .spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing stage {name}"));
+            assert_eq!(row.count, 6, "stage {name}");
+            assert!(row.total_ms >= 0.0);
+        }
+        // Verdict counters cover every clip.
+        let accepted: u64 = r
+            .snapshot
+            .counters
+            .iter()
+            .filter(|c| c.name == "detector.accepted" || c.name == "detector.rejected")
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(accepted, 6);
+        let table = r.print();
+        assert!(table.contains("Stage latency"));
+        assert!(table.contains(stage::LOF_SCORING));
+    }
+}

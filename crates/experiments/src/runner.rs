@@ -8,6 +8,7 @@ use lumen_core::detector::Detector;
 use lumen_core::features::FeatureVector;
 use lumen_core::metrics::Confusion;
 use lumen_core::Config;
+use lumen_obs::{Recorder, Registry};
 
 /// Maps `f` over `items` on scoped worker threads with dynamic load
 /// balancing (a crossbeam work queue), preserving input order in the
@@ -61,6 +62,69 @@ where
         .into_iter()
         .map(|s| s.expect("every task completed"))
         .collect()
+}
+
+/// [`parallel_map`] with per-worker observability: every worker thread owns
+/// a private in-memory [`Recorder`] handed to each `f` invocation, and the
+/// per-worker registries are merged into one aggregate after the scope
+/// joins — counters sum, span/value histograms pool their observations.
+///
+/// # Errors
+///
+/// Propagates the first error any worker produced (the merged registry is
+/// discarded in that case).
+pub fn parallel_map_instrumented<T, R, F>(items: Vec<T>, f: F) -> ExpResult<(Vec<R>, Registry)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &Recorder) -> ExpResult<R> + Sync,
+{
+    if items.is_empty() {
+        return Ok((Vec::new(), Registry::new()));
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, &T)>();
+    for task in items.iter().enumerate() {
+        task_tx.send(task).expect("queue is open");
+    }
+    drop(task_tx);
+
+    type WorkerOutput<R> = (Vec<(usize, ExpResult<R>)>, Registry);
+    let mut slots: Vec<Option<ExpResult<R>>> = (0..items.len()).map(|_| None).collect();
+    let mut registry = Registry::new();
+    let done: Vec<WorkerOutput<R>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let (recorder, sink) = Recorder::in_memory();
+                let mut out = Vec::new();
+                while let Ok((idx, item)) = task_rx.recv() {
+                    out.push((idx, f(item, &recorder)));
+                }
+                (out, sink.registry())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
+    for (chunk, worker_registry) in done {
+        registry.merge(&worker_registry);
+        for (idx, r) in chunk {
+            slots[idx] = Some(r);
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("every task completed"))
+        .collect::<ExpResult<Vec<R>>>()?;
+    Ok((results, registry))
 }
 
 /// Legitimate + attack feature sets for one volunteer (`clips` of each),
@@ -150,6 +214,36 @@ mod tests {
         let items: Vec<u64> = (0..37).collect();
         let out = parallel_map(items.clone(), |&x| Ok(x * 2)).unwrap();
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn instrumented_map_merges_worker_registries() {
+        let items: Vec<u64> = (0..25).collect();
+        let (out, registry) = parallel_map_instrumented(items.clone(), |&x, recorder| {
+            recorder.add("work.items", 1);
+            recorder.observe("work.value", x as f64);
+            Ok(x * 2)
+        })
+        .unwrap();
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(registry.counter("work.items"), 25);
+        assert_eq!(registry.histogram("work.value").unwrap().count(), 25);
+    }
+
+    #[test]
+    fn instrumented_map_propagates_errors() {
+        let items: Vec<u64> = (0..10).collect();
+        let out = parallel_map_instrumented(
+            items,
+            |&x, _| {
+                if x == 7 {
+                    Err("boom".into())
+                } else {
+                    Ok(x)
+                }
+            },
+        );
+        assert!(out.is_err());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! The structured event model every sink consumes.
+//!
+//! Events are designed for two different readers at once: the
+//! [`InMemorySink`](crate::sink::InMemorySink) folds them into an aggregated
+//! [`Registry`](crate::registry::Registry), while the
+//! [`JsonlSink`](crate::sink::JsonlSink) writes each one as a line of JSON
+//! for offline analysis. Every field except [`Event::duration_ns`] is a
+//! deterministic function of the instrumented code path, so two runs of the
+//! same seeded scenario produce identical [`Event::stable`] streams.
+
+use serde::{Deserialize, Serialize};
+
+/// What an [`Event`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A span opened; `parent` and `depth` locate it in the hierarchy.
+    SpanStart,
+    /// A span closed; `duration_ns` carries the measured wall time.
+    SpanEnd,
+    /// A counter increment; `value` is the delta.
+    CounterAdd,
+    /// A gauge update; `value` is the new level.
+    GaugeSet,
+    /// A histogram observation; `value` is the sample.
+    Observe,
+    /// A free-form annotation; `detail` carries the payload.
+    Mark,
+}
+
+/// One observability event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotone per-recorder sequence number (emission order).
+    pub seq: u64,
+    /// Event discriminator.
+    pub kind: EventKind,
+    /// Metric, span or annotation name.
+    pub name: String,
+    /// Name of the enclosing span on this thread, if any.
+    pub parent: Option<String>,
+    /// Span-stack depth at emission time (0 = no enclosing span).
+    pub depth: u64,
+    /// Numeric payload: counter delta, gauge level or observed sample.
+    pub value: Option<f64>,
+    /// Measured span duration in nanoseconds (`SpanEnd` only). This is the
+    /// only field that varies between runs of the same seeded scenario.
+    pub duration_ns: Option<u64>,
+    /// Free-form annotation payload (`Mark` only).
+    pub detail: Option<String>,
+}
+
+impl Event {
+    /// The event with its wall-clock measurement removed. Two runs of the
+    /// same seeded scenario produce identical `stable` streams even though
+    /// the measured durations differ.
+    pub fn stable(&self) -> Event {
+        Event {
+            duration_ns: None,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            seq: 7,
+            kind: EventKind::SpanEnd,
+            name: "preprocess".to_string(),
+            parent: Some("detect".to_string()),
+            depth: 1,
+            value: None,
+            duration_ns: Some(12_345),
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn stable_strips_only_the_duration() {
+        let e = sample();
+        let s = e.stable();
+        assert_eq!(s.duration_ns, None);
+        assert_eq!(s.seq, e.seq);
+        assert_eq!(s.name, e.name);
+        assert_eq!(s.parent, e.parent);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let e = sample();
+        let text = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn kind_serializes_as_its_variant_name() {
+        let text = serde_json::to_string(&EventKind::CounterAdd).unwrap();
+        assert_eq!(text, "\"CounterAdd\"");
+    }
+}

@@ -1,0 +1,73 @@
+//! Observability for the Lumen pipeline: hierarchical timing spans,
+//! counters, gauges, fixed-bucket histograms and pluggable event sinks.
+//!
+//! The paper's evaluation (Sec. IX) reports per-stage computation overhead;
+//! this crate is the instrumentation layer that lets the reproduction
+//! measure the same breakdown. A [`Recorder`] is a cheap cloneable handle
+//! that instrumented code (the detector, the chat transport, the video
+//! synthesizer) emits [`Event`]s through; where they go is decided by the
+//! [`Sink`] behind it:
+//!
+//! * [`NullSink`] / [`Recorder::null`] — the default: emission
+//!   short-circuits before any event is assembled;
+//! * [`InMemorySink`] — buffers events and aggregates them into a
+//!   [`Registry`] / [`Snapshot`];
+//! * [`JsonlSink`] — one JSON object per event, newline-delimited, for
+//!   offline analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use lumen_obs::{report, Recorder};
+//!
+//! let (recorder, sink) = Recorder::in_memory();
+//! {
+//!     let _clip = recorder.span("detect");
+//!     let _stage = recorder.span(lumen_obs::stage::PREPROCESS);
+//!     recorder.add("clips", 1);
+//! }
+//! let snapshot = sink.snapshot();
+//! assert_eq!(snapshot.spans.len(), 2);
+//! println!("{}", report::render_text(&snapshot));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod recorder;
+pub mod registry;
+pub mod report;
+pub mod sink;
+
+pub use event::{Event, EventKind};
+pub use recorder::{Recorder, SpanGuard};
+pub use registry::{Histogram, Registry, Snapshot};
+pub use sink::{InMemorySink, JsonlSink, NullSink, Sink};
+
+/// Canonical span names for the detection pipeline stages, so every layer
+/// and every report agrees on spelling.
+pub mod stage {
+    /// The whole frame-to-verdict detection of one clip.
+    pub const DETECT: &str = "detect";
+    /// Smoothing chain (low-pass through moving average) on both traces.
+    pub const PREPROCESS: &str = "preprocess";
+    /// Significant-luminance-change (peak) detection on both traces.
+    pub const CHANGE_DETECTION: &str = "change_detection";
+    /// Behaviour/trend feature extraction (z1–z4).
+    pub const FEATURE_EXTRACTION: &str = "feature_extraction";
+    /// LOF scoring of the feature vector.
+    pub const LOF_SCORING: &str = "lof_scoring";
+    /// Majority-vote fusion over the recent clip verdicts.
+    pub const VOTE_FUSION: &str = "vote_fusion";
+
+    /// The four stages nested under [`DETECT`] plus the fusion stage, in
+    /// pipeline order.
+    pub const PIPELINE: [&str; 5] = [
+        PREPROCESS,
+        CHANGE_DETECTION,
+        FEATURE_EXTRACTION,
+        LOF_SCORING,
+        VOTE_FUSION,
+    ];
+}

@@ -1,0 +1,477 @@
+//! Aggregation: fixed-bucket histograms, the event-folding [`Registry`]
+//! and its serializable [`Snapshot`].
+
+use crate::event::{Event, EventKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default bucket upper bounds for span durations, in nanoseconds
+/// (1 µs … 10 s, roughly log-spaced).
+pub const DURATION_BOUNDS_NS: [f64; 9] = [1e3, 1e4, 1e5, 1e6, 5e6, 1e7, 1e8, 1e9, 1e10];
+
+/// Default bucket upper bounds for generic value observations (LOF scores,
+/// feature values, delays in seconds — all live comfortably in this range).
+pub const VALUE_BOUNDS: [f64; 8] = [0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0];
+
+/// A fixed-bucket histogram that also retains its raw observations, so the
+/// bucket counts sketch the distribution while quantile readout stays exact
+/// (via [`lumen_dsp::stats::quantile`]). Intended for bounded experiment
+/// runs, not unbounded production streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    bucket_counts: Vec<u64>,
+    overflow: u64,
+    values: Vec<f64>,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    /// Samples above the last bound land in the overflow bucket.
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            bucket_counts: vec![0; bounds.len()],
+            overflow: 0,
+            values: Vec::new(),
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.bucket_counts[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.values.push(value);
+        self.sum += value;
+    }
+
+    /// Folds another histogram into this one. The other histogram's raw
+    /// observations are re-bucketed, so differing bounds merge correctly.
+    pub fn merge(&mut self, other: &Histogram) {
+        for &v in &other.values {
+            self.observe(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.sum / self.values.len() as f64
+        }
+    }
+
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Exact quantile of the recorded samples (linear interpolation between
+    /// order statistics); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+        lumen_dsp::stats::quantile(&sorted, q)
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket sample counts (aligned with [`Histogram::bounds`]).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.bucket_counts
+    }
+
+    /// Samples above the last bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+}
+
+/// Aggregated view of an event stream: counters, gauges, value histograms
+/// and per-span duration histograms. Registries from different workers
+/// [`merge`](Registry::merge) into one, which is how the experiment runner
+/// combines per-worker instrumentation.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Folds one event into the aggregates. `SpanStart` and `Mark` carry no
+    /// aggregate payload; marks are tallied as counters under their name.
+    pub fn absorb(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::CounterAdd => {
+                *self.counters.entry(event.name.clone()).or_insert(0) +=
+                    event.value.unwrap_or(0.0).max(0.0) as u64;
+            }
+            EventKind::GaugeSet => {
+                self.gauges
+                    .insert(event.name.clone(), event.value.unwrap_or(0.0));
+            }
+            EventKind::Observe => {
+                self.histograms
+                    .entry(event.name.clone())
+                    .or_insert_with(|| Histogram::new(&VALUE_BOUNDS))
+                    .observe(event.value.unwrap_or(0.0));
+            }
+            EventKind::SpanEnd => {
+                if let Some(ns) = event.duration_ns {
+                    self.spans
+                        .entry(event.name.clone())
+                        .or_insert_with(|| Histogram::new(&DURATION_BOUNDS_NS))
+                        .observe(ns as f64);
+                }
+            }
+            EventKind::Mark => {
+                *self.counters.entry(event.name.clone()).or_insert(0) += 1;
+            }
+            EventKind::SpanStart => {}
+        }
+    }
+
+    /// Builds a registry by folding a whole event stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut r = Registry::new();
+        for e in events {
+            r.absorb(e);
+        }
+        r
+    }
+
+    /// Folds another registry into this one: counters add, gauges take the
+    /// other's level (last writer wins), histograms and span stats merge
+    /// sample by sample.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(|| Histogram::new(h.bounds()))
+                .merge(h);
+        }
+        for (name, h) in &other.spans {
+            self.spans
+                .entry(name.clone())
+                .or_insert_with(|| Histogram::new(&DURATION_BOUNDS_NS))
+                .merge(h);
+        }
+    }
+
+    /// Counter level by name.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge level by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Value histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Span-duration histogram (nanoseconds) by name.
+    pub fn span_durations(&self, name: &str) -> Option<&Histogram> {
+        self.spans.get(name)
+    }
+
+    /// Freezes the registry into a serializable snapshot, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        const MS: f64 = 1e-6; // nanoseconds -> milliseconds
+        let spans = self
+            .spans
+            .iter()
+            .map(|(name, h)| SpanRow {
+                name: name.clone(),
+                count: h.count(),
+                total_ms: h.sum() * MS,
+                mean_ms: h.mean() * MS,
+                p50_ms: h.quantile(0.5).unwrap_or(0.0) * MS,
+                p95_ms: h.quantile(0.95).unwrap_or(0.0) * MS,
+                max_ms: h.max().unwrap_or(0.0) * MS,
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| CounterRow {
+                name: name.clone(),
+                value: *v,
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, v)| GaugeRow {
+                name: name.clone(),
+                value: *v,
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramRow {
+                name: name.clone(),
+                count: h.count(),
+                mean: h.mean(),
+                min: h.min().unwrap_or(0.0),
+                max: h.max().unwrap_or(0.0),
+                p50: h.quantile(0.5).unwrap_or(0.0),
+                p95: h.quantile(0.95).unwrap_or(0.0),
+                buckets: h
+                    .bounds()
+                    .iter()
+                    .zip(h.bucket_counts())
+                    .map(|(&le, &count)| BucketRow { le, count })
+                    .collect(),
+                overflow: h.overflow(),
+            })
+            .collect();
+        Snapshot {
+            spans,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Aggregated timing of one span name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRow {
+    /// Span (stage) name.
+    pub name: String,
+    /// Completed span count.
+    pub count: u64,
+    /// Total time spent, milliseconds.
+    pub total_ms: f64,
+    /// Mean duration, milliseconds.
+    pub mean_ms: f64,
+    /// Median duration, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile duration, milliseconds.
+    pub p95_ms: f64,
+    /// Worst duration, milliseconds.
+    pub max_ms: f64,
+}
+
+/// One counter level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterRow {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated count.
+    pub value: u64,
+}
+
+/// One gauge level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeRow {
+    /// Gauge name.
+    pub name: String,
+    /// Last recorded level.
+    pub value: f64,
+}
+
+/// One histogram bucket: samples `<= le`, cumulative with lower buckets
+/// excluded (plain per-bucket counts, not Prometheus-style cumulative).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketRow {
+    /// Bucket upper bound (inclusive).
+    pub le: f64,
+    /// Samples in this bucket.
+    pub count: u64,
+}
+
+/// Aggregated distribution of one observed value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramRow {
+    /// Metric name.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median sample.
+    pub p50: f64,
+    /// 95th-percentile sample.
+    pub p95: f64,
+    /// Fixed buckets.
+    pub buckets: Vec<BucketRow>,
+    /// Samples above the last bucket bound.
+    pub overflow: u64,
+}
+
+/// A frozen, serializable view of a [`Registry`]. Rows are sorted by name,
+/// so snapshots of equal registries compare equal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Per-span timing rows.
+    pub spans: Vec<SpanRow>,
+    /// Counter rows.
+    pub counters: Vec<CounterRow>,
+    /// Gauge rows.
+    pub gauges: Vec<GaugeRow>,
+    /// Histogram rows.
+    pub histograms: Vec<HistogramRow>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_event(name: &str, delta: f64) -> Event {
+        Event {
+            seq: 0,
+            kind: EventKind::CounterAdd,
+            name: name.to_string(),
+            parent: None,
+            depth: 0,
+            value: Some(delta),
+            duration_ns: None,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_exact() {
+        let mut h = Histogram::new(&VALUE_BOUNDS);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.5), Some(2.5));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(4.0));
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.bucket_counts(), &[1, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn histogram_merge_rebuckets() {
+        let mut a = Histogram::new(&[1.0, 10.0]);
+        a.observe(0.5);
+        let mut b = Histogram::new(&[100.0]);
+        b.observe(5.0);
+        b.observe(50.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts(), &[1, 1]);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    fn registry_counter_merge_adds() {
+        let mut a =
+            Registry::from_events(&[counter_event("frames", 3.0), counter_event("frames", 2.0)]);
+        let b = Registry::from_events(&[counter_event("frames", 5.0), counter_event("drops", 1.0)]);
+        a.merge(&b);
+        assert_eq!(a.counter("frames"), 10);
+        assert_eq!(a.counter("drops"), 1);
+        assert_eq!(a.counter("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_round_trips() {
+        let mut r = Registry::new();
+        r.absorb(&counter_event("zeta", 1.0));
+        r.absorb(&counter_event("alpha", 2.0));
+        r.absorb(&Event {
+            seq: 1,
+            kind: EventKind::SpanEnd,
+            name: "detect".to_string(),
+            parent: None,
+            depth: 0,
+            value: None,
+            duration_ns: Some(2_000_000),
+            detail: None,
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].name, "alpha");
+        assert_eq!(snap.counters[1].name, "zeta");
+        assert_eq!(snap.spans.len(), 1);
+        assert!((snap.spans[0].total_ms - 2.0).abs() < 1e-9);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn marks_count_as_counters() {
+        let mut r = Registry::new();
+        r.absorb(&Event {
+            seq: 0,
+            kind: EventKind::Mark,
+            name: "stream.status".to_string(),
+            parent: None,
+            depth: 0,
+            value: None,
+            duration_ns: None,
+            detail: Some("Gathering->Trusted".to_string()),
+        });
+        assert_eq!(r.counter("stream.status"), 1);
+    }
+}

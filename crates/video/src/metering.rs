@@ -275,10 +275,30 @@ impl SpotMeteredCamera {
 ///
 /// Propagates [`SpotMeteredCamera::film`] errors.
 pub fn spot_metered_video(seed: u64, duration: f64, sample_rate: f64) -> Result<Signal> {
+    spot_metered_video_with(seed, duration, sample_rate, &lumen_obs::Recorder::null())
+}
+
+/// [`spot_metered_video`] with live observability: filming runs under a
+/// `video.film` span, and the generated tap count and produced frame count
+/// land on the `video.metering_taps` / `video.frames_filmed` counters.
+///
+/// # Errors
+///
+/// Propagates [`SpotMeteredCamera::film`] errors.
+pub fn spot_metered_video_with(
+    seed: u64,
+    duration: f64,
+    sample_rate: f64,
+    recorder: &lumen_obs::Recorder,
+) -> Result<Signal> {
+    let _span = recorder.span("video.film");
     let camera = SpotMeteredCamera::new(Scene::home_office());
     let mut rng = substream(seed, 80);
     let taps = camera.natural_taps(&mut rng, duration, 4.5, 8.5);
-    camera.film(&taps, duration, sample_rate)
+    recorder.add("video.metering_taps", taps.len() as u64);
+    let video = camera.film(&taps, duration, sample_rate)?;
+    recorder.add("video.frames_filmed", video.len() as u64);
+    Ok(video)
 }
 
 #[cfg(test)]
@@ -400,6 +420,18 @@ mod tests {
         // The video must show a substantial dynamic range (metering works).
         let range = a.max().unwrap() - a.min().unwrap();
         assert!(range > 50.0, "range {range}");
+    }
+
+    #[test]
+    fn instrumented_filming_counts_taps_and_frames() {
+        let (rec, sink) = lumen_obs::Recorder::in_memory();
+        let plain = spot_metered_video(5, 15.0, 10.0).unwrap();
+        let traced = spot_metered_video_with(5, 15.0, 10.0, &rec).unwrap();
+        assert_eq!(plain, traced);
+        let registry = sink.registry();
+        assert_eq!(registry.counter("video.frames_filmed"), 150);
+        assert!(registry.counter("video.metering_taps") >= 1);
+        assert_eq!(registry.span_durations("video.film").unwrap().count(), 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::reflection::face_radiance;
 use crate::screen::Screen;
 use crate::{Result, VideoError};
 use lumen_dsp::Signal;
+use lumen_obs::Recorder;
 
 /// Physical configuration of the callee's side.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -84,6 +85,24 @@ impl ReflectionSynth {
     /// Returns [`VideoError::Dsp`] wrapping an empty-signal error when `tx`
     /// is empty.
     pub fn synthesize(&self, tx: &Signal, profile: &UserProfile, seed: u64) -> Result<Signal> {
+        self.synthesize_with(tx, profile, seed, &Recorder::null())
+    }
+
+    /// [`synthesize`](Self::synthesize) with live observability: the whole
+    /// optics chain runs under a `video.synthesize` span and the number of
+    /// produced frames lands on the `video.frames_synthesized` counter.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`synthesize`](Self::synthesize).
+    pub fn synthesize_with(
+        &self,
+        tx: &Signal,
+        profile: &UserProfile,
+        seed: u64,
+        recorder: &Recorder,
+    ) -> Result<Signal> {
+        let _span = recorder.span("video.synthesize");
         if tx.is_empty() {
             return Err(VideoError::from(lumen_dsp::DspError::EmptySignal));
         }
@@ -128,6 +147,7 @@ impl ReflectionSynth {
                 (pixel + disturbance).clamp(0.0, 255.0)
             })
             .collect();
+        recorder.add("video.frames_synthesized", samples.len() as u64);
         Ok(Signal::new(samples, tx.sample_rate())?)
     }
 }
@@ -234,6 +254,27 @@ mod tests {
         let normal = mk(AmbientLight::normal_indoor());
         let bright = mk(AmbientLight::bright_indoor());
         assert!(dim > normal && normal > bright, "{dim} {normal} {bright}");
+    }
+
+    #[test]
+    fn instrumented_synthesis_counts_frames() {
+        let (rec, sink) = lumen_obs::Recorder::in_memory();
+        let synth = ReflectionSynth::default();
+        let tx = tx_square();
+        let user = UserProfile::preset(0);
+        let plain = synth.synthesize(&tx, &user, 77).unwrap();
+        let traced = synth.synthesize_with(&tx, &user, 77, &rec).unwrap();
+        // Instrumentation must not perturb the synthesis itself.
+        assert_eq!(plain, traced);
+        let registry = sink.registry();
+        assert_eq!(
+            registry.counter("video.frames_synthesized"),
+            tx.len() as u64
+        );
+        assert_eq!(
+            registry.span_durations("video.synthesize").unwrap().count(),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Offline shim of the [`bytes` 1.x](https://docs.rs/bytes/1) API surface
+//! used by the Lumen workspace: [`Bytes`], [`BytesMut`], and the
+//! big-endian getters/putters from the [`Buf`]/[`BufMut`] traits.
+//!
+//! [`Bytes`] here is an `Arc<[u8]>` plus a cursor window rather than the
+//! upstream refcounted vtable design; semantics (cheap clones, advancing
+//! reads, panics on underflow) match the subset exercised by the wire
+//! codec and its property tests.
+
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, read-only byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::from_static(&[])
+    }
+
+    /// Creates a buffer borrowing a static slice (copied here; upstream
+    /// keeps the borrow, which is unobservable for this workspace).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// The number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: data.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A growable byte buffer for building wire messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read access to a byte buffer, advancing an internal cursor.
+pub trait Buf {
+    /// The number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Returns the next `N` bytes and advances past them.
+    ///
+    /// Panics when fewer than `N` bytes remain, as upstream does.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array::<8>())
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_array::<8>())
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array::<4>())
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow: {} < {N}", self.len());
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.start..self.start + N]);
+        self.start += N;
+        out
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(24);
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_f64(-2.5);
+        buf.put_u32(7);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 20);
+        assert_eq!(b.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(b.get_f64(), -2.5);
+        assert_eq!(b.get_u32(), 7);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clones_are_independent_cursors() {
+        let mut a = Bytes::from(vec![0, 0, 0, 0, 0, 0, 0, 9]);
+        let mut b = a.clone();
+        assert_eq!(a.get_u64(), 9);
+        assert_eq!(b.get_u64(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.get_u64();
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline shim of the `criterion` API surface used by the Lumen
+//! benches: [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of upstream's statistical engine this shim runs a short
+//! warm-up, then measures batches of iterations for a fixed measurement
+//! window and reports the per-iteration mean and best-batch time. That is
+//! enough for the workspace's relative comparisons (e.g. the
+//! instrumentation-overhead bench) while building with zero dependencies.
+//! All command-line arguments cargo passes to bench binaries (`--bench`,
+//! filters, `--quick`, ...) are accepted; a bare name filter restricts
+//! which benchmarks run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark context handed to each registered bench function.
+pub struct Criterion {
+    filter: Option<String>,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor a name filter passed on the command line (cargo bench
+        // forwards trailing args; flags are ignored).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+        Criterion {
+            filter,
+            warm_up: Duration::from_millis(if quick { 10 } else { 100 }),
+            measurement: Duration::from_millis(if quick { 30 } else { 300 }),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark under `id` unless filtered out.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: Vec::new(),
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&name);
+        self
+    }
+}
+
+/// Times a closure over many iterations.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Per-batch (iterations, elapsed) samples.
+    samples: Vec<(u64, Duration)>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing its result from being optimized out.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up window elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+
+        // Size batches to roughly 1/50 of the measurement window each.
+        let batch = (self.measurement.as_nanos() / 50 / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((batch, t0.elapsed()));
+            self.iters += batch;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (not measured)");
+            return;
+        }
+        let total: Duration = self.samples.iter().map(|(_, d)| *d).sum();
+        let mean_ns = total.as_nanos() as f64 / self.iters as f64;
+        let best_ns = self
+            .samples
+            .iter()
+            .map(|(n, d)| d.as_nanos() as f64 / *n as f64)
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{name:<40} mean {:>12}  best {:>12}  ({} iters)",
+            format_ns(mean_ns),
+            format_ns(best_ns),
+            self.iters
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export so benches may use `criterion::black_box` as upstream allows.
+pub use std::hint::black_box;
+
+/// Groups benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            filter: None,
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline shim of the `parking_lot` API surface used by the Lumen
+//! workspace: [`Mutex`] and [`RwLock`] with non-poisoning `lock()` /
+//! `read()` / `write()` signatures.
+//!
+//! Backed by `std::sync` primitives; a poisoned std lock (a panic while
+//! held) is unwrapped into the inner guard, matching parking_lot's
+//! "no poisoning" contract closely enough for this workspace, where locks
+//! are never held across panicking code.
+
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a mutable reference without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A reader-writer lock whose `read()`/`write()` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a mutable reference without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_mutation() {
+        let m = Mutex::new(0u32);
+        *m.lock() += 5;
+        assert_eq!(*m.lock(), 5);
+        assert_eq!(m.into_inner(), 5);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_reads() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(a.len() + b.len(), 6);
+        drop((a, b));
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+}

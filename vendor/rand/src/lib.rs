@@ -1,0 +1,311 @@
+//! Offline shim of the [`rand` 0.8](https://docs.rs/rand/0.8) API surface
+//! used by the Lumen workspace.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal, self-contained implementation of exactly the APIs it calls:
+//! [`RngCore`], [`SeedableRng`] (with the SplitMix64-based
+//! `seed_from_u64`), the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`), the [`distributions::Standard`] distribution for `f64`,
+//! `f32`, `bool` and the integer types, and [`seq::SliceRandom`]
+//! (`shuffle`, `choose`).
+//!
+//! Semantics match rand 0.8 where they are observable (e.g. `gen::<f64>()`
+//! draws 53 random mantissa bits into `[0, 1)`); the exact output streams
+//! of `gen_range` differ from upstream (upstream uses widening-multiply
+//! rejection sampling, this shim uses a single widening multiply), which is
+//! fine for the workspace: every consumer treats the RNG as an arbitrary
+//! deterministic noise source.
+
+/// A random number generator core: a source of uniformly random words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 the
+    /// same way rand_core 0.6 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 (identical to rand_core's seed_from_u64 expansion).
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! The subset of `rand::distributions` the workspace relies on.
+
+    use crate::RngCore;
+
+    /// A distribution of values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value from the distribution.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform over a type's natural range
+    /// (`[0, 1)` for floats, the full range for integers, fair for bools).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits, exactly as rand 0.8's Standard.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            // Top bit of a fresh word (any single bit is fair).
+            rng.next_u32() & (1 << 31) != 0
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types `Rng::gen_range` can sample uniformly.
+    ///
+    /// Mirrors upstream's `SampleUniform` so that `SampleRange` can be a
+    /// single blanket impl over `Range<T>`/`RangeInclusive<T>` — that
+    /// shape is what lets type inference resolve unsuffixed literals like
+    /// `rng.gen_range(0.15..0.35)`.
+    pub trait SampleUniform: Sized {
+        /// Draws uniformly from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: f64,
+            hi: f64,
+            _inclusive: bool,
+            rng: &mut R,
+        ) -> f64 {
+            let u: f64 = Standard.sample(rng);
+            lo + (hi - lo) * u
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_between<R: RngCore + ?Sized>(
+            lo: f32,
+            hi: f32,
+            _inclusive: bool,
+            rng: &mut R,
+        ) -> f32 {
+            let u: f32 = Standard.sample(rng);
+            lo + (hi - lo) * u
+        }
+    }
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    lo: $t,
+                    hi: $t,
+                    inclusive: bool,
+                    rng: &mut R,
+                ) -> $t {
+                    let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                    let v = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                    (lo as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Ranges that `Rng::gen_range` accepts.
+    pub trait SampleRange<T> {
+        /// Draws a uniform value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "gen_range: empty range");
+            T::sample_between(lo, hi, true, rng)
+        }
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value via the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Draws a uniform value from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not a probability");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    //! Sequence-related randomness: the `SliceRandom` subset.
+
+    use crate::{Rng, RngCore};
+
+    /// Extension trait for random slice operations.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Standard};
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = Standard.sample(&mut rng);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..9);
+            assert!((5..9).contains(&v));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = Counter(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,387 @@
+//! Offline shim of the `serde` API surface used by the Lumen workspace.
+//!
+//! The real serde is a zero-copy visitor framework; this shim is a simple
+//! value tree: [`Serialize`] renders a type into a [`Value`], and
+//! [`Deserialize`] reconstructs a type from a borrowed [`Value`]. The
+//! companion `serde_json` shim converts between [`Value`] and JSON text.
+//! Object fields keep insertion order, so serialized output is
+//! deterministic for a given type definition.
+//!
+//! With the `derive` feature the vendored `serde_derive` proc macros are
+//! re-exported, covering named-field structs and unit-variant enums — the
+//! only shapes derived in this workspace.
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; entries keep insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept in its narrowest faithful representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+/// A (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Value {
+    /// Looks up an object field by name.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Err(Error(format!(
+                "expected an object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up an array element by position.
+    pub fn index(&self, idx: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Array(items) => items
+                .get(idx)
+                .ok_or_else(|| Error(format!("missing array element {idx}"))),
+            other => Err(Error(format!("expected an array, found {}", other.kind()))),
+        }
+    }
+
+    /// Extracts a string slice.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(Error(format!("expected a string, found {}", other.kind()))),
+        }
+    }
+
+    /// Extracts an `f64`, accepting any numeric representation.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Number(Number::F64(x)) => Ok(*x),
+            Value::Number(Number::I64(x)) => Ok(*x as f64),
+            Value::Number(Number::U64(x)) => Ok(*x as f64),
+            // Non-finite floats serialize as null (JSON has no NaN/Inf).
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error(format!("expected a number, found {}", other.kind()))),
+        }
+    }
+
+    /// Extracts an `i64` from any losslessly convertible number.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::Number(Number::I64(x)) => Ok(*x),
+            Value::Number(Number::U64(x)) => {
+                i64::try_from(*x).map_err(|_| Error(format!("integer {x} out of range for i64")))
+            }
+            other => Err(Error(format!(
+                "expected an integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts a `u64` from any losslessly convertible number.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::Number(Number::U64(x)) => Ok(*x),
+            Value::Number(Number::I64(x)) => {
+                u64::try_from(*x).map_err(|_| Error(format!("integer {x} out of range for u64")))
+            }
+            other => Err(Error(format!(
+                "expected an integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts a boolean.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected a bool, found {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Renders `self` into a [`Value`].
+pub trait Serialize {
+    /// Converts to the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Converts from the value tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64().map(|x| x as f32)
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::I64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let x = v.as_i64()?;
+                <$t>::try_from(x)
+                    .map_err(|_| Error(format!("integer {x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let x = *self as u64;
+                match i64::try_from(x) {
+                    Ok(i) => Value::Number(Number::I64(i)),
+                    Err(_) => Value::Number(Number::U64(x)),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let x = v.as_u64()?;
+                <$t>::try_from(x)
+                    .map_err(|_| Error(format!("integer {x} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error(format!("expected an array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok((A::deserialize(v.index(0)?)?, B::deserialize(v.index(1)?)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok((
+            A::deserialize(v.index(0)?)?,
+            B::deserialize(v.index(1)?)?,
+            C::deserialize(v.index(2)?)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(usize::deserialize(&7usize.serialize()).unwrap(), 7);
+        assert_eq!(i32::deserialize(&(-3i32).serialize()).unwrap(), -3);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".serialize()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn round_trip_containers() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        let back: Vec<(usize, f64)> = Deserialize::deserialize(&v.serialize()).unwrap();
+        assert_eq!(back, v);
+
+        let opt: Option<f64> = None;
+        assert_eq!(<Option<f64>>::deserialize(&opt.serialize()).unwrap(), None);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let obj = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(obj.field("a").is_ok());
+        assert!(obj.field("b").is_err());
+    }
+}

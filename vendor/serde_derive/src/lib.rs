@@ -1,0 +1,319 @@
+//! Offline shim of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the vendored value-based `serde`.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). Supported shapes — which cover every
+//! derived type in this workspace:
+//!
+//! * structs with named fields → JSON objects (field order preserved);
+//! * tuple structs → JSON arrays;
+//! * unit structs → JSON null;
+//! * enums whose variants are all unit variants → JSON strings.
+//!
+//! Generic types and data-carrying enum variants are rejected with a
+//! compile error; `#[serde(...)]` helper attributes are accepted and
+//! ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of type the derive input declares.
+enum Item {
+    /// Named-field struct with the given field identifiers.
+    Struct(String, Vec<String>),
+    /// Tuple struct with the given arity.
+    Tuple(String, usize),
+    /// Unit struct.
+    Unit(String),
+    /// Enum made of unit variants.
+    Enum(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Consumes leading attributes (`#[...]`) from `toks[*i]`.
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses the named fields of a brace-delimited struct body.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token `{other}` in struct body")),
+            None => break,
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Swallow the type up to the next top-level comma, tracking angle
+        // bracket depth (`Vec<(A, B)>` etc.).
+        let mut angle: i32 = 0;
+        while let Some(tok) = toks.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses the variants of an enum body; errors on data-carrying variants.
+fn parse_unit_variants(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+            None => break,
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}`: the vendored serde derive supports unit variants only"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant up to the comma.
+                i += 1;
+                while let Some(tok) = toks.get(i) {
+                    i += 1;
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            _ => {}
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected a type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "`{name}`: the vendored serde derive does not support generic types"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Struct(name, parse_named_fields(g)?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Count top-level comma-separated entries.
+                let mut arity = 0usize;
+                let mut angle: i32 = 0;
+                let mut pending = false;
+                for tok in g.stream() {
+                    match tok {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            arity += 1;
+                            pending = false;
+                        }
+                        _ => pending = true,
+                    }
+                }
+                if pending {
+                    arity += 1;
+                }
+                Ok(Item::Tuple(name, arity))
+            }
+            _ => Ok(Item::Unit(name)),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::Enum(name, parse_unit_variants(g)?))
+            }
+            _ => Err(format!("`{name}`: malformed enum body")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::Struct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from({f:?}), \
+                     ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n}}\n}}"
+            )
+        }
+        Item::Tuple(name, arity) => {
+            let mut pushes = String::new();
+            for idx in 0..*arity {
+                pushes.push_str(&format!(
+                    "__items.push(::serde::Serialize::serialize(&self.{idx}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 let mut __items: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Array(__items)\n}}\n}}"
+            )
+        }
+        Item::Unit(name) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    body.parse().unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &item {
+        Item::Struct(name, fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(__v.field({f:?})?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Item::Tuple(name, arity) => {
+            let mut inits = String::new();
+            for idx in 0..*arity {
+                inits.push_str(&format!(
+                    "::serde::Deserialize::deserialize(__v.index({idx})?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name}({inits}))\n}}\n}}"
+            )
+        }
+        Item::Unit(name) => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(_v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name})\n}}\n}}"
+        ),
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "{v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v.as_str()? {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n}}"
+            )
+        }
+    };
+    body.parse().unwrap()
+}
