@@ -5,6 +5,7 @@
 //! frame and hold it across gaps. Ordered delivery is enforced the way a
 //! jitter buffer would (a frame never overtakes its predecessor).
 
+use crate::fault::{FaultInjector, FaultPlan, FaultVerdict, LossCause};
 use crate::packet::FramePacket;
 use crate::{ChatError, Result};
 use lumen_obs::Recorder;
@@ -20,7 +21,8 @@ pub struct ChannelConfig {
     pub base_delay: f64,
     /// Jitter standard deviation, seconds.
     pub jitter: f64,
-    /// Independent per-packet drop probability.
+    /// Independent per-packet drop probability, in the closed interval
+    /// `[0, 1]` — `1.0` models a fully dead link (every packet lost).
     pub drop_prob: f64,
 }
 
@@ -41,7 +43,7 @@ impl ChannelConfig {
     /// # Errors
     ///
     /// Returns [`ChatError::InvalidParameter`] for negative delay/jitter or
-    /// a drop probability outside `[0, 1)`.
+    /// a drop probability outside the closed interval `[0, 1]`.
     pub fn validate(&self) -> Result<()> {
         if !(self.base_delay.is_finite() && self.base_delay >= 0.0) {
             return Err(ChatError::invalid_parameter(
@@ -55,10 +57,10 @@ impl ChannelConfig {
                 "must be finite and non-negative",
             ));
         }
-        if !(0.0..1.0).contains(&self.drop_prob) {
+        if !(0.0..=1.0).contains(&self.drop_prob) {
             return Err(ChatError::invalid_parameter(
                 "drop_prob",
-                "must lie in [0, 1)",
+                "must lie in [0, 1]",
             ));
         }
         Ok(())
@@ -73,6 +75,7 @@ pub struct NetworkChannel {
     in_flight: VecDeque<(f64, FramePacket)>,
     last_delivery_ts: f64,
     recorder: Recorder,
+    faults: Option<FaultInjector>,
 }
 
 impl NetworkChannel {
@@ -89,7 +92,27 @@ impl NetworkChannel {
             in_flight: VecDeque::new(),
             last_delivery_ts: 0.0,
             recorder: Recorder::null(),
+            faults: None,
         })
+    }
+
+    /// Creates a channel with an additional [`FaultPlan`] layered on top of
+    /// the base config. A [`FaultPlan::none`] plan behaves exactly like
+    /// [`NetworkChannel::new`] — fault randomness lives on its own RNG
+    /// substream, so the base channel's draws are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChannelConfig::validate`] and [`FaultPlan::validate`]
+    /// failures.
+    pub fn with_faults(config: ChannelConfig, plan: FaultPlan, seed: u64) -> Result<Self> {
+        let mut channel = NetworkChannel::new(config, seed)?;
+        if plan.is_active() {
+            channel.faults = Some(FaultInjector::new(plan, seed)?);
+        } else {
+            plan.validate()?;
+        }
+        Ok(channel)
     }
 
     /// Attaches an observability recorder: the channel counts submitted,
@@ -107,12 +130,55 @@ impl NetworkChannel {
     /// Submits a packet at time `now`. Dropped packets vanish here.
     pub fn send(&mut self, packet: FramePacket, now: f64) {
         self.recorder.add("chat.frames_sent", 1);
+        let sent_luma = packet.luma;
+        let (packet, duplicate, extra_delay) = match &mut self.faults {
+            Some(injector) => match injector.judge(packet, now) {
+                FaultVerdict::Deliver {
+                    packet,
+                    duplicate,
+                    extra_delay,
+                } => (packet, duplicate, extra_delay),
+                FaultVerdict::Lost(cause) => {
+                    self.recorder.add("chat.frames_dropped", 1);
+                    self.recorder.add(
+                        match cause {
+                            LossCause::Random => "chat.random_losses",
+                            LossCause::Burst => "chat.burst_losses",
+                            LossCause::Freeze => "chat.freeze_losses",
+                        },
+                        1,
+                    );
+                    return;
+                }
+            },
+            None => (packet, false, 0.0),
+        };
         if self.config.drop_prob > 0.0 && self.rng.gen::<f64>() < self.config.drop_prob {
             self.recorder.add("chat.frames_dropped", 1);
             return;
         }
+        if packet.luma != sent_luma {
+            self.recorder.add(
+                if packet.luma == 0.0 {
+                    "chat.black_frames"
+                } else {
+                    "chat.corrupt_frames"
+                },
+                1,
+            );
+        }
+        self.enqueue(packet, now, extra_delay);
+        if duplicate {
+            self.recorder.add("chat.dup_frames", 1);
+            self.enqueue(packet, now, extra_delay);
+        }
+    }
+
+    /// Schedules one delivery; `extra_delay` carries the clock-skew slip.
+    fn enqueue(&mut self, packet: FramePacket, now: f64, extra_delay: f64) {
         let jitter = self.config.jitter * gaussian(&mut self.rng);
-        let mut deliver_at = now + (self.config.base_delay + jitter).max(0.0);
+        let mut deliver_at =
+            now + ((self.config.base_delay + jitter).max(0.0) + extra_delay).max(0.0);
         // Ordered delivery: never overtake the previous packet.
         if deliver_at < self.last_delivery_ts {
             deliver_at = self.last_delivery_ts;
@@ -169,12 +235,101 @@ mod tests {
         .validate()
         .is_err());
         assert!(ChannelConfig {
-            drop_prob: 1.0,
+            drop_prob: 1.1,
+            ..ChannelConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ChannelConfig {
+            drop_prob: -0.1,
             ..ChannelConfig::default()
         }
         .validate()
         .is_err());
         assert!(ChannelConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn drop_prob_boundaries_are_valid() {
+        // The closed interval: 0.0 loses nothing, 1.0 loses everything.
+        for p in [0.0, 1.0] {
+            assert!(
+                ChannelConfig {
+                    drop_prob: p,
+                    ..ChannelConfig::default()
+                }
+                .validate()
+                .is_ok(),
+                "drop_prob {p} rejected"
+            );
+        }
+        let mut dead = NetworkChannel::new(
+            ChannelConfig {
+                base_delay: 0.0,
+                jitter: 0.0,
+                drop_prob: 1.0,
+            },
+            4,
+        )
+        .unwrap();
+        for i in 0..100u64 {
+            dead.send(FramePacket::new(i, 0.0, 1.0), 0.0);
+        }
+        assert!(dead.poll(1e9).is_empty(), "dead link delivered frames");
+        assert_eq!(dead.in_flight(), 0);
+    }
+
+    #[test]
+    fn faulty_channel_counts_burst_losses() {
+        use crate::fault::BurstLoss;
+        let (rec, sink) = lumen_obs::Recorder::in_memory();
+        let plan = FaultPlan {
+            burst: BurstLoss {
+                p_enter: 0.1,
+                p_exit: 0.2,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            ..FaultPlan::none()
+        };
+        let mut ch = NetworkChannel::with_faults(
+            ChannelConfig {
+                base_delay: 0.0,
+                jitter: 0.0,
+                drop_prob: 0.0,
+            },
+            plan,
+            13,
+        )
+        .unwrap()
+        .with_recorder(rec);
+        for i in 0..1000u64 {
+            let now = i as f64 * 0.1;
+            ch.send(FramePacket::new(i, now, 10.0), now);
+        }
+        let delivered = ch.poll(1e9).len() as u64;
+        let registry = sink.registry();
+        let bursts = registry.counter("chat.burst_losses");
+        assert!(bursts > 0, "no burst losses counted");
+        assert_eq!(registry.counter("chat.frames_dropped"), 1000 - delivered);
+        assert_eq!(registry.counter("chat.frames_dropped"), bursts);
+    }
+
+    #[test]
+    fn inactive_fault_plan_matches_plain_channel() {
+        let run = |faulty: bool| {
+            let config = ChannelConfig::default();
+            let mut ch = if faulty {
+                NetworkChannel::with_faults(config, FaultPlan::none(), 5).unwrap()
+            } else {
+                NetworkChannel::new(config, 5).unwrap()
+            };
+            for i in 0..200u64 {
+                ch.send(FramePacket::new(i, i as f64 * 0.1, 1.0), i as f64 * 0.1);
+            }
+            ch.poll(1e9).iter().map(|p| p.seq).collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod error;
 pub mod channel;
 pub mod clock;
 pub mod endpoint;
+pub mod fault;
 pub mod packet;
 pub mod scenario;
 pub mod session;

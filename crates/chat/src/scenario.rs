@@ -7,7 +7,8 @@
 
 use crate::channel::ChannelConfig;
 use crate::endpoint::{AdaptiveCallee, Caller, LiveFace, ReenactmentCallee, ReplayCallee};
-use crate::session::{run_session, SessionConfig};
+use crate::fault::FaultPlan;
+use crate::session::{run_session_with, SessionConfig};
 use crate::trace::{ScenarioKind, TracePair};
 use crate::Result;
 use lumen_attack::adaptive::AdaptiveForger;
@@ -33,6 +34,9 @@ pub struct ScenarioBuilder {
     /// without this spread a fixed training draw can collapse into an
     /// unrealistically tight LOF cluster.
     pub environment_jitter: f64,
+    /// Observability sink every generated session streams its transport
+    /// counters into (default: disabled).
+    pub recorder: lumen_obs::Recorder,
 }
 
 impl Default for ScenarioBuilder {
@@ -42,6 +46,7 @@ impl Default for ScenarioBuilder {
             conditions: SynthConfig::default(),
             script_params: ScriptParams::default(),
             environment_jitter: 0.1,
+            recorder: lumen_obs::Recorder::null(),
         }
     }
 }
@@ -56,6 +61,18 @@ impl ScenarioBuilder {
     /// Sets the session configuration.
     pub fn with_session(mut self, session: SessionConfig) -> Self {
         self.session = session;
+        self
+    }
+
+    /// Layers a transport [`FaultPlan`] on both network directions.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.session.faults = faults;
+        self
+    }
+
+    /// Streams every generated session's transport counters into `recorder`.
+    pub fn with_recorder(mut self, recorder: lumen_obs::Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -116,12 +133,13 @@ impl ScenarioBuilder {
             profile: UserProfile::preset(user),
             conditions,
         };
-        run_session(
+        run_session_with(
             &caller,
             &callee,
             &session,
             ScenarioKind::Legitimate { user },
             seed,
+            &self.recorder,
         )
     }
 
@@ -136,12 +154,13 @@ impl ScenarioBuilder {
         let callee = ReenactmentCallee {
             attacker: ReenactmentAttacker::new(UserProfile::preset(victim), conditions),
         };
-        run_session(
+        run_session_with(
             &caller,
             &callee,
             &session,
             ScenarioKind::Reenactment { victim },
             seed,
+            &self.recorder,
         )
     }
 
@@ -157,12 +176,13 @@ impl ScenarioBuilder {
             forger: AdaptiveForger::new(conditions, delay)?,
             victim: UserProfile::preset(victim),
         };
-        run_session(
+        run_session_with(
             &caller,
             &callee,
             &session,
             ScenarioKind::Adaptive { victim, delay },
             seed,
+            &self.recorder,
         )
     }
 
@@ -177,12 +197,13 @@ impl ScenarioBuilder {
         let callee = ReplayCallee {
             attacker: ReplayAttacker::new(UserProfile::preset(victim), conditions),
         };
-        run_session(
+        run_session_with(
             &caller,
             &callee,
             &session,
             ScenarioKind::Replay { victim },
             seed,
+            &self.recorder,
         )
     }
 }

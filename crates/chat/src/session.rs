@@ -3,6 +3,7 @@
 use crate::channel::{ChannelConfig, NetworkChannel};
 use crate::clock::SimClock;
 use crate::endpoint::{CalleeBehavior, Caller};
+use crate::fault::FaultPlan;
 use crate::packet::FramePacket;
 use crate::trace::{ScenarioKind, TracePair};
 use crate::{ChatError, Result};
@@ -20,6 +21,9 @@ pub struct SessionConfig {
     pub forward: ChannelConfig,
     /// Callee → caller network path.
     pub backward: ChannelConfig,
+    /// Transport impairments layered on both paths (default: none). Each
+    /// direction gets its own deterministic fault stream.
+    pub faults: FaultPlan,
 }
 
 impl Default for SessionConfig {
@@ -29,6 +33,7 @@ impl Default for SessionConfig {
             sample_rate: 10.0,
             forward: ChannelConfig::default(),
             backward: ChannelConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -54,7 +59,8 @@ impl SessionConfig {
             ));
         }
         self.forward.validate()?;
-        self.backward.validate()
+        self.backward.validate()?;
+        self.faults.validate()
     }
 }
 
@@ -64,10 +70,12 @@ impl SessionConfig {
 fn stream_through(
     source: &Signal,
     config: ChannelConfig,
+    faults: FaultPlan,
     seed: u64,
     recorder: &Recorder,
 ) -> Result<Signal> {
-    let mut channel = NetworkChannel::new(config, seed)?.with_recorder(recorder.clone());
+    let mut channel =
+        NetworkChannel::with_faults(config, faults, seed)?.with_recorder(recorder.clone());
     let mut clock = SimClock::at_rate(source.sample_rate());
     let mut displayed = Vec::with_capacity(source.len());
     // Until the first frame lands, the receiver shows the stream's first
@@ -129,11 +137,18 @@ pub fn run_session_with(
             "session produced no samples",
         ));
     }
-    let displayed_at_bob = stream_through(&tx, config.forward, seed ^ 0xf0_0d, recorder)?;
+    let displayed_at_bob =
+        stream_through(&tx, config.forward, config.faults, seed ^ 0xf0_0d, recorder)?;
     // Step 3: Bob's camera output (live reflection or attack).
     let rx_at_bob = callee.respond(&displayed_at_bob, seed ^ 0xbeef)?;
     // Step 4: Bob's video rides the backward path to Alice.
-    let rx_at_alice = stream_through(&rx_at_bob, config.backward, seed ^ 0xcafe, recorder)?;
+    let rx_at_alice = stream_through(
+        &rx_at_bob,
+        config.backward,
+        config.faults,
+        seed ^ 0xcafe,
+        recorder,
+    )?;
     Ok(TracePair {
         tx,
         rx: rx_at_alice,

@@ -4,6 +4,7 @@
 //! `network` experiment for the accuracy impact).
 
 use crate::channel::{ChannelConfig, NetworkChannel};
+use crate::fault::FaultPlan;
 use crate::packet::FramePacket;
 use crate::Result;
 use lumen_dsp::stats::quantile;
@@ -55,7 +56,25 @@ pub fn measure_channel_with(
     seed: u64,
     recorder: &Recorder,
 ) -> Result<ChannelStats> {
-    let mut channel = NetworkChannel::new(config, seed)?.with_recorder(recorder.clone());
+    measure_channel_faulty(source, config, FaultPlan::none(), seed, recorder)
+}
+
+/// [`measure_channel_with`] over an impaired link: the [`FaultPlan`] layers
+/// burst loss, freezes, corruption, duplication and skew on top of the base
+/// channel, so the reported loss/hold statistics reflect the degraded link.
+///
+/// # Errors
+///
+/// Propagates channel- and fault-plan-configuration errors.
+pub fn measure_channel_faulty(
+    source: &Signal,
+    config: ChannelConfig,
+    faults: FaultPlan,
+    seed: u64,
+    recorder: &Recorder,
+) -> Result<ChannelStats> {
+    let mut channel =
+        NetworkChannel::with_faults(config, faults, seed)?.with_recorder(recorder.clone());
     let dt = 1.0 / source.sample_rate();
     let mut delays = Vec::new();
     let mut delivered = 0usize;
@@ -184,6 +203,25 @@ mod tests {
         );
         let loss = registry.gauge("chat.loss_fraction").unwrap();
         assert!((loss - stats.loss).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_plan_raises_measured_loss() {
+        use crate::fault::BurstLoss;
+        let config = ChannelConfig {
+            base_delay: 0.1,
+            jitter: 0.0,
+            drop_prob: 0.0,
+        };
+        let clean = measure_channel(&source(), config, 4).unwrap();
+        let plan = FaultPlan {
+            burst: BurstLoss::bursty(0.05, 6.0, 0.95),
+            ..FaultPlan::none()
+        };
+        let faulty = measure_channel_faulty(&source(), config, plan, 4, &Recorder::null()).unwrap();
+        assert!(clean.loss.abs() < 1e-12);
+        assert!(faulty.loss > 0.1, "burst loss {}", faulty.loss);
+        assert!(faulty.hold_fraction > clean.hold_fraction);
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 use crate::features::{extract_features, FeatureVector};
 use crate::preprocess::{detect_changes, preprocess_rx, preprocess_tx, smooth};
+use crate::quality::{GateDecision, InconclusiveReason, QualityGate};
 use crate::{Config, CoreError, Result};
 use lumen_chat::trace::TracePair;
+use lumen_dsp::Signal;
 use lumen_lof::classifier::LofClassifier;
 use lumen_obs::{stage, Recorder};
 
@@ -17,6 +19,39 @@ pub struct Detection {
     /// `true` when the untrusted user is accepted as legitimate
     /// (`score <= τ`).
     pub accepted: bool,
+}
+
+/// The quality-gated result for one clip: either a real detection or an
+/// abstention because the clip could not support a vote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClipOutcome {
+    /// The clip passed the quality gate and was scored.
+    Conclusive(Detection),
+    /// The clip was withheld from voting.
+    Inconclusive(InconclusiveReason),
+}
+
+impl ClipOutcome {
+    /// The acceptance vote, when one was cast.
+    pub fn accepted(&self) -> Option<bool> {
+        match self {
+            ClipOutcome::Conclusive(d) => Some(d.accepted),
+            ClipOutcome::Inconclusive(_) => None,
+        }
+    }
+
+    /// The underlying detection, when the clip was conclusive.
+    pub fn detection(&self) -> Option<&Detection> {
+        match self {
+            ClipOutcome::Conclusive(d) => Some(d),
+            ClipOutcome::Inconclusive(_) => None,
+        }
+    }
+
+    /// Whether the clip was withheld.
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, ClipOutcome::Inconclusive(_))
+    }
 }
 
 /// A trained detector.
@@ -167,6 +202,70 @@ impl Detector {
         self.recorder.observe("feature.z3", features.z3);
         self.recorder.observe("feature.z4", features.z4);
         self.judge(&features)
+    }
+
+    /// [`Detector::detect`] behind a [`QualityGate`]: the received trace is
+    /// screened first (the transmitted trace is locally generated and
+    /// trusted), mild gaps are repaired by bounded interpolation, and a
+    /// clip too degraded to support a vote yields
+    /// [`ClipOutcome::Inconclusive`] instead of a misleading verdict. The
+    /// recorder gets `quality.*` gauges for every clip and a
+    /// `detect.inconclusive` count for abstentions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-extraction and LOF errors for clips that pass
+    /// the gate. Gate rejections are *not* errors.
+    pub fn detect_gated(&self, pair: &TracePair, gate: &QualityGate) -> Result<ClipOutcome> {
+        let screened = self.screen_recorded(pair.rx.samples(), pair.rx.sample_rate(), gate);
+        match screened.decision {
+            GateDecision::Inconclusive(reason) => Ok(ClipOutcome::Inconclusive(reason)),
+            GateDecision::Pass { samples, .. } => {
+                let repaired_pair = TracePair {
+                    rx: Signal::new(samples, pair.rx.sample_rate())?,
+                    ..pair.clone()
+                };
+                Ok(ClipOutcome::Conclusive(self.detect(&repaired_pair)?))
+            }
+        }
+    }
+
+    /// Screens a received-luminance clip through `gate`, emitting the
+    /// `quality.*` gauges and `detect.inconclusive` accounting through the
+    /// attached recorder. Shared by [`Detector::detect_gated`] and the
+    /// streaming detector (whose raw buffers may hold non-finite samples
+    /// that a [`Signal`] cannot carry).
+    pub(crate) fn screen_recorded(
+        &self,
+        samples: &[f64],
+        sample_rate: f64,
+        gate: &QualityGate,
+    ) -> crate::quality::Screened {
+        let screened = {
+            let _stage = self.recorder.span(stage::QUALITY_GATE);
+            gate.screen(samples, sample_rate)
+        };
+        let q = &screened.quality;
+        self.recorder.gauge("quality.gap_fraction", q.gap_fraction);
+        self.recorder
+            .gauge("quality.longest_hold_run", q.longest_hold_run as f64);
+        self.recorder
+            .gauge("quality.effective_rate", q.effective_rate);
+        self.recorder
+            .gauge("quality.non_finite", q.non_finite as f64);
+        match &screened.decision {
+            GateDecision::Inconclusive(reason) => {
+                self.recorder.add("detect.inconclusive", 1);
+                self.recorder
+                    .mark("detect.inconclusive", &reason.to_string());
+            }
+            GateDecision::Pass { repaired, .. } if *repaired > 0 => {
+                self.recorder
+                    .add("quality.repaired_samples", *repaired as u64);
+            }
+            GateDecision::Pass { .. } => {}
+        }
+        screened
     }
 
     /// Judges a pre-extracted feature vector, timing the LOF scoring stage

@@ -1,0 +1,528 @@
+//! Signal-quality assessment and gating (the resilience layer).
+//!
+//! The detector's features assume a clip of *observed* luminance. A lossy
+//! or frozen link replaces samples with jitter-buffer holds (the receiver
+//! re-displays the last frame), and a broken capture path can emit NaN or a
+//! flatlined trace. Feeding such a clip to the LOF model produces a vote
+//! that reflects the network, not the callee — inflating the false
+//! rejection rate for legitimate users. This module measures how much of a
+//! clip is real signal ([`SignalQuality`]), repairs mild gaps by bounded
+//! interpolation, and withholds the vote entirely ([`InconclusiveReason`])
+//! when the clip cannot support one.
+
+use crate::{CoreError, Result};
+use std::fmt;
+
+/// Thresholds deciding when a clip is too degraded to vote on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityThresholds {
+    /// Maximum tolerable fraction of held/missing ticks (default 0.35).
+    pub max_gap_fraction: f64,
+    /// Longest tolerable single hold run, in samples (default 30 — a 3 s
+    /// freeze at 10 Hz).
+    pub max_hold_run: usize,
+    /// Minimum effective sample rate in Hz after discounting holds
+    /// (default 5.0).
+    pub min_effective_rate: f64,
+    /// Peak-to-peak range below which the clip counts as flatlined
+    /// (default 1e-6).
+    pub flatline_epsilon: f64,
+    /// Longest gap the repair pass may bridge by linear interpolation, in
+    /// samples (default 5 — 0.5 s at 10 Hz). Longer gaps are left held.
+    pub repair_max_gap: usize,
+}
+
+impl Default for QualityThresholds {
+    fn default() -> Self {
+        QualityThresholds {
+            max_gap_fraction: 0.35,
+            max_hold_run: 30,
+            min_effective_rate: 5.0,
+            flatline_epsilon: 1e-6,
+            repair_max_gap: 5,
+        }
+    }
+}
+
+impl QualityThresholds {
+    /// Validates the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for a gap fraction outside
+    /// `[0, 1]`, a non-positive effective rate, or a negative/non-finite
+    /// flatline epsilon.
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.max_gap_fraction) {
+            return Err(CoreError::invalid_config(
+                "max_gap_fraction",
+                "must lie in [0, 1]",
+            ));
+        }
+        if !(self.min_effective_rate.is_finite() && self.min_effective_rate > 0.0) {
+            return Err(CoreError::invalid_config(
+                "min_effective_rate",
+                "must be finite and positive",
+            ));
+        }
+        if !(self.flatline_epsilon.is_finite() && self.flatline_epsilon >= 0.0) {
+            return Err(CoreError::invalid_config(
+                "flatline_epsilon",
+                "must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Measured quality of one luminance clip.
+///
+/// A tick is *missing* when its sample is non-finite or exactly equal to
+/// the previous sample. Live face luminance rides on continuous sensor
+/// noise, so exact equality across ticks is (within f64) only produced by a
+/// jitter-buffer hold or a frozen source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalQuality {
+    /// Clip length in samples.
+    pub len: usize,
+    /// Fraction of missing (held or non-finite) ticks.
+    pub gap_fraction: f64,
+    /// Longest run of consecutive missing ticks.
+    pub longest_hold_run: usize,
+    /// Number of non-finite samples.
+    pub non_finite: usize,
+    /// Peak-to-peak range of the finite samples (0 when none are finite).
+    pub peak_to_peak: f64,
+    /// Nominal rate discounted by the gap fraction, in Hz.
+    pub effective_rate: f64,
+}
+
+impl SignalQuality {
+    /// Measures a clip sampled at `sample_rate` Hz.
+    pub fn assess(samples: &[f64], sample_rate: f64) -> SignalQuality {
+        let n = samples.len();
+        let mut non_finite = 0usize;
+        let mut missing_ticks = 0usize;
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (i, &s) in samples.iter().enumerate() {
+            if !s.is_finite() {
+                non_finite += 1;
+            } else {
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+            if is_missing(samples, i) {
+                missing_ticks += 1;
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let gap_fraction = if n == 0 {
+            0.0
+        } else {
+            missing_ticks as f64 / n as f64
+        };
+        SignalQuality {
+            len: n,
+            gap_fraction,
+            longest_hold_run: longest,
+            non_finite,
+            peak_to_peak: if hi >= lo { hi - lo } else { 0.0 },
+            effective_rate: sample_rate * (1.0 - gap_fraction),
+        }
+    }
+
+    /// Whether the finite samples span less than `epsilon` peak-to-peak
+    /// (a stuck sensor, a black feed, or an entirely non-finite clip).
+    pub fn is_flatline(&self, epsilon: f64) -> bool {
+        self.len > 0 && self.peak_to_peak < epsilon
+    }
+}
+
+/// Why a clip was withheld from voting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InconclusiveReason {
+    /// Fewer than two samples.
+    TooShort {
+        /// Clip length.
+        len: usize,
+    },
+    /// The finite samples never move — stuck sensor or dead feed.
+    Flatline,
+    /// Too many ticks were holds/missing overall.
+    ExcessiveGaps {
+        /// Measured missing fraction.
+        gap_fraction: f64,
+    },
+    /// A single freeze exceeded the tolerable length.
+    LongFreeze {
+        /// Longest run of missing ticks.
+        run: usize,
+    },
+    /// The effective sample rate fell below the floor.
+    LowEffectiveRate {
+        /// Discounted rate in Hz.
+        rate: f64,
+    },
+    /// Non-finite samples survived the bounded repair.
+    NonFinite {
+        /// Remaining non-finite count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for InconclusiveReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InconclusiveReason::TooShort { len } => write!(f, "clip too short ({len} samples)"),
+            InconclusiveReason::Flatline => write!(f, "flatlined luminance"),
+            InconclusiveReason::ExcessiveGaps { gap_fraction } => {
+                write!(f, "{:.0}% of ticks held or missing", gap_fraction * 100.0)
+            }
+            InconclusiveReason::LongFreeze { run } => {
+                write!(f, "freeze of {run} consecutive ticks")
+            }
+            InconclusiveReason::LowEffectiveRate { rate } => {
+                write!(f, "effective rate {rate:.1} Hz below floor")
+            }
+            InconclusiveReason::NonFinite { count } => {
+                write!(f, "{count} unrepairable non-finite samples")
+            }
+        }
+    }
+}
+
+/// The gate's decision for one clip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateDecision {
+    /// The clip may be voted on; `samples` has mild gaps interpolated.
+    Pass {
+        /// The (possibly repaired) clip.
+        samples: Vec<f64>,
+        /// Number of samples rewritten by interpolation.
+        repaired: usize,
+    },
+    /// The clip cannot support a vote.
+    Inconclusive(InconclusiveReason),
+}
+
+/// One screened clip: its measured quality plus the gate's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Screened {
+    /// Measured quality of the raw clip (before any repair).
+    pub quality: SignalQuality,
+    /// Pass (with repair) or inconclusive.
+    pub decision: GateDecision,
+}
+
+impl Screened {
+    /// Convenience: the inconclusive reason, if any.
+    pub fn reason(&self) -> Option<InconclusiveReason> {
+        match &self.decision {
+            GateDecision::Pass { .. } => None,
+            GateDecision::Inconclusive(r) => Some(*r),
+        }
+    }
+}
+
+/// Screens clips against [`QualityThresholds`] and repairs mild gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QualityGate {
+    thresholds: QualityThresholds,
+}
+
+impl QualityGate {
+    /// A gate with explicit thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates threshold validation.
+    pub fn new(thresholds: QualityThresholds) -> Result<Self> {
+        thresholds.validate()?;
+        Ok(QualityGate { thresholds })
+    }
+
+    /// The active thresholds.
+    pub fn thresholds(&self) -> &QualityThresholds {
+        &self.thresholds
+    }
+
+    /// Screens one clip: measures quality, rejects clips beyond the
+    /// thresholds, and bridges gaps of at most `repair_max_gap` samples by
+    /// linear interpolation between their finite anchors.
+    pub fn screen(&self, samples: &[f64], sample_rate: f64) -> Screened {
+        let quality = SignalQuality::assess(samples, sample_rate);
+        let t = &self.thresholds;
+        let reason = if quality.len < 2 {
+            Some(InconclusiveReason::TooShort { len: quality.len })
+        } else if quality.is_flatline(t.flatline_epsilon) {
+            Some(InconclusiveReason::Flatline)
+        } else if quality.gap_fraction > t.max_gap_fraction {
+            Some(InconclusiveReason::ExcessiveGaps {
+                gap_fraction: quality.gap_fraction,
+            })
+        } else if quality.longest_hold_run > t.max_hold_run {
+            Some(InconclusiveReason::LongFreeze {
+                run: quality.longest_hold_run,
+            })
+        } else if quality.effective_rate < t.min_effective_rate {
+            Some(InconclusiveReason::LowEffectiveRate {
+                rate: quality.effective_rate,
+            })
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            return Screened {
+                quality,
+                decision: GateDecision::Inconclusive(reason),
+            };
+        }
+        let (samples, repaired) = repair(samples, t.repair_max_gap);
+        let leftover = samples.iter().filter(|s| !s.is_finite()).count();
+        let decision = if leftover > 0 {
+            GateDecision::Inconclusive(InconclusiveReason::NonFinite { count: leftover })
+        } else {
+            GateDecision::Pass { samples, repaired }
+        };
+        Screened { quality, decision }
+    }
+}
+
+/// Whether tick `i` carries no fresh information: non-finite, or exactly
+/// equal to the previous sample (a display hold).
+fn is_missing(samples: &[f64], i: usize) -> bool {
+    !samples[i].is_finite() || (i > 0 && samples[i] == samples[i - 1])
+}
+
+/// Bridges missing runs of at most `max_gap` samples. Interior runs are
+/// linearly interpolated between their anchors; boundary runs are filled
+/// from the single available anchor. Longer runs are left untouched, except
+/// that non-finite samples in them stay non-finite (the caller decides).
+fn repair(samples: &[f64], max_gap: usize) -> (Vec<f64>, usize) {
+    let n = samples.len();
+    let mut out = samples.to_vec();
+    let mut repaired = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        if !is_missing(samples, i) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < n && is_missing(samples, i) {
+            i += 1;
+        }
+        let end = i; // exclusive
+        let run = end - start;
+        if run > max_gap {
+            continue;
+        }
+        let left = (start > 0)
+            .then(|| samples[start - 1])
+            .filter(|s| s.is_finite());
+        let right = (end < n).then(|| samples[end]).filter(|s| s.is_finite());
+        match (left, right) {
+            (Some(a), Some(b)) => {
+                // Interpolate strictly between the anchors: the run spans
+                // positions start..end between anchors at start-1 and end.
+                let span = (run + 1) as f64;
+                for (k, slot) in out[start..end].iter_mut().enumerate() {
+                    *slot = a + (b - a) * (k + 1) as f64 / span;
+                }
+                repaired += run;
+            }
+            (Some(a), None) => {
+                for slot in out[start..end].iter_mut() {
+                    *slot = a;
+                }
+                repaired += run;
+            }
+            (None, Some(b)) => {
+                for slot in out[start..end].iter_mut() {
+                    *slot = b;
+                }
+                repaired += run;
+            }
+            (None, None) => {}
+        }
+    }
+    (out, repaired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(n: usize) -> Vec<f64> {
+        // Deterministic non-repeating "sensor noise".
+        (0..n)
+            .map(|i| 100.0 + (i as f64 * 0.7).sin() * 10.0 + i as f64 * 1e-3)
+            .collect()
+    }
+
+    #[test]
+    fn clean_signal_scores_perfect() {
+        let q = SignalQuality::assess(&noisy(150), 10.0);
+        assert_eq!(q.len, 150);
+        assert_eq!(q.gap_fraction, 0.0);
+        assert_eq!(q.longest_hold_run, 0);
+        assert_eq!(q.non_finite, 0);
+        assert!((q.effective_rate - 10.0).abs() < 1e-12);
+        assert!(!q.is_flatline(1e-6));
+    }
+
+    #[test]
+    fn holds_count_as_gaps() {
+        let mut s = noisy(100);
+        for i in 40..60 {
+            s[i] = s[39]; // a 20-tick freeze
+        }
+        let q = SignalQuality::assess(&s, 10.0);
+        assert_eq!(q.longest_hold_run, 20);
+        assert!((q.gap_fraction - 0.2).abs() < 1e-12);
+        assert!((q.effective_rate - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flatline_detected() {
+        let q = SignalQuality::assess(&vec![42.0; 150], 10.0);
+        assert!(q.is_flatline(1e-6));
+        assert!(q.gap_fraction > 0.9);
+        let nan = SignalQuality::assess(&vec![f64::NAN; 50], 10.0);
+        assert!(nan.is_flatline(1e-6));
+        assert_eq!(nan.non_finite, 50);
+    }
+
+    #[test]
+    fn gate_passes_clean_and_repairs_mild_gaps() {
+        let gate = QualityGate::default();
+        let mut s = noisy(150);
+        s[50] = s[49];
+        s[51] = s[49];
+        s[52] = s[49]; // a 3-tick hold, repairable
+        let screened = gate.screen(&s, 10.0);
+        match screened.decision {
+            GateDecision::Pass { samples, repaired } => {
+                assert_eq!(repaired, 3);
+                // The ramp strictly between the anchors.
+                assert!(samples[50] != samples[51] && samples[51] != samples[52]);
+                assert!(samples.iter().all(|v| v.is_finite()));
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_flags_excessive_gaps() {
+        let gate = QualityGate::default();
+        let mut s = noisy(150);
+        // Hold 40% of ticks in 8-tick bursts (longer than repair, shorter
+        // than the freeze limit).
+        let mut i = 10;
+        while i + 8 <= 150 {
+            for j in i..i + 8 {
+                s[j] = s[i - 1];
+            }
+            i += 20;
+        }
+        let screened = gate.screen(&s, 10.0);
+        assert!(matches!(
+            screened.reason(),
+            Some(InconclusiveReason::ExcessiveGaps { .. })
+        ));
+    }
+
+    #[test]
+    fn gate_flags_long_freeze() {
+        let gate = QualityGate::default();
+        let mut s = noisy(150);
+        for i in 50..90 {
+            s[i] = s[49]; // one 40-tick freeze: 4 s at 10 Hz
+        }
+        let screened = gate.screen(&s, 10.0);
+        assert_eq!(
+            screened.reason(),
+            Some(InconclusiveReason::LongFreeze { run: 40 })
+        );
+    }
+
+    #[test]
+    fn gate_flags_flatline_and_short() {
+        let gate = QualityGate::default();
+        assert_eq!(
+            gate.screen(&vec![7.0; 150], 10.0).reason(),
+            Some(InconclusiveReason::Flatline)
+        );
+        assert_eq!(
+            gate.screen(&[1.0], 10.0).reason(),
+            Some(InconclusiveReason::TooShort { len: 1 })
+        );
+    }
+
+    #[test]
+    fn gate_repairs_isolated_nans() {
+        let gate = QualityGate::default();
+        let mut s = noisy(150);
+        s[30] = f64::NAN;
+        s[90] = f64::INFINITY;
+        let screened = gate.screen(&s, 10.0);
+        match screened.decision {
+            GateDecision::Pass { samples, .. } => {
+                assert!(samples.iter().all(|v| v.is_finite()));
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+        assert_eq!(screened.quality.non_finite, 2);
+    }
+
+    #[test]
+    fn boundary_gaps_fill_from_nearest_anchor() {
+        let gate = QualityGate::default();
+        let mut s = noisy(150);
+        s[0] = f64::NAN;
+        s[149] = f64::NAN;
+        let screened = gate.screen(&s, 10.0);
+        match screened.decision {
+            GateDecision::Pass { samples, .. } => {
+                assert_eq!(samples[0], samples[1]);
+                assert_eq!(samples[149], samples[148]);
+            }
+            other => panic!("expected pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thresholds_validate() {
+        let mut t = QualityThresholds::default();
+        assert!(t.validate().is_ok());
+        t.max_gap_fraction = 1.2;
+        assert!(t.validate().is_err());
+        t = QualityThresholds::default();
+        t.min_effective_rate = 0.0;
+        assert!(t.validate().is_err());
+        t = QualityThresholds::default();
+        t.flatline_epsilon = -1.0;
+        assert!(t.validate().is_err());
+        assert!(QualityGate::new(t).is_err());
+    }
+
+    #[test]
+    fn reasons_render() {
+        for r in [
+            InconclusiveReason::TooShort { len: 1 },
+            InconclusiveReason::Flatline,
+            InconclusiveReason::ExcessiveGaps { gap_fraction: 0.5 },
+            InconclusiveReason::LongFreeze { run: 40 },
+            InconclusiveReason::LowEffectiveRate { rate: 3.0 },
+            InconclusiveReason::NonFinite { count: 7 },
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -8,8 +8,9 @@
 //! can be triggered multiple times during the real-time video chat"
 //! (Sec. III-B).
 
-use crate::detector::{Detection, Detector};
-use crate::voting::combine_votes;
+use crate::detector::{ClipOutcome, Detection, Detector};
+use crate::quality::{GateDecision, QualityGate};
+use crate::voting::{combine_votes_gated, FusedStatus};
 use crate::{CoreError, Result};
 use lumen_chat::trace::{ScenarioKind, TracePair};
 use lumen_dsp::Signal;
@@ -32,10 +33,59 @@ pub enum SessionStatus {
 pub struct ClipVerdict {
     /// Index of the completed clip (0-based).
     pub clip_index: usize,
-    /// The single-clip detection result.
-    pub detection: Detection,
+    /// The single-clip outcome: a detection, or an abstention when the
+    /// quality gate withheld the clip.
+    pub outcome: ClipOutcome,
     /// The fused session status after this clip.
     pub status: SessionStatus,
+    /// `true` when the inconclusive-clip watchdog asks the caller to
+    /// re-trigger a detection round (e.g. prompt fresh luminance activity)
+    /// rather than keep waiting out a degraded stretch.
+    pub retrigger: bool,
+}
+
+impl ClipVerdict {
+    /// The underlying detection, when the clip was conclusive.
+    pub fn detection(&self) -> Option<&Detection> {
+        self.outcome.detection()
+    }
+}
+
+/// Escalating re-trigger schedule for runs of inconclusive clips: fire
+/// after 2 consecutive abstentions, then back off exponentially (4, 8, 16,
+/// 16, …) so a long outage does not spam re-challenges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Watchdog {
+    consecutive: usize,
+    threshold: usize,
+}
+
+const WATCHDOG_BASE: usize = 2;
+const WATCHDOG_CAP: usize = 16;
+
+impl Watchdog {
+    fn new() -> Self {
+        Watchdog {
+            consecutive: 0,
+            threshold: WATCHDOG_BASE,
+        }
+    }
+
+    /// Records one inconclusive clip; `true` when a re-trigger fires.
+    fn inconclusive(&mut self) -> bool {
+        self.consecutive += 1;
+        if self.consecutive >= self.threshold {
+            self.consecutive = 0;
+            self.threshold = (self.threshold * 2).min(WATCHDOG_CAP);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn conclusive(&mut self) {
+        *self = Watchdog::new();
+    }
 }
 
 /// Buffers per-tick luminance samples and triggers clip detections.
@@ -49,6 +99,9 @@ pub struct StreamingDetector {
     history: VecDeque<bool>,
     clips_done: usize,
     last_status: SessionStatus,
+    gate: Option<QualityGate>,
+    min_conclusive: usize,
+    watchdog: Watchdog,
 }
 
 impl StreamingDetector {
@@ -87,7 +140,42 @@ impl StreamingDetector {
             history: VecDeque::with_capacity(window),
             clips_done: 0,
             last_status: SessionStatus::Gathering,
+            gate: None,
+            min_conclusive: 1,
+            watchdog: Watchdog::new(),
         })
+    }
+
+    /// Enables quality gating: clips are screened before voting, degraded
+    /// clips abstain ([`ClipOutcome::Inconclusive`]) instead of casting a
+    /// misleading vote, and [`StreamingDetector::push`] accepts non-finite
+    /// samples (the gate handles them) rather than erroring.
+    pub fn with_quality_gate(mut self, gate: QualityGate) -> Self {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// Minimum number of conclusive votes required before the fused status
+    /// leaves [`SessionStatus::Gathering`] (default 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `n` is zero or exceeds
+    /// the voting window.
+    pub fn with_min_conclusive(mut self, n: usize) -> Result<Self> {
+        if n == 0 || n > self.window {
+            return Err(CoreError::invalid_config(
+                "min_conclusive",
+                "must lie in [1, window]",
+            ));
+        }
+        self.min_conclusive = n;
+        Ok(self)
+    }
+
+    /// The active quality gate, if gating is enabled.
+    pub fn gate(&self) -> Option<&QualityGate> {
+        self.gate.as_ref()
     }
 
     /// Number of samples per clip.
@@ -100,17 +188,20 @@ impl StreamingDetector {
         self.clips_done
     }
 
-    /// The current fused status.
+    /// The current fused status. Inconclusive clips never enter the
+    /// history, so a degraded stretch extends the effective window instead
+    /// of forcing a verdict; until `min_conclusive` real votes accumulate
+    /// the status stays [`SessionStatus::Gathering`].
     pub fn status(&self) -> SessionStatus {
         if self.history.is_empty() {
             return SessionStatus::Gathering;
         }
-        let votes: Vec<bool> = self.history.iter().copied().collect();
+        let votes: Vec<Option<bool>> = self.history.iter().map(|&v| Some(v)).collect();
         let coefficient = self.detector.config().vote_coefficient;
-        match combine_votes(&votes, coefficient) {
-            Ok(true) => SessionStatus::Trusted,
-            Ok(false) => SessionStatus::Alert,
-            Err(_) => SessionStatus::Gathering,
+        match combine_votes_gated(&votes, coefficient, self.min_conclusive) {
+            Ok(FusedStatus::Accepted) => SessionStatus::Trusted,
+            Ok(FusedStatus::Rejected) => SessionStatus::Alert,
+            Ok(FusedStatus::Inconclusive) | Err(_) => SessionStatus::Gathering,
         }
     }
 
@@ -120,36 +211,52 @@ impl StreamingDetector {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConfig`] for non-finite samples and
-    /// propagates detection errors.
+    /// Without a quality gate, returns [`CoreError::InvalidConfig`] for
+    /// non-finite samples; with one, non-finite samples are buffered for
+    /// the gate to judge. Detection errors propagate either way.
     pub fn push(&mut self, tx_luma: f64, rx_luma: f64) -> Result<Option<ClipVerdict>> {
-        if !tx_luma.is_finite() || !rx_luma.is_finite() {
+        if self.gate.is_none() && (!tx_luma.is_finite() || !rx_luma.is_finite()) {
             return Err(CoreError::invalid_config(
                 "sample",
                 "luminance samples must be finite",
             ));
         }
-        self.tx_buffer.push(tx_luma.clamp(0.0, 255.0));
-        self.rx_buffer.push(rx_luma.clamp(0.0, 255.0));
+        let clamp = |v: f64| {
+            if v.is_finite() {
+                v.clamp(0.0, 255.0)
+            } else {
+                v
+            }
+        };
+        self.tx_buffer.push(clamp(tx_luma));
+        self.rx_buffer.push(clamp(rx_luma));
         if self.tx_buffer.len() < self.clip_samples {
             return Ok(None);
         }
         let rate = self.detector.config().sample_rate;
-        let pair = TracePair {
-            tx: Signal::new(std::mem::take(&mut self.tx_buffer), rate)?,
-            rx: Signal::new(std::mem::take(&mut self.rx_buffer), rate)?,
-            kind: ScenarioKind::Legitimate { user: 0 }, // unknown at runtime
-            seed: 0,
-            forward_delay: 0.0,
-        };
-        let detection = self.detector.detect(&pair)?;
-        if self.history.len() == self.window {
-            self.history.pop_front();
+        let tx_raw = std::mem::take(&mut self.tx_buffer);
+        let rx_raw = std::mem::take(&mut self.rx_buffer);
+        let outcome = self.judge_clip(tx_raw, rx_raw, rate)?;
+        let recorder = self.detector.recorder().clone();
+        let mut retrigger = false;
+        match outcome.accepted() {
+            Some(accepted) => {
+                if self.history.len() == self.window {
+                    self.history.pop_front();
+                }
+                self.history.push_back(accepted);
+                self.watchdog.conclusive();
+            }
+            None => {
+                retrigger = self.watchdog.inconclusive();
+                if retrigger {
+                    recorder.add("stream.watchdog_retrigger", 1);
+                    recorder.mark("stream.watchdog", "re-trigger detection round");
+                }
+            }
         }
-        self.history.push_back(detection.accepted);
         let clip_index = self.clips_done;
         self.clips_done += 1;
-        let recorder = self.detector.recorder().clone();
         let status = {
             let _stage = recorder.span(stage::VOTE_FUSION);
             self.status()
@@ -164,9 +271,49 @@ impl StreamingDetector {
         }
         Ok(Some(ClipVerdict {
             clip_index,
-            detection,
+            outcome,
             status,
+            retrigger,
         }))
+    }
+
+    /// Judges one complete clip from its raw buffers: gate (when enabled),
+    /// repair, detect.
+    fn judge_clip(&self, tx_raw: Vec<f64>, rx_raw: Vec<f64>, rate: f64) -> Result<ClipOutcome> {
+        let Some(gate) = &self.gate else {
+            let pair = TracePair {
+                tx: Signal::new(tx_raw, rate)?,
+                rx: Signal::new(rx_raw, rate)?,
+                kind: ScenarioKind::Legitimate { user: 0 }, // unknown at runtime
+                seed: 0,
+                forward_delay: 0.0,
+            };
+            return Ok(ClipOutcome::Conclusive(self.detector.detect(&pair)?));
+        };
+        // The transmitted trace is produced locally, but a broken capture
+        // path can still flatline or corrupt it — screen it quietly.
+        let tx_samples = match gate.screen(&tx_raw, rate).decision {
+            GateDecision::Inconclusive(reason) => {
+                self.detector.recorder().add("detect.inconclusive", 1);
+                return Ok(ClipOutcome::Inconclusive(reason));
+            }
+            GateDecision::Pass { samples, .. } => samples,
+        };
+        // The received trace carries the channel damage; screen it with
+        // full instrumentation.
+        match self.detector.screen_recorded(&rx_raw, rate, gate).decision {
+            GateDecision::Inconclusive(reason) => Ok(ClipOutcome::Inconclusive(reason)),
+            GateDecision::Pass { samples, .. } => {
+                let pair = TracePair {
+                    tx: Signal::new(tx_samples, rate)?,
+                    rx: Signal::new(samples, rate)?,
+                    kind: ScenarioKind::Legitimate { user: 0 }, // unknown at runtime
+                    seed: 0,
+                    forward_delay: 0.0,
+                };
+                Ok(ClipOutcome::Conclusive(self.detector.detect(&pair)?))
+            }
+        }
     }
 
     /// Drops any partial clip and the voting history (e.g. after the remote
@@ -176,6 +323,7 @@ impl StreamingDetector {
         self.rx_buffer.clear();
         self.history.clear();
         self.last_status = SessionStatus::Gathering;
+        self.watchdog = Watchdog::new();
     }
 }
 
@@ -277,5 +425,113 @@ mod tests {
         let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
         assert!(stream.push(f64::NAN, 100.0).is_err());
         assert!(stream.push(100.0, f64::INFINITY).is_err());
+    }
+
+    fn gated(window: usize) -> StreamingDetector {
+        StreamingDetector::new(detector(), 15.0, window)
+            .unwrap()
+            .with_quality_gate(QualityGate::default())
+    }
+
+    #[test]
+    fn gated_stream_still_trusts_clean_clips() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = gated(3);
+        for seed in 0..3u64 {
+            feed(&mut stream, &chats.legitimate(0, 82_000 + seed).unwrap());
+        }
+        assert_eq!(stream.status(), SessionStatus::Trusted);
+    }
+
+    #[test]
+    fn all_dropped_clip_is_inconclusive_not_alert() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = gated(3);
+        let pair = chats.legitimate(0, 87_000).unwrap();
+        // Every rx frame lost: the receiver re-displays one held frame.
+        let mut verdicts = Vec::new();
+        for &tx in pair.tx.samples() {
+            if let Some(v) = stream.push(tx, 120.0).unwrap() {
+                verdicts.push(v);
+            }
+        }
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].outcome.is_inconclusive());
+        assert_eq!(verdicts[0].status, SessionStatus::Gathering);
+        assert_eq!(stream.status(), SessionStatus::Gathering);
+    }
+
+    #[test]
+    fn flatline_and_nan_feed_never_panics_or_votes() {
+        let mut stream = gated(3);
+        // A dead camera: NaN for half a clip, a stuck value for the rest.
+        for i in 0..stream.clip_samples() * 2 {
+            let rx = if i % 2 == 0 { f64::NAN } else { 55.0 };
+            let v = stream.push(110.0, rx).unwrap();
+            if let Some(v) = v {
+                assert!(v.outcome.is_inconclusive());
+                assert_ne!(v.status, SessionStatus::Alert);
+            }
+        }
+        assert_eq!(stream.status(), SessionStatus::Gathering);
+    }
+
+    #[test]
+    fn skewed_feed_does_not_false_alert() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = gated(3);
+        let pair = chats.legitimate(0, 88_000).unwrap();
+        // Severe clock skew: the rx timeline runs at half speed, so every
+        // rx sample is displayed twice.
+        for (i, &tx) in pair.tx.samples().iter().enumerate() {
+            let rx = pair.rx.samples()[i / 2];
+            if let Some(v) = stream.push(tx, rx).unwrap() {
+                assert_ne!(v.status, SessionStatus::Alert);
+            }
+        }
+        assert_ne!(stream.status(), SessionStatus::Alert);
+    }
+
+    #[test]
+    fn watchdog_retriggers_with_backoff() {
+        let mut stream = gated(3);
+        // Nine consecutive flatline (inconclusive) clips: the watchdog
+        // fires after 2, then 4 more, then the threshold caps per the
+        // schedule — never every clip.
+        let mut fired = Vec::new();
+        for clip in 0..9 {
+            for _ in 0..stream.clip_samples() {
+                if let Some(v) = stream.push(100.0, 42.0).unwrap() {
+                    if v.retrigger {
+                        fired.push(clip);
+                    }
+                }
+            }
+        }
+        assert_eq!(fired, vec![1, 5], "backoff schedule {fired:?}");
+        // A conclusive clip resets the schedule.
+        let chats = ScenarioBuilder::default();
+        feed(&mut stream, &chats.legitimate(0, 89_000).unwrap());
+        assert_eq!(stream.clips_done(), 10);
+    }
+
+    #[test]
+    fn gate_accepts_non_finite_pushes() {
+        let mut stream = gated(3);
+        assert!(stream.push(f64::NAN, 100.0).unwrap().is_none());
+        assert!(stream.push(100.0, f64::INFINITY).unwrap().is_none());
+    }
+
+    #[test]
+    fn min_conclusive_holds_status_at_gathering() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = gated(3).with_min_conclusive(2).unwrap();
+        feed(&mut stream, &chats.legitimate(0, 90_000).unwrap());
+        // One conclusive vote is below the floor of two.
+        assert_eq!(stream.status(), SessionStatus::Gathering);
+        feed(&mut stream, &chats.legitimate(0, 90_001).unwrap());
+        assert_eq!(stream.status(), SessionStatus::Trusted);
+        assert!(gated(3).with_min_conclusive(0).is_err());
+        assert!(gated(3).with_min_conclusive(4).is_err());
     }
 }

@@ -44,6 +44,64 @@ pub fn combine_votes(accepted_votes: &[bool], coefficient: f64) -> Result<bool> 
     Ok(rejections as f64 <= coefficient * accepted_votes.len() as f64)
 }
 
+/// The fused status of a quality-aware voting round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedStatus {
+    /// The conclusive votes accept the remote party.
+    Accepted,
+    /// The conclusive votes flag the remote party as an attacker.
+    Rejected,
+    /// Too few conclusive votes to decide either way.
+    Inconclusive,
+}
+
+/// Quality-aware [`combine_votes`]: each round's vote is `Some(accepted)`
+/// or `None` when the clip was withheld by the quality gate. Inconclusive
+/// rounds are excluded from the paper's `rejections > c × D` rule — they
+/// reflect the channel, not the callee — and when fewer than
+/// `min_conclusive` real votes remain the fusion abstains instead of
+/// deciding on noise.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for an empty vote list, a
+/// coefficient outside `[0, 1]`, or a zero `min_conclusive`.
+pub fn combine_votes_gated(
+    votes: &[Option<bool>],
+    coefficient: f64,
+    min_conclusive: usize,
+) -> Result<FusedStatus> {
+    if votes.is_empty() {
+        return Err(CoreError::invalid_config(
+            "votes",
+            "at least one detection round is required",
+        ));
+    }
+    if min_conclusive == 0 {
+        return Err(CoreError::invalid_config(
+            "min_conclusive",
+            "must be non-zero",
+        ));
+    }
+    let conclusive: Vec<bool> = votes.iter().filter_map(|v| *v).collect();
+    if conclusive.len() < min_conclusive {
+        // Still validate the coefficient so a bad configuration surfaces
+        // on the first round rather than the first conclusive one.
+        if !(0.0..=1.0).contains(&coefficient) {
+            return Err(CoreError::invalid_config(
+                "vote_coefficient",
+                "must lie in [0, 1]",
+            ));
+        }
+        return Ok(FusedStatus::Inconclusive);
+    }
+    Ok(if combine_votes(&conclusive, coefficient)? {
+        FusedStatus::Accepted
+    } else {
+        FusedStatus::Rejected
+    })
+}
+
 /// A detector wrapper that triggers `rounds` detections and fuses them by
 /// majority voting.
 #[derive(Debug, Clone)]
@@ -131,6 +189,49 @@ mod tests {
         assert!(combine_votes(&[true], 1.5).is_err());
         assert!(combine_votes(&[true], 0.0).unwrap());
         assert!(!combine_votes(&[false], 0.0).unwrap());
+    }
+
+    #[test]
+    fn gated_votes_exclude_inconclusive_rounds() {
+        // Three conclusive rejections among two abstentions: D_effective=3,
+        // rejections 3 > 0.7*3 -> rejected.
+        let votes = [Some(false), None, Some(false), None, Some(false)];
+        assert_eq!(
+            combine_votes_gated(&votes, 0.7, 1).unwrap(),
+            FusedStatus::Rejected
+        );
+        // The same rejections diluted by conclusive accepts: 3 <= 0.7*5.
+        let votes = [
+            Some(false),
+            Some(true),
+            Some(false),
+            Some(true),
+            Some(false),
+        ];
+        assert_eq!(
+            combine_votes_gated(&votes, 0.7, 1).unwrap(),
+            FusedStatus::Accepted
+        );
+    }
+
+    #[test]
+    fn gated_votes_abstain_below_floor() {
+        assert_eq!(
+            combine_votes_gated(&[None, None, Some(true)], 0.7, 2).unwrap(),
+            FusedStatus::Inconclusive
+        );
+        assert_eq!(
+            combine_votes_gated(&[None, None], 0.7, 1).unwrap(),
+            FusedStatus::Inconclusive
+        );
+    }
+
+    #[test]
+    fn gated_votes_validate() {
+        assert!(combine_votes_gated(&[], 0.7, 1).is_err());
+        assert!(combine_votes_gated(&[Some(true)], 0.7, 0).is_err());
+        assert!(combine_votes_gated(&[None], 1.5, 1).is_err());
+        assert!(combine_votes_gated(&[Some(true)], 1.5, 1).is_err());
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub fn remove_mean(signal: &Signal) -> Result<Signal> {
 ///
 /// # Errors
 ///
-/// Returns [`DspError::EmptySignal`] for an empty signal.
+/// Returns [`DspError::EmptySignal`] for an empty signal and
+/// [`DspError::TooShort`] for a single sample (a line fit needs two
+/// points).
 ///
 /// # Example
 ///
@@ -42,6 +44,7 @@ pub fn remove_linear(signal: &Signal) -> Result<Signal> {
     if signal.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    crate::guard::ensure_min_len(signal.samples(), 2)?;
     let n = signal.len() as f64;
     let x = signal.samples();
     // Least squares on index: slope = cov(i, x) / var(i).
@@ -88,10 +91,12 @@ mod tests {
     }
 
     #[test]
-    fn remove_linear_single_sample_is_zero() {
+    fn remove_linear_single_sample_errors_typed() {
         let s = Signal::new(vec![42.0], 10.0).unwrap();
-        let out = remove_linear(&s).unwrap();
-        assert_eq!(out.samples(), &[0.0]);
+        assert_eq!(
+            remove_linear(&s).unwrap_err(),
+            DspError::TooShort { len: 1, min: 2 }
+        );
     }
 
     #[test]

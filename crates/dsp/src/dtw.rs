@@ -6,6 +6,7 @@
 //! `min(insert, delete, match)` recurrence; an optional Sakoe–Chiba band
 //! bounds the warping for long inputs.
 
+use crate::guard::{ensure_finite, ensure_min_len};
 use crate::{DspError, Result};
 
 /// Unconstrained DTW distance between `x` and `y`.
@@ -39,11 +40,17 @@ pub fn dtw_distance(x: &[f64], y: &[f64]) -> Result<f64> {
 ///
 /// # Errors
 ///
-/// Returns [`DspError::EmptySignal`] when either input is empty.
+/// Returns [`DspError::EmptySignal`] when either input is empty,
+/// [`DspError::TooShort`] when either holds a single sample, and
+/// [`DspError::NonFiniteSample`] for NaN/infinite samples.
 pub fn dtw_distance_banded(x: &[f64], y: &[f64], band: Option<usize>) -> Result<f64> {
     if x.is_empty() || y.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    ensure_min_len(x, 2)?;
+    ensure_min_len(y, 2)?;
+    ensure_finite(x)?;
+    ensure_finite(y)?;
     let n = x.len();
     let m = y.len();
     let band = band.map(|b| b.max(n.abs_diff(m))).unwrap_or(n.max(m));
@@ -85,11 +92,17 @@ pub fn dtw_distance_banded(x: &[f64], y: &[f64], band: Option<usize>) -> Result<
 ///
 /// # Errors
 ///
-/// Returns [`DspError::EmptySignal`] when either input is empty.
+/// Returns [`DspError::EmptySignal`] when either input is empty,
+/// [`DspError::TooShort`] when either holds a single sample, and
+/// [`DspError::NonFiniteSample`] for NaN/infinite samples.
 pub fn dtw_with_path(x: &[f64], y: &[f64]) -> Result<(f64, Vec<(usize, usize)>)> {
     if x.is_empty() || y.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    ensure_min_len(x, 2)?;
+    ensure_min_len(y, 2)?;
+    ensure_finite(x)?;
+    ensure_finite(y)?;
     let n = x.len();
     let m = y.len();
     let mut dp = vec![f64::INFINITY; (n + 1) * (m + 1)];
@@ -137,9 +150,34 @@ mod tests {
 
     #[test]
     fn empty_inputs_error() {
-        assert!(dtw_distance(&[], &[1.0]).is_err());
-        assert!(dtw_distance(&[1.0], &[]).is_err());
+        assert!(dtw_distance(&[], &[1.0, 2.0]).is_err());
+        assert!(dtw_distance(&[1.0, 2.0], &[]).is_err());
         assert!(dtw_with_path(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn single_sample_inputs_error_typed() {
+        assert_eq!(
+            dtw_distance(&[1.0], &[1.0, 2.0]),
+            Err(DspError::TooShort { len: 1, min: 2 })
+        );
+        assert_eq!(
+            dtw_with_path(&[1.0, 2.0], &[3.0]).unwrap_err(),
+            DspError::TooShort { len: 1, min: 2 }
+        );
+    }
+
+    #[test]
+    fn non_finite_inputs_error_typed() {
+        assert_eq!(
+            dtw_distance(&[1.0, f64::NAN], &[1.0, 2.0]),
+            Err(DspError::NonFiniteSample { index: 1 })
+        );
+        assert_eq!(
+            dtw_distance(&[1.0, 2.0], &[f64::INFINITY, 2.0]),
+            Err(DspError::NonFiniteSample { index: 0 })
+        );
+        assert!(dtw_with_path(&[1.0, 2.0], &[f64::NEG_INFINITY, 0.0]).is_err());
     }
 
     #[test]

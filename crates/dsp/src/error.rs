@@ -34,6 +34,13 @@ pub enum DspError {
         /// Index of the first offending sample.
         index: usize,
     },
+    /// The operation requires more samples than were provided.
+    TooShort {
+        /// Provided length.
+        len: usize,
+        /// Minimum required length.
+        min: usize,
+    },
 }
 
 impl DspError {
@@ -64,6 +71,12 @@ impl fmt::Display for DspError {
             }
             DspError::NonFiniteSample { index } => {
                 write!(f, "non-finite sample at index {index}")
+            }
+            DspError::TooShort { len, min } => {
+                write!(
+                    f,
+                    "signal of {len} samples is shorter than the minimum {min}"
+                )
             }
         }
     }

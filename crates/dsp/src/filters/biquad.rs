@@ -76,8 +76,10 @@ impl Biquad {
 ///
 /// # Errors
 ///
-/// Returns [`DspError::EmptySignal`] for an empty input and propagates
-/// design errors of [`Biquad::butterworth_lowpass`].
+/// Returns [`DspError::EmptySignal`] for an empty input,
+/// [`DspError::TooShort`] for a single sample (no frequency content to
+/// filter), and propagates design errors of
+/// [`Biquad::butterworth_lowpass`].
 ///
 /// # Example
 ///
@@ -95,6 +97,7 @@ pub fn filtfilt_lowpass(signal: &Signal, cutoff_hz: f64) -> Result<Signal> {
     if signal.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    crate::guard::ensure_min_len(signal.samples(), 2)?;
     let biquad = Biquad::butterworth_lowpass(cutoff_hz, signal.sample_rate())?;
     let x = signal.samples();
     let pad = (3.0 * signal.sample_rate() / cutoff_hz).ceil() as usize;
@@ -181,5 +184,14 @@ mod tests {
         let s = Signal::new(vec![1.0, 2.0, 3.0], 10.0).unwrap();
         let out = filtfilt_lowpass(&s, 1.0).unwrap();
         assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn single_sample_errors_typed() {
+        let s = Signal::new(vec![7.0], 10.0).unwrap();
+        assert_eq!(
+            filtfilt_lowpass(&s, 1.0).unwrap_err(),
+            DspError::TooShort { len: 1, min: 2 }
+        );
     }
 }

@@ -6,6 +6,7 @@
 //! function and normalized to unity DC gain, applied by same-length
 //! convolution with edge replication.
 
+use crate::guard::ensure_finite;
 use crate::window::WindowKind;
 use crate::{DspError, Result, Signal};
 use std::f64::consts::PI;
@@ -73,11 +74,14 @@ pub fn design_lowpass(
 ///
 /// # Errors
 ///
-/// Returns [`DspError::EmptySignal`] when either input is empty.
+/// Returns [`DspError::EmptySignal`] when either input is empty and
+/// [`DspError::NonFiniteSample`] for NaN/infinite samples or coefficients.
 pub fn convolve_same(x: &[f64], kernel: &[f64]) -> Result<Vec<f64>> {
     if x.is_empty() || kernel.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    ensure_finite(x)?;
+    ensure_finite(kernel)?;
     let n = x.len() as isize;
     let half = (kernel.len() / 2) as isize;
     let mut out = Vec::with_capacity(x.len());
@@ -103,7 +107,8 @@ pub fn convolve_same(x: &[f64], kernel: &[f64]) -> Result<Vec<f64>> {
 /// # Errors
 ///
 /// Propagates the design errors of [`design_lowpass`]; additionally returns
-/// [`DspError::EmptySignal`] for an empty input.
+/// [`DspError::EmptySignal`] for an empty input and [`DspError::TooShort`]
+/// for a single-sample input (no frequency content to filter).
 ///
 /// # Example
 ///
@@ -125,6 +130,7 @@ pub fn lowpass(signal: &Signal, cutoff_hz: f64) -> Result<Signal> {
     if signal.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    crate::guard::ensure_min_len(signal.samples(), 2)?;
     let ratio = signal.sample_rate() / cutoff_hz;
     let mut taps = (4.0 * ratio).ceil() as usize;
     taps = taps.max(5);
@@ -146,6 +152,7 @@ pub fn lowpass_with_taps(signal: &Signal, cutoff_hz: f64, taps: usize) -> Result
     if signal.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    crate::guard::ensure_min_len(signal.samples(), 2)?;
     let kernel = design_lowpass(taps, cutoff_hz, signal.sample_rate(), WindowKind::Hann)?;
     let filtered = convolve_same(signal.samples(), &kernel)?;
     Signal::new(filtered, signal.sample_rate())
@@ -238,5 +245,17 @@ mod tests {
     fn convolve_empty_errors() {
         assert!(convolve_same(&[], &[1.0]).is_err());
         assert!(convolve_same(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn convolve_non_finite_errors_typed() {
+        assert_eq!(
+            convolve_same(&[1.0, f64::NAN], &[1.0]),
+            Err(DspError::NonFiniteSample { index: 1 })
+        );
+        assert_eq!(
+            convolve_same(&[1.0, 2.0], &[f64::INFINITY]),
+            Err(DspError::NonFiniteSample { index: 0 })
+        );
     }
 }

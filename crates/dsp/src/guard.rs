@@ -1,0 +1,53 @@
+//! Input guards shared by the slice-based entry points.
+//!
+//! [`crate::Signal`] already enforces finite samples at construction, but
+//! the routines that accept raw `&[f64]` (DTW, cross-correlation,
+//! convolution) are reachable with NaN/infinity and degenerate lengths —
+//! exactly what a degraded capture path produces. These helpers turn those
+//! inputs into typed errors instead of silently poisoned arithmetic.
+
+use crate::{DspError, Result};
+
+/// Errors with [`DspError::NonFiniteSample`] at the first NaN/infinite
+/// sample.
+pub(crate) fn ensure_finite(samples: &[f64]) -> Result<()> {
+    if let Some(index) = samples.iter().position(|s| !s.is_finite()) {
+        return Err(DspError::NonFiniteSample { index });
+    }
+    Ok(())
+}
+
+/// Errors with [`DspError::TooShort`] when fewer than `min` samples are
+/// provided.
+pub(crate) fn ensure_min_len(samples: &[f64], min: usize) -> Result<()> {
+    if samples.len() < min {
+        return Err(DspError::TooShort {
+            len: samples.len(),
+            min,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_guard_reports_first_offender() {
+        assert!(ensure_finite(&[1.0, 2.0]).is_ok());
+        assert_eq!(
+            ensure_finite(&[1.0, f64::NAN, f64::INFINITY]),
+            Err(DspError::NonFiniteSample { index: 1 })
+        );
+    }
+
+    #[test]
+    fn length_guard_reports_minimum() {
+        assert!(ensure_min_len(&[1.0, 2.0], 2).is_ok());
+        assert_eq!(
+            ensure_min_len(&[1.0], 2),
+            Err(DspError::TooShort { len: 1, min: 2 })
+        );
+    }
+}

@@ -13,8 +13,10 @@ use crate::{DspError, Result, Signal};
 ///
 /// # Errors
 ///
-/// Returns [`DspError::EmptySignal`] for an empty input and
-/// [`DspError::InvalidSampleRate`] for a non-positive target rate.
+/// Returns [`DspError::EmptySignal`] for an empty input,
+/// [`DspError::TooShort`] for a single-sample input (nothing to
+/// interpolate between), and [`DspError::InvalidSampleRate`] for a
+/// non-positive target rate.
 ///
 /// # Example
 ///
@@ -33,6 +35,7 @@ pub fn resample_linear(signal: &Signal, new_rate: f64) -> Result<Signal> {
     if signal.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    crate::guard::ensure_min_len(signal.samples(), 2)?;
     if !(new_rate.is_finite() && new_rate > 0.0) {
         return Err(DspError::InvalidSampleRate(new_rate));
     }
@@ -60,8 +63,8 @@ pub fn resample_linear(signal: &Signal, new_rate: f64) -> Result<Signal> {
 /// # Errors
 ///
 /// Returns [`DspError::InvalidParameter`] for a zero factor,
-/// [`DspError::EmptySignal`] for an empty signal, and propagates filter
-/// design errors.
+/// [`DspError::EmptySignal`] for an empty signal, [`DspError::TooShort`]
+/// for a single-sample signal, and propagates filter design errors.
 pub fn decimate(signal: &Signal, factor: usize) -> Result<Signal> {
     if factor == 0 {
         return Err(DspError::invalid_parameter("factor", "must be non-zero"));
@@ -69,6 +72,7 @@ pub fn decimate(signal: &Signal, factor: usize) -> Result<Signal> {
     if signal.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    crate::guard::ensure_min_len(signal.samples(), 2)?;
     if factor == 1 {
         return Ok(signal.clone());
     }
@@ -138,5 +142,15 @@ mod tests {
     fn decimate_rejects_zero() {
         let s = Signal::from_fn(10, 10.0, |t| t).unwrap();
         assert!(decimate(&s, 0).is_err());
+    }
+
+    #[test]
+    fn single_sample_errors_typed() {
+        let s = Signal::new(vec![5.0], 10.0).unwrap();
+        assert_eq!(
+            resample_linear(&s, 5.0),
+            Err(DspError::TooShort { len: 1, min: 2 })
+        );
+        assert_eq!(decimate(&s, 2), Err(DspError::TooShort { len: 1, min: 2 }));
     }
 }

@@ -5,6 +5,7 @@
 //! this module additionally provides a classical normalized-cross-correlation
 //! estimator used as a fallback when too few changes match.
 
+use crate::guard::{ensure_finite, ensure_min_len};
 use crate::{stats, DspError, Result, Signal};
 
 /// Normalized cross-correlation of `x` and `y` at integer lag `lag`:
@@ -31,11 +32,17 @@ pub fn normalized_xcorr_at(x: &[f64], y: &[f64], lag: isize) -> f64 {
 ///
 /// # Errors
 ///
-/// Returns [`DspError::EmptySignal`] when either input is empty.
+/// Returns [`DspError::EmptySignal`] when either input is empty,
+/// [`DspError::TooShort`] when either holds a single sample (no lag can be
+/// scored), and [`DspError::NonFiniteSample`] for NaN/infinite samples.
 pub fn best_lag(x: &[f64], y: &[f64], max_lag: usize) -> Result<(isize, f64)> {
     if x.is_empty() || y.is_empty() {
         return Err(DspError::EmptySignal);
     }
+    ensure_min_len(x, 2)?;
+    ensure_min_len(y, 2)?;
+    ensure_finite(x)?;
+    ensure_finite(y)?;
     let mut best = (0isize, f64::MIN);
     for lag in -(max_lag as isize)..=(max_lag as isize) {
         let c = normalized_xcorr_at(x, y, lag);
@@ -131,9 +138,25 @@ mod tests {
 
     #[test]
     fn empty_inputs_error() {
-        assert!(best_lag(&[], &[1.0], 3).is_err());
+        assert!(best_lag(&[], &[1.0, 2.0], 3).is_err());
         let x = Signal::new(vec![], 10.0).unwrap();
         let y = Signal::new(vec![1.0], 10.0).unwrap();
         assert!(estimate_delay(&x, &y, 1.0).is_err());
+    }
+
+    #[test]
+    fn degenerate_inputs_error_typed() {
+        assert_eq!(
+            best_lag(&[1.0], &[1.0, 2.0], 3),
+            Err(DspError::TooShort { len: 1, min: 2 })
+        );
+        assert_eq!(
+            best_lag(&[1.0, f64::NAN], &[1.0, 2.0], 3),
+            Err(DspError::NonFiniteSample { index: 1 })
+        );
+        assert_eq!(
+            best_lag(&[1.0, 2.0], &[f64::INFINITY, 2.0], 3),
+            Err(DspError::NonFiniteSample { index: 0 })
+        );
     }
 }

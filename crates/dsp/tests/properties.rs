@@ -63,6 +63,7 @@ proptest! {
 
     #[test]
     fn fir_lowpass_is_linear(x in finite_samples(48), a in -3.0f64..3.0) {
+        prop_assume!(x.len() >= 2);
         let sx = Signal::new(x.clone(), 10.0).unwrap();
         let scaled = Signal::new(x.iter().map(|v| a * v).collect(), 10.0).unwrap();
         let f1 = fir::lowpass(&sx, 1.0).unwrap();
@@ -119,11 +120,13 @@ proptest! {
 
     #[test]
     fn dtw_identity_is_zero(x in finite_samples(32)) {
+        prop_assume!(x.len() >= 2);
         prop_assert_eq!(dtw::dtw_distance(&x, &x).unwrap(), 0.0);
     }
 
     #[test]
     fn dtw_is_symmetric_and_non_negative(x in finite_samples(24), y in finite_samples(24)) {
+        prop_assume!(x.len() >= 2 && y.len() >= 2);
         let a = dtw::dtw_distance(&x, &y).unwrap();
         let b = dtw::dtw_distance(&y, &x).unwrap();
         prop_assert!(a >= 0.0);

@@ -51,6 +51,10 @@ const IDS: &[(&str, &str)] = &[
         "preprocessing-chain variants: median/detrend/no-threshold",
     ),
     ("related", "Lumen vs FaceLive-style vs flashing challenge"),
+    (
+        "resilience",
+        "FRR/FAR and abstention under burst loss / freeze / clock skew",
+    ),
     ("roc", "ROC curves and AUC per user and pooled"),
     ("cliplen", "clip-length sensitivity (8-30 s)"),
     ("occlusion", "TAR vs occlusion/burst disturbance intensity"),
@@ -93,6 +97,7 @@ fn run_one(id: &str, json: bool) -> ExpResult<String> {
             preproc_ablation::PreprocOpts::default()
         )?),
         "related" => emit!(related_work::run(related_work::RelatedWorkOpts::default())?),
+        "resilience" => emit!(resilience::run(resilience::ResilienceOpts::default())?),
         "roc" => emit!(roc_analysis::run(roc_analysis::RocOpts::default())?),
         "cliplen" => emit!(clip_length::run(clip_length::ClipLengthOpts::default())?),
         "occlusion" => emit!(occlusion::run(occlusion::OcclusionOpts::default())?),

@@ -33,6 +33,7 @@ pub mod panel;
 pub mod pipeline_stages;
 pub mod preproc_ablation;
 pub mod related_work;
+pub mod resilience;
 pub mod roc_analysis;
 pub mod runner;
 pub mod sampling_rate;

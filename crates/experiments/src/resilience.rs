@@ -1,0 +1,305 @@
+//! Resilience under channel faults (robustness extension): how do bursty
+//! loss, freeze episodes and clock skew degrade the defense, and how much
+//! does the signal-quality gate recover?
+//!
+//! Each condition trains on clean clips (the enrolment happens on a good
+//! link) and evaluates on an impaired link, comparing the ungated detector
+//! (every clip yields a vote, however mangled the signal) against the
+//! gated one (below-threshold clips abstain as inconclusive). FRR/FAR for
+//! the gated path are computed over conclusive clips only; the abstention
+//! rate is reported separately.
+
+use crate::runner::{pct, render_table};
+use crate::ExpResult;
+use lumen_chat::fault::{BurstLoss, FaultPlan};
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::dataset;
+use lumen_core::detector::{ClipOutcome, Detector};
+use lumen_core::quality::QualityGate;
+use lumen_core::Config;
+use lumen_obs::Recorder;
+use serde::{Deserialize, Serialize};
+
+/// Options for the resilience sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceOpts {
+    /// Volunteers per condition.
+    pub users: usize,
+    /// Clips per role per volunteer per condition.
+    pub clips: usize,
+    /// Clean training instances per volunteer.
+    pub train_count: usize,
+    /// Bad-state loss probabilities for the Gilbert–Elliott sweep.
+    pub burst_losses: Vec<f64>,
+    /// Freeze-episode durations to sweep, seconds.
+    pub freeze_durations: Vec<f64>,
+    /// Clock-skew factors to sweep.
+    pub skews: Vec<f64>,
+}
+
+impl Default for ResilienceOpts {
+    fn default() -> Self {
+        ResilienceOpts {
+            users: 2,
+            clips: 14,
+            train_count: 10,
+            burst_losses: vec![0.5, 0.9],
+            freeze_durations: vec![1.0, 3.0],
+            skews: vec![0.02, 0.08],
+        }
+    }
+}
+
+/// One impairment condition's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceRow {
+    /// Human-readable condition label.
+    pub condition: String,
+    /// FRR of the ungated detector (detection errors count as rejections).
+    pub frr_ungated: f64,
+    /// FRR of the gated detector over conclusive legitimate clips.
+    pub frr_gated: f64,
+    /// FAR of the gated detector over conclusive attack clips.
+    pub far_gated: f64,
+    /// Fraction of all clips (both roles) the gate abstained on.
+    pub inconclusive: f64,
+}
+
+/// The resilience result: one row per condition plus the fault/gate
+/// counters aggregated across the whole sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceResult {
+    /// Rows for the clean baseline and each impairment condition.
+    pub rows: Vec<ResilienceRow>,
+    /// Selected lumen-obs counters accumulated over the sweep
+    /// (`detect.inconclusive`, `chat.burst_losses`, ...).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ResilienceResult {
+    /// Renders the result as an aligned table plus a counter footer.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.condition.clone(),
+                    pct(r.frr_ungated),
+                    pct(r.frr_gated),
+                    pct(r.far_gated),
+                    pct(r.inconclusive),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            "Resilience — FRR/FAR and abstention under channel faults",
+            &[
+                "condition",
+                "FRR ungated",
+                "FRR gated",
+                "FAR gated",
+                "inconclusive",
+            ],
+            &rows,
+        );
+        out.push('\n');
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name}: {value}\n"));
+        }
+        out
+    }
+}
+
+/// Per-condition tally, pooled across users.
+#[derive(Default)]
+struct Tally {
+    legit_total: usize,
+    legit_rejected_ungated: usize,
+    legit_conclusive: usize,
+    legit_rejected_gated: usize,
+    attack_conclusive: usize,
+    attack_accepted_gated: usize,
+    inconclusive: usize,
+    total: usize,
+}
+
+impl Tally {
+    fn row(&self, condition: String) -> ResilienceRow {
+        let frac = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        ResilienceRow {
+            condition,
+            frr_ungated: frac(self.legit_rejected_ungated, self.legit_total),
+            frr_gated: frac(self.legit_rejected_gated, self.legit_conclusive),
+            far_gated: frac(self.attack_accepted_gated, self.attack_conclusive),
+            inconclusive: frac(self.inconclusive, self.total),
+        }
+    }
+}
+
+/// The sweep's condition list: a clean baseline, then one condition per
+/// sweep point.
+fn conditions(opts: &ResilienceOpts) -> Vec<(String, FaultPlan)> {
+    let mut out = vec![("clean".to_string(), FaultPlan::none())];
+    for &loss_bad in &opts.burst_losses {
+        out.push((
+            format!("burst {:.0}%", loss_bad * 100.0),
+            FaultPlan {
+                burst: BurstLoss::bursty(0.08, 6.0, loss_bad),
+                ..FaultPlan::none()
+            },
+        ));
+    }
+    for &duration in &opts.freeze_durations {
+        out.push((
+            format!("freeze {duration:.0} s"),
+            FaultPlan {
+                freeze_prob: 0.01,
+                freeze_duration: duration,
+                ..FaultPlan::none()
+            },
+        ));
+    }
+    for &skew in &opts.skews {
+        out.push((
+            format!("skew {:.0}%", skew * 100.0),
+            FaultPlan {
+                skew,
+                ..FaultPlan::none()
+            },
+        ));
+    }
+    out
+}
+
+/// Runs the resilience sweep.
+///
+/// # Errors
+///
+/// Propagates simulation, training and gated-detection errors. Ungated
+/// detection errors on mangled clips are *not* propagated — a pipeline
+/// that crashes on a degraded clip has rejected the caller, so they count
+/// as rejections (that brittleness is exactly what the gate removes).
+pub fn run(opts: ResilienceOpts) -> ExpResult<ResilienceResult> {
+    let config = Config::default();
+    let gate = QualityGate::default();
+    let (recorder, sink) = Recorder::in_memory();
+
+    // Enrol each volunteer once, on a clean link.
+    let clean = ScenarioBuilder::default();
+    let mut detectors = Vec::new();
+    for u in 0..opts.users {
+        let train = dataset::legitimate_features(
+            &clean,
+            u,
+            opts.train_count,
+            700_000 + u as u64 * 1_000,
+            &config,
+        )?;
+        detectors.push(Detector::train(&train, config)?.with_recorder(recorder.clone()));
+    }
+
+    let mut rows = Vec::new();
+    for (ci, (label, plan)) in conditions(&opts).into_iter().enumerate() {
+        let builder = ScenarioBuilder::default()
+            .with_faults(plan)
+            .with_recorder(recorder.clone());
+        let mut tally = Tally::default();
+        for (u, det) in detectors.iter().enumerate() {
+            let seed_base = 800_000 + (ci as u64) * 10_000 + (u as u64) * 1_000;
+            for i in 0..opts.clips as u64 {
+                let pair = builder.legitimate(u, seed_base + i)?;
+                tally.legit_total += 1;
+                tally.total += 1;
+                let accepted_ungated = det.detect(&pair).map(|d| d.accepted).unwrap_or(false);
+                if !accepted_ungated {
+                    tally.legit_rejected_ungated += 1;
+                }
+                match det.detect_gated(&pair, &gate)? {
+                    ClipOutcome::Conclusive(d) => {
+                        tally.legit_conclusive += 1;
+                        if !d.accepted {
+                            tally.legit_rejected_gated += 1;
+                        }
+                    }
+                    ClipOutcome::Inconclusive(_) => tally.inconclusive += 1,
+                }
+                let pair = builder.reenactment(u, seed_base + 500 + i)?;
+                tally.total += 1;
+                match det.detect_gated(&pair, &gate)? {
+                    ClipOutcome::Conclusive(d) => {
+                        tally.attack_conclusive += 1;
+                        if d.accepted {
+                            tally.attack_accepted_gated += 1;
+                        }
+                    }
+                    ClipOutcome::Inconclusive(_) => tally.inconclusive += 1,
+                }
+            }
+        }
+        rows.push(tally.row(label));
+    }
+
+    let registry = sink.registry();
+    let counters = [
+        "detect.inconclusive",
+        "detector.accepted",
+        "detector.rejected",
+        "chat.burst_losses",
+        "chat.freeze_losses",
+        "chat.random_losses",
+        "quality.repaired_samples",
+    ]
+    .iter()
+    .map(|&name| (name.to_string(), registry.counter(name)))
+    .collect();
+
+    Ok(ResilienceResult { rows, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ResilienceOpts {
+        ResilienceOpts {
+            users: 1,
+            clips: 6,
+            train_count: 10,
+            burst_losses: vec![0.9],
+            freeze_durations: vec![],
+            skews: vec![],
+        }
+    }
+
+    #[test]
+    fn sweep_produces_rows_and_counters() {
+        let r = run(small()).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].condition, "clean");
+        assert!(r.rows[0].inconclusive < 0.2, "clean link abstains rarely");
+        let losses = r
+            .counters
+            .iter()
+            .find(|(n, _)| n == "chat.burst_losses")
+            .unwrap()
+            .1;
+        assert!(losses > 0, "burst condition must lose packets");
+        let rendered = r.print();
+        assert!(rendered.contains("FRR gated"));
+        assert!(rendered.contains("chat.burst_losses"));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = run(small()).unwrap();
+        let b = run(small()).unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+}

@@ -60,6 +60,8 @@ pub mod stage {
     pub const LOF_SCORING: &str = "lof_scoring";
     /// Majority-vote fusion over the recent clip verdicts.
     pub const VOTE_FUSION: &str = "vote_fusion";
+    /// Signal-quality screening of a clip before any vote is cast.
+    pub const QUALITY_GATE: &str = "quality_gate";
 
     /// The four stages nested under [`DETECT`] plus the fusion stage, in
     /// pipeline order.

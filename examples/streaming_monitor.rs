@@ -11,6 +11,7 @@
 //! ```
 
 use lumen::chat::scenario::ScenarioBuilder;
+use lumen::core::quality::QualityGate;
 use lumen::core::stream::{SessionStatus, StreamingDetector};
 use lumen::core::{detector::Detector, Config};
 
@@ -21,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
     let detector = Detector::train_from_traces(&training, Config::default())?;
     let explainer = detector.clone();
-    let mut monitor = StreamingDetector::new(detector, 15.0, 3)?;
+    let mut monitor =
+        StreamingDetector::new(detector, 15.0, 3)?.with_quality_gate(QualityGate::default());
 
     // Clip sources: 3 genuine, then 3 attacker clips (stream hijack).
     let mut clips = Vec::new();
@@ -45,16 +47,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     SessionStatus::Trusted => "trusted",
                     SessionStatus::Alert => "ALERT",
                 };
-                let explanation = explainer.explain(&verdict.detection.features)?;
-                let note = if verdict.detection.accepted {
-                    String::from("-")
-                } else {
-                    format!("most deviant: {}", explanation.dominant_name())
-                };
-                println!(
-                    "{label:<10} {:>6} {:>8.2}  {status:<10} {note}",
-                    verdict.clip_index, verdict.detection.score,
-                );
+                match verdict.detection() {
+                    Some(detection) => {
+                        let explanation = explainer.explain(&detection.features)?;
+                        let note = if detection.accepted {
+                            String::from("-")
+                        } else {
+                            format!("most deviant: {}", explanation.dominant_name())
+                        };
+                        println!(
+                            "{label:<10} {:>6} {:>8.2}  {status:<10} {note}",
+                            verdict.clip_index, detection.score,
+                        );
+                    }
+                    None => println!(
+                        "{label:<10} {:>6} {:>8}  {status:<10} inconclusive (degraded clip)",
+                        verdict.clip_index, "-",
+                    ),
+                }
             }
         }
     }

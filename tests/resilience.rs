@@ -1,0 +1,141 @@
+//! Resilience acceptance tests: under heavy Gilbert–Elliott burst loss the
+//! signal-quality gate must strictly lower the legitimate false-rejection
+//! rate, and pathological clips (fully dropped, flatline) must come back
+//! `Inconclusive` — never a panic, never a silent vote.
+
+use lumen::chat::channel::ChannelConfig;
+use lumen::chat::fault::{BurstLoss, FaultPlan};
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::chat::stats::measure_channel_faulty;
+use lumen::chat::trace::{ScenarioKind, TracePair};
+use lumen::core::detector::{ClipOutcome, Detector};
+use lumen::core::quality::QualityGate;
+use lumen::core::stream::{SessionStatus, StreamingDetector};
+use lumen::core::Config;
+use lumen::dsp::Signal;
+use lumen::obs::Recorder;
+
+/// The heavy-loss plan used throughout: Gilbert–Elliott with ~36 %
+/// stationary loss (bad-state dwell of ~6 packets at 95 % loss).
+fn heavy_burst() -> FaultPlan {
+    FaultPlan {
+        burst: BurstLoss::bursty(0.1, 6.0, 0.95),
+        ..FaultPlan::none()
+    }
+}
+
+fn clean_detector() -> Detector {
+    let chats = ScenarioBuilder::default();
+    let training: Vec<_> = (0..12)
+        .map(|i| chats.legitimate(0, 60_000 + i).unwrap())
+        .collect();
+    Detector::train_from_traces(&training, Config::default()).unwrap()
+}
+
+#[test]
+fn burst_plan_reaches_thirty_percent_loss() {
+    let source = Signal::from_fn(300, 10.0, |t| 120.0 + 20.0 * (t * 0.8).sin()).unwrap();
+    let stats = measure_channel_faulty(
+        &source,
+        ChannelConfig::default(),
+        heavy_burst(),
+        41,
+        &Recorder::null(),
+    )
+    .unwrap();
+    assert!(
+        stats.loss >= 0.3,
+        "burst plan must lose at least 30% of packets, got {:.1}%",
+        stats.loss * 100.0
+    );
+}
+
+#[test]
+fn gating_strictly_lowers_legitimate_frr_under_burst_loss() {
+    let det = clean_detector();
+    let gate = QualityGate::default();
+    let degraded = ScenarioBuilder::default().with_faults(heavy_burst());
+
+    let clips = 30u64;
+    let mut rejected_ungated = 0usize;
+    let mut conclusive = 0usize;
+    let mut rejected_gated = 0usize;
+    let mut inconclusive = 0usize;
+    for i in 0..clips {
+        let pair = degraded.legitimate(0, 61_000 + i).unwrap();
+        // Ungated: every clip votes; a pipeline error on a mangled clip is
+        // a rejection of a genuine caller.
+        let accepted = det.detect(&pair).map(|d| d.accepted).unwrap_or(false);
+        if !accepted {
+            rejected_ungated += 1;
+        }
+        match det.detect_gated(&pair, &gate).unwrap() {
+            ClipOutcome::Conclusive(d) => {
+                conclusive += 1;
+                if !d.accepted {
+                    rejected_gated += 1;
+                }
+            }
+            ClipOutcome::Inconclusive(_) => inconclusive += 1,
+        }
+    }
+
+    let frr_ungated = rejected_ungated as f64 / clips as f64;
+    assert!(conclusive > 0, "some clips must survive the gate");
+    let frr_gated = rejected_gated as f64 / conclusive as f64;
+    assert!(
+        frr_gated < frr_ungated,
+        "gating must strictly lower FRR: gated {:.1}% vs ungated {:.1}% ({} inconclusive)",
+        frr_gated * 100.0,
+        frr_ungated * 100.0,
+        inconclusive
+    );
+}
+
+#[test]
+fn flatline_clip_is_inconclusive() {
+    let det = clean_detector();
+    let gate = QualityGate::default();
+    // Receiver frozen on one frame for the whole clip: zero peak-to-peak.
+    let tx = Signal::from_fn(150, 10.0, |t| 120.0 + 15.0 * (t * 0.7).sin()).unwrap();
+    let rx = Signal::new(vec![104.0; 150], 10.0).unwrap();
+    let pair = TracePair {
+        tx,
+        rx,
+        kind: ScenarioKind::Legitimate { user: 0 },
+        seed: 0,
+        forward_delay: 0.12,
+    };
+    let outcome = det.detect_gated(&pair, &gate).unwrap();
+    assert!(
+        matches!(outcome, ClipOutcome::Inconclusive(_)),
+        "flatline clip must abstain, got {outcome:?}"
+    );
+}
+
+#[test]
+fn streaming_detector_abstains_on_fully_dropped_clip() {
+    let det = clean_detector();
+    let mut monitor = StreamingDetector::new(det, 15.0, 3)
+        .unwrap()
+        .with_quality_gate(QualityGate::default());
+    let samples = monitor.clip_samples();
+    // Every receive tick lost: the display never gets a frame.
+    let mut verdicts = Vec::new();
+    for i in 0..samples {
+        let t = i as f64 / 10.0;
+        let tx = 120.0 + 15.0 * (t * 0.7).sin();
+        if let Some(v) = monitor.push(tx, f64::NAN).unwrap() {
+            verdicts.push(v);
+        }
+    }
+    assert_eq!(verdicts.len(), 1, "one clip must complete");
+    assert!(
+        verdicts[0].outcome.is_inconclusive(),
+        "fully-dropped clip must be inconclusive, got {:?}",
+        verdicts[0].outcome
+    );
+    // No conclusive evidence yet: the session must still be gathering, not
+    // alerting on a genuine caller with a dead link.
+    assert_eq!(monitor.status(), SessionStatus::Gathering);
+}
