@@ -59,6 +59,8 @@ impl AdaptiveForger {
         let synth = ReflectionSynth::new(self.conditions);
         let genuine = synth.synthesize(tx, victim, seed)?;
         let delayed = genuine.shift(self.forgery_delay);
+        // lint:allow(float-eq): exact zero is the configured "no gain
+        // error" sentinel, not a computed value
         if self.gain_error == 0.0 {
             return Ok(delayed);
         }

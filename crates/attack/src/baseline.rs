@@ -77,12 +77,7 @@ impl BaselineDetector for NaiveTimestampDetector {
                 .iter()
                 .enumerate()
                 .filter(|(i, r)| !used[*i] && (*r - t).abs() <= self.tolerance_s)
-                .min_by(|a, b| {
-                    (a.1 - t)
-                        .abs()
-                        .partial_cmp(&(b.1 - t).abs())
-                        .expect("finite times")
-                });
+                .min_by(|a, b| (a.1 - t).abs().total_cmp(&(b.1 - t).abs()));
             if let Some((i, _)) = best {
                 used[i] = true;
                 matched += 1;

@@ -93,7 +93,10 @@ impl HeadMovementChallenge {
             .map(|&v| v * 0.95 + imu_noise.next(&mut rng_imu))
             .collect();
         (
+            // lint:allow(no-panic): trajectory and noise are finite by
+            // construction, so the blended samples are too
             Signal::new(pose, self.sample_rate).expect("finite"),
+            // lint:allow(no-panic): same finite-by-construction invariant
             Signal::new(imu, self.sample_rate).expect("finite"),
         )
     }
@@ -117,7 +120,10 @@ impl HeadMovementChallenge {
             .map(|&v| v + jitter.next(&mut rng))
             .collect();
         (
+            // lint:allow(no-panic): trajectory and noise are finite by
+            // construction, so the blended samples are too
             Signal::new(pose, self.sample_rate).expect("finite"),
+            // lint:allow(no-panic): same finite-by-construction invariant
             Signal::new(imu, self.sample_rate).expect("finite"),
         )
     }

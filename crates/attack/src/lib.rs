@@ -18,7 +18,8 @@
 //!   detectors used as comparison points in the benchmarks.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod adaptive;
 pub mod baseline;

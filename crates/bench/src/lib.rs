@@ -6,6 +6,10 @@
 //! a luminance signal extracted from a 15-second facial video". The benches
 //! in `benches/` regenerate those numbers on this implementation.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 use lumen_chat::scenario::ScenarioBuilder;
 use lumen_chat::trace::TracePair;
 use lumen_core::detector::Detector;

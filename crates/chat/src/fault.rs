@@ -93,10 +93,13 @@ impl BurstLoss {
     /// The stationary loss fraction of the chain (long-run expected loss),
     /// useful for labelling experiment conditions.
     pub fn stationary_loss(&self) -> f64 {
+        // lint:allow(float-eq): exact zero marks a degenerate chain that
+        // never enters the bad state
         if self.p_enter == 0.0 {
             return self.loss_good;
         }
         let denom = self.p_enter + self.p_exit;
+        // lint:allow(float-eq): exact zero marks an absorbing bad state
         if denom == 0.0 {
             // Absorbing bad state.
             return self.loss_bad;
@@ -175,6 +178,7 @@ impl FaultPlan {
             || self.black_frame_prob > 0.0
             || self.corrupt_prob > 0.0
             || self.duplicate_prob > 0.0
+            // lint:allow(float-eq): exact zero is the "no skew" default
             || self.skew != 0.0
     }
 

@@ -99,6 +99,7 @@ impl ScenarioBuilder {
     /// distance and one-way network delay wander within
     /// `±environment_jitter` (relative) around the template values.
     fn perturbed(&self, seed: u64) -> Result<(SynthConfig, SessionConfig)> {
+        // lint:allow(float-eq): exact zero is the "no jitter" sentinel
         if self.environment_jitter == 0.0 {
             return Ok((self.conditions, self.session));
         }

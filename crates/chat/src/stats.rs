@@ -103,7 +103,7 @@ pub fn measure_channel_faulty(
         }
         tick += 1;
     }
-    delays.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+    delays.sort_by(|a, b| a.total_cmp(b));
     let mean_delay = if delays.is_empty() {
         0.0
     } else {

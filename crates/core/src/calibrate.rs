@@ -68,9 +68,10 @@ impl Calibration {
                 "no finite training scores",
             ));
         }
-        scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
-        let q = lumen_dsp::stats::quantile(&scores, self.quantile)
-            .expect("scores verified non-empty above");
+        scores.sort_by(|a, b| a.total_cmp(b));
+        let q = lumen_dsp::stats::quantile(&scores, self.quantile).ok_or_else(|| {
+            CoreError::invalid_config("calibration", "quantile of empty score set")
+        })?;
         Ok((q * self.margin).max(self.min_threshold))
     }
 

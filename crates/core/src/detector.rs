@@ -321,7 +321,7 @@ impl Detector {
         let dominant = deviations
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite deviations"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         Ok(Explanation {

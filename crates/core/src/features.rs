@@ -52,7 +52,7 @@ pub fn match_changes(tx_times: &[f64], rx_times: &[f64], window: f64) -> Vec<(us
             }
         }
     }
-    candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite gaps"));
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut tx_used = vec![false; tx_times.len()];
     let mut rx_used = vec![false; rx_times.len()];
     let mut pairs = Vec::new();

@@ -102,10 +102,12 @@ pub fn equal_error_rate(sweep: &[SweepPoint]) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<SweepPoint> = sweep.to_vec();
-    sorted.sort_by(|a, b| a.threshold.partial_cmp(&b.threshold).expect("finite τ"));
+    sorted.sort_by(|a, b| a.threshold.total_cmp(&b.threshold));
     for w in sorted.windows(2) {
         let d0 = w[0].far - w[0].frr;
         let d1 = w[1].far - w[1].frr;
+        // lint:allow(float-eq): an exact FAR/FRR crossing at a sweep
+        // point is the equal-error rate by definition
         if d0 == 0.0 {
             return Some(w[0].far);
         }
@@ -124,12 +126,7 @@ pub fn equal_error_rate(sweep: &[SweepPoint]) -> Option<f64> {
     // No crossing: report the minimum gap point's mean as a best effort.
     sorted
         .iter()
-        .min_by(|a, b| {
-            (a.far - a.frr)
-                .abs()
-                .partial_cmp(&(b.far - b.frr).abs())
-                .expect("finite rates")
-        })
+        .min_by(|a, b| (a.far - a.frr).abs().total_cmp(&(b.far - b.frr).abs()))
         .map(|p| 0.5 * (p.far + p.frr))
 }
 

@@ -50,7 +50,7 @@ pub fn roc_curve(legit_scores: &[f64], attack_scores: &[f64]) -> Result<RocCurve
         return Err(CoreError::invalid_config("scores", "scores must be finite"));
     }
     let mut thresholds: Vec<f64> = legit_scores.iter().chain(attack_scores).copied().collect();
-    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    thresholds.sort_by(|a, b| a.total_cmp(b));
     thresholds.dedup();
 
     let mut points = Vec::with_capacity(thresholds.len() + 2);
@@ -71,12 +71,7 @@ pub fn roc_curve(legit_scores: &[f64], attack_scores: &[f64]) -> Result<RocCurve
             fpr,
         });
     }
-    points.sort_by(|a, b| {
-        a.fpr
-            .partial_cmp(&b.fpr)
-            .expect("finite rates")
-            .then(a.tpr.partial_cmp(&b.tpr).expect("finite rates"))
-    });
+    points.sort_by(|a, b| a.fpr.total_cmp(&b.fpr).then(a.tpr.total_cmp(&b.tpr)));
     // Trapezoidal AUC over FPR.
     let mut auc = 0.0;
     for w in points.windows(2) {

@@ -57,6 +57,8 @@ pub fn remove_linear(signal: &Signal) -> Result<Signal> {
         cov += di * (v - mean_x);
         var_i += di * di;
     }
+    // lint:allow(float-eq): exactly zero variance means a single sample
+    // or constant index weighting; the slope is zero by definition there
     let slope = if var_i == 0.0 { 0.0 } else { cov / var_i };
     let samples: Vec<f64> = x
         .iter()

@@ -152,7 +152,7 @@ impl Spectrum {
             .iter()
             .zip(&self.magnitudes)
             .skip(1)
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite magnitudes"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(f, _)| *f)
     }
 

@@ -49,6 +49,8 @@ pub fn median_filter(signal: &Signal, window: usize) -> Result<Signal> {
         .map(|i| {
             let start = i.saturating_sub(half_left);
             let end = (i + half_right + 1).min(x.len());
+            // lint:allow(no-panic): start <= i < end, so the window always
+            // holds at least sample i
             crate::stats::median(&x[start..end]).expect("window is non-empty")
         })
         .collect();

@@ -28,12 +28,12 @@ use crate::{DspError, Result, Signal};
 /// # }
 /// ```
 pub fn normalize_min_max(signal: &Signal) -> Result<Signal> {
-    if signal.is_empty() {
+    let (Some(min), Some(max)) = (signal.min(), signal.max()) else {
         return Err(DspError::EmptySignal);
-    }
-    let min = signal.min().expect("non-empty");
-    let max = signal.max().expect("non-empty");
+    };
     let range = max - min;
+    // lint:allow(float-eq): exact zero marks a constant signal; any other
+    // range is a valid divisor
     if range == 0.0 {
         return signal.try_map(|_| 0.0);
     }
@@ -53,6 +53,8 @@ pub fn normalize_zscore(signal: &Signal) -> Result<Signal> {
     }
     let mean = signal.mean();
     let std = crate::stats::stddev_population(signal.samples());
+    // lint:allow(float-eq): exact zero marks a constant signal; any other
+    // deviation is a valid divisor
     if std == 0.0 {
         return signal.try_map(|_| 0.0);
     }

@@ -137,12 +137,7 @@ pub fn find_peaks(x: &[f64], config: &PeakConfig) -> Vec<Peak> {
         if dist > 1 {
             // Keep highest peaks first, discard any within `dist` of a kept one.
             let mut order: Vec<usize> = (0..peaks.len()).collect();
-            order.sort_by(|&a, &b| {
-                peaks[b]
-                    .height
-                    .partial_cmp(&peaks[a].height)
-                    .expect("finite heights")
-            });
+            order.sort_by(|&a, &b| peaks[b].height.total_cmp(&peaks[a].height));
             let mut keep = vec![true; peaks.len()];
             for &i in &order {
                 if !keep[i] {

@@ -138,6 +138,8 @@ impl Signal {
     /// a fallible variant.
     pub fn map(&self, f: impl FnMut(f64) -> f64) -> Signal {
         self.try_map(f)
+            // lint:allow(no-panic): the panic is this method's documented
+            // contract; try_map is the total variant
             .expect("map closure produced a non-finite sample")
     }
 

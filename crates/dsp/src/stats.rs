@@ -115,6 +115,8 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
     }
     let sx = stddev_population(x);
     let sy = stddev_population(y);
+    // lint:allow(float-eq): an exactly zero stddev marks a constant input,
+    // for which Pearson correlation is undefined; we define it as 0
     if sx == 0.0 || sy == 0.0 {
         return Ok(0.0);
     }
@@ -150,7 +152,7 @@ pub fn median(data: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median requires finite samples"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len();
     Some(if n % 2 == 1 {
         sorted[n / 2]

@@ -64,6 +64,8 @@ impl FeasibilityResult {
 
 /// A noiseless volunteer for clean optical measurement.
 fn quiet_profile() -> UserProfile {
+    // lint:allow(no-panic): the literal parameters are in range by
+    // construction (reflectance in (0, 1], rates non-negative)
     UserProfile::new(0, "quiet", 0.92, 0.0, 1.0, 0.0, 0.0, 0.0).expect("valid profile")
 }
 

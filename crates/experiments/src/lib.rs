@@ -15,7 +15,8 @@
 //! so every run reproduces the committed numbers in EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod ablation;
 pub mod ambient;

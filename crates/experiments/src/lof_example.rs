@@ -70,7 +70,7 @@ pub fn run() -> ExpResult<LofExampleResult> {
     let train_2d: Vec<Vec<f64>> = train_points.iter().map(|&(x, y)| vec![x, y]).collect();
     let model = LofModel::fit(train_2d, config.lof_k)?;
 
-    let attack_f = attack.first().expect("at least one attack clip");
+    let attack_f = attack.first().ok_or("no attack clips were generated")?;
     let attack_point = (attack_f.z3, attack_f.z4);
     let attack_score = model.score(&[attack_point.0, attack_point.1])?;
     let max_train_score = model.training_scores().into_iter().fold(f64::MIN, f64::max);

@@ -88,6 +88,8 @@ fn occluded_profile(base: &UserProfile, intensity: f64) -> UserProfile {
         base.burst_amplitude * intensity,
         base.tracking_jitter * intensity.sqrt(),
     )
+    // lint:allow(no-panic): intensity is clamped to [0, 1] by the caller,
+    // which keeps every scaled parameter inside its valid range
     .expect("scaled profile is valid")
 }
 

@@ -32,6 +32,8 @@ where
         .min(items.len());
     let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, &T)>();
     for task in items.iter().enumerate() {
+        // lint:allow(no-panic): task_rx lives until the scope below
+        // joins, so the channel cannot be closed yet
         task_tx.send(task).expect("queue is open");
     }
     drop(task_tx);
@@ -52,6 +54,8 @@ where
         }
         handles
             .into_iter()
+            // lint:allow(no-panic): a worker panic is unrecoverable;
+            // re-raising it on join is the scoped-thread contract
             .flat_map(|h| h.join().expect("experiment worker panicked"))
             .collect()
     });
@@ -60,6 +64,8 @@ where
     }
     slots
         .into_iter()
+        // lint:allow(no-panic): every index was queued exactly once and
+        // each drained task writes back its own slot
         .map(|s| s.expect("every task completed"))
         .collect()
 }
@@ -88,6 +94,8 @@ where
         .min(items.len());
     let (task_tx, task_rx) = crossbeam::channel::unbounded::<(usize, &T)>();
     for task in items.iter().enumerate() {
+        // lint:allow(no-panic): task_rx lives until the scope below
+        // joins, so the channel cannot be closed yet
         task_tx.send(task).expect("queue is open");
     }
     drop(task_tx);
@@ -111,6 +119,8 @@ where
         }
         handles
             .into_iter()
+            // lint:allow(no-panic): a worker panic is unrecoverable;
+            // re-raising it on join is the scoped-thread contract
             .map(|h| h.join().expect("experiment worker panicked"))
             .collect()
     });
@@ -122,6 +132,8 @@ where
     }
     let results = slots
         .into_iter()
+        // lint:allow(no-panic): every index was queued exactly once and
+        // each drained task writes back its own slot
         .map(|s| s.expect("every task completed"))
         .collect::<ExpResult<Vec<R>>>()?;
     Ok((results, registry))

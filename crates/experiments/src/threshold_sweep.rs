@@ -117,12 +117,7 @@ pub fn run(opts: SweepOpts) -> ExpResult<SweepResult> {
     let eer = equal_error_rate(&points);
     let eer_threshold = points
         .iter()
-        .min_by(|a, b| {
-            (a.far - a.frr)
-                .abs()
-                .partial_cmp(&(b.far - b.frr).abs())
-                .expect("finite rates")
-        })
+        .min_by(|a, b| (a.far - a.frr).abs().total_cmp(&(b.far - b.frr).abs()))
         .map(|p| p.threshold);
     Ok(SweepResult {
         points,

@@ -82,10 +82,7 @@ pub fn detect_landmarks(frame: &Frame) -> Option<LandmarkSet> {
         s / (y_hi - y_lo + 1) as f64
     };
     let means: Vec<(usize, f64)> = (x_lo..=x_hi).map(|x| (x, col_mean(x))).collect();
-    let (best_x, best_mean) = means
-        .iter()
-        .cloned()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite luminance"))?;
+    let (best_x, best_mean) = means.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1))?;
     // Sub-pixel ridge x: luminance-weighted centroid of columns within 90 %
     // of the peak mean.
     let cutoff = 0.9 * best_mean;

@@ -1,0 +1,295 @@
+//! `lint.toml` parsing.
+//!
+//! The checked-in `lint.toml` at the workspace root is the linter's
+//! baseline: it lists paths that are never scanned (`skip_paths`) and, per
+//! rule, path prefixes where the rule is structurally allowed
+//! (`allow_paths`) — e.g. `no-wall-clock` is permitted inside `lumen-obs`
+//! because measuring wall time is that crate's whole job.
+//!
+//! The build has no registry access, so this module hand-parses the TOML
+//! subset the config needs: comments, `[section]` headers (dotted, with
+//! dashes in bare keys), string values, booleans and string arrays.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line the error occurred on (0 when not line-specific).
+    pub line: u32,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Per-rule configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Path prefixes (workspace-relative, `/`-separated) where findings of
+    /// this rule are structurally permitted.
+    pub allow_paths: Vec<String>,
+    /// Whether the rule runs at all; `None` means the default (`true`).
+    pub enabled: Option<bool>,
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Path prefixes never scanned (vendored shims, fixtures, target).
+    pub skip_paths: Vec<String>,
+    /// Per-rule settings keyed by rule id.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            skip_paths: vec!["vendor".into(), "target".into()],
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses a `lint.toml` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending line for unknown
+    /// keys, malformed values or section headers.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config {
+            skip_paths: Vec::new(),
+            rules: BTreeMap::new(),
+        };
+        // Section path: [] = root, ["rules", "<id>"] = a rule table.
+        let mut section: Vec<String> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let Some(header) = header.strip_suffix(']') else {
+                    return Err(err(lineno, "unclosed section header"));
+                };
+                section = header.split('.').map(|p| p.trim().to_string()).collect();
+                if section.len() == 2 && section[0] == "rules" {
+                    config.rules.entry(section[1].clone()).or_default();
+                } else if !(section.len() == 1 && section[0] == "rules") {
+                    return Err(err(
+                        lineno,
+                        &format!("unknown section [{}]", section.join(".")),
+                    ));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, "expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (section.as_slice(), key) {
+                ([], "skip_paths") => config.skip_paths = parse_string_array(value, lineno)?,
+                ([root, rule], "allow_paths") if root == "rules" => {
+                    config.rules.entry(rule.clone()).or_default().allow_paths =
+                        parse_string_array(value, lineno)?;
+                }
+                ([root, rule], "enabled") if root == "rules" => {
+                    config.rules.entry(rule.clone()).or_default().enabled =
+                        Some(parse_bool(value, lineno)?);
+                }
+                _ => {
+                    return Err(err(
+                        lineno,
+                        &format!("unknown key `{key}` in section [{}]", section.join(".")),
+                    ));
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Whether `rel_path` falls under any configured skip prefix.
+    pub fn is_skipped(&self, rel_path: &str) -> bool {
+        self.skip_paths.iter().any(|p| path_has_prefix(rel_path, p))
+    }
+
+    /// Whether `rel_path` is structurally allowed for `rule`.
+    pub fn is_rule_allowed(&self, rule: &str, rel_path: &str) -> bool {
+        self.rules
+            .get(rule)
+            .map(|r| r.allow_paths.iter().any(|p| path_has_prefix(rel_path, p)))
+            .unwrap_or(false)
+    }
+
+    /// Whether `rule` is enabled (default yes; `enabled = false` opts out).
+    pub fn is_rule_enabled(&self, rule: &str) -> bool {
+        self.rules.get(rule).and_then(|r| r.enabled).unwrap_or(true)
+    }
+}
+
+/// True when `path` equals `prefix` or lives underneath it.
+fn path_has_prefix(path: &str, prefix: &str) -> bool {
+    let prefix = prefix.trim_end_matches('/');
+    path == prefix
+        || path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}
+
+fn err(line: u32, message: &str) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// Removes a trailing `# comment`, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_bool(value: &str, line: u32) -> Result<bool, ConfigError> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(err(line, &format!("expected true/false, got `{other}`"))),
+    }
+}
+
+fn parse_string(value: &str, line: u32) -> Result<String, ConfigError> {
+    let value = value.trim();
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| err(line, &format!("expected a quoted string, got `{value}`")))?;
+    Ok(inner.replace("\\\\", "\\").replace("\\\"", "\""))
+}
+
+fn parse_string_array(value: &str, line: u32) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| err(line, "expected an array of strings"))?;
+    let mut out = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part, line)?);
+    }
+    Ok(out)
+}
+
+/// Splits an array body on commas that are outside quoted strings.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+# baseline
+skip_paths = ["vendor", "target"] # trailing comment
+
+[rules.no-wall-clock]
+allow_paths = ["crates/obs", "crates/chat/src/clock.rs"]
+
+[rules.float-eq]
+enabled = true
+"#;
+        let c = Config::parse(text).unwrap();
+        assert_eq!(c.skip_paths, vec!["vendor", "target"]);
+        assert!(c.is_rule_allowed("no-wall-clock", "crates/obs/src/recorder.rs"));
+        assert!(c.is_rule_allowed("no-wall-clock", "crates/chat/src/clock.rs"));
+        assert!(!c.is_rule_allowed("no-wall-clock", "crates/chat/src/channel.rs"));
+        assert!(c.is_rule_enabled("float-eq"));
+        assert!(c.is_rule_enabled("never-mentioned"));
+    }
+
+    #[test]
+    fn prefix_matching_is_component_wise() {
+        let c = Config {
+            skip_paths: vec!["crates/lint/tests/fixtures".into()],
+            ..Config::default()
+        };
+        assert!(c.is_skipped("crates/lint/tests/fixtures/no_panic_bad.rs"));
+        assert!(!c.is_skipped("crates/lint/tests/fixtures_other/x.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let e = Config::parse("bogus = 3").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_unknown_sections() {
+        assert!(Config::parse("[wat]").is_err());
+        assert!(Config::parse("[rules.x.y]").is_err());
+    }
+
+    #[test]
+    fn disabled_rule_round_trips() {
+        let c = Config::parse("[rules.float-eq]\nenabled = false").unwrap();
+        assert!(!c.is_rule_enabled("float-eq"));
+        // A rule mentioned only for allow_paths stays enabled.
+        let c = Config::parse("[rules.no-panic]\nallow_paths = [\"x\"]").unwrap();
+        assert!(c.is_rule_enabled("no-panic"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let c = Config::parse(r##"skip_paths = ["a#b"]"##).unwrap();
+        assert_eq!(c.skip_paths, vec!["a#b"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Diagnostics: one finding per violated invariant, renderable as an
+//! aligned text report or machine-readable JSON (hand-serialized — the
+//! linter has zero dependencies so it can never be broken by the crates
+//! it polices).
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// 1-based column of the finding.
+    pub col: u32,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )?;
+        if !self.snippet.is_empty() {
+            writeln!(f, "    | {}", self.snippet)?;
+        }
+        write!(f, "    = hint: {}", self.hint)
+    }
+}
+
+/// The outcome of a workspace run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, sorted by path, then line, then column.
+    pub findings: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.findings {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "lumen-lint: {} finding{} in {} file{} scanned\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        out.push_str("  \"findings\": [");
+        for (i, d) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+            out.push_str(&format!("\"path\": {}, ", json_str(&d.path)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            out.push_str(&format!("\"col\": {}, ", d.col));
+            out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+            out.push_str(&format!("\"snippet\": {}, ", json_str(&d.snippet)));
+            out.push_str(&format!("\"hint\": {}", json_str(d.hint)));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "no-panic",
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            snippet: "let v = m.get(\"k\").unwrap();".into(),
+            message: "`unwrap()` in library code".into(),
+            hint: "return a typed error",
+        }
+    }
+
+    #[test]
+    fn text_report_names_position_and_rule() {
+        let r = Report {
+            findings: vec![sample()],
+            files_scanned: 2,
+        };
+        let text = r.to_text();
+        assert!(text.contains("crates/x/src/lib.rs:3:7: [no-panic]"));
+        assert!(text.contains("1 finding in 2 files scanned"));
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let r = Report {
+            findings: vec![sample()],
+            files_scanned: 2,
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"finding_count\": 1"));
+        assert!(json.contains("\"rule\": \"no-panic\""));
+        // The embedded quotes in the snippet must be escaped.
+        assert!(json.contains(r#"m.get(\"k\")"#));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_str("a\"b\\c\nd\u{1}"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,522 @@
+//! The rule engine: file discovery, classification, `#[cfg(test)]`
+//! scoping, `// lint:allow(...)` suppression and rule dispatch.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::diagnostics::{Diagnostic, Report};
+use crate::lexer::{self, Comment, Lexed, Token};
+use crate::rules;
+
+/// How a file participates in the build — rules exempt some kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A library target (`src/**` except binaries).
+    Library,
+    /// A binary target (`src/main.rs`, `src/bin/**`).
+    Bin,
+    /// An integration test (`tests/**`).
+    Test,
+    /// A benchmark (`benches/**`).
+    Bench,
+    /// An example (`examples/**`).
+    Example,
+}
+
+impl FileKind {
+    /// Test-like targets are exempt from the panic and float-eq rules.
+    pub fn is_test_like(self) -> bool {
+        matches!(self, FileKind::Test | FileKind::Bench | FileKind::Example)
+    }
+}
+
+/// Per-file metadata handed to rules.
+#[derive(Debug, Clone, Copy)]
+pub struct FileMeta {
+    /// The target kind the path classifies as.
+    pub kind: FileKind,
+    /// Whether this file is a crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+/// Everything a rule can look at for one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// Raw source lines (for snippets).
+    pub lines: Vec<&'a str>,
+    /// Code tokens.
+    pub tokens: &'a [Token],
+    /// Classification.
+    pub meta: FileMeta,
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` items.
+    pub cfg_test_ranges: &'a [(u32, u32)],
+}
+
+impl FileCtx<'_> {
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_cfg_test(&self, line: u32) -> bool {
+        self.cfg_test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The trimmed source line at 1-based `line` (empty when out of range).
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Builds a diagnostic anchored at `tok`.
+    pub fn diag(
+        &self,
+        rule: &'static str,
+        tok: &Token,
+        message: String,
+        hint: &'static str,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: self.path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            snippet: self.snippet(tok.line),
+            message,
+            hint,
+        }
+    }
+}
+
+/// A parsed `// lint:allow(rule[, rule…]): justification` directive.
+#[derive(Debug, Clone)]
+struct AllowDirective {
+    rules: Vec<String>,
+    /// The line the directive suppresses findings on: its own line (for
+    /// trailing comments) and the next line (for standalone comments).
+    line: u32,
+    has_justification: bool,
+    comment_line: u32,
+}
+
+/// Classifies a workspace-relative path into a target kind.
+pub fn classify(rel_path: &str) -> FileMeta {
+    let kind = if rel_path.split('/').any(|c| c == "tests") {
+        FileKind::Test
+    } else if rel_path.split('/').any(|c| c == "benches") {
+        FileKind::Bench
+    } else if rel_path.split('/').any(|c| c == "examples") {
+        FileKind::Example
+    } else if rel_path.ends_with("src/main.rs") || rel_path.contains("src/bin/") {
+        FileKind::Bin
+    } else {
+        FileKind::Library
+    };
+    FileMeta {
+        kind,
+        is_crate_root: rel_path.ends_with("src/lib.rs"),
+    }
+}
+
+/// Lints one file's source text. `rel_path` is only used for reporting and
+/// path-based rule exemptions; `meta` controls kind-based exemptions so
+/// fixtures can impersonate any target kind.
+pub fn lint_source(
+    rel_path: &str,
+    source: &str,
+    meta: FileMeta,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let cfg_test_ranges = find_cfg_test_ranges(&lexed.tokens);
+    let ctx = FileCtx {
+        path: rel_path,
+        lines: source.lines().collect(),
+        tokens: &lexed.tokens,
+        meta,
+        cfg_test_ranges: &cfg_test_ranges,
+    };
+    let mut findings = Vec::new();
+    for rule in rules::ALL {
+        if !config.is_rule_enabled(rule.id) || config.is_rule_allowed(rule.id, rel_path) {
+            continue;
+        }
+        (rule.check)(&ctx, &mut findings);
+    }
+    apply_allow_directives(rel_path, &ctx, &lexed, findings)
+}
+
+/// Suppresses findings covered by `lint:allow` comments and reports
+/// malformed or unused directives.
+fn apply_allow_directives(
+    rel_path: &str,
+    ctx: &FileCtx<'_>,
+    lexed: &Lexed,
+    findings: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut directives = Vec::new();
+    for comment in &lexed.comments {
+        match parse_allow(comment) {
+            ParsedAllow::None => {}
+            ParsedAllow::Malformed(message) => out.push(Diagnostic {
+                rule: rules::INVALID_ALLOW,
+                path: rel_path.to_string(),
+                line: comment.line,
+                col: 1,
+                snippet: ctx.snippet(comment.line),
+                message,
+                hint: "write `// lint:allow(rule-id): one-line justification`",
+            }),
+            ParsedAllow::Directive(mut d) => {
+                // A justification may wrap onto following comment lines;
+                // the directive targets the first *code* line after the
+                // comment run it belongs to.
+                loop {
+                    let continued = lexed
+                        .comments
+                        .iter()
+                        .find(|c| c.line == d.line)
+                        .map(|c| c.end_line + 1);
+                    match continued {
+                        Some(next) if next > d.line => d.line = next,
+                        _ => break,
+                    }
+                }
+                if !d.has_justification {
+                    out.push(Diagnostic {
+                        rule: rules::INVALID_ALLOW,
+                        path: rel_path.to_string(),
+                        line: d.comment_line,
+                        col: 1,
+                        snippet: ctx.snippet(d.comment_line),
+                        message: "lint:allow without a justification".to_string(),
+                        hint: "append `: <why this invariant holds here>`",
+                    });
+                }
+                directives.push(d);
+            }
+        }
+    }
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    for f in findings {
+        let suppressed = directives.iter().enumerate().find(|(_, d)| {
+            d.rules.iter().any(|r| r == f.rule) && (f.line == d.comment_line || f.line == d.line)
+        });
+        match suppressed {
+            Some((idx, _)) => {
+                used.insert(idx);
+            }
+            None => out.push(f),
+        }
+    }
+    for (idx, d) in directives.iter().enumerate() {
+        if !used.contains(&idx) {
+            out.push(Diagnostic {
+                rule: rules::UNUSED_ALLOW,
+                path: rel_path.to_string(),
+                line: d.comment_line,
+                col: 1,
+                snippet: ctx.snippet(d.comment_line),
+                message: format!(
+                    "lint:allow({}) suppresses nothing on line {} or {}",
+                    d.rules.join(", "),
+                    d.comment_line,
+                    d.line,
+                ),
+                hint: "delete the stale allow comment",
+            });
+        }
+    }
+    out
+}
+
+enum ParsedAllow {
+    None,
+    Malformed(String),
+    Directive(AllowDirective),
+}
+
+/// Parses `// lint:allow(rule-a, rule-b): justification`.
+fn parse_allow(comment: &Comment) -> ParsedAllow {
+    let body = comment.text.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("lint:allow") else {
+        if body.starts_with("lint:") {
+            return ParsedAllow::Malformed(format!(
+                "unknown lint directive `{}`",
+                body.split(':').take(2).collect::<Vec<_>>().join(":")
+            ));
+        }
+        return ParsedAllow::None;
+    };
+    let Some(open) = rest.find('(') else {
+        return ParsedAllow::Malformed("lint:allow missing `(rule-id)`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return ParsedAllow::Malformed("lint:allow missing closing `)`".to_string());
+    };
+    if open != 0 || close < open {
+        return ParsedAllow::Malformed("malformed lint:allow directive".to_string());
+    }
+    let rule_list: Vec<String> = rest[open + 1..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rule_list.is_empty() {
+        return ParsedAllow::Malformed("lint:allow lists no rules".to_string());
+    }
+    if let Some(unknown) = rule_list.iter().find(|r| !rules::is_known(r)) {
+        return ParsedAllow::Malformed(format!("lint:allow names unknown rule `{unknown}`"));
+    }
+    let tail = rest[close + 1..].trim();
+    let has_justification = tail
+        .strip_prefix(':')
+        .map(|j| !j.trim().is_empty())
+        .unwrap_or(false);
+    ParsedAllow::Directive(AllowDirective {
+        rules: rule_list,
+        line: comment.end_line + 1,
+        has_justification,
+        comment_line: comment.line,
+    })
+}
+
+/// Finds 1-based inclusive line ranges of items annotated `#[cfg(test)]`.
+///
+/// Matches the exact token sequence `# [ cfg ( test ) ]`, then brace-matches
+/// the following item body (skipping any further attributes). `cfg(not(test))`
+/// and `cfg(all(test, …))` deliberately do not match: only the plain form is
+/// treated as a test module.
+fn find_cfg_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let text = |i: usize| tokens.get(i).map(|t| t.text.as_str()).unwrap_or("");
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i + 6 < tokens.len() {
+        let is_cfg_test = text(i) == "#"
+            && text(i + 1) == "["
+            && text(i + 2) == "cfg"
+            && text(i + 3) == "("
+            && text(i + 4) == "test"
+            && text(i + 5) == ")"
+            && text(i + 6) == "]";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + 7;
+        // Skip any further attributes before the item.
+        while text(j) == "#" && text(j + 1) == "[" {
+            let mut depth = 0i32;
+            j += 1;
+            loop {
+                match text(j) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    "" => return ranges,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Scan to the item body: a `{` opens it, a `;` ends a declaration.
+        let mut body_end = None;
+        while j < tokens.len() {
+            match text(j) {
+                ";" => {
+                    body_end = Some(tokens[j].line);
+                    break;
+                }
+                "{" => {
+                    let mut depth = 0i32;
+                    while j < tokens.len() {
+                        match text(j) {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    body_end = Some(tokens[j].line);
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        let end_line =
+            body_end.unwrap_or_else(|| tokens.last().map(|t| t.line).unwrap_or(start_line));
+        ranges.push((start_line, end_line));
+        i = j.max(i + 7);
+    }
+    ranges
+}
+
+/// Walks the workspace and lints every `.rs` file outside skip paths.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] when the root is unreadable; individual
+/// unreadable files are skipped (they cannot hide violations from `rustc`
+/// either).
+pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, config, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in &files {
+        let abs = root.join(rel);
+        let Ok(source) = std::fs::read_to_string(&abs) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let meta = classify(rel);
+        report
+            .findings
+            .extend(lint_source(rel, &source, meta, config));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(report)
+}
+
+/// Recursively collects workspace-relative `.rs` paths under `dir`.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    config: &Config,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = rel_path(root, &path);
+        // Hidden directories (.git, .github) hold no Rust targets.
+        if rel
+            .rsplit('/')
+            .next()
+            .is_some_and(|name| name.starts_with('.'))
+        {
+            continue;
+        }
+        if config.is_skipped(&rel) {
+            continue;
+        }
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            collect_rs_files(root, &path, config, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_meta() -> FileMeta {
+        FileMeta {
+            kind: FileKind::Library,
+            is_crate_root: false,
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        lint_source("crates/x/src/a.rs", src, lib_meta(), &Config::default())
+    }
+
+    #[test]
+    fn classify_by_path() {
+        assert_eq!(classify("crates/x/src/a.rs").kind, FileKind::Library);
+        assert_eq!(classify("crates/x/tests/t.rs").kind, FileKind::Test);
+        assert_eq!(classify("crates/x/benches/b.rs").kind, FileKind::Bench);
+        assert_eq!(classify("examples/e.rs").kind, FileKind::Example);
+        assert_eq!(classify("crates/x/src/bin/m.rs").kind, FileKind::Bin);
+        assert_eq!(classify("src/main.rs").kind, FileKind::Bin);
+        assert!(classify("crates/x/src/lib.rs").is_crate_root);
+        assert!(!classify("crates/x/src/a.rs").is_crate_root);
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_module_body() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() { y.unwrap(); }\n";
+        let findings = run(src);
+        // Only the unwrap *outside* the test module fires.
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let trailing =
+            "fn a() { x.unwrap(); } // lint:allow(no-panic): invariant documented above\n";
+        assert!(run(trailing).is_empty());
+        let preceding =
+            "// lint:allow(no-panic): invariant documented above\nfn a() { x.unwrap(); }\n";
+        assert!(run(preceding).is_empty());
+    }
+
+    #[test]
+    fn allow_justification_may_wrap_comment_lines() {
+        let src = "// lint:allow(no-panic): the invariant is long and\n// wraps onto a second comment line\nfn a() { x.unwrap(); }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_flagged() {
+        let src = "fn a() { x.unwrap(); } // lint:allow(no-panic)\n";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "invalid-allow");
+    }
+
+    #[test]
+    fn unused_allow_is_flagged() {
+        let src = "// lint:allow(no-panic): nothing here panics\nfn a() {}\n";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_flagged() {
+        let src = "// lint:allow(no-such-rule): hm\nfn a() {}\n";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "invalid-allow");
+    }
+
+    #[test]
+    fn config_allow_path_exempts_rule() {
+        let config =
+            Config::parse("[rules.no-panic]\nallow_paths = [\"crates/x\"]").expect("parses");
+        let src = "fn a() { x.unwrap(); }\n";
+        let findings = lint_source("crates/x/src/a.rs", src, lib_meta(), &config);
+        assert!(findings.is_empty());
+    }
+}

@@ -1,0 +1,572 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The build environment has no registry access, so the linter cannot lean
+//! on `syn` or `rustc` internals; instead this module tokenizes Rust
+//! source directly. It understands everything a *lexical* rule engine
+//! needs to stay sound:
+//!
+//! * line (`//`) and arbitrarily nested block (`/* /* */ */`) comments,
+//! * string, raw string (`r#"…"#`, any hash depth), byte string, raw byte
+//!   string and C-string literals,
+//! * character literals vs. lifetimes (`'a'` vs. `'a`),
+//! * integer vs. float literals (including `1..n` ranges, exponents,
+//!   `1.0f64` suffixes and tuple indexing `x.0`),
+//! * multi-character operators (`::`, `==`, `!=`, `..=`, …).
+//!
+//! Comments are collected out-of-band (rules never match inside them) and
+//! carry their text so the engine can parse `// lint:allow(...)`
+//! directives.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `unwrap`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2e-3`, `0.5f32`).
+    Float,
+    /// Any string-like literal (string, raw, byte, C string).
+    Str,
+    /// A character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// An operator or other punctuation (`::`, `==`, `{`, `#`).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text exactly as it appears in the source.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+/// A comment captured out-of-band during lexing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the leading `//` or `/*`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file: code tokens plus side-band comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order; comments and whitespace are excluded.
+    pub tokens: Vec<Token>,
+    /// All comments (line, block, doc) in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not bytes: UTF-8 continuation bytes do not
+            // advance the column.
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn slice(&self, from: usize) -> &'a str {
+        // The cursor only ever stops on ASCII structure characters, so
+        // `from..self.pos` always lies on UTF-8 boundaries.
+        std::str::from_utf8(&self.src[from..self.pos]).unwrap_or("")
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src`, returning code tokens and side-band comments.
+///
+/// The lexer is total: malformed input (an unterminated string, a stray
+/// byte) never panics; the remainder of the line or file is consumed as
+/// best-effort tokens so rule scanning can continue.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek() {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: cur.slice(start).to_string(),
+                    line,
+                    end_line: cur.line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: cur.slice(start).to_string(),
+                    line,
+                    end_line: cur.line,
+                });
+            }
+            b'\'' => {
+                lex_quote(&mut cur, &mut out, line, col, start);
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                push(&mut out, TokenKind::Str, &cur, start, line, col);
+            }
+            b'r' | b'b' | b'c' if string_prefix_len(&cur) > 0 => {
+                let plen = string_prefix_len(&cur);
+                for _ in 0..plen {
+                    cur.bump();
+                }
+                match cur.peek() {
+                    Some(b'\'') => {
+                        // b'x' byte-char literal.
+                        cur.bump();
+                        if cur.peek() == Some(b'\\') {
+                            cur.bump();
+                            cur.bump();
+                        } else {
+                            cur.bump();
+                        }
+                        if cur.peek() == Some(b'\'') {
+                            cur.bump();
+                        }
+                        push(&mut out, TokenKind::Char, &cur, start, line, col);
+                    }
+                    Some(b'#') | Some(b'"') if cur.slice(start).contains('r') => {
+                        lex_raw_string(&mut cur);
+                        push(&mut out, TokenKind::Str, &cur, start, line, col);
+                    }
+                    Some(b'"') => {
+                        cur.bump();
+                        lex_string_body(&mut cur);
+                        push(&mut out, TokenKind::Str, &cur, start, line, col);
+                    }
+                    _ => {
+                        // Not actually a literal prefix (e.g. `r#ident`);
+                        // fall back to an identifier.
+                        while cur.peek().is_some_and(is_ident_continue) {
+                            cur.bump();
+                        }
+                        push(&mut out, TokenKind::Ident, &cur, start, line, col);
+                    }
+                }
+            }
+            _ if is_ident_start(b) => {
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                push(&mut out, TokenKind::Ident, &cur, start, line, col);
+            }
+            _ if b.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                push(&mut out, kind, &cur, start, line, col);
+            }
+            _ => {
+                let mut matched = false;
+                for op in OPERATORS {
+                    if cur.starts_with(op) {
+                        for _ in 0..op.len() {
+                            cur.bump();
+                        }
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    cur.bump();
+                }
+                push(&mut out, TokenKind::Punct, &cur, start, line, col);
+            }
+        }
+    }
+    out
+}
+
+fn push(out: &mut Lexed, kind: TokenKind, cur: &Cursor<'_>, start: usize, line: u32, col: u32) {
+    out.tokens.push(Token {
+        kind,
+        text: cur.slice(start).to_string(),
+        line,
+        col,
+    });
+}
+
+/// Length of a raw/byte/C string literal prefix at the cursor (`r`, `b`,
+/// `br`, `c`, `cr`), or 0 when the next characters are a plain
+/// identifier. Raw forms accept any number of `#`s before the quote
+/// (`r"`, `r#"`, `r##"`, …); `r#ident` raw identifiers do not match.
+fn string_prefix_len(cur: &Cursor<'_>) -> usize {
+    let raw_quote_after = |start: usize| {
+        let mut i = start;
+        while cur.peek_at(i) == Some(b'#') {
+            i += 1;
+        }
+        cur.peek_at(i) == Some(b'"')
+    };
+    match (cur.peek(), cur.peek_at(1)) {
+        (Some(b'b'), Some(b'\'')) | (Some(b'b'), Some(b'"')) | (Some(b'c'), Some(b'"')) => 1,
+        (Some(b'b'), Some(b'r')) | (Some(b'c'), Some(b'r')) if raw_quote_after(2) => 2,
+        (Some(b'r'), _) if raw_quote_after(1) => 1,
+        _ => 0,
+    }
+}
+
+/// Lexes either a char literal or a lifetime starting at `'`.
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32, start: usize) {
+    cur.bump(); // the opening quote
+    match (cur.peek(), cur.peek_at(1)) {
+        (Some(b'\\'), _) => {
+            // Escaped char literal: '\n', '\'', '\u{1F600}'.
+            cur.bump();
+            if cur.peek() == Some(b'u') {
+                cur.bump();
+                if cur.peek() == Some(b'{') {
+                    while cur.peek().is_some_and(|c| c != b'}') {
+                        cur.bump();
+                    }
+                    cur.bump();
+                }
+            } else {
+                cur.bump();
+            }
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            push(out, TokenKind::Char, cur, start, line, col);
+        }
+        (Some(c), Some(b'\'')) if c != b'\'' => {
+            // Plain char literal 'x'.
+            cur.bump();
+            cur.bump();
+            push(out, TokenKind::Char, cur, start, line, col);
+        }
+        (Some(c), _) if is_ident_start(c) => {
+            // Lifetime 'a / 'static — multi-byte chars are valid too.
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            push(out, TokenKind::Lifetime, cur, start, line, col);
+        }
+        (Some(c), _) if c >= 0x80 => {
+            // Non-ASCII char literal 'é'.
+            while cur.peek().is_some_and(|c| c != b'\'') {
+                cur.bump();
+            }
+            cur.bump();
+            push(out, TokenKind::Char, cur, start, line, col);
+        }
+        _ => {
+            push(out, TokenKind::Punct, cur, start, line, col);
+        }
+    }
+}
+
+/// Lexes a `"…"` string starting at the opening quote.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump();
+    lex_string_body(cur);
+}
+
+/// Consumes a string body up to and including the closing quote, honoring
+/// backslash escapes.
+fn lex_string_body(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Lexes a raw string starting at the `#`s or quote after the `r`.
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        return;
+    }
+    cur.bump();
+    'scan: while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == b'"' {
+            for i in 0..hashes {
+                if cur.peek_at(i) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            return;
+        }
+    }
+}
+
+/// Lexes a numeric literal, deciding between [`TokenKind::Int`] and
+/// [`TokenKind::Float`].
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    if cur.starts_with("0x") || cur.starts_with("0o") || cur.starts_with("0b") {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            cur.bump();
+        }
+        return TokenKind::Int;
+    }
+    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'.') {
+        match cur.peek_at(1) {
+            // `1..n` is a range, `1.max(2)` a method call, `1.0` a float
+            // and a trailing `1.` is a float too.
+            Some(b'.') => return TokenKind::Int,
+            Some(c) if is_ident_start(c) => return TokenKind::Int,
+            _ => {
+                float = true;
+                cur.bump();
+                while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    cur.bump();
+                }
+            }
+        }
+    }
+    if matches!(cur.peek(), Some(b'e') | Some(b'E'))
+        && matches!(cur.peek_at(1), Some(c) if c.is_ascii_digit() || c == b'+' || c == b'-')
+    {
+        float = true;
+        cur.bump();
+        if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+            cur.bump();
+        }
+        while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    // Type suffix: `1.0f64`, `10usize`.
+    let suffix_start = cur.pos;
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let suffix = cur.slice(suffix_start);
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x = a.unwrap();");
+        assert_eq!(t[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(t[3], (TokenKind::Ident, "a".into()));
+        assert_eq!(t[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(t[5], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        let t = kinds("a == b != c :: d ..= e");
+        let puncts: Vec<String> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "..="]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = kinds(r#"let s = "a.unwrap() /* not a comment";"#);
+        assert!(t.iter().all(|(_, s)| s != "unwrap"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let t = kinds(r##"let s = r#"quote " inside"#; x"##);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(t.last().map(|(_, s)| s.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn raw_strings_with_deeper_hashes() {
+        let t = kinds("let s = r##\"has \"# inside\"##; y");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+        assert_eq!(t.last().map(|(_, s)| s.as_str()), Some("y"));
+        // A raw identifier is not a raw string.
+        let t = kinds("let r#type = 1;");
+        assert!(t.iter().all(|(k, _)| *k != TokenKind::Str));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let t = kinds(r#"(b"bytes", br"raw", c"cstr", b'x')"#);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 3);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            t.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("a /* outer /* inner */ still comment */ b");
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn ints_vs_floats() {
+        let t = kinds("1 2.0 3e4 0xff 1..10 x.0 5f64 6u32 7.");
+        let floats: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(floats, vec!["2.0", "3e4", "5f64", "7."]);
+    }
+
+    #[test]
+    fn comments_carry_positions() {
+        let lexed = lex("x\n// lint:allow(no-panic): reason\ny");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("lint:allow"));
+    }
+
+    #[test]
+    fn tuple_indexing_is_not_a_float() {
+        let t = kinds("pair.0 .1");
+        assert!(t.iter().all(|(k, _)| *k != TokenKind::Float));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_hang_or_panic() {
+        let lexed = lex("let s = \"never closed\nnext line");
+        assert!(!lexed.tokens.is_empty());
+    }
+}

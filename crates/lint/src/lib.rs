@@ -1,0 +1,55 @@
+//! `lumen-lint` — in-tree workspace static analysis for the Lumen defense.
+//!
+//! The paper's evaluation pipeline (LOF over legitimate users, FaceLive-
+//! style channel measurements) is only credible if every experiment is
+//! reproducible and every verdict path is total. Three whole-workspace
+//! invariants make that machine-checkable:
+//!
+//! 1. **Determinism** — no wall-clock reads outside `lumen-obs`
+//!    ([`rules`] `no-wall-clock`), no unseeded randomness (`seeded-rng-only`),
+//!    no exact float comparisons that silently diverge across platforms
+//!    (`float-eq`).
+//! 2. **Panic-freedom** — library verdict paths return typed errors, they
+//!    never `unwrap` (`no-panic`), and every crate root forbids unsafe
+//!    code and missing docs (`crate-root-hygiene`).
+//! 3. **Span discipline** — every observability span guard is held for
+//!    the duration it claims to measure (`span-balance`).
+//!
+//! The build environment has no registry access, so the linter carries
+//! its own [`lexer`] (strings, raw strings, char-vs-lifetime, nested
+//! block comments) instead of depending on `syn`; rules operate on the
+//! token stream. Escape hatches are explicit and audited: per-line
+//! `// lint:allow(rule): justification` comments (a missing justification
+//! is itself a finding) and the checked-in `lint.toml` baseline of
+//! structural exemptions.
+//!
+//! # Example
+//!
+//! ```
+//! use lumen_lint::{classify, lint_source, Config};
+//!
+//! let config = Config::default();
+//! let path = "crates/demo/src/lib.rs";
+//! let findings = lint_source(
+//!     path,
+//!     "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+//!     classify(path),
+//!     &config,
+//! );
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "no-panic");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod config;
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError};
+pub use diagnostics::{Diagnostic, Report};
+pub use engine::{classify, lint_source, lint_workspace, FileKind, FileMeta};

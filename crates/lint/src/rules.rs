@@ -1,0 +1,445 @@
+//! The shipped rules.
+//!
+//! Each rule is a pure function over a [`FileCtx`]: it scans the token
+//! stream (never comments or string contents — the lexer already removed
+//! those) and appends [`Diagnostic`]s. Kind- and path-based exemptions
+//! live here and in `lint.toml`; line-level escape hatches are
+//! `// lint:allow(rule): justification` comments handled by the engine.
+
+use crate::diagnostics::Diagnostic;
+use crate::engine::{FileCtx, FileKind};
+use crate::lexer::{Token, TokenKind};
+
+/// A rule: id, what it protects, and its checker.
+pub struct Rule {
+    /// Stable kebab-case id used in diagnostics and allow comments.
+    pub id: &'static str,
+    /// One-line description of the protected invariant.
+    pub description: &'static str,
+    /// The checker.
+    pub check: fn(&FileCtx<'_>, &mut Vec<Diagnostic>),
+}
+
+/// Rule id for malformed `lint:allow` directives (engine-emitted).
+pub const INVALID_ALLOW: &str = "invalid-allow";
+/// Rule id for `lint:allow` directives that suppress nothing
+/// (engine-emitted).
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// All scanning rules, in diagnostic-id order.
+pub const ALL: &[Rule] = &[
+    Rule {
+        id: "no-panic",
+        description: "library code is total: no unwrap/expect/panic!/todo!/unimplemented!",
+        check: no_panic,
+    },
+    Rule {
+        id: "no-wall-clock",
+        description:
+            "wall-clock time (Instant::now/SystemTime) only in lumen-obs and the sim clock",
+        check: no_wall_clock,
+    },
+    Rule {
+        id: "seeded-rng-only",
+        description: "all randomness flows from seeded RNGs: no thread_rng/from_entropy/OsRng",
+        check: seeded_rng,
+    },
+    Rule {
+        id: "crate-root-hygiene",
+        description: "crate roots keep #![forbid(unsafe_code)] and #![deny(missing_docs)]",
+        check: crate_root_hygiene,
+    },
+    Rule {
+        id: "float-eq",
+        description: "no ==/!= against float literals outside tests",
+        check: float_eq,
+    },
+    Rule {
+        id: "span-balance",
+        description: "every recorder.span(...) guard is bound to a named binding",
+        check: span_balance,
+    },
+];
+
+/// Whether `id` names a shipped rule (including engine-emitted ids).
+pub fn is_known(id: &str) -> bool {
+    id == INVALID_ALLOW || id == UNUSED_ALLOW || ALL.iter().any(|r| r.id == id)
+}
+
+fn is_punct(tok: Option<&Token>, text: &str) -> bool {
+    tok.is_some_and(|t| t.kind == TokenKind::Punct && t.text == text)
+}
+
+fn is_ident(tok: Option<&Token>, text: &str) -> bool {
+    tok.is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+}
+
+/// `no-panic`: forbids panicking calls and macros in library and binary
+/// targets (tests, benches, examples and `#[cfg(test)]` items are exempt;
+/// the experiments binary is excused via `lint.toml`). `assert!` stays
+/// legal: a documented precondition assert is an invariant, not a latent
+/// crash in a verdict path.
+fn no_panic(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.kind.is_test_like() {
+        return;
+    }
+    const METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+    const MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || ctx.in_cfg_test(tok.line) {
+            continue;
+        }
+        let name = tok.text.as_str();
+        let prev = i.checked_sub(1).and_then(|p| ctx.tokens.get(p));
+        let next = ctx.tokens.get(i + 1);
+        if METHODS.contains(&name) && is_punct(prev, ".") && is_punct(next, "(") {
+            out.push(ctx.diag(
+                "no-panic",
+                tok,
+                format!("`.{name}()` can panic in a library verdict path"),
+                "return a typed error, or add `// lint:allow(no-panic): <invariant>`",
+            ));
+        } else if MACROS.contains(&name)
+            && is_punct(next, "!")
+            && matches!(ctx.tokens.get(i + 2), Some(t) if matches!(t.text.as_str(), "(" | "[" | "{"))
+        {
+            out.push(ctx.diag(
+                "no-panic",
+                tok,
+                format!("`{name}!` aborts a library verdict path"),
+                "return a typed error, or add `// lint:allow(no-panic): <invariant>`",
+            ));
+        }
+    }
+}
+
+/// `no-wall-clock`: `Instant::now` / `SystemTime` leak wall-clock
+/// nondeterminism into simulated clips; only `lumen-obs` (whose job is
+/// measuring real time) and the discrete sim clock may touch them.
+/// Benches are exempt — timing harnesses measure real time by design.
+fn no_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.kind == FileKind::Bench {
+        return;
+    }
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if tok.text == "Instant"
+            && is_punct(ctx.tokens.get(i + 1), "::")
+            && is_ident(ctx.tokens.get(i + 2), "now")
+        {
+            out.push(ctx.diag(
+                "no-wall-clock",
+                tok,
+                "`Instant::now()` leaks wall-clock time into deterministic code".to_string(),
+                "inject a clock (SimClock) or take timestamps as parameters",
+            ));
+        } else if tok.text == "SystemTime" {
+            out.push(ctx.diag(
+                "no-wall-clock",
+                tok,
+                "`SystemTime` leaks wall-clock time into deterministic code".to_string(),
+                "inject a clock (SimClock) or take timestamps as parameters",
+            ));
+        }
+    }
+}
+
+/// `seeded-rng-only`: every random draw must reproduce across runs, so RNGs
+/// are constructed from explicit seeds (`ChaCha*::seed_from_u64`) or
+/// injected; entropy taps are forbidden everywhere, tests included.
+fn seeded_rng(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    const FORBIDDEN: &[(&str, &str)] = &[
+        ("thread_rng", "`thread_rng()` draws from process entropy"),
+        ("from_entropy", "`from_entropy()` seeds from the OS"),
+        ("OsRng", "`OsRng` draws from the OS"),
+    ];
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if let Some((_, why)) = FORBIDDEN.iter().find(|(name, _)| *name == tok.text) {
+            out.push(ctx.diag(
+                "seeded-rng-only",
+                tok,
+                format!("{why}; runs would not reproduce"),
+                "use ChaCha8Rng/ChaCha20Rng::seed_from_u64 with a documented seed",
+            ));
+        } else if tok.text == "random"
+            && is_punct(i.checked_sub(1).and_then(|p| ctx.tokens.get(p)), "::")
+            && is_ident(i.checked_sub(2).and_then(|p| ctx.tokens.get(p)), "rand")
+        {
+            out.push(
+                ctx.diag(
+                    "seeded-rng-only",
+                    tok,
+                    "`rand::random()` draws from thread-local entropy; runs would not reproduce"
+                        .to_string(),
+                    "use ChaCha8Rng/ChaCha20Rng::seed_from_u64 with a documented seed",
+                ),
+            );
+        }
+    }
+}
+
+/// `crate-root-hygiene`: every crate root must carry
+/// `#![forbid(unsafe_code)]` and `#![deny(missing_docs)]` (or stronger),
+/// so no crate silently drops the workspace-wide guarantees.
+fn crate_root_hygiene(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.meta.is_crate_root {
+        return;
+    }
+    let wants: &[(&str, &[&str])] = &[
+        ("unsafe_code", &["forbid"]),
+        ("missing_docs", &["deny", "forbid"]),
+    ];
+    for (lint, levels) in wants {
+        let found = ctx.tokens.windows(7).any(|w| {
+            w[0].text == "#"
+                && w[1].text == "!"
+                && w[2].text == "["
+                && levels.contains(&w[3].text.as_str())
+                && w[4].text == "("
+                && w[5].text == *lint
+                && w[6].text == ")"
+        });
+        if !found {
+            let anchor = ctx.tokens.first().cloned().unwrap_or(Token {
+                kind: TokenKind::Punct,
+                text: String::new(),
+                line: 1,
+                col: 1,
+            });
+            out.push(ctx.diag(
+                "crate-root-hygiene",
+                &anchor,
+                format!(
+                    "crate root lacks `#![{}({lint})]`",
+                    levels.first().copied().unwrap_or("deny")
+                ),
+                "add the missing inner attribute at the top of the crate root",
+            ));
+        }
+    }
+}
+
+/// `float-eq`: exact `==`/`!=` against a float literal (or float
+/// constants like `f64::NAN`) is almost always a rounding bug in DSP
+/// code; tests may still assert exact values deliberately.
+fn float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.kind.is_test_like() {
+        return;
+    }
+    let float_consts = ["NAN", "INFINITY", "NEG_INFINITY", "EPSILON"];
+    let is_floaty = |idx: Option<usize>| -> bool {
+        let Some(idx) = idx else { return false };
+        let Some(tok) = ctx.tokens.get(idx) else {
+            return false;
+        };
+        match tok.kind {
+            TokenKind::Float => true,
+            TokenKind::Ident => float_consts.contains(&tok.text.as_str()),
+            _ => false,
+        }
+    };
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Punct || (tok.text != "==" && tok.text != "!=") {
+            continue;
+        }
+        if ctx.in_cfg_test(tok.line) {
+            continue;
+        }
+        // Operand token on each side; a unary minus hides the literal one
+        // step further to the right, and a path like `f64::NAN` ends at
+        // its final segment.
+        let left = i.checked_sub(1);
+        let mut r = if is_punct(ctx.tokens.get(i + 1), "-") {
+            i + 2
+        } else {
+            i + 1
+        };
+        while ctx
+            .tokens
+            .get(r)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+            && is_punct(ctx.tokens.get(r + 1), "::")
+        {
+            r += 2;
+        }
+        let right = Some(r);
+        if is_floaty(left) || is_floaty(right) {
+            out.push(ctx.diag(
+                "float-eq",
+                tok,
+                format!("exact `{}` against a float", tok.text),
+                "compare with a tolerance, e.g. `(a - b).abs() < 1e-12`",
+            ));
+        }
+    }
+}
+
+/// `span-balance`: a `recorder.span(...)` guard dropped immediately (bare
+/// statement or `let _ =`) measures nothing — the span closes before the
+/// work it was meant to time. Guards must be held in a named binding.
+fn span_balance(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        let is_span_call = tok.kind == TokenKind::Ident
+            && tok.text == "span"
+            && is_punct(i.checked_sub(1).and_then(|p| ctx.tokens.get(p)), ".")
+            && is_punct(ctx.tokens.get(i + 1), "(");
+        if !is_span_call {
+            continue;
+        }
+        // Walk back to the statement start (after `;`, `{` or `}`).
+        let mut start = 0usize;
+        for j in (0..i.saturating_sub(1)).rev() {
+            if matches!(ctx.tokens[j].text.as_str(), ";" | "{" | "}")
+                && ctx.tokens[j].kind == TokenKind::Punct
+            {
+                start = j + 1;
+                break;
+            }
+        }
+        let bound = is_ident(ctx.tokens.get(start), "let")
+            && ctx
+                .tokens
+                .get(start + 1)
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text != "_");
+        if !bound {
+            out.push(ctx.diag(
+                "span-balance",
+                tok,
+                "span guard is dropped immediately; the span measures nothing".to_string(),
+                "bind the guard: `let _span = recorder.span(...);` (named, not `_`)",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::{lint_source, FileMeta};
+
+    fn findings(src: &str, kind: FileKind) -> Vec<Diagnostic> {
+        lint_source(
+            "crates/x/src/a.rs",
+            src,
+            FileMeta {
+                kind,
+                is_crate_root: false,
+            },
+            &Config::default(),
+        )
+    }
+
+    #[test]
+    fn no_panic_catches_methods_and_macros() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); todo!(); }\n";
+        let rules: Vec<&str> = findings(src, FileKind::Library)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["no-panic"; 4]);
+    }
+
+    #[test]
+    fn no_panic_ignores_nonpanicking_lookalikes() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }\n";
+        assert!(findings(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn no_panic_exempts_tests_and_benches() {
+        let src = "fn f() { a.unwrap(); }\n";
+        assert!(findings(src, FileKind::Test).is_empty());
+        assert!(findings(src, FileKind::Bench).is_empty());
+        assert!(findings(src, FileKind::Example).is_empty());
+        assert_eq!(findings(src, FileKind::Bin).len(), 1);
+    }
+
+    #[test]
+    fn no_panic_ignores_strings_and_comments() {
+        let src = "// a.unwrap()\nfn f() { let s = \"x.unwrap()\"; }\n";
+        assert!(findings(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_catches_instant_and_system_time() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }\n";
+        let rules: Vec<&str> = findings(src, FileKind::Library)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["no-wall-clock"; 2]);
+        // Duration is not wall clock.
+        assert!(findings("fn f(d: Duration) {}", FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn seeded_rng_catches_entropy_taps() {
+        let src = "fn f() { let mut r = thread_rng(); let s = SmallRng::from_entropy(); let x: u8 = rand::random(); }\n";
+        assert_eq!(findings(src, FileKind::Library).len(), 3);
+        let ok = "fn f() { let mut r = ChaCha8Rng::seed_from_u64(7); }\n";
+        assert!(findings(ok, FileKind::Library).is_empty());
+        // A local named `random` is fine.
+        assert!(findings("fn f(random: f64) {}", FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn crate_root_hygiene_requires_both_attributes() {
+        let root = |src: &str| {
+            lint_source(
+                "crates/x/src/lib.rs",
+                src,
+                FileMeta {
+                    kind: FileKind::Library,
+                    is_crate_root: true,
+                },
+                &Config::default(),
+            )
+        };
+        let good = "#![forbid(unsafe_code)]\n#![deny(missing_docs)]\nfn f() {}\n";
+        assert!(root(good).is_empty());
+        let weak = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn f() {}\n";
+        assert_eq!(root(weak).len(), 1);
+        let none = "fn f() {}\n";
+        assert_eq!(root(none).len(), 2);
+        // forbid is stronger than deny for missing_docs.
+        let forbid = "#![forbid(unsafe_code)]\n#![forbid(missing_docs)]\nfn f() {}\n";
+        assert!(root(forbid).is_empty());
+    }
+
+    #[test]
+    fn float_eq_catches_literal_comparisons() {
+        let src = "fn f(x: f64) { if x == 0.0 { } if -1.5 != x { } if x == -2.0 { } }\n";
+        assert_eq!(findings(src, FileKind::Library).len(), 3);
+        let ok = "fn f(x: f64) { if (x - 0.5).abs() < 1e-9 { } if n == 0 { } }\n";
+        assert!(findings(ok, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn float_eq_catches_float_constants() {
+        let src = "fn f(x: f64) { if x == f64::NAN { } }\n";
+        assert_eq!(findings(src, FileKind::Library).len(), 1);
+    }
+
+    #[test]
+    fn span_balance_requires_named_binding() {
+        let good = "fn f() { let _g = rec.span(\"x\"); work(); }\n";
+        assert!(findings(good, FileKind::Library).is_empty());
+        let bare = "fn f() { rec.span(\"x\"); work(); }\n";
+        assert_eq!(findings(bare, FileKind::Library).len(), 1);
+        let wild = "fn f() { let _ = rec.span(\"x\"); work(); }\n";
+        assert_eq!(findings(wild, FileKind::Library).len(), 1);
+    }
+
+    #[test]
+    fn rule_ids_are_known() {
+        assert!(is_known("no-panic"));
+        assert!(is_known("invalid-allow"));
+        assert!(!is_known("no-such-rule"));
+    }
+}

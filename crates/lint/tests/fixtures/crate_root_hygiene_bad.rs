@@ -1,0 +1,8 @@
+//! Bad: a crate root that silently drops both workspace guarantees.
+
+#![warn(missing_docs)]
+
+/// The crate's one item.
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,9 @@
+//! Good: a crate root carrying both workspace-mandated attributes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// The crate's one item.
+pub fn answer() -> u32 {
+    42
+}

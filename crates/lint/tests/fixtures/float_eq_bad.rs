@@ -1,0 +1,11 @@
+//! Bad: exact float equality in library code.
+
+/// Exact comparison against a float literal — brittle.
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+/// Comparing against NaN is always false; `!=` hides the bug.
+pub fn not_nan(x: f64) -> bool {
+    x != f64::NAN
+}

@@ -1,0 +1,20 @@
+//! Good: float comparisons use tolerances, not exact equality.
+
+/// Whether two rates agree within an absolute tolerance.
+pub fn rates_agree(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+/// Clamps a correlation into its defined range.
+pub fn clamp_corr(r: f64) -> f64 {
+    r.clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact comparison is fine in tests.
+    #[test]
+    fn zero_is_zero() {
+        assert!(super::clamp_corr(0.0) == 0.0);
+    }
+}

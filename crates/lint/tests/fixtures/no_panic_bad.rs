@@ -1,0 +1,15 @@
+//! Bad: unwrap/expect/panic! in a library verdict path.
+
+/// Parses an id, aborting the process on bad input.
+pub fn parse_id(raw: &str) -> u32 {
+    raw.trim().parse().unwrap()
+}
+
+/// Looks a value up, panicking on absence.
+pub fn lookup(values: &[u32], index: usize) -> u32 {
+    let v = values.get(index).expect("index in range");
+    if *v == u32::MAX {
+        panic!("sentinel value");
+    }
+    *v
+}

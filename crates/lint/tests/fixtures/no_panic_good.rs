@@ -1,0 +1,24 @@
+//! Good: library code returns typed errors instead of panicking.
+
+/// Parses a non-empty id.
+pub fn parse_id(raw: &str) -> Result<u32, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty id".to_string());
+    }
+    trimmed.parse().map_err(|e| format!("bad id: {e}"))
+}
+
+/// Looks a value up, propagating absence.
+pub fn lookup(values: &[u32], index: usize) -> Option<u32> {
+    values.get(index).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics are fine inside tests.
+    #[test]
+    fn parses() {
+        assert_eq!(super::parse_id("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,17 @@
+//! Bad: wall-clock reads leak nondeterminism into the pipeline.
+
+use std::time::{Instant, SystemTime};
+
+/// Stamps a frame with real time — different on every run.
+pub fn stamp(luminance: f64) -> (Instant, f64) {
+    let now = Instant::now();
+    (now, luminance)
+}
+
+/// Unix-epoch timestamp — also nondeterministic.
+pub fn epoch_millis() -> u128 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

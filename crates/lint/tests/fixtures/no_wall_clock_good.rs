@@ -1,0 +1,14 @@
+//! Good: timestamps are injected, never read from the wall clock.
+
+/// A frame stamped by the caller's clock.
+pub struct StampedFrame {
+    /// Seconds since the start of the simulated session.
+    pub at: f64,
+    /// Mean luminance of the frame.
+    pub luminance: f64,
+}
+
+/// Pairs a luminance sample with an injected timestamp.
+pub fn stamp(at: f64, luminance: f64) -> StampedFrame {
+    StampedFrame { at, luminance }
+}

@@ -1,0 +1,17 @@
+//! Bad: entropy taps make every run different.
+
+use rand::rngs::OsRng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Draws jitter from thread-local entropy — never reproduces.
+pub fn jitter(n: usize) -> Vec<f64> {
+    let mut rng = rand::thread_rng();
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Seeds from the OS — also never reproduces.
+pub fn os_seeded() -> ChaCha8Rng {
+    let _tap = OsRng;
+    ChaCha8Rng::from_entropy()
+}

@@ -1,0 +1,10 @@
+//! Good: all randomness flows from an explicitly seeded generator.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Draws `n` deterministic jitter samples for a documented seed.
+pub fn jitter(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}

@@ -1,0 +1,24 @@
+//! Bad: the span guard is dropped immediately; the span measures nothing.
+
+/// A stand-in for the obs recorder.
+pub struct Recorder;
+
+/// A stand-in span guard.
+pub struct SpanGuard;
+
+impl Recorder {
+    /// Opens a span; the guard closes it on drop.
+    pub fn span(&self, _name: &str) -> SpanGuard {
+        SpanGuard
+    }
+}
+
+/// The guard dies at the semicolon — zero-width span.
+pub fn timed_work(recorder: &Recorder) -> u64 {
+    recorder.span("work");
+    let mut acc = 0;
+    for i in 0..1000u64 {
+        acc += i;
+    }
+    acc
+}

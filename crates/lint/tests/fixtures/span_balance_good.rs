@@ -1,0 +1,24 @@
+//! Good: span guards are bound, so the span covers its region.
+
+/// A stand-in for the obs recorder.
+pub struct Recorder;
+
+/// A stand-in span guard.
+pub struct SpanGuard;
+
+impl Recorder {
+    /// Opens a span; the guard closes it on drop.
+    pub fn span(&self, _name: &str) -> SpanGuard {
+        SpanGuard
+    }
+}
+
+/// Measures the work between guard creation and scope end.
+pub fn timed_work(recorder: &Recorder) -> u64 {
+    let _guard = recorder.span("work");
+    let mut acc = 0;
+    for i in 0..1000u64 {
+        acc += i;
+    }
+    acc
+}

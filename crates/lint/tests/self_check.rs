@@ -1,0 +1,49 @@
+//! The linter's own acceptance test: the real workspace, linted with the
+//! checked-in `lint.toml`, must be clean. This is the same invariant CI
+//! enforces via `cargo run -p lumen-lint -- --check`.
+
+use std::path::PathBuf;
+
+use lumen_lint::{lint_workspace, Config};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = workspace_root();
+    let baseline =
+        std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml is checked in");
+    let config = Config::parse(&baseline).expect("lint.toml parses");
+    let report = lint_workspace(&root, &config).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report.to_text()
+    );
+    // The scan must actually have covered the workspace, not an empty dir.
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn baseline_config_parses_and_names_known_rules() {
+    let root = workspace_root();
+    let baseline =
+        std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml is checked in");
+    let config = Config::parse(&baseline).expect("lint.toml parses");
+    for rule in config.rules.keys() {
+        assert!(
+            lumen_lint::rules::is_known(rule),
+            "lint.toml references unknown rule {rule}"
+        );
+    }
+}

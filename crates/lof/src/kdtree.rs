@@ -66,12 +66,7 @@ impl KdTree {
             return None;
         }
         let axis = depth % dim;
-        indices.sort_by(|&a, &b| {
-            points[a][axis]
-                .partial_cmp(&points[b][axis])
-                .expect("finite coordinates")
-                .then(a.cmp(&b))
-        });
+        indices.sort_by(|&a, &b| points[a][axis].total_cmp(&points[b][axis]).then(a.cmp(&b)));
         let mid = indices.len() / 2;
         let point = indices[mid];
         let (left_idx, rest) = indices.split_at_mut(mid);
@@ -135,8 +130,7 @@ impl KdTree {
         self.search(self.root.as_deref(), query, k, exclude, &mut best);
         best.sort_by(|a, b| {
             a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
+                .total_cmp(&b.distance)
                 .then(a.index.cmp(&b.index))
         });
         Ok(best)
@@ -182,8 +176,7 @@ impl KdTree {
         best.push(candidate);
         best.sort_by(|a, b| {
             a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
+                .total_cmp(&b.distance)
                 .then(a.index.cmp(&b.index))
         });
         best.truncate(k);

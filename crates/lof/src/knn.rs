@@ -133,8 +133,7 @@ impl<M: Metric> KnnIndex<M> {
             .collect();
         all.sort_by(|a, b| {
             a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
+                .total_cmp(&b.distance)
                 .then(a.index.cmp(&b.index))
         });
         all.truncate(k);

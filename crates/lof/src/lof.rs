@@ -62,6 +62,8 @@ impl LofModel {
                     .map(|n| n.distance.max(k_distances[n.index]))
                     .sum::<f64>()
                     / k as f64;
+                // lint:allow(float-eq): duplicate points give an exactly
+                // zero mean reach distance; the paper defines lrd = inf there
                 Ok(if mean_reach == 0.0 {
                     f64::INFINITY
                 } else {
@@ -120,6 +122,8 @@ impl LofModel {
             .map(|n| n.distance.max(self.k_distances[n.index]))
             .sum::<f64>()
             / self.k as f64;
+        // lint:allow(float-eq): duplicate points give an exactly zero
+        // mean reach distance; the paper defines lrd = inf there
         Ok(if mean_reach == 0.0 {
             f64::INFINITY
         } else {
@@ -158,6 +162,8 @@ impl LofModel {
                 let nn = self
                     .index
                     .nearest(&self.index.points()[i], self.k, Some(i))
+                    // lint:allow(no-panic): training points were validated
+                    // by fit(), and i indexes that same set
                     .expect("training points are valid");
                 let lrd_i = self.lrds[i];
                 if lrd_i.is_infinite() {

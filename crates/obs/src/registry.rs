@@ -97,7 +97,7 @@ impl Histogram {
     /// order statistics); `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         lumen_dsp::stats::quantile(&sorted, q)
     }
 

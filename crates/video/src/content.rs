@@ -320,6 +320,8 @@ pub fn add_scene_noise<R: Rng + ?Sized>(signal: &Signal, sigma: f64, rng: &mut R
             (v + white.next(rng) + wobble).clamp(0.0, 255.0)
         })
         .collect();
+    // lint:allow(no-panic): every sample is clamped to [0, 255] above, so
+    // the signal is finite by construction
     Signal::new(samples, signal.sample_rate()).expect("noise output is finite")
 }
 

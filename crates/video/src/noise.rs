@@ -50,6 +50,7 @@ impl WhiteNoise {
 
     /// Draws the next sample.
     pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // lint:allow(float-eq): exact zero is the "noise disabled" sentinel
         if self.sigma == 0.0 {
             0.0
         } else {
@@ -131,6 +132,7 @@ impl BurstProcess {
     /// half-sine pulse of ±`amplitude` inside each burst.
     pub fn samples<R: Rng + ?Sized>(&self, rng: &mut R, n: usize, sample_rate: f64) -> Vec<f64> {
         let mut out = vec![0.0; n];
+        // lint:allow(float-eq): exact zeros are "bursts disabled" sentinels
         if self.rate == 0.0 || self.duration == 0.0 || self.amplitude == 0.0 {
             return out;
         }

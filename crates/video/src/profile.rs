@@ -107,6 +107,8 @@ impl UserProfile {
         let i = index % UserProfile::PRESET_COUNT;
         let (r, md, mr, br, ba, tj) = TABLE[i];
         UserProfile::new(i, format!("user-{}", i + 1), r, md, mr, br, ba, tj)
+            // lint:allow(no-panic): the preset table is a literal constant
+            // kept in range; unit tests construct every preset
             .expect("presets are valid")
     }
 

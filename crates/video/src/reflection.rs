@@ -35,6 +35,8 @@ pub fn face_radiance(profile: &UserProfile, screen_incident: f64, ambient_incide
 /// illuminances, independent of reflectance. Returns `None` when the
 /// denominator illuminance is zero.
 pub fn von_kries_ratio(e_before: f64, e_after: f64) -> Option<f64> {
+    // lint:allow(float-eq): exactly zero illuminance is the documented
+    // degenerate case this function maps to None
     if e_before == 0.0 {
         None
     } else {
