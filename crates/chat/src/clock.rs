@@ -38,6 +38,18 @@ impl SimClock {
         SimClock::new(1.0 / rate)
     }
 
+    /// A clock resumed at an arbitrary tick — e.g. when a checkpointed
+    /// runtime restores and must continue counting where it stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite and positive.
+    pub fn resumed_at(dt: f64, tick: u64) -> Self {
+        let mut clock = SimClock::new(dt);
+        clock.tick = tick;
+        clock
+    }
+
     /// Current time in seconds.
     pub fn now(&self) -> f64 {
         self.tick as f64 * self.dt
@@ -72,6 +84,13 @@ mod tests {
         c.advance();
         assert!((c.now() - 0.2).abs() < 1e-12);
         assert_eq!(c.tick(), 2);
+    }
+
+    #[test]
+    fn resumes_at_checkpointed_tick() {
+        let c = SimClock::resumed_at(0.1, 450);
+        assert_eq!(c.tick(), 450);
+        assert!((c.now() - 45.0).abs() < 1e-9);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod channel;
 pub mod clock;
 pub mod endpoint;
 pub mod fault;
+pub mod feed;
 pub mod packet;
 pub mod scenario;
 pub mod session;

@@ -8,9 +8,10 @@ use lumen_chat::trace::TracePair;
 use lumen_dsp::Signal;
 use lumen_lof::classifier::LofClassifier;
 use lumen_obs::{stage, Recorder};
+use serde::{Deserialize, Serialize, Value};
 
 /// One detection outcome.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Detection {
     /// The extracted feature vector.
     pub features: FeatureVector,
@@ -51,6 +52,38 @@ impl ClipOutcome {
     /// Whether the clip was withheld.
     pub fn is_inconclusive(&self) -> bool {
         matches!(self, ClipOutcome::Inconclusive(_))
+    }
+}
+
+// Data-carrying enum: the vendored serde derive cannot generate this, so
+// the tagged-object encoding is written out. The shape is
+// `{"conclusive": {...}}` or `{"inconclusive": {...}}`, matching upstream
+// serde's externally-tagged default so checkpoints would survive a switch
+// back to the real crates.
+impl Serialize for ClipOutcome {
+    fn serialize(&self) -> Value {
+        match self {
+            ClipOutcome::Conclusive(d) => {
+                Value::Object(vec![("conclusive".to_string(), d.serialize())])
+            }
+            ClipOutcome::Inconclusive(r) => {
+                Value::Object(vec![("inconclusive".to_string(), r.serialize())])
+            }
+        }
+    }
+}
+
+impl Deserialize for ClipOutcome {
+    fn deserialize(v: &Value) -> std::result::Result<Self, serde::Error> {
+        if let Ok(d) = v.field("conclusive") {
+            return Ok(ClipOutcome::Conclusive(Deserialize::deserialize(d)?));
+        }
+        if let Ok(r) = v.field("inconclusive") {
+            return Ok(ClipOutcome::Inconclusive(Deserialize::deserialize(r)?));
+        }
+        Err(serde::Error::custom(
+            "clip outcome needs a `conclusive` or `inconclusive` field",
+        ))
     }
 }
 
@@ -463,6 +496,23 @@ mod tests {
         let max_dev = attack.deviations[attack.dominant];
         assert!(max_dev > legit.deviations[attack.dominant]);
         assert!(!attack.dominant_name().is_empty());
+    }
+
+    #[test]
+    fn clip_outcomes_round_trip_through_serde() {
+        let det = trained(0);
+        let b = ScenarioBuilder::default();
+        let d = det.detect(&b.legitimate(0, 888).unwrap()).unwrap();
+        for outcome in [
+            ClipOutcome::Conclusive(d),
+            ClipOutcome::Inconclusive(InconclusiveReason::Flatline),
+            ClipOutcome::Inconclusive(InconclusiveReason::LongFreeze { run: 40 }),
+            ClipOutcome::Inconclusive(InconclusiveReason::Withheld),
+        ] {
+            let back = ClipOutcome::deserialize(&outcome.serialize()).unwrap();
+            assert_eq!(back, outcome);
+        }
+        assert!(ClipOutcome::deserialize(&Value::Null).is_err());
     }
 
     #[test]

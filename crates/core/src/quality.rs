@@ -11,6 +11,7 @@
 //! when the clip cannot support one.
 
 use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Thresholds deciding when a clip is too degraded to vote on.
@@ -174,6 +175,12 @@ pub enum InconclusiveReason {
         /// Remaining non-finite count.
         count: usize,
     },
+    /// The clip never reached the gate: an upstream layer (e.g. an
+    /// overloaded serving runtime shedding load) withheld it before
+    /// detection. Withheld clips count toward the inconclusive stream —
+    /// they feed the watchdog and abstention accounting — so shedding is
+    /// never silent.
+    Withheld,
 }
 
 impl fmt::Display for InconclusiveReason {
@@ -193,6 +200,68 @@ impl fmt::Display for InconclusiveReason {
             InconclusiveReason::NonFinite { count } => {
                 write!(f, "{count} unrepairable non-finite samples")
             }
+            InconclusiveReason::Withheld => {
+                write!(f, "clip withheld upstream before detection")
+            }
+        }
+    }
+}
+
+// The vendored serde derive covers unit-variant enums only, so the
+// data-carrying reasons get explicit impls: a tagged object
+// `{"kind": ..., <payload fields>}` whose field names mirror the variant
+// fields, kept stable so checkpoints survive workspace upgrades.
+impl Serialize for InconclusiveReason {
+    fn serialize(&self) -> Value {
+        let (kind, payload): (&str, Option<(&str, Value)>) = match self {
+            InconclusiveReason::TooShort { len } => ("too_short", Some(("len", len.serialize()))),
+            InconclusiveReason::Flatline => ("flatline", None),
+            InconclusiveReason::ExcessiveGaps { gap_fraction } => (
+                "excessive_gaps",
+                Some(("gap_fraction", gap_fraction.serialize())),
+            ),
+            InconclusiveReason::LongFreeze { run } => {
+                ("long_freeze", Some(("run", run.serialize())))
+            }
+            InconclusiveReason::LowEffectiveRate { rate } => {
+                ("low_effective_rate", Some(("rate", rate.serialize())))
+            }
+            InconclusiveReason::NonFinite { count } => {
+                ("non_finite", Some(("count", count.serialize())))
+            }
+            InconclusiveReason::Withheld => ("withheld", None),
+        };
+        let mut fields = vec![("kind".to_string(), Value::String(kind.to_string()))];
+        if let Some((name, value)) = payload {
+            fields.push((name.to_string(), value));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for InconclusiveReason {
+    fn deserialize(v: &Value) -> std::result::Result<Self, serde::Error> {
+        match v.field("kind")?.as_str()? {
+            "too_short" => Ok(InconclusiveReason::TooShort {
+                len: Deserialize::deserialize(v.field("len")?)?,
+            }),
+            "flatline" => Ok(InconclusiveReason::Flatline),
+            "excessive_gaps" => Ok(InconclusiveReason::ExcessiveGaps {
+                gap_fraction: Deserialize::deserialize(v.field("gap_fraction")?)?,
+            }),
+            "long_freeze" => Ok(InconclusiveReason::LongFreeze {
+                run: Deserialize::deserialize(v.field("run")?)?,
+            }),
+            "low_effective_rate" => Ok(InconclusiveReason::LowEffectiveRate {
+                rate: Deserialize::deserialize(v.field("rate")?)?,
+            }),
+            "non_finite" => Ok(InconclusiveReason::NonFinite {
+                count: Deserialize::deserialize(v.field("count")?)?,
+            }),
+            "withheld" => Ok(InconclusiveReason::Withheld),
+            other => Err(serde::Error::custom(format!(
+                "unknown inconclusive reason `{other}`"
+            ))),
         }
     }
 }
@@ -512,17 +581,35 @@ mod tests {
         assert!(QualityGate::new(t).is_err());
     }
 
-    #[test]
-    fn reasons_render() {
-        for r in [
+    fn all_reasons() -> Vec<InconclusiveReason> {
+        vec![
             InconclusiveReason::TooShort { len: 1 },
             InconclusiveReason::Flatline,
             InconclusiveReason::ExcessiveGaps { gap_fraction: 0.5 },
             InconclusiveReason::LongFreeze { run: 40 },
             InconclusiveReason::LowEffectiveRate { rate: 3.0 },
             InconclusiveReason::NonFinite { count: 7 },
-        ] {
+            InconclusiveReason::Withheld,
+        ]
+    }
+
+    #[test]
+    fn reasons_render() {
+        for r in all_reasons() {
             assert!(!r.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn reasons_round_trip_through_serde() {
+        for r in all_reasons() {
+            let back = InconclusiveReason::deserialize(&r.serialize()).unwrap();
+            assert_eq!(back, r);
+        }
+        let bogus = Value::Object(vec![(
+            "kind".to_string(),
+            Value::String("no-such-reason".to_string()),
+        )]);
+        assert!(InconclusiveReason::deserialize(&bogus).is_err());
     }
 }

@@ -9,16 +9,17 @@
 //! (Sec. III-B).
 
 use crate::detector::{ClipOutcome, Detection, Detector};
-use crate::quality::{GateDecision, QualityGate};
+use crate::quality::{GateDecision, InconclusiveReason, QualityGate};
 use crate::voting::{combine_votes_gated, FusedStatus};
 use crate::{CoreError, Result};
 use lumen_chat::trace::{ScenarioKind, TracePair};
 use lumen_dsp::Signal;
 use lumen_obs::stage;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The streaming detector's standing assessment of the remote party.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SessionStatus {
     /// Not enough clips observed yet.
     Gathering,
@@ -29,7 +30,7 @@ pub enum SessionStatus {
 }
 
 /// One event emitted by [`StreamingDetector::push`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClipVerdict {
     /// Index of the completed clip (0-based).
     pub clip_index: usize,
@@ -52,16 +53,25 @@ impl ClipVerdict {
 }
 
 /// Escalating re-trigger schedule for runs of inconclusive clips: fire
-/// after 2 consecutive abstentions, then back off exponentially (4, 8, 16,
-/// 16, …) so a long outage does not spam re-challenges.
+/// after [`WATCHDOG_BASE`] consecutive abstentions, then back off
+/// exponentially (doubling the threshold each fire) up to [`WATCHDOG_CAP`]
+/// so a long outage does not spam re-challenges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Watchdog {
     consecutive: usize,
     threshold: usize,
 }
 
-const WATCHDOG_BASE: usize = 2;
-const WATCHDOG_CAP: usize = 16;
+/// First watchdog re-trigger fires after this many consecutive
+/// inconclusive clips; each subsequent fire doubles the threshold.
+pub const WATCHDOG_BASE: usize = 2;
+
+/// The watchdog's backoff ceiling: the re-trigger threshold doubles per
+/// fire ([`WATCHDOG_BASE`], 4, 8, …) but never exceeds this many
+/// consecutive inconclusive clips. Shared by the backoff logic, its doc
+/// comments and the `watchdog_retriggers_with_backoff` test so the three
+/// can never drift apart.
+pub const WATCHDOG_CAP: usize = 16;
 
 impl Watchdog {
     fn new() -> Self {
@@ -325,6 +335,148 @@ impl StreamingDetector {
         self.last_status = SessionStatus::Gathering;
         self.watchdog = Watchdog::new();
     }
+
+    /// Records a clip that an upstream layer withheld before any sample
+    /// reached this detector — e.g. an overloaded serving runtime shedding
+    /// the clip to protect its deadline. The shed is *counted*, never
+    /// silent: it feeds the inconclusive-clip watchdog and the clip index
+    /// advances exactly as if the clip had been screened out by the
+    /// quality gate, so the verdict stream has one entry per offered clip.
+    /// The voting history is untouched (sheds reflect the runtime, not the
+    /// callee).
+    pub fn record_withheld(&mut self) -> ClipVerdict {
+        let recorder = self.detector.recorder().clone();
+        let retrigger = self.watchdog.inconclusive();
+        if retrigger {
+            recorder.add("stream.watchdog_retrigger", 1);
+            recorder.mark("stream.watchdog", "re-trigger detection round");
+        }
+        let clip_index = self.clips_done;
+        self.clips_done += 1;
+        recorder.add("stream.clips", 1);
+        recorder.add("stream.withheld", 1);
+        let status = self.status();
+        if status != self.last_status {
+            recorder.mark(
+                "stream.status",
+                &format!("{:?}->{:?}", self.last_status, status),
+            );
+            self.last_status = status;
+        }
+        ClipVerdict {
+            clip_index,
+            outcome: ClipOutcome::Inconclusive(InconclusiveReason::Withheld),
+            status,
+            retrigger,
+        }
+    }
+
+    /// Captures the mutable session state — partial clip buffers, the vote
+    /// ring, clip accounting and the watchdog schedule — as a serializable
+    /// snapshot. The trained detector model is deliberately *not* included:
+    /// it is immutable and deterministically reconstructible from its
+    /// training set, so checkpoints stay small and
+    /// [`StreamingDetector::restore`] takes a freshly trained detector.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            tx_buffer: self.tx_buffer.clone(),
+            rx_buffer: self.rx_buffer.clone(),
+            history: self.history.iter().copied().collect(),
+            clips_done: self.clips_done,
+            last_status: self.last_status,
+            watchdog_consecutive: self.watchdog.consecutive,
+            watchdog_threshold: self.watchdog.threshold,
+        }
+    }
+
+    /// Restores the mutable session state from a snapshot taken by
+    /// [`StreamingDetector::snapshot`] — including mid-clip: the partial
+    /// buffers resume exactly where the checkpoint cut them, so replaying
+    /// the interrupted clip's remaining samples yields a byte-identical
+    /// verdict sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the snapshot is
+    /// inconsistent with this detector's geometry: mismatched buffer
+    /// lengths, a partial clip at least as long as a full clip, a vote
+    /// ring wider than the window, or a watchdog schedule outside the
+    /// [`WATCHDOG_BASE`]..=[`WATCHDOG_CAP`] range.
+    pub fn restore(&mut self, snap: &StreamSnapshot) -> Result<()> {
+        if snap.tx_buffer.len() != snap.rx_buffer.len() {
+            return Err(CoreError::invalid_config(
+                "snapshot",
+                format!(
+                    "tx/rx partial buffers disagree: {} vs {}",
+                    snap.tx_buffer.len(),
+                    snap.rx_buffer.len()
+                ),
+            ));
+        }
+        if snap.tx_buffer.len() >= self.clip_samples {
+            return Err(CoreError::invalid_config(
+                "snapshot",
+                format!(
+                    "partial clip of {} samples does not fit a {}-sample clip",
+                    snap.tx_buffer.len(),
+                    self.clip_samples
+                ),
+            ));
+        }
+        if snap.history.len() > self.window {
+            return Err(CoreError::invalid_config(
+                "snapshot",
+                format!(
+                    "vote ring of {} exceeds window {}",
+                    snap.history.len(),
+                    self.window
+                ),
+            ));
+        }
+        if !(WATCHDOG_BASE..=WATCHDOG_CAP).contains(&snap.watchdog_threshold)
+            || snap.watchdog_consecutive >= snap.watchdog_threshold
+        {
+            return Err(CoreError::invalid_config(
+                "snapshot",
+                format!(
+                    "watchdog state {}/{} outside the {WATCHDOG_BASE}..={WATCHDOG_CAP} schedule",
+                    snap.watchdog_consecutive, snap.watchdog_threshold
+                ),
+            ));
+        }
+        self.tx_buffer = snap.tx_buffer.clone();
+        self.rx_buffer = snap.rx_buffer.clone();
+        self.history = snap.history.iter().copied().collect();
+        self.clips_done = snap.clips_done;
+        self.last_status = snap.last_status;
+        self.watchdog = Watchdog {
+            consecutive: snap.watchdog_consecutive,
+            threshold: snap.watchdog_threshold,
+        };
+        Ok(())
+    }
+}
+
+/// Serializable snapshot of a [`StreamingDetector`]'s mutable session
+/// state (the trained model is reconstructed separately on restore — see
+/// [`StreamingDetector::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSnapshot {
+    /// Samples of the in-progress (partial) clip, transmitted side.
+    pub tx_buffer: Vec<f64>,
+    /// Samples of the in-progress (partial) clip, received side.
+    pub rx_buffer: Vec<f64>,
+    /// The vote ring: recent conclusive acceptance votes, oldest first.
+    pub history: Vec<bool>,
+    /// Completed clips so far (the next clip index).
+    pub clips_done: usize,
+    /// The last fused status reported to the caller.
+    pub last_status: SessionStatus,
+    /// Watchdog: consecutive inconclusive clips since the last fire.
+    pub watchdog_consecutive: usize,
+    /// Watchdog: the current re-trigger threshold (a power-of-two step of
+    /// the [`WATCHDOG_BASE`]→[`WATCHDOG_CAP`] backoff schedule).
+    pub watchdog_threshold: usize,
 }
 
 #[cfg(test)]
@@ -492,14 +644,32 @@ mod tests {
         assert_ne!(stream.status(), SessionStatus::Alert);
     }
 
+    /// The clip indices at which the watchdog is expected to fire during
+    /// an unbroken inconclusive run of `clips` clips, derived from the
+    /// shared `WATCHDOG_BASE`/`WATCHDOG_CAP` constants (fire after BASE,
+    /// then double the gap per fire, capped at CAP).
+    fn expected_watchdog_fires(clips: usize) -> Vec<usize> {
+        let mut fires = Vec::new();
+        let mut threshold = WATCHDOG_BASE;
+        let mut next = threshold;
+        while next <= clips {
+            fires.push(next - 1); // 0-based clip index of the firing clip
+            threshold = (threshold * 2).min(WATCHDOG_CAP);
+            next += threshold;
+        }
+        fires
+    }
+
     #[test]
     fn watchdog_retriggers_with_backoff() {
         let mut stream = gated(3);
-        // Nine consecutive flatline (inconclusive) clips: the watchdog
-        // fires after 2, then 4 more, then the threshold caps per the
-        // schedule — never every clip.
+        // A long run of flatline (inconclusive) clips: the watchdog fires
+        // after WATCHDOG_BASE clips, doubles its gap per fire, and the gap
+        // saturates at the WATCHDOG_CAP constant — never every clip, and
+        // never a gap beyond the cap.
+        let clips = 2 * (WATCHDOG_BASE + 4 + 8 + WATCHDOG_CAP);
         let mut fired = Vec::new();
-        for clip in 0..9 {
+        for clip in 0..clips {
             for _ in 0..stream.clip_samples() {
                 if let Some(v) = stream.push(100.0, 42.0).unwrap() {
                     if v.retrigger {
@@ -508,11 +678,18 @@ mod tests {
                 }
             }
         }
-        assert_eq!(fired, vec![1, 5], "backoff schedule {fired:?}");
+        assert_eq!(
+            fired,
+            expected_watchdog_fires(clips),
+            "backoff schedule {fired:?}"
+        );
+        // Once saturated, consecutive fires are exactly WATCHDOG_CAP apart.
+        let last_gap = fired[fired.len() - 1] - fired[fired.len() - 2];
+        assert_eq!(last_gap, WATCHDOG_CAP, "gap must cap at WATCHDOG_CAP");
         // A conclusive clip resets the schedule.
         let chats = ScenarioBuilder::default();
         feed(&mut stream, &chats.legitimate(0, 89_000).unwrap());
-        assert_eq!(stream.clips_done(), 10);
+        assert_eq!(stream.clips_done(), clips + 1);
     }
 
     #[test]
@@ -520,6 +697,108 @@ mod tests {
         let mut stream = gated(3);
         assert!(stream.push(f64::NAN, 100.0).unwrap().is_none());
         assert!(stream.push(100.0, f64::INFINITY).unwrap().is_none());
+    }
+
+    #[test]
+    fn snapshot_restores_mid_clip_to_identical_verdicts() {
+        let chats = ScenarioBuilder::default();
+        let pairs: Vec<TracePair> = (0..3)
+            .map(|s| chats.legitimate(0, 91_000 + s).unwrap())
+            .collect();
+        // Straight run.
+        let mut straight = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        let mut expected = Vec::new();
+        for p in &pairs {
+            expected.extend(feed(&mut straight, p));
+        }
+        // Interrupted run: checkpoint mid-clip (73 samples into clip 1),
+        // restore into a freshly built detector, replay the rest.
+        let mut first = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        let mut got = feed(&mut first, &pairs[0]);
+        for (tx, rx) in pairs[1].tx.samples()[..73]
+            .iter()
+            .zip(&pairs[1].rx.samples()[..73])
+        {
+            assert!(first.push(*tx, *rx).unwrap().is_none());
+        }
+        let snap = first.snapshot();
+        drop(first); // the "crash"
+        let mut resumed = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        resumed.restore(&snap).unwrap();
+        for (tx, rx) in pairs[1].tx.samples()[73..]
+            .iter()
+            .zip(&pairs[1].rx.samples()[73..])
+        {
+            if let Some(v) = resumed.push(*tx, *rx).unwrap() {
+                got.push(v);
+            }
+        }
+        got.extend(feed(&mut resumed, &pairs[2]));
+        assert_eq!(got, expected, "restored run must replay identically");
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        let good = stream.snapshot();
+        let mut bad = good.clone();
+        bad.rx_buffer.push(1.0);
+        assert!(stream.restore(&bad).is_err(), "mismatched buffers");
+        bad = good.clone();
+        bad.tx_buffer = vec![1.0; 150];
+        bad.rx_buffer = vec![1.0; 150];
+        assert!(stream.restore(&bad).is_err(), "oversized partial clip");
+        bad = good.clone();
+        bad.history = vec![true; 4];
+        assert!(stream.restore(&bad).is_err(), "vote ring wider than window");
+        bad = good.clone();
+        bad.watchdog_threshold = WATCHDOG_CAP * 2;
+        assert!(stream.restore(&bad).is_err(), "threshold beyond cap");
+        bad = good.clone();
+        bad.watchdog_consecutive = bad.watchdog_threshold;
+        assert!(stream.restore(&bad).is_err(), "consecutive >= threshold");
+        assert!(stream.restore(&good).is_ok());
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        feed(&mut stream, &chats.legitimate(0, 92_000).unwrap());
+        let pair = chats.legitimate(0, 92_001).unwrap();
+        for (tx, rx) in pair.tx.samples()[..40].iter().zip(&pair.rx.samples()[..40]) {
+            stream.push(*tx, *rx).unwrap();
+        }
+        let snap = stream.snapshot();
+        let back = StreamSnapshot::deserialize(&snap.serialize()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn withheld_clips_count_and_feed_the_watchdog() {
+        let chats = ScenarioBuilder::default();
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        feed(&mut stream, &chats.legitimate(0, 93_000).unwrap());
+        assert_eq!(stream.status(), SessionStatus::Trusted);
+        // Two consecutive sheds: clip accounting advances, the voting
+        // history (and status) is untouched, and the second shed trips the
+        // watchdog (WATCHDOG_BASE = 2).
+        let v1 = stream.record_withheld();
+        assert_eq!(v1.clip_index, 1);
+        assert_eq!(
+            v1.outcome,
+            ClipOutcome::Inconclusive(InconclusiveReason::Withheld)
+        );
+        assert_eq!(v1.status, SessionStatus::Trusted);
+        assert!(!v1.retrigger);
+        let v2 = stream.record_withheld();
+        assert_eq!(v2.clip_index, 2);
+        assert!(v2.retrigger, "second consecutive shed fires the watchdog");
+        assert_eq!(stream.clips_done(), 3);
+        // A conclusive clip afterwards resumes normal operation.
+        let verdicts = feed(&mut stream, &chats.legitimate(0, 93_001).unwrap());
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].clip_index, 3);
     }
 
     #[test]

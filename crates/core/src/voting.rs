@@ -8,6 +8,7 @@
 use crate::detector::{Detection, Detector};
 use crate::{CoreError, Result};
 use lumen_chat::trace::TracePair;
+use serde::{Deserialize, Serialize};
 
 /// The combined verdict of a voting round.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +23,23 @@ pub struct Verdict {
 
 /// Combines boolean acceptance votes: the user is flagged as an attacker
 /// when rejection votes strictly exceed `coefficient × D`.
+///
+/// # The exact-tie boundary
+///
+/// The paper's rule is *strict*: "an untrusted user is regarded as a face
+/// reenactment attacker if its votes **exceed** 0.7 × D" (Sec. VII-B). A
+/// vote count exactly equal to `coefficient × D` therefore **accepts** —
+/// e.g. D = 10 with exactly 7 rejection votes is accepted, 8 rejects.
+/// This holds under floating-point evaluation: the comparison is
+/// `rejections as f64 <= coefficient * D as f64`, both sides computed with
+/// a single rounding each, so the only way an exact tie could flip is if
+/// `coefficient * D` rounded *below* the true product by more than the gap
+/// to the next representable integer — impossible for integer `rejections`
+/// (integers up to 2⁵³ are exact in f64, and one multiplication is
+/// correctly rounded to within half an ulp). The
+/// `exact_tie_at_boundary_accepts` unit test pins D = 10, c = 0.7,
+/// 7 rejections to the accepting side so any future refactor that flips
+/// the boundary fails loudly.
 ///
 /// # Errors
 ///
@@ -45,7 +63,7 @@ pub fn combine_votes(accepted_votes: &[bool], coefficient: f64) -> Result<bool> 
 }
 
 /// The fused status of a quality-aware voting round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FusedStatus {
     /// The conclusive votes accept the remote party.
     Accepted,
@@ -181,6 +199,44 @@ mod tests {
         // D = 5 -> reject when rejections > 3.5, i.e. >= 4.
         assert!(combine_votes(&[false, false, false, true, true], 0.7).unwrap());
         assert!(!combine_votes(&[false, false, false, false, true], 0.7).unwrap());
+    }
+
+    #[test]
+    fn exact_tie_at_boundary_accepts() {
+        // D = 10, coefficient 0.7: exactly 7 rejection votes sit *on* the
+        // 0.7·D boundary. The paper's rule is strict ("votes exceed
+        // 0.7 × D"), so the tie accepts; one more rejection flags the
+        // attacker. This pins the boundary against float-rounding drift.
+        let tie: Vec<bool> = [vec![false; 7], vec![true; 3]].concat();
+        assert!(combine_votes(&tie, 0.7).unwrap(), "7/10 must accept");
+        let over: Vec<bool> = [vec![false; 8], vec![true; 2]].concat();
+        assert!(!combine_votes(&over, 0.7).unwrap(), "8/10 must reject");
+
+        // The same boundary through the gated path.
+        let tie_gated: Vec<Option<bool>> = tie.iter().map(|&v| Some(v)).collect();
+        assert_eq!(
+            combine_votes_gated(&tie_gated, 0.7, 1).unwrap(),
+            FusedStatus::Accepted
+        );
+
+        // Ties at other window sizes whose product is inexact in binary
+        // (0.7·D for D = 20, 30: the product rounds to the exact integer).
+        let d20: Vec<bool> = [vec![false; 14], vec![true; 6]].concat();
+        assert!(combine_votes(&d20, 0.7).unwrap(), "14/20 must accept");
+        let d30: Vec<bool> = [vec![false; 21], vec![true; 9]].concat();
+        assert!(combine_votes(&d30, 0.7).unwrap(), "21/30 must accept");
+    }
+
+    #[test]
+    fn fused_status_round_trips_through_serde() {
+        use serde::{Deserialize as _, Serialize as _};
+        for s in [
+            FusedStatus::Accepted,
+            FusedStatus::Rejected,
+            FusedStatus::Inconclusive,
+        ] {
+            assert_eq!(FusedStatus::deserialize(&s.serialize()).unwrap(), s);
+        }
     }
 
     #[test]

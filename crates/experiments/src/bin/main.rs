@@ -55,6 +55,10 @@ const IDS: &[(&str, &str)] = &[
         "resilience",
         "FRR/FAR and abstention under burst loss / freeze / clock skew",
     ),
+    (
+        "overload",
+        "multi-session serving: shed fraction, latency and verdict integrity vs. load",
+    ),
     ("roc", "ROC curves and AUC per user and pooled"),
     ("cliplen", "clip-length sensitivity (8-30 s)"),
     ("occlusion", "TAR vs occlusion/burst disturbance intensity"),
@@ -98,6 +102,7 @@ fn run_one(id: &str, json: bool) -> ExpResult<String> {
         )?),
         "related" => emit!(related_work::run(related_work::RelatedWorkOpts::default())?),
         "resilience" => emit!(resilience::run(resilience::ResilienceOpts::default())?),
+        "overload" => emit!(overload::run(overload::OverloadOpts::default())?),
         "roc" => emit!(roc_analysis::run(roc_analysis::RocOpts::default())?),
         "cliplen" => emit!(clip_length::run(clip_length::ClipLengthOpts::default())?),
         "occlusion" => emit!(occlusion::run(occlusion::OcclusionOpts::default())?),

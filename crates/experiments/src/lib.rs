@@ -30,6 +30,7 @@ pub mod network;
 pub mod occlusion;
 pub mod overall;
 pub mod overhead;
+pub mod overload;
 pub mod panel;
 pub mod pipeline_stages;
 pub mod preproc_ablation;

@@ -63,6 +63,12 @@ pub mod stage {
     pub const VOTE_FUSION: &str = "vote_fusion";
     /// Signal-quality screening of a clip before any vote is cast.
     pub const QUALITY_GATE: &str = "quality_gate";
+    /// One scheduler tick of the multi-session serving runtime.
+    pub const SERVE_TICK: &str = "serve_tick";
+    /// One queued clip being served to detection by the runtime.
+    pub const SERVE_CLIP: &str = "serve_clip";
+    /// Capturing a checkpoint of the serving runtime.
+    pub const CHECKPOINT: &str = "checkpoint";
 
     /// The four stages nested under [`DETECT`] plus the fusion stage, in
     /// pipeline order.

@@ -1,0 +1,313 @@
+//! Per-session circuit breaker.
+//!
+//! A wedged or hostile session must not be allowed to burn the global
+//! detection budget forever: repeated watchdog re-triggers or detection
+//! errors trip the session's breaker to [`BreakerState::Open`], its clips
+//! are shed without detection work for a cool-down, and a bounded number
+//! of half-open probe clips then decide whether to restore it. The state
+//! machine is tick-driven (no wall clock) so runs replay deterministically.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Circuit-breaker tuning shared by every session of a supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures (watchdog re-triggers or detection errors)
+    /// that trip a closed breaker open.
+    pub trip_after: usize,
+    /// Ticks an open breaker sheds clips before allowing half-open probes.
+    pub open_ticks: u64,
+    /// Consecutive successful probe clips required to close a half-open
+    /// breaker again.
+    pub half_open_probes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            open_ticks: 300,
+            half_open_probes: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Validates the tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ServeError::InvalidConfig`] when any threshold is
+    /// zero — a breaker that trips after zero failures (or re-closes after
+    /// zero probes) has no defined state machine.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.trip_after == 0 {
+            return Err(crate::ServeError::invalid_config(
+                "breaker.trip_after",
+                "must be non-zero",
+            ));
+        }
+        if self.open_ticks == 0 {
+            return Err(crate::ServeError::invalid_config(
+                "breaker.open_ticks",
+                "must be non-zero",
+            ));
+        }
+        if self.half_open_probes == 0 {
+            return Err(crate::ServeError::invalid_config(
+                "breaker.half_open_probes",
+                "must be non-zero",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The breaker's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Clips flow normally; `failures` consecutive failures so far.
+    Closed {
+        /// Consecutive failures since the last success.
+        failures: usize,
+    },
+    /// Clips are shed for `remaining_ticks` more ticks.
+    Open {
+        /// Ticks left before half-open probing begins.
+        remaining_ticks: u64,
+    },
+    /// Probe clips are admitted; `successes` consecutive probe successes.
+    HalfOpen {
+        /// Consecutive successful probes so far.
+        successes: usize,
+    },
+}
+
+// The vendored serde derive handles unit-variant enums only, so the
+// data-carrying breaker state serializes by hand as a tagged object.
+impl Serialize for BreakerState {
+    fn serialize(&self) -> Value {
+        let (tag, count) = match self {
+            BreakerState::Closed { failures } => ("closed", *failures as u64),
+            BreakerState::Open { remaining_ticks } => ("open", *remaining_ticks),
+            BreakerState::HalfOpen { successes } => ("half_open", *successes as u64),
+        };
+        Value::Object(vec![
+            ("state".to_string(), Value::String(tag.to_string())),
+            ("count".to_string(), count.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for BreakerState {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        let tag = v.field("state")?.as_str()?;
+        let count = v.field("count")?.as_u64()?;
+        match tag {
+            "closed" => Ok(BreakerState::Closed {
+                failures: count as usize,
+            }),
+            "open" => Ok(BreakerState::Open {
+                remaining_ticks: count,
+            }),
+            "half_open" => Ok(BreakerState::HalfOpen {
+                successes: count as usize,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "unknown breaker state `{other}`"
+            ))),
+        }
+    }
+}
+
+/// A transition worth reporting to the caller (and marking in obs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Closed (or half-open) → open: the session is now shedding.
+    Tripped,
+    /// Open → half-open: probe clips are admitted again.
+    Probing,
+    /// Half-open → closed: the session is fully restored.
+    Restored,
+}
+
+/// The per-session circuit breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed { failures: 0 },
+        }
+    }
+
+    /// Reconstructs a breaker from a checkpointed state.
+    pub fn with_state(config: BreakerConfig, state: BreakerState) -> Self {
+        CircuitBreaker { config, state }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// `true` while clips must be shed without detection work.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Records a successfully served, conclusive clip.
+    pub fn record_success(&mut self) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed { .. } => {
+                self.state = BreakerState::Closed { failures: 0 };
+                None
+            }
+            BreakerState::HalfOpen { successes } => {
+                let successes = successes + 1;
+                if successes >= self.config.half_open_probes {
+                    self.state = BreakerState::Closed { failures: 0 };
+                    Some(BreakerTransition::Restored)
+                } else {
+                    self.state = BreakerState::HalfOpen { successes };
+                    None
+                }
+            }
+            // Open sessions are shed before detection, so a success while
+            // open cannot arise; keep the state machine total anyway.
+            BreakerState::Open { .. } => None,
+        }
+    }
+
+    /// Records a failure: a watchdog re-trigger or a detection error.
+    pub fn record_failure(&mut self) -> Option<BreakerTransition> {
+        match self.state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.trip_after {
+                    self.state = BreakerState::Open {
+                        remaining_ticks: self.config.open_ticks,
+                    };
+                    Some(BreakerTransition::Tripped)
+                } else {
+                    self.state = BreakerState::Closed { failures };
+                    None
+                }
+            }
+            // One failed probe re-opens immediately: half-open exists to
+            // confirm recovery, not to re-accumulate a failure budget.
+            BreakerState::HalfOpen { .. } => {
+                self.state = BreakerState::Open {
+                    remaining_ticks: self.config.open_ticks,
+                };
+                Some(BreakerTransition::Tripped)
+            }
+            BreakerState::Open { .. } => None,
+        }
+    }
+
+    /// Advances one tick; an expiring cool-down moves to half-open.
+    pub fn tick(&mut self) -> Option<BreakerTransition> {
+        if let BreakerState::Open { remaining_ticks } = self.state {
+            let remaining_ticks = remaining_ticks.saturating_sub(1);
+            if remaining_ticks == 0 {
+                self.state = BreakerState::HalfOpen { successes: 0 };
+                return Some(BreakerTransition::Probing);
+            }
+            self.state = BreakerState::Open { remaining_ticks };
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after: 2,
+            open_ticks: 3,
+            half_open_probes: 2,
+        })
+    }
+
+    #[test]
+    fn config_validates() {
+        assert!(BreakerConfig::default().validate().is_ok());
+        for bad in [
+            BreakerConfig {
+                trip_after: 0,
+                ..Default::default()
+            },
+            BreakerConfig {
+                open_ticks: 0,
+                ..Default::default()
+            },
+            BreakerConfig {
+                half_open_probes: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_and_success_resets() {
+        let mut b = breaker();
+        assert_eq!(b.record_failure(), None);
+        assert_eq!(b.record_success(), None); // resets the failure count
+        assert_eq!(b.record_failure(), None);
+        assert_eq!(b.record_failure(), Some(BreakerTransition::Tripped));
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn full_cycle_trip_probe_restore() {
+        let mut b = breaker();
+        b.record_failure();
+        assert_eq!(b.record_failure(), Some(BreakerTransition::Tripped));
+        assert_eq!(b.tick(), None);
+        assert_eq!(b.tick(), None);
+        assert_eq!(b.tick(), Some(BreakerTransition::Probing));
+        assert_eq!(b.state(), BreakerState::HalfOpen { successes: 0 });
+        assert_eq!(b.record_success(), None);
+        assert_eq!(b.record_success(), Some(BreakerTransition::Restored));
+        assert_eq!(b.state(), BreakerState::Closed { failures: 0 });
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut b = breaker();
+        b.record_failure();
+        b.record_failure();
+        for _ in 0..3 {
+            b.tick();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen { successes: 0 });
+        assert_eq!(b.record_failure(), Some(BreakerTransition::Tripped));
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn states_round_trip_through_serde() {
+        for state in [
+            BreakerState::Closed { failures: 1 },
+            BreakerState::Open {
+                remaining_ticks: 42,
+            },
+            BreakerState::HalfOpen { successes: 1 },
+        ] {
+            let back = BreakerState::deserialize(&state.serialize()).unwrap();
+            assert_eq!(back, state);
+        }
+        assert!(BreakerState::deserialize(&Value::Null).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Errors produced by the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A configuration field is outside its valid domain.
+    InvalidConfig {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operation named a session this supervisor does not own.
+    UnknownSession(u64),
+    /// A checkpoint is internally inconsistent and cannot be restored.
+    BadSnapshot(String),
+    /// Propagated detection-pipeline error.
+    Core(lumen_core::CoreError),
+}
+
+impl ServeError {
+    /// Convenience constructor for [`ServeError::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        ServeError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ServeError::BadSnapshot`].
+    pub fn bad_snapshot(reason: impl Into<String>) -> Self {
+        ServeError::BadSnapshot(reason.into())
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid serve config `{field}`: {reason}")
+            }
+            ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServeError::BadSnapshot(reason) => write!(f, "bad checkpoint: {reason}"),
+            ServeError::Core(e) => write!(f, "detection pipeline failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lumen_core::CoreError> for ServeError {
+    fn from(e: lumen_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ServeError::invalid_config("queue_clips", "zero")
+            .to_string()
+            .contains("queue_clips"));
+        assert!(ServeError::UnknownSession(7).to_string().contains("7"));
+        assert!(ServeError::bad_snapshot("truncated")
+            .to_string()
+            .contains("truncated"));
+        use std::error::Error;
+        let core = lumen_core::CoreError::invalid_config("window", "zero");
+        assert!(ServeError::from(core).source().is_some());
+    }
+}

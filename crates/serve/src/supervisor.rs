@@ -1,0 +1,1297 @@
+//! The multi-session supervisor: admission, backpressure, shedding.
+//!
+//! One [`Supervisor`] owns a fleet of [`StreamingDetector`]s — one per
+//! admitted chat session — and multiplexes their clip detections onto a
+//! bounded, tick-driven work budget. The paper triggers its detector
+//! "multiple times during the real-time video chat" for *one* session
+//! (Sec. III-B); a deployment verifying many concurrent sessions must
+//! decide what happens when the offered detection load exceeds capacity.
+//! The supervisor's answer: clips are *shed, never silently dropped* —
+//! every shed is recorded into the session's verdict stream as a
+//! [`Withheld`](lumen_core::quality::InconclusiveReason::Withheld)
+//! abstention (feeding the inconclusive-clip watchdog), counted in
+//! [`ServeStats`], and reported as a [`SessionEvent`], so
+//! `served + shed == offered` holds exactly and an attacker cannot DoS
+//! the defense into silence.
+//!
+//! Verdict-order discipline: a session's verdict stream carries exactly
+//! one entry per completed clip, *in completion order*, whether the clip
+//! was served or shed. Sheds decided at completion time (queue full,
+//! breaker open) therefore enqueue an ordering tombstone rather than
+//! recording immediately — the tombstone is flushed once every earlier
+//! clip has been resolved, which is what keeps served clips' outcomes
+//! byte-identical to an unloaded run.
+
+use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
+use crate::checkpoint::{QueuedClipSnapshot, SessionSnapshot, SupervisorSnapshot};
+use crate::{BreakerConfig, Result, ServeError};
+use lumen_chat::clock::SimClock;
+use lumen_core::stream::{ClipVerdict, StreamingDetector};
+use lumen_obs::{stage, Recorder};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Tuning for a [`Supervisor`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Maximum concurrently admitted sessions.
+    pub max_sessions: usize,
+    /// Completed clips a session may hold queued for detection; a clip
+    /// completing against a full queue is shed with
+    /// [`ShedReason::QueueFull`].
+    pub queue_clips: usize,
+    /// Detection credits granted per budget period: the global work
+    /// budget is `budget_clips` clip detections every
+    /// `budget_period_ticks` ticks, shared by all sessions round-robin.
+    pub budget_clips: u64,
+    /// Length of one budget period, in ticks.
+    pub budget_period_ticks: u64,
+    /// A queued clip older than this many ticks can no longer meet its
+    /// latency deadline and is shed with [`ShedReason::DeadlineExceeded`].
+    pub deadline_ticks: u64,
+    /// Tick rate of the supervisor clock, Hz (the video sample rate).
+    pub tick_rate_hz: f64,
+    /// Per-session circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_sessions: 64,
+            queue_clips: 2,
+            budget_clips: 4,
+            budget_period_ticks: 10,
+            deadline_ticks: 300,
+            tick_rate_hz: 10.0,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for any zero capacity,
+    /// budget, period or deadline, or a non-positive tick rate.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_sessions == 0 {
+            return Err(ServeError::invalid_config(
+                "max_sessions",
+                "must be non-zero",
+            ));
+        }
+        if self.queue_clips == 0 {
+            return Err(ServeError::invalid_config(
+                "queue_clips",
+                "must be non-zero",
+            ));
+        }
+        if self.budget_clips == 0 {
+            return Err(ServeError::invalid_config(
+                "budget_clips",
+                "must be non-zero",
+            ));
+        }
+        if self.budget_period_ticks == 0 {
+            return Err(ServeError::invalid_config(
+                "budget_period_ticks",
+                "must be non-zero",
+            ));
+        }
+        if self.deadline_ticks == 0 {
+            return Err(ServeError::invalid_config(
+                "deadline_ticks",
+                "must be non-zero",
+            ));
+        }
+        if !(self.tick_rate_hz.is_finite() && self.tick_rate_hz > 0.0) {
+            return Err(ServeError::invalid_config(
+                "tick_rate_hz",
+                "must be finite and positive",
+            ));
+        }
+        self.breaker.validate()
+    }
+}
+
+/// Why a clip (or a session) was shed rather than served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The session's clip queue was already at capacity.
+    QueueFull,
+    /// The clip waited past its detection deadline.
+    DeadlineExceeded,
+    /// The session's circuit breaker was open.
+    BreakerOpen,
+    /// Detection failed on the clip; it is counted, not retried.
+    DetectionFailed,
+    /// The supervisor was at its session capacity (admission only).
+    CapacityExhausted,
+    /// The session was released with clips still queued.
+    SessionClosed,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            ShedReason::QueueFull => "queue full",
+            ShedReason::DeadlineExceeded => "deadline exceeded",
+            ShedReason::BreakerOpen => "breaker open",
+            ShedReason::DetectionFailed => "detection failed",
+            ShedReason::CapacityExhausted => "capacity exhausted",
+            ShedReason::SessionClosed => "session closed",
+        };
+        f.write_str(label)
+    }
+}
+
+/// Outcome of [`Supervisor::admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The session was admitted under the returned id.
+    Admitted {
+        /// The new session's id.
+        session: u64,
+    },
+    /// The session was turned away.
+    Shed {
+        /// Why admission was refused.
+        reason: ShedReason,
+    },
+}
+
+impl AdmitOutcome {
+    /// The admitted session id, if any.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            AdmitOutcome::Admitted { session } => Some(*session),
+            AdmitOutcome::Shed { .. } => None,
+        }
+    }
+}
+
+/// Disposition of a clip the moment it completes inside
+/// [`Supervisor::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClipAdmission {
+    /// The clip was queued for detection.
+    Admitted,
+    /// The clip will be shed: its `Withheld` verdict is recorded once
+    /// every earlier clip of the session has been resolved, preserving
+    /// completion order in the verdict stream.
+    Shed {
+        /// Why the clip was refused.
+        reason: ShedReason,
+    },
+}
+
+/// What happened inside a session, reported in deterministic order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionEvent {
+    /// The session the event belongs to.
+    pub session: u64,
+    /// The event itself.
+    pub kind: SessionEventKind,
+}
+
+/// The payload of a [`SessionEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEventKind {
+    /// A clip was served and produced this verdict.
+    Verdict(ClipVerdict),
+    /// A clip was shed; the recorded `Withheld` verdict is attached.
+    Shed {
+        /// Why the clip was shed.
+        reason: ShedReason,
+        /// The abstention recorded into the session's verdict stream.
+        verdict: ClipVerdict,
+    },
+    /// The session's circuit breaker changed position.
+    Breaker(BreakerTransition),
+}
+
+/// Aggregate counters of one supervisor, exact by construction:
+/// `served_clips + shed_clips == offered_clips` once every queue has
+/// drained, and `shed_clips` is the sum of the by-reason counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Clips completed by admitted sessions.
+    pub offered_clips: u64,
+    /// Clips served to detection.
+    pub served_clips: u64,
+    /// Clips shed (all reasons).
+    pub shed_clips: u64,
+    /// Sheds because the session queue was full.
+    pub shed_queue_full: u64,
+    /// Sheds because the clip missed its deadline.
+    pub shed_deadline: u64,
+    /// Sheds because the session breaker was open.
+    pub shed_breaker: u64,
+    /// Sheds because detection failed on the clip.
+    pub shed_failed: u64,
+    /// Sheds because the session was released with clips queued.
+    pub shed_closed: u64,
+    /// Sessions refused at admission.
+    pub rejected_sessions: u64,
+}
+
+/// One entry of a session's pending-clip queue. Tombstones hold the
+/// verdict-stream position of a clip whose shedding was decided at
+/// completion time; they cost no detection budget.
+#[derive(Debug, Clone)]
+enum QueuedClip {
+    /// A completed clip awaiting detection.
+    Clip {
+        tx: Vec<f64>,
+        rx: Vec<f64>,
+        completed_at: u64,
+    },
+    /// An ordering placeholder for an already-decided shed.
+    Tombstone { reason: ShedReason },
+}
+
+#[derive(Debug)]
+struct SessionSlot {
+    stream: StreamingDetector,
+    partial_tx: Vec<f64>,
+    partial_rx: Vec<f64>,
+    queue: VecDeque<QueuedClip>,
+    breaker: CircuitBreaker,
+}
+
+impl SessionSlot {
+    fn queued_real_clips(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|c| matches!(c, QueuedClip::Clip { .. }))
+            .count()
+    }
+}
+
+/// A supervised fleet of streaming detectors sharing one detection budget.
+#[derive(Debug)]
+pub struct Supervisor {
+    config: ServeConfig,
+    clock: SimClock,
+    sessions: BTreeMap<u64, SessionSlot>,
+    next_id: u64,
+    credits: u64,
+    cursor: u64,
+    events: Vec<SessionEvent>,
+    latencies: Vec<u64>,
+    stats: ServeStats,
+    recorder: Recorder,
+}
+
+impl Supervisor {
+    /// A supervisor with no sessions and a full first budget period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the config fails
+    /// [`ServeConfig::validate`].
+    pub fn new(config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        let clock = SimClock::at_rate(config.tick_rate_hz);
+        let credits = config.budget_clips;
+        Ok(Supervisor {
+            config,
+            clock,
+            sessions: BTreeMap::new(),
+            next_id: 0,
+            credits,
+            cursor: 0,
+            events: Vec::new(),
+            latencies: Vec::new(),
+            stats: ServeStats::default(),
+            recorder: Recorder::null(),
+        })
+    }
+
+    /// Attaches an observability recorder.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Admits a new session around the given (already trained) streaming
+    /// detector. At capacity the session is explicitly turned away —
+    /// counted in [`ServeStats::rejected_sessions`], never queued.
+    pub fn admit(&mut self, stream: StreamingDetector) -> AdmitOutcome {
+        if self.sessions.len() >= self.config.max_sessions {
+            self.stats.rejected_sessions += 1;
+            self.recorder.add("serve.rejected_sessions", 1);
+            return AdmitOutcome::Shed {
+                reason: ShedReason::CapacityExhausted,
+            };
+        }
+        let session = self.next_id;
+        self.next_id += 1;
+        self.sessions.insert(
+            session,
+            SessionSlot {
+                stream,
+                partial_tx: Vec::new(),
+                partial_rx: Vec::new(),
+                queue: VecDeque::new(),
+                breaker: CircuitBreaker::new(self.config.breaker),
+            },
+        );
+        self.recorder
+            .gauge("serve.sessions", self.sessions.len() as f64);
+        AdmitOutcome::Admitted { session }
+    }
+
+    /// Releases a session. Clips still queued are shed as
+    /// [`ShedReason::SessionClosed`] (recorded into the verdict stream
+    /// first, so accounting stays exact), then the detector is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an id this supervisor
+    /// does not own.
+    pub fn release(&mut self, session: u64) -> Result<()> {
+        let Some(mut slot) = self.sessions.remove(&session) else {
+            return Err(ServeError::UnknownSession(session));
+        };
+        while let Some(entry) = slot.queue.pop_front() {
+            let reason = match entry {
+                QueuedClip::Clip { .. } => ShedReason::SessionClosed,
+                QueuedClip::Tombstone { reason } => reason,
+            };
+            Self::record_shed(
+                &mut slot.stream,
+                session,
+                reason,
+                &mut self.stats,
+                &mut self.events,
+                &self.recorder,
+            );
+        }
+        self.recorder
+            .gauge("serve.sessions", self.sessions.len() as f64);
+        Ok(())
+    }
+
+    /// Feeds one luminance sample pair into a session. Returns the clip's
+    /// disposition when this sample completes a clip, `None` mid-clip.
+    ///
+    /// Samples are accepted unconditionally (backpressure acts on whole
+    /// clips, the unit of detection work): when the completed clip cannot
+    /// be queued — queue at capacity, or the session's breaker open — it
+    /// is shed, with the `Withheld` verdict deferred behind the session's
+    /// earlier pending clips to keep the verdict stream in completion
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an id this supervisor
+    /// does not own.
+    pub fn offer(&mut self, session: u64, tx: f64, rx: f64) -> Result<Option<ClipAdmission>> {
+        let Some(slot) = self.sessions.get_mut(&session) else {
+            return Err(ServeError::UnknownSession(session));
+        };
+        slot.partial_tx.push(tx);
+        slot.partial_rx.push(rx);
+        if slot.partial_tx.len() < slot.stream.clip_samples() {
+            return Ok(None);
+        }
+        let tx = std::mem::take(&mut slot.partial_tx);
+        let rx = std::mem::take(&mut slot.partial_rx);
+        self.stats.offered_clips += 1;
+        self.recorder.add("serve.offered", 1);
+        let admission = if slot.breaker.is_open() {
+            ClipAdmission::Shed {
+                reason: ShedReason::BreakerOpen,
+            }
+        } else if slot.queued_real_clips() >= self.config.queue_clips {
+            ClipAdmission::Shed {
+                reason: ShedReason::QueueFull,
+            }
+        } else {
+            ClipAdmission::Admitted
+        };
+        match admission {
+            ClipAdmission::Admitted => slot.queue.push_back(QueuedClip::Clip {
+                tx,
+                rx,
+                completed_at: self.clock.tick(),
+            }),
+            ClipAdmission::Shed { reason } => {
+                slot.queue.push_back(QueuedClip::Tombstone { reason })
+            }
+        }
+        Ok(Some(admission))
+    }
+
+    /// Advances one tick: refills the budget at period boundaries, walks
+    /// breaker cool-downs, sheds deadline-expired clips, then spends
+    /// credits serving queued clips round-robin. Returns the new tick.
+    pub fn tick(&mut self) -> u64 {
+        let _tick_span = self.recorder.span(stage::SERVE_TICK);
+        self.clock.advance();
+        let now = self.clock.tick();
+        if now.is_multiple_of(self.config.budget_period_ticks) {
+            self.credits = self.config.budget_clips;
+        }
+        // Breaker cool-downs.
+        for (&id, slot) in self.sessions.iter_mut() {
+            if let Some(transition) = slot.breaker.tick() {
+                self.recorder.mark("serve.breaker", "open->half_open");
+                self.events.push(SessionEvent {
+                    session: id,
+                    kind: SessionEventKind::Breaker(transition),
+                });
+            }
+        }
+        // Flush tombstones and deadline-expired clips from queue fronts.
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        for &id in &ids {
+            self.flush_front(id, now);
+        }
+        // Spend the budget round-robin across sessions with ready clips.
+        while self.credits > 0 {
+            let Some(id) = self.next_ready() else {
+                break;
+            };
+            self.credits -= 1;
+            self.serve_front(id, now);
+            self.flush_front(id, now);
+            self.cursor = id;
+        }
+        now
+    }
+
+    /// The next session after the fairness cursor whose queue front is a
+    /// real (servable) clip.
+    fn next_ready(&self) -> Option<u64> {
+        let ready =
+            |slot: &SessionSlot| matches!(slot.queue.front(), Some(QueuedClip::Clip { .. }));
+        self.sessions
+            .range(self.cursor.saturating_add(1)..)
+            .find(|(_, s)| ready(s))
+            .map(|(&id, _)| id)
+            .or_else(|| {
+                self.sessions
+                    .range(..=self.cursor)
+                    .find(|(_, s)| ready(s))
+                    .map(|(&id, _)| id)
+            })
+    }
+
+    /// Resolves everything at the queue front that needs no detection
+    /// budget: tombstones, and clips already past their deadline.
+    fn flush_front(&mut self, session: u64, now: u64) {
+        loop {
+            let Some(slot) = self.sessions.get_mut(&session) else {
+                return;
+            };
+            let reason = match slot.queue.front() {
+                Some(QueuedClip::Tombstone { reason }) => *reason,
+                Some(QueuedClip::Clip { completed_at, .. })
+                    if now.saturating_sub(*completed_at) > self.config.deadline_ticks =>
+                {
+                    ShedReason::DeadlineExceeded
+                }
+                _ => return,
+            };
+            slot.queue.pop_front();
+            Self::record_shed(
+                &mut slot.stream,
+                session,
+                reason,
+                &mut self.stats,
+                &mut self.events,
+                &self.recorder,
+            );
+        }
+    }
+
+    /// Serves the clip at a session's queue front (the caller has checked
+    /// it is a real clip and paid one credit for it).
+    fn serve_front(&mut self, session: u64, now: u64) {
+        let Some(slot) = self.sessions.get_mut(&session) else {
+            return;
+        };
+        let Some(QueuedClip::Clip {
+            tx,
+            rx,
+            completed_at,
+        }) = slot.queue.pop_front()
+        else {
+            return;
+        };
+        let _clip_span = self.recorder.span(stage::SERVE_CLIP);
+        // Detection errors must not desynchronise the clip boundary: on
+        // failure the stream is rolled back to this pre-clip snapshot and
+        // the clip is recorded as a counted shed instead.
+        let before = slot.stream.snapshot();
+        let mut verdict = None;
+        for (t, r) in tx.iter().zip(&rx) {
+            match slot.stream.push(*t, *r) {
+                Ok(Some(v)) => verdict = Some(v),
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+        match verdict {
+            Some(v) => {
+                self.stats.served_clips += 1;
+                self.recorder.add("serve.served", 1);
+                let latency = now.saturating_sub(completed_at);
+                self.latencies.push(latency);
+                self.recorder.observe("serve.latency_ticks", latency as f64);
+                let transition = if v.retrigger {
+                    slot.breaker.record_failure()
+                } else if v.outcome.accepted().is_some() {
+                    slot.breaker.record_success()
+                } else {
+                    None
+                };
+                self.events.push(SessionEvent {
+                    session,
+                    kind: SessionEventKind::Verdict(v),
+                });
+                Self::record_breaker_transition(
+                    session,
+                    transition,
+                    &mut self.events,
+                    &self.recorder,
+                );
+            }
+            None => {
+                // Either a push failed or the clip never closed (a
+                // geometry mismatch); both are detection failures.
+                let _ = slot.stream.restore(&before);
+                let transition = slot.breaker.record_failure();
+                Self::record_shed(
+                    &mut slot.stream,
+                    session,
+                    ShedReason::DetectionFailed,
+                    &mut self.stats,
+                    &mut self.events,
+                    &self.recorder,
+                );
+                Self::record_breaker_transition(
+                    session,
+                    transition,
+                    &mut self.events,
+                    &self.recorder,
+                );
+            }
+        }
+    }
+
+    /// Records one shed into the session's verdict stream and every
+    /// counter that must see it.
+    fn record_shed(
+        stream: &mut StreamingDetector,
+        session: u64,
+        reason: ShedReason,
+        stats: &mut ServeStats,
+        events: &mut Vec<SessionEvent>,
+        recorder: &Recorder,
+    ) {
+        let verdict = stream.record_withheld();
+        stats.shed_clips += 1;
+        match reason {
+            ShedReason::QueueFull => stats.shed_queue_full += 1,
+            ShedReason::DeadlineExceeded => stats.shed_deadline += 1,
+            ShedReason::BreakerOpen => stats.shed_breaker += 1,
+            ShedReason::DetectionFailed => stats.shed_failed += 1,
+            ShedReason::SessionClosed => stats.shed_closed += 1,
+            // CapacityExhausted is an admission outcome, not a clip shed;
+            // it cannot reach here but the match stays total.
+            ShedReason::CapacityExhausted => {}
+        }
+        recorder.add("serve.shed", 1);
+        events.push(SessionEvent {
+            session,
+            kind: SessionEventKind::Shed { reason, verdict },
+        });
+    }
+
+    fn record_breaker_transition(
+        session: u64,
+        transition: Option<BreakerTransition>,
+        events: &mut Vec<SessionEvent>,
+        recorder: &Recorder,
+    ) {
+        let Some(transition) = transition else {
+            return;
+        };
+        let detail = match transition {
+            BreakerTransition::Tripped => "tripped open",
+            BreakerTransition::Probing => "open->half_open",
+            BreakerTransition::Restored => "restored closed",
+        };
+        recorder.mark("serve.breaker", detail);
+        events.push(SessionEvent {
+            session,
+            kind: SessionEventKind::Breaker(transition),
+        });
+    }
+
+    /// Drains every event accumulated since the last call, in the order
+    /// they occurred.
+    pub fn drain_events(&mut self) -> Vec<SessionEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Latency (ticks from clip completion to detection) of every served
+    /// clip, in serve order.
+    pub fn latencies_ticks(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    /// Number of admitted sessions.
+    pub fn sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Admitted session ids, ascending.
+    pub fn session_ids(&self) -> Vec<u64> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Queue entries (clips and tombstones) not yet resolved, across all
+    /// sessions. Zero means every offered clip has been served or shed.
+    pub fn pending_clips(&self) -> usize {
+        self.sessions.values().map(|s| s.queue.len()).sum()
+    }
+
+    /// The session's streaming detector (status, clip accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an id this supervisor
+    /// does not own.
+    pub fn stream(&self, session: u64) -> Result<&StreamingDetector> {
+        self.sessions
+            .get(&session)
+            .map(|s| &s.stream)
+            .ok_or(ServeError::UnknownSession(session))
+    }
+
+    /// The session's circuit-breaker position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an id this supervisor
+    /// does not own.
+    pub fn breaker_state(&self, session: u64) -> Result<BreakerState> {
+        self.sessions
+            .get(&session)
+            .map(|s| s.breaker.state())
+            .ok_or(ServeError::UnknownSession(session))
+    }
+
+    /// The supervisor clock's current tick.
+    pub fn tick_now(&self) -> u64 {
+        self.clock.tick()
+    }
+
+    /// Captures the whole runtime — supervisor bookkeeping plus every
+    /// session's queue, breaker and detector state — as a serializable
+    /// checkpoint. Detector *models* are excluded (they are immutable and
+    /// deterministically re-trainable); [`Supervisor::restore`] takes a
+    /// factory that rebuilds them.
+    pub fn snapshot(&self) -> SupervisorSnapshot {
+        let _span = self.recorder.span(stage::CHECKPOINT);
+        self.recorder.add("serve.checkpoints", 1);
+        SupervisorSnapshot {
+            tick: self.clock.tick(),
+            credits: self.credits,
+            cursor: self.cursor,
+            next_id: self.next_id,
+            stats: self.stats.clone(),
+            latencies: self.latencies.clone(),
+            sessions: self
+                .sessions
+                .iter()
+                .map(|(&id, slot)| SessionSnapshot {
+                    id,
+                    partial_tx: slot.partial_tx.clone(),
+                    partial_rx: slot.partial_rx.clone(),
+                    queue: slot
+                        .queue
+                        .iter()
+                        .map(|entry| match entry {
+                            QueuedClip::Clip {
+                                tx,
+                                rx,
+                                completed_at,
+                            } => QueuedClipSnapshot::Clip {
+                                tx: tx.clone(),
+                                rx: rx.clone(),
+                                completed_at: *completed_at,
+                            },
+                            QueuedClip::Tombstone { reason } => {
+                                QueuedClipSnapshot::Tombstone { reason: *reason }
+                            }
+                        })
+                        .collect(),
+                    breaker: slot.breaker.state(),
+                    stream: slot.stream.snapshot(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a supervisor from a checkpoint. `factory` reconstructs
+    /// each session's trained [`StreamingDetector`] (called with the
+    /// session id); its mutable state is then restored from the snapshot,
+    /// so the resumed runtime replays the interrupted workload to a
+    /// byte-identical verdict sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid `config`,
+    /// [`ServeError::BadSnapshot`] for duplicate session ids, a stale
+    /// `next_id`, or mismatched partial buffers, and propagates factory
+    /// and [`StreamingDetector::restore`] errors.
+    pub fn restore<F>(
+        config: ServeConfig,
+        snap: &SupervisorSnapshot,
+        mut factory: F,
+    ) -> Result<Supervisor>
+    where
+        F: FnMut(u64) -> lumen_core::Result<StreamingDetector>,
+    {
+        config.validate()?;
+        let clock = SimClock::resumed_at(1.0 / config.tick_rate_hz, snap.tick);
+        let mut sessions = BTreeMap::new();
+        for s in &snap.sessions {
+            if s.id >= snap.next_id {
+                return Err(ServeError::bad_snapshot(format!(
+                    "session {} not below next_id {}",
+                    s.id, snap.next_id
+                )));
+            }
+            if s.partial_tx.len() != s.partial_rx.len() {
+                return Err(ServeError::bad_snapshot(format!(
+                    "session {}: partial tx/rx buffers disagree: {} vs {}",
+                    s.id,
+                    s.partial_tx.len(),
+                    s.partial_rx.len()
+                )));
+            }
+            let mut stream = factory(s.id)?;
+            stream.restore(&s.stream)?;
+            if s.partial_tx.len() >= stream.clip_samples() {
+                return Err(ServeError::bad_snapshot(format!(
+                    "session {}: partial clip of {} samples does not fit a {}-sample clip",
+                    s.id,
+                    s.partial_tx.len(),
+                    stream.clip_samples()
+                )));
+            }
+            let slot = SessionSlot {
+                stream,
+                partial_tx: s.partial_tx.clone(),
+                partial_rx: s.partial_rx.clone(),
+                queue: s
+                    .queue
+                    .iter()
+                    .map(|entry| match entry {
+                        QueuedClipSnapshot::Clip {
+                            tx,
+                            rx,
+                            completed_at,
+                        } => QueuedClip::Clip {
+                            tx: tx.clone(),
+                            rx: rx.clone(),
+                            completed_at: *completed_at,
+                        },
+                        QueuedClipSnapshot::Tombstone { reason } => {
+                            QueuedClip::Tombstone { reason: *reason }
+                        }
+                    })
+                    .collect(),
+                breaker: CircuitBreaker::with_state(config.breaker, s.breaker),
+            };
+            if sessions.insert(s.id, slot).is_some() {
+                return Err(ServeError::bad_snapshot(format!(
+                    "duplicate session id {}",
+                    s.id
+                )));
+            }
+        }
+        Ok(Supervisor {
+            config,
+            clock,
+            sessions,
+            next_id: snap.next_id,
+            credits: snap.credits,
+            cursor: snap.cursor,
+            events: Vec::new(),
+            latencies: snap.latencies.clone(),
+            stats: snap.stats.clone(),
+            recorder: Recorder::null(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_chat::scenario::ScenarioBuilder;
+    use lumen_chat::trace::TracePair;
+    use lumen_core::detector::Detector;
+    use lumen_core::quality::QualityGate;
+    use lumen_core::Config;
+    use std::sync::OnceLock;
+
+    fn detector() -> Detector {
+        static DET: OnceLock<Detector> = OnceLock::new();
+        DET.get_or_init(|| {
+            let chats = ScenarioBuilder::default();
+            let training: Vec<_> = (0..15)
+                .map(|i| chats.legitimate(0, 70_000 + i).unwrap())
+                .collect();
+            Detector::train_from_traces(&training, Config::default()).unwrap()
+        })
+        .clone()
+    }
+
+    fn stream() -> StreamingDetector {
+        StreamingDetector::new(detector(), 15.0, 3).unwrap()
+    }
+
+    fn gated_stream() -> StreamingDetector {
+        stream().with_quality_gate(QualityGate::default())
+    }
+
+    /// A config whose budget easily covers a handful of sessions.
+    fn relaxed() -> ServeConfig {
+        ServeConfig {
+            deadline_ticks: 1_000,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Offers one trace pair to a session, ticking the supervisor after
+    /// every sample.
+    fn feed_pair(sup: &mut Supervisor, session: u64, pair: &TracePair) {
+        for (tx, rx) in pair.tx.samples().iter().zip(pair.rx.samples()) {
+            sup.offer(session, *tx, *rx).unwrap();
+            sup.tick();
+        }
+    }
+
+    fn verdicts_of(events: &[SessionEvent], session: u64) -> Vec<ClipVerdict> {
+        events
+            .iter()
+            .filter(|e| e.session == session)
+            .filter_map(|e| match &e.kind {
+                SessionEventKind::Verdict(v) => Some(v.clone()),
+                SessionEventKind::Shed { verdict, .. } => Some(verdict.clone()),
+                SessionEventKind::Breaker(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validates() {
+        assert!(ServeConfig::default().validate().is_ok());
+        for bad in [
+            ServeConfig {
+                max_sessions: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_clips: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                budget_clips: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                budget_period_ticks: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                deadline_ticks: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                tick_rate_hz: 0.0,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(Supervisor::new(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn admission_respects_capacity() {
+        let mut sup = Supervisor::new(ServeConfig {
+            max_sessions: 1,
+            ..relaxed()
+        })
+        .unwrap();
+        let first = sup.admit(stream());
+        assert_eq!(first.session(), Some(0));
+        let second = sup.admit(stream());
+        assert_eq!(
+            second,
+            AdmitOutcome::Shed {
+                reason: ShedReason::CapacityExhausted
+            }
+        );
+        assert_eq!(sup.stats().rejected_sessions, 1);
+        assert_eq!(sup.sessions(), 1);
+        sup.release(0).unwrap();
+        assert!(sup.admit(stream()).session().is_some());
+        assert!(sup.release(99).is_err());
+        assert!(sup.stream(99).is_err());
+        assert!(sup.breaker_state(99).is_err());
+    }
+
+    #[test]
+    fn unloaded_run_matches_bare_streaming_detector() {
+        let chats = ScenarioBuilder::default();
+        let pairs: Vec<TracePair> = (0..2)
+            .map(|s| chats.legitimate(0, 71_000 + s).unwrap())
+            .collect();
+        // Reference: the same detector fed directly.
+        let mut reference = stream();
+        let mut expected = Vec::new();
+        for p in &pairs {
+            for (tx, rx) in p.tx.samples().iter().zip(p.rx.samples()) {
+                if let Some(v) = reference.push(*tx, *rx).unwrap() {
+                    expected.push(v);
+                }
+            }
+        }
+        // Served through the supervisor with slack capacity.
+        let mut sup = Supervisor::new(relaxed()).unwrap();
+        let id = sup.admit(stream()).session().unwrap();
+        for p in &pairs {
+            feed_pair(&mut sup, id, p);
+        }
+        while sup.pending_clips() > 0 {
+            sup.tick();
+        }
+        let events = sup.drain_events();
+        assert_eq!(verdicts_of(&events, id), expected);
+        assert_eq!(sup.stats().offered_clips, 2);
+        assert_eq!(sup.stats().served_clips, 2);
+        assert_eq!(sup.stats().shed_clips, 0);
+        assert_eq!(sup.latencies_ticks().len(), 2);
+        assert!(sup.latencies_ticks().iter().all(|&l| l <= 10));
+    }
+
+    #[test]
+    fn overload_sheds_exactly_and_never_silently() {
+        // Capacity: 1 clip per 150 ticks. Offered: 3 sessions × 1 clip per
+        // 150 ticks = 3× saturation.
+        let config = ServeConfig {
+            max_sessions: 8,
+            queue_clips: 1,
+            budget_clips: 1,
+            budget_period_ticks: 150,
+            deadline_ticks: 150,
+            ..ServeConfig::default()
+        };
+        let mut sup = Supervisor::new(config).unwrap();
+        let ids: Vec<u64> = (0..3)
+            .map(|_| sup.admit(stream()).session().unwrap())
+            .collect();
+        let chats = ScenarioBuilder::default();
+        let pair = chats.legitimate(0, 72_000).unwrap();
+        for clip in 0..2 {
+            let _ = clip;
+            for (tx, rx) in pair.tx.samples().iter().zip(pair.rx.samples()) {
+                for &id in &ids {
+                    sup.offer(id, *tx, *rx).unwrap();
+                }
+                sup.tick();
+            }
+        }
+        let mut guard = 0;
+        while sup.pending_clips() > 0 {
+            sup.tick();
+            guard += 1;
+            assert!(guard < 2_000, "queues must drain under deadline shedding");
+        }
+        let stats = sup.stats().clone();
+        assert_eq!(stats.offered_clips, 6);
+        assert!(stats.shed_clips > 0, "3x saturation must shed");
+        assert_eq!(
+            stats.served_clips + stats.shed_clips,
+            stats.offered_clips,
+            "every offered clip is either served or a counted shed"
+        );
+        assert_eq!(
+            stats.shed_clips,
+            stats.shed_queue_full
+                + stats.shed_deadline
+                + stats.shed_breaker
+                + stats.shed_failed
+                + stats.shed_closed
+        );
+        // Nothing vanished: each session's verdict stream carries one
+        // entry per offered clip, and sheds surfaced as events.
+        let events = sup.drain_events();
+        for &id in &ids {
+            assert_eq!(sup.stream(id).unwrap().clips_done(), 2);
+            assert_eq!(verdicts_of(&events, id).len(), 2);
+        }
+        let shed_events = events
+            .iter()
+            .filter(|e| matches!(e.kind, SessionEventKind::Shed { .. }))
+            .count() as u64;
+        assert_eq!(shed_events, stats.shed_clips);
+    }
+
+    #[test]
+    fn served_clips_under_overload_match_unloaded_outcomes() {
+        let chats = ScenarioBuilder::default();
+        let pairs: Vec<TracePair> = (0..2)
+            .map(|s| chats.legitimate(0, 73_000 + s).unwrap())
+            .collect();
+        // Unloaded reference verdict per clip position.
+        let mut reference = stream();
+        let mut expected = Vec::new();
+        for p in &pairs {
+            for (tx, rx) in p.tx.samples().iter().zip(p.rx.samples()) {
+                if let Some(v) = reference.push(*tx, *rx).unwrap() {
+                    expected.push(v);
+                }
+            }
+        }
+        // Overloaded: two sessions share one clip of budget per period, so
+        // some clips shed — but every *served* clip must reproduce the
+        // unloaded outcome at its clip position.
+        let config = ServeConfig {
+            queue_clips: 1,
+            budget_clips: 1,
+            budget_period_ticks: 150,
+            deadline_ticks: 150,
+            ..ServeConfig::default()
+        };
+        let mut sup = Supervisor::new(config).unwrap();
+        let ids: Vec<u64> = (0..2)
+            .map(|_| sup.admit(stream()).session().unwrap())
+            .collect();
+        for p in &pairs {
+            for (tx, rx) in p.tx.samples().iter().zip(p.rx.samples()) {
+                for &id in &ids {
+                    sup.offer(id, *tx, *rx).unwrap();
+                }
+                sup.tick();
+            }
+        }
+        while sup.pending_clips() > 0 {
+            sup.tick();
+        }
+        let events = sup.drain_events();
+        let mut saw_served = false;
+        for &id in &ids {
+            for v in verdicts_of(&events, id) {
+                if let Some(d) = v.detection() {
+                    saw_served = true;
+                    assert_eq!(
+                        Some(d),
+                        expected[v.clip_index].detection(),
+                        "served clip {} must match the unloaded outcome",
+                        v.clip_index
+                    );
+                }
+            }
+        }
+        assert!(saw_served, "at least one clip must be served");
+    }
+
+    #[test]
+    fn breaker_trips_sheds_probes_and_restores() {
+        let config = ServeConfig {
+            breaker: BreakerConfig {
+                trip_after: 2,
+                open_ticks: 400,
+                half_open_probes: 1,
+            },
+            ..relaxed()
+        };
+        let mut sup = Supervisor::new(config).unwrap();
+        let id = sup.admit(gated_stream()).session().unwrap();
+        // Six flatline clips: the quality gate abstains on each, the
+        // stream watchdog re-triggers twice (after 2 and 4+2 abstentions),
+        // and the second re-trigger trips the breaker.
+        for _ in 0..6 * 150 {
+            sup.offer(id, 100.0, 42.0).unwrap();
+            sup.tick();
+        }
+        while sup.pending_clips() > 0 {
+            sup.tick();
+        }
+        assert!(matches!(
+            sup.breaker_state(id).unwrap(),
+            BreakerState::Open { .. }
+        ));
+        // A clip completed while open is shed without detection work.
+        for _ in 0..150 {
+            sup.offer(id, 100.0, 42.0).unwrap();
+            sup.tick();
+        }
+        sup.tick(); // flush the tombstone
+                    // Cool-down expires into half-open probing...
+        for _ in 0..500 {
+            sup.tick();
+        }
+        assert_eq!(
+            sup.breaker_state(id).unwrap(),
+            BreakerState::HalfOpen { successes: 0 }
+        );
+        // ...and one conclusive probe clip restores the session.
+        let pair = ScenarioBuilder::default().legitimate(0, 74_000).unwrap();
+        feed_pair(&mut sup, id, &pair);
+        while sup.pending_clips() > 0 {
+            sup.tick();
+        }
+        assert_eq!(
+            sup.breaker_state(id).unwrap(),
+            BreakerState::Closed { failures: 0 }
+        );
+        let events = sup.drain_events();
+        let transitions: Vec<BreakerTransition> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                SessionEventKind::Breaker(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                BreakerTransition::Tripped,
+                BreakerTransition::Probing,
+                BreakerTransition::Restored
+            ]
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e.kind,
+                SessionEventKind::Shed {
+                    reason: ShedReason::BreakerOpen,
+                    ..
+                }
+            )),
+            "the clip completed while open must shed as BreakerOpen"
+        );
+        assert_eq!(sup.stats().shed_breaker, 1);
+    }
+
+    #[test]
+    fn release_sheds_queued_clips_as_closed() {
+        let config = ServeConfig {
+            budget_clips: 1,
+            budget_period_ticks: 10_000,
+            ..relaxed()
+        };
+        let mut sup = Supervisor::new(config).unwrap();
+        let id = sup.admit(stream()).session().unwrap();
+        let pair = ScenarioBuilder::default().legitimate(0, 75_000).unwrap();
+        // Complete one clip without granting any budget ticks afterwards.
+        for (tx, rx) in pair.tx.samples().iter().zip(pair.rx.samples()) {
+            sup.offer(id, *tx, *rx).unwrap();
+        }
+        assert_eq!(sup.pending_clips(), 1);
+        sup.release(id).unwrap();
+        assert_eq!(sup.pending_clips(), 0);
+        assert_eq!(sup.stats().shed_closed, 1);
+        let events = sup.drain_events();
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            SessionEventKind::Shed {
+                reason: ShedReason::SessionClosed,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_resumes_identically() {
+        let chats = ScenarioBuilder::default();
+        let pair_a = chats.legitimate(0, 76_000).unwrap();
+        let pair_b = chats.legitimate(0, 76_001).unwrap();
+        let build = |session: u64| -> lumen_core::Result<StreamingDetector> {
+            let _ = session;
+            StreamingDetector::new(detector(), 15.0, 3)
+        };
+        let mut sup = Supervisor::new(relaxed()).unwrap();
+        let a = sup.admit(stream()).session().unwrap();
+        let b = sup.admit(stream()).session().unwrap();
+        // Session a completes one clip; session b is 80 samples into one.
+        feed_pair(&mut sup, a, &pair_a);
+        for (tx, rx) in pair_b.tx.samples()[..80]
+            .iter()
+            .zip(&pair_b.rx.samples()[..80])
+        {
+            sup.offer(b, *tx, *rx).unwrap();
+            sup.tick();
+        }
+        while sup.pending_clips() > 0 {
+            sup.tick();
+        }
+        let drained = sup.drain_events();
+        assert!(!drained.is_empty());
+        // Snapshot → JSON → snapshot must be lossless.
+        let snap = sup.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SupervisorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        // The restored supervisor is indistinguishable going forward.
+        let mut restored = Supervisor::restore(sup.config().clone(), &back, build).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.tick_now(), sup.tick_now());
+        for (tx, rx) in pair_b.tx.samples()[80..]
+            .iter()
+            .zip(&pair_b.rx.samples()[80..])
+        {
+            sup.offer(b, *tx, *rx).unwrap();
+            sup.tick();
+            restored.offer(b, *tx, *rx).unwrap();
+            restored.tick();
+        }
+        while sup.pending_clips() > 0 || restored.pending_clips() > 0 {
+            sup.tick();
+            restored.tick();
+        }
+        assert_eq!(restored.drain_events(), sup.drain_events());
+        assert_eq!(restored.stats(), sup.stats());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let build = |_: u64| StreamingDetector::new(detector(), 15.0, 3);
+        let mut sup = Supervisor::new(relaxed()).unwrap();
+        sup.admit(stream());
+        let good = sup.snapshot();
+        let mut bad = good.clone();
+        bad.next_id = 0; // session 0 exists, so next_id must exceed it
+        assert!(Supervisor::restore(relaxed(), &bad, build).is_err());
+        let mut bad = good.clone();
+        bad.sessions[0].partial_rx.push(1.0);
+        assert!(Supervisor::restore(relaxed(), &bad, build).is_err());
+        let mut bad = good.clone();
+        bad.sessions.push(bad.sessions[0].clone());
+        assert!(Supervisor::restore(relaxed(), &bad, build).is_err());
+        assert!(Supervisor::restore(relaxed(), &good, build).is_ok());
+    }
+}

@@ -1,0 +1,126 @@
+//! Soak: hundreds of sessions surviving repeated checkpoint/restore
+//! cycles with exact shed accounting and byte-identical verdicts.
+//!
+//! Ignored by default (it detects hundreds of real clips); run with
+//! `cargo test -- --ignored soak`.
+
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_core::detector::Detector;
+use lumen_core::stream::StreamingDetector;
+use lumen_core::Config;
+use lumen_serve::{ServeConfig, Supervisor, SupervisorSnapshot};
+
+fn trained() -> Detector {
+    let chats = ScenarioBuilder::default();
+    let training: Vec<_> = (0..15)
+        .map(|i| chats.legitimate(0, 50_000 + i).unwrap())
+        .collect();
+    Detector::train_from_traces(&training, Config::default()).unwrap()
+}
+
+fn config(sessions: usize) -> ServeConfig {
+    ServeConfig {
+        max_sessions: sessions,
+        queue_clips: 2,
+        // Ample budget: the soak exercises checkpoint cycles, not
+        // shedding (the overload experiment covers that).
+        budget_clips: sessions as u64,
+        budget_period_ticks: 10,
+        deadline_ticks: 10_000,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+#[ignore = "soak: hundreds of sessions x checkpoint cycles; run with --ignored"]
+fn soak_hundreds_of_sessions_survive_checkpoint_cycles() {
+    const SESSIONS: usize = 200;
+    const CLIPS: usize = 3;
+    let detector = trained();
+    let fresh = |detector: &Detector| StreamingDetector::new(detector.clone(), 15.0, 3).unwrap();
+
+    // Two supervisors driven identically: `straight` never checkpoints,
+    // `cycled` is torn down and restored from a serde snapshot at every
+    // clip boundary AND mid-clip. Their event streams must stay equal.
+    let mut straight = Supervisor::new(config(SESSIONS)).unwrap();
+    let mut cycled = Supervisor::new(config(SESSIONS)).unwrap();
+    let ids: Vec<u64> = (0..SESSIONS)
+        .map(|_| {
+            let a = straight.admit(fresh(&detector)).session().unwrap();
+            let b = cycled.admit(fresh(&detector)).session().unwrap();
+            assert_eq!(a, b);
+            a
+        })
+        .collect();
+
+    let chats = ScenarioBuilder::default();
+    let clip_samples = 150;
+    let mut checkpoints = 0usize;
+    for clip in 0..CLIPS {
+        // Each session replays its own legitimate trace for this clip.
+        let traces: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                chats
+                    .legitimate(0, 51_000 + clip as u64 * 1_000 + id)
+                    .unwrap()
+            })
+            .collect();
+        for sample in 0..clip_samples {
+            for (&id, pair) in ids.iter().zip(&traces) {
+                let tx = pair.tx.samples()[sample];
+                let rx = pair.rx.samples()[sample];
+                straight.offer(id, tx, rx).unwrap();
+                cycled.offer(id, tx, rx).unwrap();
+            }
+            straight.tick();
+            cycled.tick();
+            // Mid-clip checkpoint cycle: partial buffers must survive.
+            if sample == 73 {
+                cycled = cycle(cycled, &detector);
+                checkpoints += 1;
+            }
+        }
+        while straight.pending_clips() > 0 || cycled.pending_clips() > 0 {
+            straight.tick();
+            cycled.tick();
+        }
+        assert_eq!(
+            cycled.drain_events(),
+            straight.drain_events(),
+            "clip {clip}: checkpoint cycles must not change any verdict"
+        );
+        // Clip-boundary checkpoint cycle.
+        cycled = cycle(cycled, &detector);
+        checkpoints += 1;
+    }
+
+    assert_eq!(checkpoints, 2 * CLIPS);
+    assert_eq!(cycled.stats(), straight.stats());
+    let stats = straight.stats();
+    assert_eq!(stats.offered_clips, (SESSIONS * CLIPS) as u64);
+    assert_eq!(
+        stats.served_clips + stats.shed_clips,
+        stats.offered_clips,
+        "every offered clip must be served or a counted shed"
+    );
+    for &id in &ids {
+        assert_eq!(straight.stream(id).unwrap().clips_done(), CLIPS);
+        assert_eq!(cycled.stream(id).unwrap().clips_done(), CLIPS);
+    }
+}
+
+/// One checkpoint cycle: snapshot, serialize, drop the runtime, restore
+/// from the decoded snapshot.
+fn cycle(sup: Supervisor, detector: &Detector) -> Supervisor {
+    let config = sup.config().clone();
+    let snap = sup.snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    drop(sup); // the "crash"
+    let back: SupervisorSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, snap);
+    Supervisor::restore(config, &back, |_| {
+        StreamingDetector::new(detector.clone(), 15.0, 3)
+    })
+    .unwrap()
+}

@@ -1,0 +1,149 @@
+//! Checkpoint determinism: restoring a mid-clip snapshot must be
+//! invisible in the verdict stream, even on a degraded link where the
+//! quality gate abstains and the watchdog is mid-backoff. The faulty
+//! scenario matters: it is the watchdog counters, vote history and
+//! partial clip buffers — not just the trained model — that have to
+//! survive the round trip through serde.
+
+use lumen::chat::fault::{BurstLoss, FaultPlan};
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::core::detector::{ClipOutcome, Detector};
+use lumen::core::quality::QualityGate;
+use lumen::core::stream::{ClipVerdict, StreamSnapshot, StreamingDetector};
+use lumen::core::Config;
+use lumen::serve::{ServeConfig, Supervisor, SupervisorSnapshot};
+
+fn heavy_burst() -> FaultPlan {
+    FaultPlan {
+        burst: BurstLoss::bursty(0.1, 6.0, 0.95),
+        ..FaultPlan::none()
+    }
+}
+
+fn trained() -> Detector {
+    let clean = ScenarioBuilder::default();
+    let training: Vec<_> = (0..10)
+        .map(|i| clean.legitimate(0, 70_000 + i).expect("training trace"))
+        .collect();
+    Detector::train_from_traces(&training, Config::default()).expect("training succeeds")
+}
+
+fn gated(detector: &Detector) -> StreamingDetector {
+    StreamingDetector::new(detector.clone(), 15.0, 3)
+        .expect("valid stream config")
+        .with_quality_gate(QualityGate::default())
+}
+
+#[test]
+fn faulty_stream_survives_mid_clip_checkpoints_verbatim() {
+    const CLIPS: usize = 4;
+    let detector = trained();
+    let degraded = ScenarioBuilder::default().with_faults(heavy_burst());
+
+    let mut straight = gated(&detector);
+    let mut cycled = gated(&detector);
+    let mut straight_verdicts: Vec<ClipVerdict> = Vec::new();
+    let mut cycled_verdicts: Vec<ClipVerdict> = Vec::new();
+
+    for clip in 0..CLIPS {
+        let pair = degraded
+            .legitimate(0, 71_000 + clip as u64)
+            .expect("degraded trace");
+        for i in 0..pair.tx.samples().len() {
+            let tx = pair.tx.samples()[i];
+            let rx = pair.rx.samples()[i];
+            if let Some(v) = straight.push(tx, rx).expect("push succeeds") {
+                straight_verdicts.push(v);
+            }
+            if let Some(v) = cycled.push(tx, rx).expect("push succeeds") {
+                cycled_verdicts.push(v);
+            }
+            // Mid-clip checkpoint: serialize, discard the runtime, restore
+            // into a freshly built detector.
+            if i == 73 {
+                let snap = cycled.snapshot();
+                let json = serde_json::to_string(&snap).expect("snapshot serializes");
+                let back: StreamSnapshot = serde_json::from_str(&json).expect("snapshot decodes");
+                assert_eq!(back, snap, "snapshot must round-trip through serde");
+                cycled = gated(&detector);
+                cycled.restore(&back).expect("restore succeeds");
+            }
+        }
+    }
+
+    assert_eq!(
+        cycled_verdicts, straight_verdicts,
+        "checkpoint cycles changed the verdict stream"
+    );
+    assert_eq!(straight_verdicts.len(), CLIPS);
+    // The degraded link must actually exercise the abstention path, or
+    // the watchdog state this test protects was never populated.
+    assert!(
+        straight_verdicts
+            .iter()
+            .any(|v| matches!(v.outcome, ClipOutcome::Inconclusive(_))),
+        "burst faults produced no inconclusive clip; the check is vacuous"
+    );
+}
+
+#[test]
+fn supervised_faulty_session_replays_identically_after_restore() {
+    const CLIPS: usize = 3;
+    let detector = trained();
+    let degraded = ScenarioBuilder::default().with_faults(heavy_burst());
+    let config = ServeConfig {
+        max_sessions: 1,
+        budget_clips: 1,
+        budget_period_ticks: 10,
+        deadline_ticks: 10_000,
+        ..ServeConfig::default()
+    };
+
+    let mut straight = Supervisor::new(config.clone()).expect("valid config");
+    let mut cycled = Supervisor::new(config.clone()).expect("valid config");
+    let id = straight
+        .admit(gated(&detector))
+        .session()
+        .expect("admitted");
+    assert_eq!(cycled.admit(gated(&detector)).session(), Some(id));
+    // Events drained before a checkpoint are the caller's to keep: the
+    // snapshot carries session state, not the already-reported stream.
+    let mut cycled_events = Vec::new();
+
+    for clip in 0..CLIPS {
+        let pair = degraded
+            .legitimate(0, 71_000 + clip as u64)
+            .expect("degraded trace");
+        for i in 0..pair.tx.samples().len() {
+            let tx = pair.tx.samples()[i];
+            let rx = pair.rx.samples()[i];
+            straight.offer(id, tx, rx).expect("offer succeeds");
+            cycled.offer(id, tx, rx).expect("offer succeeds");
+            straight.tick();
+            cycled.tick();
+            if i == 73 {
+                cycled_events.extend(cycled.drain_events());
+                let snap = cycled.snapshot();
+                let json = serde_json::to_string(&snap).expect("snapshot serializes");
+                drop(cycled);
+                let back: SupervisorSnapshot =
+                    serde_json::from_str(&json).expect("snapshot decodes");
+                cycled = Supervisor::restore(config.clone(), &back, |_| Ok(gated(&detector)))
+                    .expect("restore succeeds");
+            }
+        }
+    }
+    while straight.pending_clips() > 0 || cycled.pending_clips() > 0 {
+        straight.tick();
+        cycled.tick();
+    }
+
+    cycled_events.extend(cycled.drain_events());
+    assert_eq!(
+        cycled_events,
+        straight.drain_events(),
+        "restored supervisor diverged from the uninterrupted one"
+    );
+    assert_eq!(cycled.stats(), straight.stats());
+    assert_eq!(straight.stats().offered_clips, CLIPS as u64);
+}
