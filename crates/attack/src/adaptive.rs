@@ -21,6 +21,13 @@ pub struct AdaptiveForger {
     pub forgery_delay: f64,
     /// Relative amplitude error of the forged reflection (0 = perfect).
     pub gain_error: f64,
+    /// Probe-stripping low-pass: when non-zero, the forger runs a moving
+    /// average of this many samples over the forged output to scrub any
+    /// small rapid luminance challenge the verifier may have embedded
+    /// (0 = off). Smoothing erases the probe's response energy — which an
+    /// active verifier detects as a *missing* reflection — but also blurs
+    /// the genuine luminance edges the passive detector matches on.
+    pub smoothing_window: usize,
 }
 
 impl AdaptiveForger {
@@ -42,7 +49,16 @@ impl AdaptiveForger {
             conditions,
             forgery_delay,
             gain_error: 0.0,
+            smoothing_window: 0,
         })
+    }
+
+    /// Enables the probe-stripping moving-average low-pass (see
+    /// [`AdaptiveForger::smoothing_window`]).
+    #[must_use]
+    pub fn with_smoothing(mut self, window: usize) -> Self {
+        self.smoothing_window = window;
+        self
     }
 
     /// Generates the forged ROI luminance for a live transmitted trace.
@@ -58,7 +74,13 @@ impl AdaptiveForger {
     pub fn forge(&self, tx: &Signal, victim: &UserProfile, seed: u64) -> Result<Signal> {
         let synth = ReflectionSynth::new(self.conditions);
         let genuine = synth.synthesize(tx, victim, seed)?;
-        let delayed = genuine.shift(self.forgery_delay);
+        let mut delayed = genuine.shift(self.forgery_delay);
+        if self.smoothing_window > 1 && self.smoothing_window <= delayed.samples().len() {
+            delayed = lumen_dsp::filters::moving::moving_average(&delayed, self.smoothing_window)
+                .map_err(|e| {
+                VideoError::invalid_parameter("smoothing_window", format!("{e}"))
+            })?;
+        }
         // lint:allow(float-eq): exact zero is the configured "no gain
         // error" sentinel, not a computed value
         if self.gain_error == 0.0 {
@@ -109,6 +131,30 @@ mod tests {
         for i in 20..140 {
             assert!((b.samples()[i] - a.samples()[i - 10]).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn smoothing_strips_fast_structure() {
+        let victim = UserProfile::preset(0);
+        let plain = AdaptiveForger::new(SynthConfig::default(), 0.0).unwrap();
+        let smooth = AdaptiveForger::new(SynthConfig::default(), 0.0)
+            .unwrap()
+            .with_smoothing(9);
+        let a = plain.forge(&tx(), &victim, 5).unwrap();
+        let b = smooth.forge(&tx(), &victim, 5).unwrap();
+        // Tick-to-tick differences (where a fast probe would live) shrink.
+        let roughness = |s: &Signal| {
+            s.samples()
+                .windows(2)
+                .map(|w| (w[1] - w[0]).abs())
+                .sum::<f64>()
+        };
+        assert!(roughness(&b) < 0.5 * roughness(&a));
+        // A window of 0 or 1 is the documented "off" state.
+        let off = AdaptiveForger::new(SynthConfig::default(), 0.0)
+            .unwrap()
+            .with_smoothing(1);
+        assert_eq!(off.forge(&tx(), &victim, 5).unwrap(), a);
     }
 
     #[test]

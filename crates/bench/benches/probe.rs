@@ -1,0 +1,45 @@
+//! Active-probe cost: one challenge–response round — schedule synthesis,
+//! per-tick injection, and matched-filter verification — must sit far
+//! inside the Sec. IX 0.2 s per-clip compute envelope, since a probe
+//! rides on top of the passive path rather than replacing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_chat::session::SessionConfig;
+use lumen_probe::{ChallengeSchedule, ProbeConfig, ProbeInjector, ProbeVerifier, VerifierConfig};
+use std::hint::black_box;
+
+fn bench_probe(c: &mut Criterion) {
+    let config = ProbeConfig::default();
+    let schedule = ChallengeSchedule::generate(&config, 11).unwrap();
+    let injector = ProbeInjector::new(schedule.clone());
+    let pair = injector
+        .armed_scenario(
+            ScenarioBuilder::default()
+                .with_session(config.session_config(1.5, &SessionConfig::default()))
+                .with_static_caller(120.0),
+        )
+        .legitimate(0, 12)
+        .unwrap();
+    let verifier = ProbeVerifier::new(VerifierConfig::default()).unwrap();
+
+    c.bench_function("probe_schedule_generate", |b| {
+        b.iter(|| ChallengeSchedule::generate(black_box(&config), black_box(11)).unwrap())
+    });
+    c.bench_function("probe_waveform_synthesis", |b| {
+        b.iter(|| black_box(&schedule).waveform())
+    });
+    // The whole verifier — gate screen, detrend, lag search, segment
+    // hits — on one full-length response. This is the per-round cost the
+    // serving runtime pays when a passive abstention triggers a probe.
+    c.bench_function("sec9_probe_verify_round", |b| {
+        b.iter(|| {
+            verifier
+                .verify(black_box(&schedule), black_box(&pair))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

@@ -18,6 +18,10 @@ pub struct Caller {
     /// Scene-noise standard deviation added to the clean script (content
     /// motion in the caller's video).
     pub scene_noise: f64,
+    /// Optional per-tick display-luma offsets added on top of the script
+    /// (an active luminance probe). Applied over the overlapping prefix
+    /// and clamped to the displayable `[0, 255]` range.
+    pub overlay: Option<Vec<f64>>,
 }
 
 impl Caller {
@@ -26,7 +30,16 @@ impl Caller {
         Caller {
             script,
             scene_noise: 2.0,
+            overlay: None,
         }
+    }
+
+    /// Adds a per-tick display-luma overlay (e.g. a probe waveform from
+    /// `lumen-probe`) on top of the scripted content.
+    #[must_use]
+    pub fn with_overlay(mut self, overlay: Vec<f64>) -> Self {
+        self.overlay = Some(overlay);
+        self
     }
 
     /// The underlying script.
@@ -35,7 +48,7 @@ impl Caller {
     }
 
     /// Produces the transmitted luminance trace at `sample_rate`, with
-    /// seeded scene noise.
+    /// seeded scene noise and any configured overlay.
     ///
     /// # Errors
     ///
@@ -43,7 +56,20 @@ impl Caller {
     pub fn transmit(&self, sample_rate: f64, seed: u64) -> Result<Signal> {
         let clean = self.script.sample_signal(sample_rate)?;
         let mut rng = substream(seed, 40);
-        Ok(add_scene_noise(&clean, self.scene_noise, &mut rng))
+        let mut noisy = add_scene_noise(&clean, self.scene_noise, &mut rng);
+        if let Some(overlay) = &self.overlay {
+            let samples: Vec<f64> = noisy
+                .samples()
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let offset = overlay.get(i).copied().unwrap_or(0.0);
+                    (s + offset).clamp(0.0, 255.0)
+                })
+                .collect();
+            noisy = Signal::new(samples, noisy.sample_rate())?;
+        }
+        Ok(noisy)
     }
 }
 

@@ -37,6 +37,13 @@ pub struct ScenarioBuilder {
     /// Observability sink every generated session streams its transport
     /// counters into (default: disabled).
     pub recorder: lumen_obs::Recorder,
+    /// Optional per-tick display-luma overlay added to every generated
+    /// caller trace (an active probe waveform; see `lumen-probe`).
+    pub tx_overlay: Option<Vec<f64>>,
+    /// When set, callers hold this constant display level (no scripted
+    /// metering changes and no scene noise) — the low-variance content
+    /// that starves the passive detector of evidence.
+    pub static_level: Option<f64>,
 }
 
 impl Default for ScenarioBuilder {
@@ -47,6 +54,8 @@ impl Default for ScenarioBuilder {
             script_params: ScriptParams::default(),
             environment_jitter: 0.1,
             recorder: lumen_obs::Recorder::null(),
+            tx_overlay: None,
+            static_level: None,
         }
     }
 }
@@ -89,10 +98,40 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Adds a per-tick display-luma overlay (e.g. a probe waveform) to
+    /// every caller trace this builder generates.
+    #[must_use]
+    pub fn with_tx_overlay(mut self, overlay: Vec<f64>) -> Self {
+        self.tx_overlay = Some(overlay);
+        self
+    }
+
+    /// Makes every caller hold a constant display level with no scene
+    /// noise: a static talking head / frozen slide, the content class on
+    /// which the passive path must abstain.
+    #[must_use]
+    pub fn with_static_caller(mut self, level: f64) -> Self {
+        self.static_level = Some(level);
+        self
+    }
+
     fn caller_for(&self, seed: u64) -> Result<Caller> {
-        let mut rng = substream(seed, 50);
-        let script = MeteringScript::random(&mut rng, self.session.duration, &self.script_params)?;
-        Ok(Caller::new(script))
+        let mut caller = match self.static_level {
+            Some(level) => {
+                let script = MeteringScript::constant(level, self.session.duration)?;
+                let mut caller = Caller::new(script);
+                caller.scene_noise = 0.0;
+                caller
+            }
+            None => {
+                let mut rng = substream(seed, 50);
+                let script =
+                    MeteringScript::random(&mut rng, self.session.duration, &self.script_params)?;
+                Caller::new(script)
+            }
+        };
+        caller.overlay = self.tx_overlay.clone();
+        Ok(caller)
     }
 
     /// Per-seed variation of the physical setup: ambient level, viewing

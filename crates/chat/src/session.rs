@@ -155,6 +155,7 @@ pub fn run_session_with(
         kind,
         seed,
         forward_delay: config.forward.base_delay,
+        backward_delay: config.backward.base_delay,
     })
 }
 

@@ -51,6 +51,19 @@ pub struct TracePair {
     pub seed: u64,
     /// Actual one-way network delay applied on the forward path, seconds.
     pub forward_delay: f64,
+    /// Actual one-way network delay applied on the backward path, seconds.
+    ///
+    /// Transports measure the round trip out of band (RTCP receiver
+    /// reports), so the verifier side may treat `forward + backward` as a
+    /// known quantity an attacker cannot shrink below the physical path.
+    pub backward_delay: f64,
+}
+
+impl TracePair {
+    /// Known round-trip network delay of the session, seconds.
+    pub fn round_trip_delay(&self) -> f64 {
+        self.forward_delay + self.backward_delay
+    }
 }
 
 #[cfg(test)]

@@ -297,6 +297,7 @@ impl StreamingDetector {
                 kind: ScenarioKind::Legitimate { user: 0 }, // unknown at runtime
                 seed: 0,
                 forward_delay: 0.0,
+                backward_delay: 0.0,
             };
             return Ok(ClipOutcome::Conclusive(self.detector.detect(&pair)?));
         };
@@ -320,10 +321,42 @@ impl StreamingDetector {
                     kind: ScenarioKind::Legitimate { user: 0 }, // unknown at runtime
                     seed: 0,
                     forward_delay: 0.0,
+                    backward_delay: 0.0,
                 };
                 Ok(ClipOutcome::Conclusive(self.detector.detect(&pair)?))
             }
         }
+    }
+
+    /// Records a vote produced *outside* the passive clip pipeline — an
+    /// active probe verdict from a challenge–response round (see the
+    /// `lumen-probe` crate). The vote enters the same bounded history the
+    /// passive clips feed, so the fused [`SessionStatus`] weighs active
+    /// evidence with the paper's 0.7·D rule rather than through a side
+    /// channel, and a conclusive probe resets the inconclusive-clip
+    /// watchdog exactly like a conclusive clip. The clip index does *not*
+    /// advance: probes are not clips, and the verdict stream stays one
+    /// entry per offered clip. Returns the fused status after the vote.
+    pub fn record_probe_vote(&mut self, accepted: bool) -> SessionStatus {
+        let recorder = self.detector.recorder().clone();
+        if self.history.len() == self.window {
+            self.history.pop_front();
+        }
+        self.history.push_back(accepted);
+        self.watchdog.conclusive();
+        recorder.add("stream.probe_votes", 1);
+        let status = {
+            let _stage = recorder.span(stage::VOTE_FUSION);
+            self.status()
+        };
+        if status != self.last_status {
+            recorder.mark(
+                "stream.status",
+                &format!("{:?}->{:?}", self.last_status, status),
+            );
+            self.last_status = status;
+        }
+        status
     }
 
     /// Drops any partial clip and the voting history (e.g. after the remote
@@ -555,6 +588,40 @@ mod tests {
             feed(&mut stream, &chats.legitimate(0, 85_000 + seed).unwrap());
         }
         assert_eq!(stream.status(), SessionStatus::Trusted);
+    }
+
+    #[test]
+    fn probe_votes_fuse_like_clip_votes() {
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        // Active probes alone can carry a gathering session to a verdict.
+        assert_eq!(stream.record_probe_vote(true), SessionStatus::Trusted);
+        assert_eq!(stream.status(), SessionStatus::Trusted);
+        // Probes are not clips: the clip index must not advance.
+        assert_eq!(stream.clips_done(), 0);
+        // A failed probe is a rejection vote; enough of them flip the
+        // fused status under the same 0.7·D rule as passive clips.
+        stream.record_probe_vote(false);
+        stream.record_probe_vote(false);
+        assert_eq!(stream.record_probe_vote(false), SessionStatus::Alert);
+        // The window is shared and bounded: old probe votes slide out.
+        let snap = stream.snapshot();
+        assert_eq!(snap.history.len(), 3);
+    }
+
+    #[test]
+    fn probe_vote_resets_watchdog_backoff() {
+        let mut stream = StreamingDetector::new(detector(), 15.0, 3).unwrap();
+        // Two withheld clips fire the first re-trigger and double the
+        // backoff threshold.
+        assert!(!stream.record_withheld().retrigger);
+        assert!(stream.record_withheld().retrigger);
+        assert_eq!(stream.snapshot().watchdog_threshold, 2 * WATCHDOG_BASE);
+        // A conclusive probe resets the backoff schedule like a
+        // conclusive clip would.
+        stream.record_probe_vote(true);
+        let snap = stream.snapshot();
+        assert_eq!(snap.watchdog_consecutive, 0);
+        assert_eq!(snap.watchdog_threshold, WATCHDOG_BASE);
     }
 
     #[test]

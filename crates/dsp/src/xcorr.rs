@@ -34,7 +34,12 @@ pub fn normalized_xcorr_at(x: &[f64], y: &[f64], lag: isize) -> f64 {
 ///
 /// Returns [`DspError::EmptySignal`] when either input is empty,
 /// [`DspError::TooShort`] when either holds a single sample (no lag can be
-/// scored), and [`DspError::NonFiniteSample`] for NaN/infinite samples.
+/// scored), [`DspError::NonFiniteSample`] for NaN/infinite samples, and
+/// [`DspError::InvalidParameter`] when `max_lag` exceeds the largest lag
+/// that can still retain a two-sample overlap (`max(x.len(), y.len()) - 2`).
+/// Such a window cannot be searched: its outer lags always score the `0.0`
+/// sentinel of [`normalized_xcorr_at`], so accepting the request would
+/// silently search a narrower window than the caller asked for.
 pub fn best_lag(x: &[f64], y: &[f64], max_lag: usize) -> Result<(isize, f64)> {
     if x.is_empty() || y.is_empty() {
         return Err(DspError::EmptySignal);
@@ -43,6 +48,20 @@ pub fn best_lag(x: &[f64], y: &[f64], max_lag: usize) -> Result<(isize, f64)> {
     ensure_min_len(y, 2)?;
     ensure_finite(x)?;
     ensure_finite(y)?;
+    // Lags beyond len-2 in either direction cannot overlap by >= 2
+    // samples, so nothing outside this bound can ever win the search.
+    let hard_cap = x.len().max(y.len()) - 2;
+    if max_lag > hard_cap {
+        return Err(DspError::InvalidParameter {
+            name: "max_lag",
+            reason: format!(
+                "max_lag {max_lag} exceeds the largest usable lag {hard_cap} \
+                 for inputs of {} and {} samples",
+                x.len(),
+                y.len()
+            ),
+        });
+    }
     let mut best = (0isize, f64::MIN);
     for lag in -(max_lag as isize)..=(max_lag as isize) {
         let c = normalized_xcorr_at(x, y, lag);
@@ -85,7 +104,11 @@ pub fn estimate_delay(x: &Signal, y: &Signal, max_delay: f64) -> Result<f64> {
             right: y.sample_rate() as usize,
         });
     }
-    let max_lag = (max_delay * x.sample_rate()).round().max(0.0) as usize;
+    // A delay bound beyond the signals themselves carries no information:
+    // clamp to the largest searchable lag instead of erroring, so callers
+    // may pass a generous physical bound for short clips.
+    let hard_cap = x.samples().len().max(y.samples().len()).saturating_sub(2);
+    let max_lag = ((max_delay * x.sample_rate()).round().max(0.0) as usize).min(hard_cap);
     let (lag, _) = best_lag(x.samples(), y.samples(), max_lag)?;
     Ok(lag as f64 / x.sample_rate())
 }
@@ -158,5 +181,54 @@ mod tests {
             best_lag(&[1.0, 2.0], &[f64::INFINITY, 2.0], 3),
             Err(DspError::NonFiniteSample { index: 0 })
         );
+    }
+
+    #[test]
+    fn best_lag_rejects_degenerate_window() {
+        // max_lag >= len: every extra lag is unreachable (< 2 overlap).
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let err = best_lag(&x, &x, 10).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DspError::InvalidParameter {
+                    name: "max_lag",
+                    ..
+                }
+            ),
+            "expected a typed max_lag rejection, got {err:?}"
+        );
+        // One past the usable bound is already rejected...
+        assert!(best_lag(&x, &x, 9).is_err());
+        // ...while the largest usable lag (len - 2) still searches. A
+        // two-sample overlap of a monotonic ramp is perfectly correlated,
+        // so extreme lags legitimately tie the zero-lag peak here — the
+        // contract under test is only that the search runs and scores it.
+        let (lag, corr) = best_lag(&x, &x, 8).unwrap();
+        assert!(lag.unsigned_abs() <= 8);
+        assert!((corr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_lag_cap_uses_longer_input() {
+        // Asymmetric lengths: the cap follows max(x.len(), y.len()) - 2,
+        // so a long y keeps large positive lags searchable.
+        let x: Vec<f64> = (0..30).map(|i| ((i as f64) * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..200)
+            .map(|i| (((i as f64) - 25.0) * 0.3).sin())
+            .collect();
+        let (lag, corr) = best_lag(&x, &y, 40).unwrap();
+        assert_eq!(lag, 25);
+        assert!(corr > 0.99);
+    }
+
+    #[test]
+    fn estimate_delay_clamps_generous_bound() {
+        // A physical bound far beyond the clip length is clamped, not
+        // rejected: short clips may still use a generous search window.
+        let x = Signal::from_fn(50, 10.0, |t| (t * 2.0).sin()).unwrap();
+        let y = x.shift(0.5);
+        let d = estimate_delay(&x, &y, 60.0).unwrap();
+        assert!((d - 0.5).abs() < 0.11, "delay {d} not near 0.5");
     }
 }

@@ -52,6 +52,10 @@ const IDS: &[(&str, &str)] = &[
     ),
     ("related", "Lumen vs FaceLive-style vs flashing challenge"),
     (
+        "probe",
+        "active luminance challenge-response: FRR/FAR vs amplitude and forgery delay",
+    ),
+    (
         "resilience",
         "FRR/FAR and abstention under burst loss / freeze / clock skew",
     ),
@@ -101,6 +105,7 @@ fn run_one(id: &str, json: bool) -> ExpResult<String> {
             preproc_ablation::PreprocOpts::default()
         )?),
         "related" => emit!(related_work::run(related_work::RelatedWorkOpts::default())?),
+        "probe" => emit!(probe::run(probe::ProbeOpts::default())?),
         "resilience" => emit!(resilience::run(resilience::ResilienceOpts::default())?),
         "overload" => emit!(overload::run(overload::OverloadOpts::default())?),
         "roc" => emit!(roc_analysis::run(roc_analysis::RocOpts::default())?),

@@ -34,6 +34,7 @@ pub mod overload;
 pub mod panel;
 pub mod pipeline_stages;
 pub mod preproc_ablation;
+pub mod probe;
 pub mod related_work;
 pub mod resilience;
 pub mod roc_analysis;

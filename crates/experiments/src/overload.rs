@@ -371,7 +371,9 @@ fn integrity(events: &[SessionEvent], expected: &[Vec<lumen_core::stream::ClipVe
                     *flag = true;
                 }
             }
-            SessionEventKind::Breaker(_) => {}
+            SessionEventKind::Breaker(_)
+            | SessionEventKind::ProbeRequested(_)
+            | SessionEventKind::Probe(_) => {}
         }
     }
     // Unshed sessions saw no contention effects at all: their whole

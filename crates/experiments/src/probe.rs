@@ -1,0 +1,413 @@
+//! Active probing (challenge–response extension): what the luminance
+//! probe recovers when the passive path cannot vote, and what it costs.
+//!
+//! The passive detector needs transmitted-luminance variance to correlate
+//! against; on static screen content the reflection it was enrolled on is
+//! simply absent and the live caller scores as an outlier. This experiment
+//! puts a seeded luminance challenge on exactly that worst case and
+//! reports:
+//!
+//! 1. a **passive baseline** on static content (how often the passive
+//!    gated detector concludes, and how often those conclusions wrongly
+//!    reject the live caller),
+//! 2. probe FRR/FAR/abstention versus **challenge amplitude** (live
+//!    callees and challenge-blind reenactment),
+//! 3. probe rejection versus **forgery delay** for the adaptive forger —
+//!    the paper's Sec. VIII-J bound says anything beyond 20 ms must fail,
+//! 4. probe behaviour under **heavy burst loss** — a damaged link must
+//!    abstain, not reject the caller.
+
+use crate::runner::{pct, render_table};
+use crate::ExpResult;
+use lumen_chat::fault::{BurstLoss, FaultPlan};
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_chat::session::SessionConfig;
+use lumen_core::dataset;
+use lumen_core::detector::{ClipOutcome, Detector};
+use lumen_core::quality::QualityGate;
+use lumen_core::Config;
+use lumen_obs::Recorder;
+use lumen_probe::{ProbeConfig, ProbeDecision, ProbeInjector, ProbeVerifier, VerifierConfig};
+use serde::{Deserialize, Serialize};
+
+/// Options for the probe evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeOpts {
+    /// Probe rounds (seeds) per table cell.
+    pub rounds: usize,
+    /// Challenge amplitudes to sweep, grey levels.
+    pub amplitudes: Vec<f64>,
+    /// Forgery processing delays to sweep, seconds.
+    pub delays: Vec<f64>,
+    /// Bad-state loss probability of the burst-loss condition.
+    pub burst_loss: f64,
+    /// Clean training instances for the passive baseline detector.
+    pub train_count: usize,
+    /// Display luma of the static screen content, grey levels.
+    pub static_level: f64,
+}
+
+impl Default for ProbeOpts {
+    fn default() -> Self {
+        ProbeOpts {
+            rounds: 8,
+            amplitudes: vec![3.0, 6.0, 9.0, 12.0],
+            delays: vec![0.0, 0.01, 0.05, 0.1, 0.3],
+            burst_loss: 0.95,
+            train_count: 10,
+            static_level: 120.0,
+        }
+    }
+}
+
+/// The passive detector's showing on static content (the probe's cue):
+/// it concludes confidently and is confidently wrong.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassiveBaseline {
+    /// Fraction of legitimate static-content clips the passive gated
+    /// detector concluded on.
+    pub conclusive: f64,
+    /// FRR over those conclusive clips.
+    pub frr: f64,
+}
+
+/// One amplitude sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AmplitudeRow {
+    /// Challenge amplitude, grey levels.
+    pub amplitude: f64,
+    /// Fraction of live probe rounds that were conclusive (no abstention).
+    pub live_conclusive: f64,
+    /// FRR: live rounds failed, over conclusive live rounds.
+    pub frr: f64,
+    /// FAR: challenge-blind reenactment rounds passed, over conclusive
+    /// attack rounds.
+    pub far: f64,
+    /// Abstention fraction over all rounds of the cell (both roles).
+    pub abstain: f64,
+}
+
+/// One forgery-delay sweep point (adaptive forger, default amplitude).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayRow {
+    /// Forgery processing delay, seconds.
+    pub delay: f64,
+    /// Fraction of rounds the probe rejected.
+    pub rejected: f64,
+    /// Mean measured extra delay over rejected rounds, seconds.
+    pub measured_extra: f64,
+}
+
+/// Probe behaviour on a heavily bursty link (live callee).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstRow {
+    /// Bad-state loss probability of the Gilbert–Elliott channel.
+    pub loss: f64,
+    /// Fraction of rounds the probe abstained on.
+    pub abstain: f64,
+    /// Fraction of rounds the probe falsely rejected.
+    pub false_reject: f64,
+}
+
+/// The probe experiment's full result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeResult {
+    /// Passive gated detector on the same static content.
+    pub passive: PassiveBaseline,
+    /// Amplitude sweep rows.
+    pub amplitudes: Vec<AmplitudeRow>,
+    /// Forgery-delay sweep rows.
+    pub delays: Vec<DelayRow>,
+    /// Burst-loss condition.
+    pub burst: BurstRow,
+    /// Probe counters accumulated over the run.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ProbeResult {
+    /// Renders the result as aligned tables plus a counter footer.
+    pub fn print(&self) -> String {
+        let mut out = format!(
+            "Passive baseline on static content: {} conclusive, FRR {}\n\n",
+            pct(self.passive.conclusive),
+            pct(self.passive.frr)
+        );
+        let rows: Vec<Vec<String>> = self
+            .amplitudes
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0}", r.amplitude),
+                    pct(r.live_conclusive),
+                    pct(r.frr),
+                    pct(r.far),
+                    pct(r.abstain),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            "Probe — FRR/FAR/abstention vs challenge amplitude",
+            &["amplitude", "live conclusive", "FRR", "FAR", "abstain"],
+            &rows,
+        ));
+        out.push('\n');
+        let rows: Vec<Vec<String>> = self
+            .delays
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0} ms", r.delay * 1_000.0),
+                    pct(r.rejected),
+                    format!("{:.0} ms", r.measured_extra * 1_000.0),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            "Probe — rejection vs adaptive forgery delay (bound: 20 ms)",
+            &["forgery delay", "rejected", "measured extra"],
+            &rows,
+        ));
+        out.push('\n');
+        out.push_str(&format!(
+            "Burst loss {:.0}%: abstain {}, false reject {}\n\n",
+            self.burst.loss * 100.0,
+            pct(self.burst.abstain),
+            pct(self.burst.false_reject)
+        ));
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name}: {value}\n"));
+        }
+        out
+    }
+}
+
+fn frac(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// A probed static-content scenario for one challenge.
+fn probed_scenario(
+    injector: &ProbeInjector,
+    config: &ProbeConfig,
+    opts: &ProbeOpts,
+    faults: FaultPlan,
+) -> ScenarioBuilder {
+    injector.armed_scenario(
+        ScenarioBuilder::default()
+            .with_session(config.session_config(1.5, &SessionConfig::default()))
+            .with_static_caller(opts.static_level)
+            .with_faults(faults),
+    )
+}
+
+/// Runs the probe evaluation.
+///
+/// # Errors
+///
+/// Propagates schedule generation, simulation, training and verification
+/// errors.
+pub fn run(opts: ProbeOpts) -> ExpResult<ProbeResult> {
+    let (recorder, sink) = Recorder::in_memory();
+    let verifier = ProbeVerifier::new(VerifierConfig::default())?;
+
+    // 1. Passive baseline: a detector enrolled on normal content, judging
+    //    static-content clips through the quality gate.
+    let config = Config::default();
+    let clean = ScenarioBuilder::default();
+    let train = dataset::legitimate_features(&clean, 0, opts.train_count, 950_000, &config)?;
+    let passive_det = Detector::train(&train, config)?;
+    let gate = QualityGate::default();
+    let static_builder = ScenarioBuilder::default().with_static_caller(opts.static_level);
+    let mut conclusive = 0usize;
+    let mut rejected = 0usize;
+    for i in 0..opts.rounds as u64 {
+        let pair = static_builder.legitimate(0, 951_000 + i)?;
+        if let ClipOutcome::Conclusive(d) = passive_det.detect_gated(&pair, &gate)? {
+            conclusive += 1;
+            if !d.accepted {
+                rejected += 1;
+            }
+        }
+    }
+    let passive = PassiveBaseline {
+        conclusive: frac(conclusive, opts.rounds),
+        frr: frac(rejected, conclusive),
+    };
+
+    // 2. Amplitude sweep: live vs challenge-blind reenactment.
+    let mut amplitudes = Vec::new();
+    for (ai, &amplitude) in opts.amplitudes.iter().enumerate() {
+        let config = ProbeConfig {
+            amplitude,
+            ..ProbeConfig::default()
+        };
+        let mut live_total = 0usize;
+        let mut live_fail = 0usize;
+        let mut attack_total = 0usize;
+        let mut attack_pass = 0usize;
+        let mut abstain = 0usize;
+        for i in 0..opts.rounds as u64 {
+            let seed = 952_000 + ai as u64 * 1_000 + i;
+            let schedule = lumen_probe::ChallengeSchedule::generate(&config, seed)?;
+            let injector = ProbeInjector::new(schedule.clone());
+            let scenario = probed_scenario(&injector, &config, &opts, FaultPlan::none());
+            let live = verifier.verify_with(
+                &schedule,
+                &scenario.legitimate(0, 960_000 + seed)?,
+                &recorder,
+            )?;
+            match live.decision {
+                ProbeDecision::Abstain => abstain += 1,
+                d => {
+                    live_total += 1;
+                    if d == ProbeDecision::Fail {
+                        live_fail += 1;
+                    }
+                }
+            }
+            let fake = verifier.verify_with(
+                &schedule,
+                &scenario.reenactment(0, 970_000 + seed)?,
+                &recorder,
+            )?;
+            match fake.decision {
+                ProbeDecision::Abstain => abstain += 1,
+                d => {
+                    attack_total += 1;
+                    if d == ProbeDecision::Pass {
+                        attack_pass += 1;
+                    }
+                }
+            }
+        }
+        amplitudes.push(AmplitudeRow {
+            amplitude,
+            live_conclusive: frac(live_total, opts.rounds),
+            frr: frac(live_fail, live_total),
+            far: frac(attack_pass, attack_total),
+            abstain: frac(abstain, 2 * opts.rounds),
+        });
+    }
+
+    // 3. Forgery-delay sweep at the default amplitude.
+    let config = ProbeConfig::default();
+    let mut delays = Vec::new();
+    for (di, &delay) in opts.delays.iter().enumerate() {
+        let mut rejected = 0usize;
+        let mut extra_sum = 0.0;
+        for i in 0..opts.rounds as u64 {
+            let seed = 980_000 + di as u64 * 1_000 + i;
+            let schedule = lumen_probe::ChallengeSchedule::generate(&config, seed)?;
+            let injector = ProbeInjector::new(schedule.clone());
+            let scenario = probed_scenario(&injector, &config, &opts, FaultPlan::none());
+            let verdict = verifier.verify_with(
+                &schedule,
+                &scenario.adaptive(0, delay, 985_000 + seed)?,
+                &recorder,
+            )?;
+            if verdict.decision == ProbeDecision::Fail {
+                rejected += 1;
+                extra_sum += verdict.extra_delay_s;
+            }
+        }
+        delays.push(DelayRow {
+            delay,
+            rejected: frac(rejected, opts.rounds),
+            measured_extra: if rejected == 0 {
+                0.0
+            } else {
+                extra_sum / rejected as f64
+            },
+        });
+    }
+
+    // 4. Heavy burst loss on a live callee: abstain, don't accuse.
+    let plan = FaultPlan {
+        burst: BurstLoss::bursty(0.1, 6.0, opts.burst_loss),
+        ..FaultPlan::none()
+    };
+    let mut abstain = 0usize;
+    let mut false_reject = 0usize;
+    for i in 0..opts.rounds as u64 {
+        let seed = 990_000 + i;
+        let schedule = lumen_probe::ChallengeSchedule::generate(&config, seed)?;
+        let injector = ProbeInjector::new(schedule.clone());
+        let scenario = probed_scenario(&injector, &config, &opts, plan);
+        let verdict = verifier.verify_with(
+            &schedule,
+            &scenario.legitimate(0, 995_000 + seed)?,
+            &recorder,
+        )?;
+        match verdict.decision {
+            ProbeDecision::Abstain => abstain += 1,
+            ProbeDecision::Fail => false_reject += 1,
+            ProbeDecision::Pass => {}
+        }
+    }
+    let burst = BurstRow {
+        loss: opts.burst_loss,
+        abstain: frac(abstain, opts.rounds),
+        false_reject: frac(false_reject, opts.rounds),
+    };
+
+    let registry = sink.registry();
+    let counters = ["probe.pass", "probe.fail", "probe.abstain"]
+        .iter()
+        .map(|&name| (name.to_string(), registry.counter(name)))
+        .collect();
+
+    Ok(ProbeResult {
+        passive,
+        amplitudes,
+        delays,
+        burst,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ProbeOpts {
+        ProbeOpts {
+            rounds: 4,
+            amplitudes: vec![3.0, 9.0],
+            delays: vec![0.0, 0.3],
+            ..ProbeOpts::default()
+        }
+    }
+
+    #[test]
+    fn probe_recovers_what_passive_abstains_on() {
+        let r = run(small()).unwrap();
+        // Static content starves the passive detector: it stays
+        // conclusive but falsely rejects the live caller wholesale. The
+        // probe must conclude at least as often and cut the FRR.
+        let default_amp = &r.amplitudes[1];
+        assert!(default_amp.live_conclusive >= r.passive.conclusive);
+        assert!(default_amp.frr < r.passive.frr);
+        assert_eq!(default_amp.far, 0.0, "{default_amp:?}");
+        // Forgery beyond the 20 ms bound is rejected and measured.
+        let slow = &r.delays[1];
+        assert_eq!(slow.rejected, 1.0, "{slow:?}");
+        assert!(slow.measured_extra > 0.2);
+        // Heavy burst loss abstains rather than rejecting the caller.
+        assert!(r.burst.abstain > 0.5, "{:?}", r.burst);
+        assert_eq!(r.burst.false_reject, 0.0, "{:?}", r.burst);
+        let rendered = r.print();
+        assert!(rendered.contains("amplitude"));
+        assert!(rendered.contains("probe.pass"));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = run(small()).unwrap();
+        let b = run(small()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -69,6 +69,8 @@ pub mod stage {
     pub const SERVE_CLIP: &str = "serve_clip";
     /// Capturing a checkpoint of the serving runtime.
     pub const CHECKPOINT: &str = "checkpoint";
+    /// Matched-filter verification of one active luminance probe.
+    pub const PROBE_VERIFY: &str = "probe_verify";
 
     /// The four stages nested under [`DETECT`] plus the fusion stage, in
     /// pipeline order.

@@ -1,0 +1,269 @@
+//! Probe scheduling and fusion policy.
+//!
+//! A [`ProbeDirector`] sits beside one streaming session. It watches the
+//! passive verdict stream; when the passive path abstains (low-variance
+//! content, a degraded stretch) it issues a fresh seeded challenge —
+//! under a cooldown and a per-session budget, because probes cost
+//! transmitted-video fidelity and verification work. The resulting
+//! [`ProbeVerdict`] is fused into the *same* 0.7·D
+//! vote history the passive clips feed
+//! (`StreamingDetector::record_probe_vote`), so active evidence carries
+//! exactly one vote, not a side-channel override.
+//!
+//! The director is plain serializable state: checkpointing a serving
+//! runtime mid-probe captures the in-flight challenge byte-identically,
+//! and the restored runtime can still verify the response.
+
+use crate::schedule::{ChallengeSchedule, ProbeConfig};
+use crate::verify::{ProbeVerdict, ProbeVerifier, VerifierConfig};
+use crate::{ProbeError, Result};
+use lumen_chat::trace::TracePair;
+use lumen_core::detector::ClipOutcome;
+use lumen_core::quality::InconclusiveReason;
+use lumen_core::stream::ClipVerdict;
+use lumen_obs::Recorder;
+use serde::{Deserialize, Serialize};
+
+/// When and how a session may be probed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbePolicy {
+    /// Challenge generation parameters.
+    pub challenge: ProbeConfig,
+    /// Verification thresholds.
+    pub verifier: VerifierConfig,
+    /// Passive verdicts that must elapse after a probe is issued before
+    /// the next one may fire.
+    pub cooldown_clips: u64,
+    /// Maximum probes per session lifetime.
+    pub max_probes: u64,
+}
+
+impl Default for ProbePolicy {
+    fn default() -> Self {
+        ProbePolicy {
+            challenge: ProbeConfig::default(),
+            verifier: VerifierConfig::default(),
+            cooldown_clips: 2,
+            max_probes: 8,
+        }
+    }
+}
+
+impl ProbePolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates challenge and verifier validation failures; a zero
+    /// probe budget is also rejected (use no director instead).
+    pub fn validate(&self) -> Result<()> {
+        self.challenge.validate()?;
+        self.verifier.validate()?;
+        if self.max_probes == 0 {
+            return Err(ProbeError::invalid_config(
+                "max_probes",
+                "a director with no probe budget can never act",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-session probe state machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeDirector {
+    policy: ProbePolicy,
+    seed: u64,
+    issued: u64,
+    cooldown: u64,
+    in_flight: Option<ChallengeSchedule>,
+}
+
+impl ProbeDirector {
+    /// Creates a director drawing challenge seeds from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProbePolicy::validate`] failures.
+    pub fn new(policy: ProbePolicy, seed: u64) -> Result<Self> {
+        policy.validate()?;
+        Ok(ProbeDirector {
+            policy,
+            seed,
+            issued: 0,
+            cooldown: 0,
+            in_flight: None,
+        })
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> &ProbePolicy {
+        &self.policy
+    }
+
+    /// Probes issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The outstanding challenge, if a probe is awaiting its response.
+    pub fn in_flight(&self) -> Option<&ChallengeSchedule> {
+        self.in_flight.as_ref()
+    }
+
+    /// Observes one passive clip verdict; returns a fresh challenge when
+    /// the policy says this is the moment to probe.
+    ///
+    /// A probe fires when the clip was inconclusive for a *signal* reason
+    /// (not a load shed — `Withheld` clips say nothing about the callee),
+    /// no probe is already outstanding, the cooldown has elapsed and the
+    /// session budget is not exhausted. Each challenge draws from a
+    /// deterministic per-probe seed, so a director restored from a
+    /// checkpoint issues the same future challenges.
+    pub fn observe(&mut self, verdict: &ClipVerdict) -> Option<ChallengeSchedule> {
+        let cooling = self.cooldown > 0;
+        self.cooldown = self.cooldown.saturating_sub(1);
+        let wants_probe = matches!(
+            &verdict.outcome,
+            ClipOutcome::Inconclusive(reason) if !matches!(reason, InconclusiveReason::Withheld)
+        );
+        if !wants_probe
+            || cooling
+            || self.in_flight.is_some()
+            || self.issued >= self.policy.max_probes
+        {
+            return None;
+        }
+        // Policy was validated at construction, so generation cannot
+        // fail; a defensive None keeps the path panic-free regardless.
+        let schedule =
+            ChallengeSchedule::generate(&self.policy.challenge, probe_seed(self.seed, self.issued))
+                .ok()?;
+        self.issued += 1;
+        self.cooldown = self.policy.cooldown_clips;
+        self.in_flight = Some(schedule.clone());
+        Some(schedule)
+    }
+
+    /// Verifies the response to the outstanding challenge and clears it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbeError::NoProbeInFlight`] when no challenge is
+    /// outstanding; verification errors leave the challenge in flight so
+    /// a transient failure can be retried.
+    pub fn resolve(&mut self, pair: &TracePair, recorder: &Recorder) -> Result<ProbeVerdict> {
+        let schedule = self.in_flight.clone().ok_or(ProbeError::NoProbeInFlight)?;
+        let verifier = ProbeVerifier::new(self.policy.verifier)?;
+        let verdict = verifier.verify_with(&schedule, pair, recorder)?;
+        self.in_flight = None;
+        Ok(verdict)
+    }
+
+    /// Discards the outstanding challenge without verification (e.g. the
+    /// probed clip was shed before its response completed).
+    pub fn abandon(&mut self) -> Option<ChallengeSchedule> {
+        self.in_flight.take()
+    }
+}
+
+/// Deterministic per-probe seed derivation (splitmix-style mix of the
+/// director seed and the probe ordinal).
+fn probe_seed(seed: u64, ordinal: u64) -> u64 {
+    let mut z = seed ^ (ordinal.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumen_core::stream::SessionStatus;
+
+    fn inconclusive(clip_index: usize) -> ClipVerdict {
+        ClipVerdict {
+            clip_index,
+            outcome: ClipOutcome::Inconclusive(InconclusiveReason::Flatline),
+            status: SessionStatus::Gathering,
+            retrigger: false,
+        }
+    }
+
+    fn withheld(clip_index: usize) -> ClipVerdict {
+        ClipVerdict {
+            clip_index,
+            outcome: ClipOutcome::Inconclusive(InconclusiveReason::Withheld),
+            status: SessionStatus::Gathering,
+            retrigger: false,
+        }
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let policy = ProbePolicy {
+            max_probes: 0,
+            ..ProbePolicy::default()
+        };
+        assert!(ProbeDirector::new(policy, 1).is_err());
+    }
+
+    #[test]
+    fn fires_on_inconclusive_with_cooldown_and_budget() {
+        let policy = ProbePolicy {
+            cooldown_clips: 2,
+            max_probes: 2,
+            ..ProbePolicy::default()
+        };
+        let mut director = ProbeDirector::new(policy, 99).unwrap();
+        let first = director.observe(&inconclusive(0)).expect("first probe");
+        assert_eq!(director.issued(), 1);
+        assert_eq!(director.in_flight(), Some(&first));
+        // Outstanding probe and cooldown both block the next request.
+        assert!(director.observe(&inconclusive(1)).is_none());
+        director.abandon();
+        assert!(director.observe(&inconclusive(2)).is_none(), "cooling down");
+        let second = director.observe(&inconclusive(3)).expect("second probe");
+        assert_ne!(first, second, "each probe draws a fresh challenge");
+        director.abandon();
+        // Budget of two is now exhausted forever.
+        for i in 4..10 {
+            assert!(director.observe(&inconclusive(i)).is_none());
+        }
+    }
+
+    #[test]
+    fn withheld_clips_do_not_trigger() {
+        let mut director = ProbeDirector::new(ProbePolicy::default(), 7).unwrap();
+        assert!(director.observe(&withheld(0)).is_none());
+        assert_eq!(director.issued(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let mut a = ProbeDirector::new(ProbePolicy::default(), 123).unwrap();
+        let mut b = a.clone();
+        let sa = a.observe(&inconclusive(0)).unwrap();
+        let sb = b.observe(&inconclusive(0)).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resolve_without_probe_errors() {
+        let mut director = ProbeDirector::new(ProbePolicy::default(), 5).unwrap();
+        let tx = lumen_dsp::Signal::new(vec![100.0; 10], 50.0).unwrap();
+        let pair = TracePair {
+            tx: tx.clone(),
+            rx: tx,
+            kind: lumen_chat::trace::ScenarioKind::Legitimate { user: 0 },
+            seed: 0,
+            forward_delay: 0.0,
+            backward_delay: 0.0,
+        };
+        assert_eq!(
+            director.resolve(&pair, &Recorder::null()),
+            Err(ProbeError::NoProbeInFlight)
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Typed errors for the probing subsystem.
+
+use std::fmt;
+
+/// Errors produced by challenge generation, injection or verification.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProbeError {
+    /// A configuration field is outside its valid domain.
+    InvalidConfig {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A probe resolution was requested with no challenge outstanding.
+    NoProbeInFlight,
+    /// Propagated signal-processing error.
+    Dsp(lumen_dsp::DspError),
+}
+
+impl ProbeError {
+    /// Convenience constructor for [`ProbeError::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        ProbeError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid probe config `{field}`: {reason}")
+            }
+            ProbeError::NoProbeInFlight => write!(f, "no probe in flight"),
+            ProbeError::Dsp(e) => write!(f, "probe signal processing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProbeError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lumen_dsp::DspError> for ProbeError {
+    fn from(e: lumen_dsp::DspError) -> Self {
+        ProbeError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ProbeError::invalid_config("amplitude", "too large")
+            .to_string()
+            .contains("amplitude"));
+        assert!(ProbeError::NoProbeInFlight.to_string().contains("flight"));
+        use std::error::Error;
+        let e = ProbeError::from(lumen_dsp::DspError::EmptySignal);
+        assert!(e.source().is_some());
+    }
+}

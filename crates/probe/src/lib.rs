@@ -1,0 +1,58 @@
+//! Active luminance challenge–response probing.
+//!
+//! The paper's defense is *passive*: it correlates the callee's
+//! face-reflected luminance with whatever the caller's video happens to
+//! emit. When the caller's content is static — a frozen slide, a dark
+//! talking head — the transmitted trace carries no usable luminance
+//! changes and the quality gate rightly abstains. This crate closes that
+//! gap the way Face Flashing (Tang et al.) does: the verifier *creates*
+//! the luminance evidence it needs by embedding a small pseudorandom
+//! challenge into its own transmitted video and checking that the
+//! challenge's reflection comes back from the callee's face at the
+//! physically possible time.
+//!
+//! The subsystem has four parts:
+//!
+//! 1. [`schedule::ChallengeSchedule`] — a seeded, bounded-amplitude,
+//!    multi-level luminance sequence with randomized segment timing. The
+//!    amplitude is capped at
+//!    [`schedule::MAX_IMPERCEPTIBLE_AMPLITUDE`] grey levels (< 5 % of
+//!    full scale) so the challenge is invisible to the remote human but
+//!    plainly visible to a matched filter that knows the seed.
+//! 2. [`inject::ProbeInjector`] — embeds the challenge into the
+//!    transmitted display-luma trace. The reflected response then flows
+//!    through the *existing* physical path: `Screen::incident`, skin
+//!    reflectance, auto-exposure and the camera model of `lumen-video`.
+//! 3. [`verify::ProbeVerifier`] — a matched-filter/lag-search verifier on
+//!    `lumen_dsp::xcorr::best_lag`, producing a typed
+//!    [`verify::ProbeVerdict`] (correlation, response gain, lag beyond
+//!    the known network round trip, per-segment hit rate, confidence).
+//!    An adaptive forger can replicate the reflection perfectly, but
+//!    only *after* observing the challenge — its response is late, and
+//!    lateness beyond the round-trip bound (Sec. VIII-J's 20 ms forgery
+//!    budget) is exactly what the verifier rejects.
+//! 4. [`director::ProbeDirector`] — fusion policy: probes fire on demand
+//!    when the passive path reports an inconclusive clip, under a
+//!    cooldown and a per-session budget, and their verdicts enter the
+//!    passive 0.7·D vote history via
+//!    `StreamingDetector::record_probe_vote`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod error;
+
+pub mod director;
+pub mod inject;
+pub mod schedule;
+pub mod verify;
+
+pub use director::{ProbeDirector, ProbePolicy};
+pub use error::ProbeError;
+pub use inject::ProbeInjector;
+pub use schedule::{ChallengeSchedule, ChallengeSegment, ProbeConfig, MAX_IMPERCEPTIBLE_AMPLITUDE};
+pub use verify::{ProbeDecision, ProbeFailReason, ProbeVerdict, ProbeVerifier, VerifierConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ProbeError>;

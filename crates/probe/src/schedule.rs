@@ -1,0 +1,292 @@
+//! Seeded pseudorandom luminance challenge schedules.
+//!
+//! A challenge is a piecewise-constant display-luma *offset* sequence:
+//! a handful of segments, each holding one of four levels
+//! (±amplitude, ±amplitude/2) for a randomized number of ticks.
+//! Randomized multi-level structure matters for security: a replayed or
+//! precomputed response cannot match a sequence the verifier draws fresh
+//! from a secret seed, and the randomized segment timing stops an
+//! attacker from predicting transition instants. Bounded amplitude
+//! matters for usability: the offset stays far below what a human
+//! notices on moving video content, while a matched filter that knows
+//! the seed integrates the reflection across the whole schedule.
+
+use crate::{ProbeError, Result};
+use lumen_chat::channel::ChannelConfig;
+use lumen_chat::session::SessionConfig;
+use lumen_video::noise::substream;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on the challenge amplitude, in display grey levels.
+///
+/// 12 grey levels is < 5 % of the 0–255 range — on the mid-grey operating
+/// points of real video content this is a Weber contrast well under the
+/// ~10 % step that casual viewers notice on moving imagery, and the
+/// schedule changes level only every few hundred milliseconds, far from
+/// the flicker-fusion regime. Schedules refuse to generate above it.
+pub const MAX_IMPERCEPTIBLE_AMPLITUDE: f64 = 12.0;
+
+/// Generation parameters for a challenge schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbeConfig {
+    /// Peak display-luma offset in grey levels, in
+    /// `(0, MAX_IMPERCEPTIBLE_AMPLITUDE]`.
+    pub amplitude: f64,
+    /// Number of constant-level segments (≥ 2).
+    pub segments: usize,
+    /// Minimum segment length in ticks (≥ 2).
+    pub min_segment_ticks: usize,
+    /// Maximum segment length in ticks (≥ `min_segment_ticks`).
+    pub max_segment_ticks: usize,
+    /// Probe sampling rate in Hz. The default of 50 Hz makes one tick
+    /// exactly the paper's 20 ms adaptive-forgery budget (Sec. VIII-J),
+    /// so the verifier's lag search operates at the granularity of the
+    /// bound it enforces.
+    pub sample_rate: f64,
+}
+
+impl Default for ProbeConfig {
+    // Calibrated empirically against the synth pipeline: sweeping
+    // amplitude × segment count × seeds, 16 segments at 9 grey levels is
+    // the smallest schedule whose live-face correlation distribution
+    // clears the chance-alignment distribution of challenge-blind
+    // attackers with zero overlap across 60 seeds (~10 s per probe,
+    // within one passive clip).
+    fn default() -> Self {
+        ProbeConfig {
+            amplitude: 9.0,
+            segments: 16,
+            min_segment_ticks: 20,
+            max_segment_ticks: 45,
+            sample_rate: 50.0,
+        }
+    }
+}
+
+impl ProbeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbeError::InvalidConfig`] for an amplitude outside
+    /// `(0, MAX_IMPERCEPTIBLE_AMPLITUDE]`, fewer than two segments, a
+    /// degenerate tick range or a non-positive sample rate.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.amplitude.is_finite()
+            && self.amplitude > 0.0
+            && self.amplitude <= MAX_IMPERCEPTIBLE_AMPLITUDE)
+        {
+            return Err(ProbeError::invalid_config(
+                "amplitude",
+                format!("must lie in (0, {MAX_IMPERCEPTIBLE_AMPLITUDE}] grey levels"),
+            ));
+        }
+        if self.segments < 2 {
+            return Err(ProbeError::invalid_config(
+                "segments",
+                "a challenge needs at least two segments",
+            ));
+        }
+        if self.min_segment_ticks < 2 || self.max_segment_ticks < self.min_segment_ticks {
+            return Err(ProbeError::invalid_config(
+                "segment_ticks",
+                "need 2 <= min_segment_ticks <= max_segment_ticks",
+            ));
+        }
+        if !(self.sample_rate.is_finite() && self.sample_rate > 0.0) {
+            return Err(ProbeError::invalid_config(
+                "sample_rate",
+                "must be finite and positive",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Longest possible schedule duration in seconds.
+    pub fn max_duration(&self) -> f64 {
+        (self.segments * self.max_segment_ticks) as f64 / self.sample_rate
+    }
+
+    /// A channel as seen through a probe-side jitter buffer.
+    ///
+    /// Probing samples at [`ProbeConfig::sample_rate`] (50 Hz default),
+    /// where raw transport jitter of ±15 ms spans whole display ticks and
+    /// would hold a third of the frames. Real clients do not display raw
+    /// arrivals: a jitter buffer trades a *fixed* extra delay for smooth
+    /// playout. Modeled here as `base_delay + 3σ` of added buffering with
+    /// the residual jitter shrunk to `σ/4`. The added delay is part of
+    /// `base_delay` and therefore part of the round trip the verifier
+    /// already knows — buffering hides nothing from the timing check.
+    pub fn jitter_buffered(channel: ChannelConfig) -> ChannelConfig {
+        ChannelConfig {
+            base_delay: channel.base_delay + 3.0 * channel.jitter,
+            jitter: channel.jitter / 4.0,
+            drop_prob: channel.drop_prob,
+        }
+    }
+
+    /// Session parameters for one probe round on top of `base`: the
+    /// probe's sampling rate, a duration covering the longest schedule
+    /// plus `margin` seconds of response tail, and jitter-buffered
+    /// versions of both network directions (faults are kept).
+    pub fn session_config(&self, margin: f64, base: &SessionConfig) -> SessionConfig {
+        SessionConfig {
+            duration: self.max_duration() + margin.max(0.0),
+            sample_rate: self.sample_rate,
+            forward: Self::jitter_buffered(base.forward),
+            backward: Self::jitter_buffered(base.backward),
+            faults: base.faults,
+        }
+    }
+}
+
+/// One constant-level stretch of a challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChallengeSegment {
+    /// Display-luma offset held during the segment, grey levels.
+    pub level: f64,
+    /// Segment length in ticks.
+    pub ticks: usize,
+}
+
+/// A complete seeded challenge: the verifier keeps it secret until the
+/// response has been judged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChallengeSchedule {
+    /// The seed the schedule was drawn from (for reproduction).
+    pub seed: u64,
+    /// Probe sampling rate in Hz.
+    pub sample_rate: f64,
+    /// Peak offset amplitude in grey levels.
+    pub amplitude: f64,
+    /// The segment sequence. Consecutive segments always hold *different*
+    /// levels, so every boundary is a guaranteed luminance transition the
+    /// matched filter can lock onto.
+    pub segments: Vec<ChallengeSegment>,
+}
+
+impl ChallengeSchedule {
+    /// Draws a schedule from `config` and `seed`. Identical inputs yield
+    /// byte-identical schedules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProbeConfig::validate`] failures.
+    pub fn generate(config: &ProbeConfig, seed: u64) -> Result<ChallengeSchedule> {
+        config.validate()?;
+        let levels = [
+            config.amplitude,
+            config.amplitude / 2.0,
+            -config.amplitude / 2.0,
+            -config.amplitude,
+        ];
+        let mut rng = substream(seed, 60);
+        let mut segments = Vec::with_capacity(config.segments);
+        let mut idx = rng.gen_range(0..levels.len());
+        for _ in 0..config.segments {
+            let ticks = rng.gen_range(config.min_segment_ticks..=config.max_segment_ticks);
+            segments.push(ChallengeSegment {
+                level: levels[idx],
+                ticks,
+            });
+            // Next level is drawn from the three *other* levels, so the
+            // draw is bounded and the transition guaranteed.
+            idx = (idx + 1 + rng.gen_range(0..levels.len() - 1)) % levels.len();
+        }
+        Ok(ChallengeSchedule {
+            seed,
+            sample_rate: config.sample_rate,
+            amplitude: config.amplitude,
+            segments,
+        })
+    }
+
+    /// Total schedule length in ticks.
+    pub fn total_ticks(&self) -> usize {
+        self.segments.iter().map(|s| s.ticks).sum()
+    }
+
+    /// Schedule duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.total_ticks() as f64 / self.sample_rate
+    }
+
+    /// The per-tick display-luma offset sequence (the challenge waveform).
+    pub fn waveform(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.total_ticks());
+        for segment in &self.segments {
+            out.extend(std::iter::repeat_n(segment.level, segment.ticks));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validates() {
+        assert!(ProbeConfig::default().validate().is_ok());
+        let too_loud = ProbeConfig {
+            amplitude: MAX_IMPERCEPTIBLE_AMPLITUDE + 1.0,
+            ..ProbeConfig::default()
+        };
+        assert!(too_loud.validate().is_err());
+        let one_segment = ProbeConfig {
+            segments: 1,
+            ..ProbeConfig::default()
+        };
+        assert!(one_segment.validate().is_err());
+        let bad_ticks = ProbeConfig {
+            min_segment_ticks: 10,
+            max_segment_ticks: 5,
+            ..ProbeConfig::default()
+        };
+        assert!(bad_ticks.validate().is_err());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let config = ProbeConfig::default();
+        let a = ChallengeSchedule::generate(&config, 42).unwrap();
+        let b = ChallengeSchedule::generate(&config, 42).unwrap();
+        assert_eq!(a, b);
+        let c = ChallengeSchedule::generate(&config, 43).unwrap();
+        assert_ne!(a, c, "different seeds must draw different schedules");
+    }
+
+    #[test]
+    fn schedule_respects_bounds() {
+        let config = ProbeConfig::default();
+        let s = ChallengeSchedule::generate(&config, 7).unwrap();
+        assert_eq!(s.segments.len(), config.segments);
+        for seg in &s.segments {
+            assert!(seg.level.abs() <= config.amplitude);
+            assert!(seg.level.abs() >= config.amplitude / 2.0 - 1e-12);
+            assert!((config.min_segment_ticks..=config.max_segment_ticks).contains(&seg.ticks));
+        }
+        // Every boundary is a transition.
+        for pair in s.segments.windows(2) {
+            assert!(
+                (pair[0].level - pair[1].level).abs() > 1e-12,
+                "consecutive segments share a level"
+            );
+        }
+        assert_eq!(s.waveform().len(), s.total_ticks());
+    }
+
+    #[test]
+    fn waveform_matches_segments() {
+        let s = ChallengeSchedule::generate(&ProbeConfig::default(), 9).unwrap();
+        let w = s.waveform();
+        let mut at = 0usize;
+        for seg in &s.segments {
+            assert!(w[at..at + seg.ticks]
+                .iter()
+                .all(|&v| (v - seg.level).abs() < 1e-12));
+            at += seg.ticks;
+        }
+    }
+}

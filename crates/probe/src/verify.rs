@@ -1,0 +1,536 @@
+//! Matched-filter verification of a probe response.
+//!
+//! The verifier knows three things an attacker does not control: the
+//! secret challenge waveform, the session's out-of-band round-trip time
+//! (RTCP-style receiver reports, carried on [`TracePair`] as
+//! `forward_delay + backward_delay`), and the physics that a live face
+//! reflects the challenge *instantly*. It cross-correlates the detrended
+//! challenge against the detrended received ROI luminance, finds the
+//! best response lag, and demands that the response (a) exists with
+//! enough energy, (b) matches segment-by-segment, and (c) arrives no
+//! later than the known round trip plus the paper's 20 ms forgery bound
+//! (Sec. VIII-J). An adaptive forger reproduces the waveform exactly —
+//! but late, and (c) is the check it cannot pass.
+
+use crate::schedule::ChallengeSchedule;
+use crate::{ProbeError, Result};
+use lumen_chat::trace::TracePair;
+use lumen_core::quality::{InconclusiveReason, QualityGate};
+use lumen_dsp::filters::moving::moving_average;
+use lumen_dsp::xcorr::{best_lag, normalized_xcorr_at};
+use lumen_dsp::Signal;
+use lumen_obs::{stage, Recorder};
+use serde::{Deserialize, Serialize};
+
+/// Decision thresholds for probe verification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VerifierConfig {
+    /// Minimum normalized cross-correlation between the expected and the
+    /// received challenge at the best lag.
+    pub min_correlation: f64,
+    /// Minimum response gain (received grey levels per transmitted grey
+    /// level of challenge). The physical chain delivers roughly 0.1; a
+    /// probe-stripping forger delivers ~0.
+    pub min_response_gain: f64,
+    /// Minimum fraction of segments whose response matches the challenge
+    /// sign at the *expected* (RTT-derived) alignment.
+    pub min_hit_rate: f64,
+    /// Maximum tolerated response delay beyond the known network round
+    /// trip, seconds — the paper's 20 ms adaptive-forgery budget.
+    pub max_extra_delay: f64,
+    /// How far *before* the nominal round trip the lag search and the
+    /// acceptance window extend, in ticks. Jitter-buffer release and
+    /// display quantization can make a live reflection appear slightly
+    /// early relative to the RTT estimate; arriving early is never the
+    /// forger's signature, so this slack is applied to the early side
+    /// only. The late bound is `max_extra_delay` plus a single tick of
+    /// sampling quantization.
+    pub timing_slack_ticks: f64,
+    /// How far beyond the expected round trip the lag search extends,
+    /// seconds. Must cover the largest forgery delay worth measuring:
+    /// the peak of a delayed copy must fall *inside* the searched range
+    /// for its lag — and hence the forgery delay — to be measured.
+    pub search_margin: f64,
+    /// Moving-average window used to detrend both the challenge and the
+    /// response before correlation, seconds. Longer than a segment,
+    /// shorter than the schedule.
+    pub detrend_window_s: f64,
+}
+
+impl Default for VerifierConfig {
+    // Calibrated jointly with the `ProbeConfig` defaults: across a
+    // 60-seed sweep of the synth pipeline, live faces score correlation
+    // ≥ 0.20 and hit rate ≥ 0.62 on every draw, while challenge-blind
+    // attackers whose chance alignment clears both thresholds are still
+    // rejected because their correlation peak lands outside the
+    // acceptance window. Timing is the primary separator; correlation,
+    // gain and hits reject the attacks too weak to even mimic a copy.
+    // A rare unlucky camera-gain draw (~1–2% of seeds) halves the live
+    // reflection and falls under `min_correlation`; the probe
+    // experiment's amplitude ladder shows those gone by 12 grey levels.
+    fn default() -> Self {
+        VerifierConfig {
+            min_correlation: 0.2,
+            min_response_gain: 0.02,
+            min_hit_rate: 0.6,
+            max_extra_delay: 0.02,
+            timing_slack_ticks: 2.5,
+            search_margin: 1.5,
+            detrend_window_s: 0.9,
+        }
+    }
+}
+
+impl VerifierConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbeError::InvalidConfig`] for thresholds outside their
+    /// domains.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.min_correlation.is_finite() && (0.0..=1.0).contains(&self.min_correlation)) {
+            return Err(ProbeError::invalid_config(
+                "min_correlation",
+                "must lie in [0, 1]",
+            ));
+        }
+        if !(self.min_response_gain.is_finite() && self.min_response_gain >= 0.0) {
+            return Err(ProbeError::invalid_config(
+                "min_response_gain",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(self.min_hit_rate.is_finite() && (0.0..=1.0).contains(&self.min_hit_rate)) {
+            return Err(ProbeError::invalid_config(
+                "min_hit_rate",
+                "must lie in [0, 1]",
+            ));
+        }
+        if !(self.max_extra_delay.is_finite() && self.max_extra_delay >= 0.0) {
+            return Err(ProbeError::invalid_config(
+                "max_extra_delay",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(self.timing_slack_ticks.is_finite() && self.timing_slack_ticks >= 0.0) {
+            return Err(ProbeError::invalid_config(
+                "timing_slack_ticks",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(self.search_margin.is_finite() && self.search_margin > 0.0) {
+            return Err(ProbeError::invalid_config(
+                "search_margin",
+                "must be finite and positive",
+            ));
+        }
+        if !(self.detrend_window_s.is_finite() && self.detrend_window_s > 0.0) {
+            return Err(ProbeError::invalid_config(
+                "detrend_window_s",
+                "must be finite and positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The verifier's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeDecision {
+    /// The challenge came back on time with matching structure.
+    Pass,
+    /// The response is missing, wrong or late.
+    Fail,
+    /// The received clip is too damaged to judge either way.
+    Abstain,
+}
+
+/// Why a probe failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeFailReason {
+    /// The matched filter found no convincing copy of the challenge.
+    WeakCorrelation,
+    /// A correlated shape exists but its amplitude is far below the
+    /// physical reflection gain (e.g. a smoothed/stripped probe).
+    MissingResponse,
+    /// Too few segments matched at the RTT-derived alignment.
+    LowHitRate,
+    /// The response exists but arrives later than the network round trip
+    /// plus the forgery budget allows.
+    LateResponse,
+}
+
+/// Typed outcome of one challenge–response round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeVerdict {
+    /// The decision.
+    pub decision: ProbeDecision,
+    /// Failure cause, when [`ProbeDecision::Fail`].
+    pub fail_reason: Option<ProbeFailReason>,
+    /// Abstention cause, when [`ProbeDecision::Abstain`].
+    pub abstain_reason: Option<InconclusiveReason>,
+    /// Normalized cross-correlation at the best lag.
+    pub correlation: f64,
+    /// Estimated response gain: received grey levels per transmitted grey
+    /// level of challenge (regression slope at the best lag).
+    pub response_gain: f64,
+    /// Best response lag, seconds.
+    pub lag_s: f64,
+    /// Lag beyond the known network round trip, seconds.
+    pub extra_delay_s: f64,
+    /// Fraction of judged segments matching at the expected alignment.
+    pub hit_rate: f64,
+    /// Number of segments that were judged.
+    pub segments_judged: usize,
+    /// Confidence in the decision, `[0, 1]` (0 for abstentions).
+    pub confidence: f64,
+}
+
+impl ProbeVerdict {
+    /// The probe vote, if conclusive: `Some(true)` for a pass,
+    /// `Some(false)` for a fail, `None` for an abstention.
+    pub fn accepted(&self) -> Option<bool> {
+        match self.decision {
+            ProbeDecision::Pass => Some(true),
+            ProbeDecision::Fail => Some(false),
+            ProbeDecision::Abstain => None,
+        }
+    }
+}
+
+/// Matched-filter verifier for one challenge.
+#[derive(Debug, Clone)]
+pub struct ProbeVerifier {
+    config: VerifierConfig,
+    gate: QualityGate,
+}
+
+impl ProbeVerifier {
+    /// Creates a verifier with the given thresholds and the default
+    /// signal-quality gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VerifierConfig::validate`] failures.
+    pub fn new(config: VerifierConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(ProbeVerifier {
+            config,
+            gate: QualityGate::default(),
+        })
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &VerifierConfig {
+        &self.config
+    }
+
+    /// Verifies the response to `schedule` carried in `pair` (the probed
+    /// session's transmitted and received traces).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbeError::InvalidConfig`] when the received trace's
+    /// sample rate disagrees with the schedule, and propagates DSP errors.
+    pub fn verify(&self, schedule: &ChallengeSchedule, pair: &TracePair) -> Result<ProbeVerdict> {
+        self.verify_with(schedule, pair, &Recorder::null())
+    }
+
+    /// [`ProbeVerifier::verify`] with observability: emits a
+    /// `probe_verify` span and `probe.pass` / `probe.fail` /
+    /// `probe.abstain` counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ProbeVerifier::verify`].
+    pub fn verify_with(
+        &self,
+        schedule: &ChallengeSchedule,
+        pair: &TracePair,
+        recorder: &Recorder,
+    ) -> Result<ProbeVerdict> {
+        let _span = recorder.span(stage::PROBE_VERIFY);
+        let rate = schedule.sample_rate;
+        if (pair.rx.sample_rate() - rate).abs() > f64::EPSILON {
+            return Err(ProbeError::invalid_config(
+                "sample_rate",
+                format!(
+                    "received trace at {} Hz but the schedule was issued at {rate} Hz",
+                    pair.rx.sample_rate()
+                ),
+            ));
+        }
+
+        // 1. Screen the received clip: a probe on a badly damaged link
+        //    abstains instead of accusing the callee.
+        let screened = self.gate.screen(pair.rx.samples(), rate);
+        let rx_samples = match screened.decision {
+            lumen_core::quality::GateDecision::Inconclusive(reason) => {
+                recorder.add("probe.abstain", 1);
+                return Ok(abstention(reason));
+            }
+            lumen_core::quality::GateDecision::Pass { samples, .. } => samples,
+        };
+
+        // 2. Detrend challenge and response with the same moving-average
+        //    high-pass: slow content/AE drift is removed from both, and
+        //    the (identical) filter distortion cancels in the lag search.
+        let window = detrend_window(self.config.detrend_window_s, rate, rx_samples.len());
+        let w = Signal::new(schedule.waveform(), rate)?;
+        let w_f = detrended(&w, window)?;
+        let r = Signal::new(rx_samples, rate)?;
+        let r_f = detrended(&r, window.min(r.len()))?;
+
+        // 3. Lag search from just before the known round trip out to the
+        //    search margin, deciding on the *location* of the peak. The
+        //    challenge is piecewise constant, so its autocorrelation
+        //    decays slowly — correlation at the edge of the acceptance
+        //    window is still high even when the true peak sits several
+        //    ticks late. Thresholding correlation inside the window would
+        //    therefore admit 50–100 ms forgers; demanding that the argmax
+        //    itself lands on time does not.
+        let expected_ticks = (pair.round_trip_delay() * rate).round() as isize;
+        let slack_ticks = self.config.timing_slack_ticks.ceil() as isize;
+        let accept_lo = expected_ticks - slack_ticks - 2;
+        let accept_hi = expected_ticks + (self.config.max_extra_delay * rate).ceil() as isize + 1;
+        let search_hi = expected_ticks + (self.config.search_margin * rate).ceil() as isize;
+        let mut peak = (expected_ticks, f64::MIN);
+        for lag in accept_lo..=search_hi {
+            let c = normalized_xcorr_at(&w_f, &r_f, lag);
+            if c > peak.1 {
+                peak = (lag, c);
+            }
+        }
+        let (peak_lag, peak_corr) = peak;
+        let peak_gain = regression_gain(&w_f, &r_f, peak_lag);
+        // Segment hits are judged at the *measured* alignment — the peak
+        // lag — which the acceptance check already constrains to the
+        // physical window, so this cannot help a late forger; it only
+        // stops a one-tick RTT-estimate error from shaving live hits.
+        let hits_lag = if peak_lag <= accept_hi {
+            peak_lag
+        } else {
+            expected_ticks
+        };
+        let (hit_rate, segments_judged) = segment_hits(schedule, &w_f, &r_f, hits_lag);
+
+        // 4. Decide. An on-time peak with enough energy and matching
+        //    structure passes. A convincing copy of the challenge whose
+        //    peak arrives past the acceptance window is the adaptive
+        //    forger's signature. When no convincing copy exists near the
+        //    round trip at all, a *global* lag search (built on
+        //    `best_lag`) characterizes what went wrong — no response,
+        //    a too-weak response, or response energy at a wild lag.
+        let response_present =
+            peak_corr >= self.config.min_correlation && peak_gain >= self.config.min_response_gain;
+        let on_time = response_present && peak_lag <= accept_hi;
+        let (lag, correlation, response_gain, fail_reason) =
+            if on_time && hit_rate >= self.config.min_hit_rate {
+                (peak_lag, peak_corr, peak_gain, None)
+            } else if on_time {
+                (
+                    peak_lag,
+                    peak_corr,
+                    peak_gain,
+                    Some(ProbeFailReason::LowHitRate),
+                )
+            } else if response_present {
+                (
+                    peak_lag,
+                    peak_corr,
+                    peak_gain,
+                    Some(ProbeFailReason::LateResponse),
+                )
+            } else {
+                let hard_cap = w_f.len().max(r_f.len()).saturating_sub(2);
+                let max_lag = (expected_ticks.unsigned_abs())
+                    .saturating_add((self.config.search_margin * rate).ceil() as usize)
+                    .min(hard_cap);
+                let (global_lag, global_corr) = best_lag(&w_f, &r_f, max_lag)?;
+                let global_gain = regression_gain(&w_f, &r_f, global_lag);
+                let reason = if global_corr < self.config.min_correlation {
+                    ProbeFailReason::WeakCorrelation
+                } else if global_gain < self.config.min_response_gain {
+                    ProbeFailReason::MissingResponse
+                } else if (accept_lo..=accept_hi).contains(&global_lag) {
+                    // The challenge came back on time but its structure does
+                    // not line up segment-for-segment.
+                    ProbeFailReason::LowHitRate
+                } else {
+                    ProbeFailReason::LateResponse
+                };
+                (global_lag, global_corr, global_gain, Some(reason))
+            };
+        let lag_s = lag as f64 / rate;
+        let extra_delay_s = (lag - expected_ticks) as f64 / rate;
+
+        // A weak response on a marginal link is not evidence of forgery:
+        // when the clip lost most of the gate's gap tolerance, abstain
+        // rather than reject. The factor is deliberately high — frozen
+        // stretches are also what a *recorded* fake looks like, so a
+        // generous abstention band would hand attackers a shield.
+        if matches!(fail_reason, Some(ProbeFailReason::WeakCorrelation))
+            && screened.quality.gap_fraction > 0.8 * self.gate.thresholds().max_gap_fraction
+        {
+            recorder.add("probe.abstain", 1);
+            return Ok(abstention(InconclusiveReason::ExcessiveGaps {
+                gap_fraction: screened.quality.gap_fraction,
+            }));
+        }
+
+        let c = correlation.clamp(0.0, 1.0);
+        let (decision, confidence) = match fail_reason {
+            None => (
+                ProbeDecision::Pass,
+                ((c / self.config.min_correlation).min(2.0) / 2.0) * hit_rate,
+            ),
+            Some(ProbeFailReason::WeakCorrelation) | Some(ProbeFailReason::MissingResponse) => {
+                // Confident precisely because the response is absent.
+                (ProbeDecision::Fail, 1.0 - c)
+            }
+            Some(_) => {
+                // A response was measured and it is wrong: confidence
+                // follows how clearly it was measured.
+                (ProbeDecision::Fail, c)
+            }
+        };
+        recorder.add(
+            match decision {
+                ProbeDecision::Pass => "probe.pass",
+                _ => "probe.fail",
+            },
+            1,
+        );
+        Ok(ProbeVerdict {
+            decision,
+            fail_reason,
+            abstain_reason: None,
+            correlation,
+            response_gain,
+            lag_s,
+            extra_delay_s,
+            hit_rate,
+            segments_judged,
+            confidence,
+        })
+    }
+}
+
+/// An abstention verdict with zeroed measurements.
+fn abstention(reason: InconclusiveReason) -> ProbeVerdict {
+    ProbeVerdict {
+        decision: ProbeDecision::Abstain,
+        fail_reason: None,
+        abstain_reason: Some(reason),
+        correlation: 0.0,
+        response_gain: 0.0,
+        lag_s: 0.0,
+        extra_delay_s: 0.0,
+        hit_rate: 0.0,
+        segments_judged: 0,
+        confidence: 0.0,
+    }
+}
+
+/// Odd moving-average window for `seconds` at `rate`, bounded by `len`.
+fn detrend_window(seconds: f64, rate: f64, len: usize) -> usize {
+    let ticks = (seconds * rate).round().max(3.0) as usize;
+    let ticks = ticks | 1; // odd, so the average is centered
+    ticks
+        .min(if len.is_multiple_of(2) {
+            len.saturating_sub(1)
+        } else {
+            len
+        })
+        .max(1)
+}
+
+/// Signal minus its centered moving average (a zero-phase high-pass).
+fn detrended(signal: &Signal, window: usize) -> Result<Vec<f64>> {
+    let baseline = moving_average(signal, window.max(1).min(signal.len()))?;
+    Ok(signal
+        .samples()
+        .iter()
+        .zip(baseline.samples())
+        .map(|(&s, &b)| s - b)
+        .collect())
+}
+
+/// Least-squares gain of `r` against `w` at integer lag `lag`
+/// (`r[i + lag] ≈ gain * w[i]`); `0.0` when the overlap is degenerate.
+fn regression_gain(w: &[f64], r: &[f64], lag: isize) -> f64 {
+    let n = w.len() as isize;
+    let m = r.len() as isize;
+    let start = (-lag).max(0);
+    let end = n.min(m - lag);
+    if end - start < 2 {
+        return 0.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in start..end {
+        let wi = w[i as usize];
+        num += wi * r[(i + lag) as usize];
+        den += wi * wi;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Per-segment sign agreement at the expected (RTT-derived) alignment.
+///
+/// Segment interiors are trimmed by three ticks on each side so display
+/// quantization and transition smear do not decide a segment, and a
+/// segment whose detrended reference is too small to carry a sign (its
+/// level sits at the local baseline) is skipped rather than guessed.
+fn segment_hits(
+    schedule: &ChallengeSchedule,
+    w_f: &[f64],
+    r_f: &[f64],
+    expected_lag: isize,
+) -> (f64, usize) {
+    const TRIM: usize = 3;
+    let mut judged = 0usize;
+    let mut hits = 0usize;
+    let mut at = 0usize;
+    let sign_floor = 0.05 * schedule.amplitude;
+    for segment in &schedule.segments {
+        let start = at + TRIM;
+        let end = (at + segment.ticks).saturating_sub(TRIM);
+        at += segment.ticks;
+        if end <= start {
+            continue;
+        }
+        let r_start = start as isize + expected_lag;
+        let r_end = end as isize + expected_lag;
+        if r_start < 0 || r_end as usize > r_f.len() || end > w_f.len() {
+            continue;
+        }
+        let ref_mean = mean(&w_f[start..end]);
+        if ref_mean.abs() < sign_floor {
+            continue;
+        }
+        let resp_mean = mean(&r_f[r_start as usize..r_end as usize]);
+        judged += 1;
+        if ref_mean * resp_mean > 0.0 {
+            hits += 1;
+        }
+    }
+    let rate = if judged == 0 {
+        0.0
+    } else {
+        hits as f64 / judged as f64
+    };
+    (rate, judged)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}

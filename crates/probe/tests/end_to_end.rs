@@ -1,0 +1,130 @@
+//! End-to-end challenge–response rounds through the full duplex session
+//! simulator: a live face passes, every attacker class fails or is
+//! caught, and the documented blind spot (an instant forger) is pinned.
+
+use lumen_attack::adaptive::AdaptiveForger;
+use lumen_chat::endpoint::AdaptiveCallee;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_chat::session::{run_session_with, SessionConfig};
+use lumen_chat::trace::ScenarioKind;
+use lumen_obs::Recorder;
+use lumen_probe::{
+    ChallengeSchedule, ProbeConfig, ProbeDecision, ProbeFailReason, ProbeInjector, ProbeVerifier,
+    VerifierConfig,
+};
+use lumen_video::profile::UserProfile;
+
+const STATIC_LEVEL: f64 = 120.0;
+
+fn probed_scenario(schedule: &ChallengeSchedule) -> ScenarioBuilder {
+    let session = ProbeConfig::default().session_config(1.5, &SessionConfig::default());
+    ProbeInjector::new(schedule.clone()).armed_scenario(
+        ScenarioBuilder::default()
+            .with_session(session)
+            .with_static_caller(STATIC_LEVEL),
+    )
+}
+
+fn schedule(seed: u64) -> ChallengeSchedule {
+    ChallengeSchedule::generate(&ProbeConfig::default(), seed).unwrap()
+}
+
+fn verifier() -> ProbeVerifier {
+    ProbeVerifier::new(VerifierConfig::default()).unwrap()
+}
+
+#[test]
+fn live_face_passes_probe() {
+    for seed in 0..6u64 {
+        let s = schedule(500 + seed);
+        let pair = probed_scenario(&s).legitimate(0, 90_500 + seed).unwrap();
+        let v = verifier().verify(&s, &pair).unwrap();
+        assert_eq!(
+            v.decision,
+            ProbeDecision::Pass,
+            "seed {seed}: live face failed: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn delayed_forger_fails_on_timing() {
+    for seed in 0..4u64 {
+        let s = schedule(600 + seed);
+        let pair = probed_scenario(&s).adaptive(0, 0.3, 90_600 + seed).unwrap();
+        let v = verifier().verify(&s, &pair).unwrap();
+        assert_eq!(
+            v.decision,
+            ProbeDecision::Fail,
+            "seed {seed}: delayed forger passed: {v:?}"
+        );
+        assert_eq!(v.fail_reason, Some(ProbeFailReason::LateResponse), "{v:?}");
+        assert!(v.extra_delay_s > 0.2, "measured extra delay {v:?}");
+    }
+}
+
+#[test]
+fn reenactment_fails_on_missing_response() {
+    for seed in 0..4u64 {
+        let s = schedule(700 + seed);
+        let pair = probed_scenario(&s).reenactment(0, 90_700 + seed).unwrap();
+        let v = verifier().verify(&s, &pair).unwrap();
+        assert_eq!(
+            v.decision,
+            ProbeDecision::Fail,
+            "seed {seed}: reenactment passed: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn probe_stripping_forger_fails() {
+    // A probe-aware forger smooths its forged output to scrub the
+    // challenge before shipping it (on time otherwise).
+    let s = schedule(800);
+    let builder = probed_scenario(&s);
+    let session = builder.session;
+    let caller = ProbeInjector::new(s.clone()).armed_caller({
+        let mut c = lumen_chat::endpoint::Caller::new(
+            lumen_video::content::MeteringScript::constant(STATIC_LEVEL, session.duration).unwrap(),
+        );
+        c.scene_noise = 0.0;
+        c
+    });
+    let callee = AdaptiveCallee {
+        forger: AdaptiveForger::new(builder.conditions, 0.0)
+            .unwrap()
+            .with_smoothing(75),
+        victim: UserProfile::preset(0),
+    };
+    let pair = run_session_with(
+        &caller,
+        &callee,
+        &session,
+        ScenarioKind::Adaptive {
+            victim: 0,
+            delay: 0.0,
+        },
+        90_800,
+        &Recorder::null(),
+    )
+    .unwrap();
+    let v = verifier().verify(&s, &pair).unwrap();
+    assert_eq!(
+        v.decision,
+        ProbeDecision::Fail,
+        "stripped probe passed: {v:?}"
+    );
+}
+
+#[test]
+fn instant_forger_is_the_documented_blind_spot() {
+    // Sec. VIII-J's bound is a *timing* bound: a forger with zero
+    // processing delay reproduces the reflection perfectly and passes.
+    // The probe's guarantee is exactly that real pipelines cannot do
+    // this faster than the 20 ms budget.
+    let s = schedule(900);
+    let pair = probed_scenario(&s).adaptive(0, 0.0, 90_900).unwrap();
+    let v = verifier().verify(&s, &pair).unwrap();
+    assert_eq!(v.decision, ProbeDecision::Pass, "{v:?}");
+}

@@ -13,6 +13,7 @@
 use crate::breaker::BreakerState;
 use crate::supervisor::{ServeStats, ShedReason};
 use lumen_core::stream::StreamSnapshot;
+use lumen_probe::ProbeDirector;
 use serde::{Deserialize, Serialize, Value};
 
 /// One queued entry of a session: a pending clip, or the ordering
@@ -93,6 +94,9 @@ pub struct SessionSnapshot {
     pub breaker: BreakerState,
     /// The streaming detector's mutable state.
     pub stream: StreamSnapshot,
+    /// The probe director — policy, budget spent, cooldown and any
+    /// in-flight challenge — for sessions admitted with active probing.
+    pub probe: Option<ProbeDirector>,
 }
 
 /// The checkpointed state of a whole supervisor.

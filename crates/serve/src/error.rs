@@ -17,6 +17,9 @@ pub enum ServeError {
     BadSnapshot(String),
     /// Propagated detection-pipeline error.
     Core(lumen_core::CoreError),
+    /// Propagated active-probing error (no probe in flight, bad probe
+    /// config, or a verification failure).
+    Probe(lumen_probe::ProbeError),
 }
 
 impl ServeError {
@@ -43,6 +46,7 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSession(id) => write!(f, "unknown session {id}"),
             ServeError::BadSnapshot(reason) => write!(f, "bad checkpoint: {reason}"),
             ServeError::Core(e) => write!(f, "detection pipeline failed: {e}"),
+            ServeError::Probe(e) => write!(f, "active probing failed: {e}"),
         }
     }
 }
@@ -51,6 +55,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Core(e) => Some(e),
+            ServeError::Probe(e) => Some(e),
             _ => None,
         }
     }
@@ -59,6 +64,12 @@ impl std::error::Error for ServeError {
 impl From<lumen_core::CoreError> for ServeError {
     fn from(e: lumen_core::CoreError) -> Self {
         ServeError::Core(e)
+    }
+}
+
+impl From<lumen_probe::ProbeError> for ServeError {
+    fn from(e: lumen_probe::ProbeError) -> Self {
+        ServeError::Probe(e)
     }
 }
 
@@ -78,5 +89,9 @@ mod tests {
         use std::error::Error;
         let core = lumen_core::CoreError::invalid_config("window", "zero");
         assert!(ServeError::from(core).source().is_some());
+        let probe = lumen_probe::ProbeError::NoProbeInFlight;
+        let wrapped = ServeError::from(probe);
+        assert!(wrapped.to_string().contains("probing"));
+        assert!(wrapped.source().is_some());
     }
 }

@@ -26,8 +26,10 @@ use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
 use crate::checkpoint::{QueuedClipSnapshot, SessionSnapshot, SupervisorSnapshot};
 use crate::{BreakerConfig, Result, ServeError};
 use lumen_chat::clock::SimClock;
+use lumen_chat::trace::TracePair;
 use lumen_core::stream::{ClipVerdict, StreamingDetector};
 use lumen_obs::{stage, Recorder};
+use lumen_probe::{ChallengeSchedule, ProbeDirector, ProbeVerdict};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -211,6 +213,15 @@ pub enum SessionEventKind {
     },
     /// The session's circuit breaker changed position.
     Breaker(BreakerTransition),
+    /// The session's probe director wants this challenge transmitted:
+    /// the caller-side client should arm a
+    /// [`ProbeInjector`](lumen_probe::ProbeInjector) with the schedule
+    /// and later hand the resulting trace pair to
+    /// [`Supervisor::resolve_probe`].
+    ProbeRequested(ChallengeSchedule),
+    /// A probe round was verified; conclusive verdicts have already been
+    /// fused into the session's vote history as one vote.
+    Probe(ProbeVerdict),
 }
 
 /// Aggregate counters of one supervisor, exact by construction:
@@ -260,6 +271,7 @@ struct SessionSlot {
     partial_rx: Vec<f64>,
     queue: VecDeque<QueuedClip>,
     breaker: CircuitBreaker,
+    probe: Option<ProbeDirector>,
 }
 
 impl SessionSlot {
@@ -326,6 +338,27 @@ impl Supervisor {
     /// detector. At capacity the session is explicitly turned away —
     /// counted in [`ServeStats::rejected_sessions`], never queued.
     pub fn admit(&mut self, stream: StreamingDetector) -> AdmitOutcome {
+        self.admit_with(stream, None)
+    }
+
+    /// [`Supervisor::admit`] with an active-probing director attached:
+    /// whenever the passive path abstains, the director may request a
+    /// luminance challenge (surfaced as
+    /// [`SessionEventKind::ProbeRequested`]) whose verified response is
+    /// fused back through [`Supervisor::resolve_probe`].
+    pub fn admit_probed(
+        &mut self,
+        stream: StreamingDetector,
+        probe: ProbeDirector,
+    ) -> AdmitOutcome {
+        self.admit_with(stream, Some(probe))
+    }
+
+    fn admit_with(
+        &mut self,
+        stream: StreamingDetector,
+        probe: Option<ProbeDirector>,
+    ) -> AdmitOutcome {
         if self.sessions.len() >= self.config.max_sessions {
             self.stats.rejected_sessions += 1;
             self.recorder.add("serve.rejected_sessions", 1);
@@ -343,6 +376,7 @@ impl Supervisor {
                 partial_rx: Vec::new(),
                 queue: VecDeque::new(),
                 breaker: CircuitBreaker::new(self.config.breaker),
+                probe,
             },
         );
         self.recorder
@@ -556,6 +590,9 @@ impl Supervisor {
                 } else {
                     None
                 };
+                // Passive abstention is the probe director's trigger: ask
+                // it whether this is the moment to spend a challenge.
+                let probe_request = slot.probe.as_mut().and_then(|d| d.observe(&v));
                 self.events.push(SessionEvent {
                     session,
                     kind: SessionEventKind::Verdict(v),
@@ -566,6 +603,13 @@ impl Supervisor {
                     &mut self.events,
                     &self.recorder,
                 );
+                if let Some(schedule) = probe_request {
+                    self.recorder.add("serve.probe_requests", 1);
+                    self.events.push(SessionEvent {
+                        session,
+                        kind: SessionEventKind::ProbeRequested(schedule),
+                    });
+                }
             }
             None => {
                 // Either a push failed or the clip never closed (a
@@ -699,6 +743,54 @@ impl Supervisor {
             .ok_or(ServeError::UnknownSession(session))
     }
 
+    /// The session's probe director, if the session was admitted with one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an id this supervisor
+    /// does not own.
+    pub fn probe_director(&self, session: u64) -> Result<Option<&ProbeDirector>> {
+        self.sessions
+            .get(&session)
+            .map(|s| s.probe.as_ref())
+            .ok_or(ServeError::UnknownSession(session))
+    }
+
+    /// Verifies the response to a session's outstanding challenge and
+    /// fuses the result: a conclusive probe verdict (pass or fail) enters
+    /// the session's vote history as exactly one vote — the same 0.7·D
+    /// majority the passive clips feed — and counts as breaker success;
+    /// an abstaining probe changes nothing. The verdict is also surfaced
+    /// as [`SessionEventKind::Probe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownSession`] for an id this supervisor
+    /// does not own and [`ServeError::Probe`] when the session has no
+    /// probe director, no challenge is outstanding, or verification
+    /// fails (the challenge then stays in flight for a retry).
+    pub fn resolve_probe(&mut self, session: u64, pair: &TracePair) -> Result<ProbeVerdict> {
+        let Some(slot) = self.sessions.get_mut(&session) else {
+            return Err(ServeError::UnknownSession(session));
+        };
+        let director = slot
+            .probe
+            .as_mut()
+            .ok_or(ServeError::Probe(lumen_probe::ProbeError::NoProbeInFlight))?;
+        let verdict = director.resolve(pair, &self.recorder)?;
+        self.recorder.add("serve.probes_resolved", 1);
+        if let Some(accepted) = verdict.accepted() {
+            slot.stream.record_probe_vote(accepted);
+            let transition = slot.breaker.record_success();
+            Self::record_breaker_transition(session, transition, &mut self.events, &self.recorder);
+        }
+        self.events.push(SessionEvent {
+            session,
+            kind: SessionEventKind::Probe(verdict.clone()),
+        });
+        Ok(verdict)
+    }
+
     /// The supervisor clock's current tick.
     pub fn tick_now(&self) -> u64 {
         self.clock.tick()
@@ -746,6 +838,7 @@ impl Supervisor {
                         .collect(),
                     breaker: slot.breaker.state(),
                     stream: slot.stream.snapshot(),
+                    probe: slot.probe.clone(),
                 })
                 .collect(),
         }
@@ -822,6 +915,7 @@ impl Supervisor {
                     })
                     .collect(),
                 breaker: CircuitBreaker::with_state(config.breaker, s.breaker),
+                probe: s.probe.clone(),
             };
             if sessions.insert(s.id, slot).is_some() {
                 return Err(ServeError::bad_snapshot(format!(
@@ -899,7 +993,9 @@ mod tests {
             .filter_map(|e| match &e.kind {
                 SessionEventKind::Verdict(v) => Some(v.clone()),
                 SessionEventKind::Shed { verdict, .. } => Some(verdict.clone()),
-                SessionEventKind::Breaker(_) => None,
+                SessionEventKind::Breaker(_)
+                | SessionEventKind::ProbeRequested(_)
+                | SessionEventKind::Probe(_) => None,
             })
             .collect()
     }
@@ -1195,6 +1291,83 @@ mod tests {
             "the clip completed while open must shed as BreakerOpen"
         );
         assert_eq!(sup.stats().shed_breaker, 1);
+    }
+
+    #[test]
+    fn passive_abstention_requests_probe_and_fuses_verdict() {
+        use lumen_chat::session::SessionConfig;
+        use lumen_probe::{ProbeConfig, ProbeDecision, ProbeInjector, ProbePolicy};
+
+        let mut sup = Supervisor::new(relaxed()).unwrap();
+        let director = ProbeDirector::new(ProbePolicy::default(), 31).unwrap();
+        let id = sup
+            .admit_probed(gated_stream(), director)
+            .session()
+            .unwrap();
+        // A flatline clip: the passive gate abstains, which is the
+        // director's trigger.
+        for _ in 0..150 {
+            sup.offer(id, 100.0, 42.0).unwrap();
+            sup.tick();
+        }
+        while sup.pending_clips() > 0 {
+            sup.tick();
+        }
+        let events = sup.drain_events();
+        let schedule = events
+            .iter()
+            .find_map(|e| match &e.kind {
+                SessionEventKind::ProbeRequested(s) => Some(s.clone()),
+                _ => None,
+            })
+            .expect("an inconclusive clip must raise a probe request");
+        assert_eq!(
+            sup.probe_director(id).unwrap().unwrap().in_flight(),
+            Some(&schedule)
+        );
+        // The client transmits the challenge; a live face reflects it.
+        let pair = ProbeInjector::new(schedule.clone())
+            .armed_scenario(
+                ScenarioBuilder::default()
+                    .with_session(
+                        ProbeConfig::default().session_config(1.5, &SessionConfig::default()),
+                    )
+                    .with_static_caller(120.0),
+            )
+            .legitimate(0, 77_000)
+            .unwrap();
+        let clips_before = sup.stream(id).unwrap().clips_done();
+        let verdict = sup.resolve_probe(id, &pair).unwrap();
+        assert_eq!(verdict.decision, ProbeDecision::Pass, "{verdict:?}");
+        // Fused as a vote, not as a clip; the challenge is spent.
+        assert_eq!(sup.stream(id).unwrap().clips_done(), clips_before);
+        assert!(sup
+            .probe_director(id)
+            .unwrap()
+            .unwrap()
+            .in_flight()
+            .is_none());
+        let events = sup.drain_events();
+        assert!(events.iter().any(
+            |e| matches!(&e.kind, SessionEventKind::Probe(v) if v.decision == ProbeDecision::Pass)
+        ));
+        // No second response to verify.
+        assert!(matches!(
+            sup.resolve_probe(id, &pair),
+            Err(ServeError::Probe(lumen_probe::ProbeError::NoProbeInFlight))
+        ));
+        // Unprobed sessions and unknown ids are both refused.
+        let plain = sup.admit(stream()).session().unwrap();
+        assert!(matches!(
+            sup.resolve_probe(plain, &pair),
+            Err(ServeError::Probe(lumen_probe::ProbeError::NoProbeInFlight))
+        ));
+        assert!(matches!(
+            sup.resolve_probe(99, &pair),
+            Err(ServeError::UnknownSession(99))
+        ));
+        assert!(sup.probe_director(plain).unwrap().is_none());
+        assert!(sup.probe_director(99).is_err());
     }
 
     #[test]

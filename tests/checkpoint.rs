@@ -147,3 +147,77 @@ fn supervised_faulty_session_replays_identically_after_restore() {
     assert_eq!(cycled.stats(), straight.stats());
     assert_eq!(straight.stats().offered_clips, CLIPS as u64);
 }
+
+#[test]
+fn in_flight_probe_survives_checkpoint_byte_identically() {
+    use lumen::chat::session::SessionConfig;
+    use lumen::probe::{ProbeConfig, ProbeDecision, ProbeDirector, ProbeInjector, ProbePolicy};
+    use lumen::serve::SessionEventKind;
+
+    let detector = trained();
+    let config = ServeConfig {
+        max_sessions: 2,
+        deadline_ticks: 10_000,
+        ..ServeConfig::default()
+    };
+    let mut sup = Supervisor::new(config.clone()).expect("valid config");
+    let director = ProbeDirector::new(ProbePolicy::default(), 93).expect("valid policy");
+    let id = sup
+        .admit_probed(gated(&detector), director)
+        .session()
+        .expect("admitted");
+
+    // A flatline clip makes the passive gate abstain, which arms the
+    // director: the checkpoint below carries an *in-flight* challenge.
+    for _ in 0..150 {
+        sup.offer(id, 100.0, 42.0).expect("offer succeeds");
+        sup.tick();
+    }
+    while sup.pending_clips() > 0 {
+        sup.tick();
+    }
+    let events = sup.drain_events();
+    let schedule = events
+        .iter()
+        .find_map(|e| match &e.kind {
+            SessionEventKind::ProbeRequested(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("the inconclusive clip must raise a probe request");
+
+    // Checkpoint with the challenge outstanding, then restore twice: the
+    // snapshot must carry the director verbatim, and serializing the
+    // restored supervisor must reproduce the checkpoint byte-for-byte.
+    let snap = sup.snapshot();
+    let json = serde_json::to_string(&snap).expect("snapshot serializes");
+    let back: SupervisorSnapshot = serde_json::from_str(&json).expect("snapshot decodes");
+    assert_eq!(back, snap, "snapshot must round-trip through serde");
+    let restored =
+        Supervisor::restore(config.clone(), &back, |_| Ok(gated(&detector))).expect("restores");
+    assert_eq!(
+        serde_json::to_string(&restored.snapshot()).expect("snapshot serializes"),
+        json,
+        "a restored supervisor must checkpoint byte-identically"
+    );
+    assert_eq!(
+        restored.probe_director(id).unwrap().unwrap().in_flight(),
+        Some(&schedule),
+        "the in-flight challenge must survive the round trip"
+    );
+
+    // Both the original and the restored supervisor must accept the same
+    // challenge response and produce the same verdict.
+    let pair = ProbeInjector::new(schedule.clone())
+        .armed_scenario(
+            ScenarioBuilder::default()
+                .with_session(ProbeConfig::default().session_config(1.5, &SessionConfig::default()))
+                .with_static_caller(120.0),
+        )
+        .legitimate(0, 78_000)
+        .expect("probed trace");
+    let mut restored = restored;
+    let original = sup.resolve_probe(id, &pair).expect("resolves");
+    let replayed = restored.resolve_probe(id, &pair).expect("resolves");
+    assert_eq!(original, replayed, "restored probe verdict diverged");
+    assert_eq!(original.decision, ProbeDecision::Pass, "{original:?}");
+}

@@ -28,6 +28,7 @@ fn pair_from(tx: Signal, rx: Signal) -> TracePair {
         kind: ScenarioKind::Legitimate { user: 0 },
         seed: 0,
         forward_delay: 0.12,
+        backward_delay: 0.12,
     }
 }
 

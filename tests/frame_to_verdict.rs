@@ -94,6 +94,7 @@ fn genuine_frames_accepted_fake_frames_rejected() {
             kind: ScenarioKind::Legitimate { user: 0 },
             seed: s,
             forward_delay: 0.0,
+            backward_delay: 0.0,
         };
         if det.detect(&pair).unwrap().accepted {
             genuine_ok += 1;
@@ -114,6 +115,7 @@ fn genuine_frames_accepted_fake_frames_rejected() {
             kind: ScenarioKind::Reenactment { victim: 0 },
             seed: s,
             forward_delay: 0.0,
+            backward_delay: 0.0,
         };
         if !det.detect(&fake_pair).unwrap().accepted {
             fake_caught += 1;

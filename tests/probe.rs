@@ -1,0 +1,95 @@
+//! Active-probe contract tests at the workspace surface: the challenge
+//! and the verdict must be reproducible byte-for-byte from the seed (a
+//! checkpointed prober must re-derive exactly what it shipped), and a
+//! probe on a badly damaged link must abstain — a lossy network is not
+//! evidence of forgery.
+
+use lumen::chat::fault::{BurstLoss, FaultPlan};
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::chat::session::SessionConfig;
+use lumen::probe::{
+    ChallengeSchedule, ProbeConfig, ProbeDecision, ProbeInjector, ProbeVerifier, VerifierConfig,
+};
+
+fn probed_scenario(injector: &ProbeInjector, faults: FaultPlan) -> ScenarioBuilder {
+    injector.armed_scenario(
+        ScenarioBuilder::default()
+            .with_session(ProbeConfig::default().session_config(1.5, &SessionConfig::default()))
+            .with_static_caller(120.0)
+            .with_faults(faults),
+    )
+}
+
+#[test]
+fn same_seed_yields_byte_identical_schedule_and_verdict() {
+    let config = ProbeConfig::default();
+    let verifier = ProbeVerifier::new(VerifierConfig::default()).expect("valid verifier config");
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let schedule = ChallengeSchedule::generate(&config, 4_242).expect("schedule generates");
+        let schedule_json = serde_json::to_string(&schedule).expect("schedule serializes");
+        let injector = ProbeInjector::new(schedule.clone());
+        let pair = probed_scenario(&injector, FaultPlan::none())
+            .legitimate(0, 84_000)
+            .expect("probed trace");
+        let verdict = verifier
+            .verify(&schedule, &pair)
+            .expect("verification runs");
+        let verdict_json = serde_json::to_string(&verdict).expect("verdict serializes");
+        runs.push((schedule_json, verdict_json, verdict.decision));
+    }
+    assert_eq!(
+        runs[0].0, runs[1].0,
+        "identical seeds must produce byte-identical schedules"
+    );
+    assert_eq!(
+        runs[0].1, runs[1].1,
+        "identical inputs must produce byte-identical verdicts"
+    );
+    assert_eq!(runs[0].2, ProbeDecision::Pass, "the live round must pass");
+
+    // A different seed is a different secret: the schedule must change.
+    let other = ChallengeSchedule::generate(&config, 4_243).expect("schedule generates");
+    assert_ne!(
+        serde_json::to_string(&other).expect("schedule serializes"),
+        runs[0].0,
+        "distinct seeds must produce distinct challenges"
+    );
+}
+
+#[test]
+fn heavy_burst_loss_abstains_rather_than_false_rejecting() {
+    // A Gilbert–Elliott channel dropping ~95% of frames in its bad state
+    // holds well above 30% overall loss across these draws.
+    let faults = FaultPlan {
+        burst: BurstLoss::bursty(0.1, 6.0, 0.95),
+        ..FaultPlan::none()
+    };
+    let config = ProbeConfig::default();
+    let verifier = ProbeVerifier::new(VerifierConfig::default()).expect("valid verifier config");
+    let mut abstained = 0usize;
+    for seed in 0..6u64 {
+        let schedule =
+            ChallengeSchedule::generate(&config, 4_300 + seed).expect("schedule generates");
+        let injector = ProbeInjector::new(schedule.clone());
+        let pair = probed_scenario(&injector, faults)
+            .legitimate(0, 85_000 + seed)
+            .expect("probed trace");
+        let verdict = verifier
+            .verify(&schedule, &pair)
+            .expect("verification runs");
+        assert_ne!(
+            verdict.decision,
+            ProbeDecision::Fail,
+            "a damaged link must never read as forgery (seed {seed}): {verdict:?}"
+        );
+        if verdict.decision == ProbeDecision::Abstain {
+            assert!(verdict.abstain_reason.is_some());
+            abstained += 1;
+        }
+    }
+    assert!(
+        abstained > 0,
+        "the burst plan never triggered an abstention; the check is vacuous"
+    );
+}

@@ -105,6 +105,7 @@ fn flatline_clip_is_inconclusive() {
         kind: ScenarioKind::Legitimate { user: 0 },
         seed: 0,
         forward_delay: 0.12,
+        backward_delay: 0.12,
     };
     let outcome = det.detect_gated(&pair, &gate).unwrap();
     assert!(
