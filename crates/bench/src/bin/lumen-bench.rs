@@ -1,0 +1,503 @@
+//! `lumen-bench` — the perf-telemetry harness behind the CI regression
+//! gate.
+//!
+//! `run` executes a fixed suite of micro benchmarks (whole-clip detection
+//! with and without instrumentation, one active-probe round) and macro
+//! experiments (the Sec. IX per-stage overhead breakdown, the multi-session
+//! overload sweep) and writes a `BENCH_<label>.json` report. `check`
+//! compares two reports metric by metric and exits non-zero on a
+//! regression, which is the whole CI gate.
+//!
+//! Three metric kinds with different gating rules keep the gate honest
+//! across machines:
+//!
+//! * `timing` — wall-clock milliseconds; machine-dependent, gated with a
+//!   generous *relative* tolerance and only against regressions (getting
+//!   faster never fails).
+//! * `exact` — deterministic seeded results (tick latencies, shed
+//!   fractions, integrity booleans); gated with a tiny *absolute*
+//!   tolerance in both directions.
+//! * `info` — context only (e.g. instrumentation overhead percentage,
+//!   which is dominated by noise at these scales); never gated.
+//!
+//! Any metric may additionally carry a `budget`: an absolute ceiling the
+//! current value must stay under regardless of the baseline — the paper's
+//! 0.2 s per-clip envelope is enforced this way.
+
+use lumen_bench::{standard_pair, trained_detector};
+use lumen_experiments::{overhead, overload};
+use lumen_obs::{NullSink, Recorder};
+use lumen_probe::{ChallengeSchedule, ProbeConfig, ProbeInjector, ProbeVerifier, VerifierConfig};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Report format version; bump on any incompatible schema change.
+const SCHEMA_VERSION: u64 = 1;
+
+/// The paper's Sec. IX envelope: feature extraction and classification of
+/// one 15-second clip within 0.2 seconds.
+const CLIP_BUDGET_MS: f64 = 200.0;
+
+/// One measured quantity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchMetric {
+    /// Dotted metric name, stable across runs.
+    name: String,
+    /// Measured value.
+    value: f64,
+    /// Unit label (`ms`, `ticks`, `fraction`, `pct`, `bool`).
+    unit: String,
+    /// Gating rule: `timing`, `exact` or `info`.
+    kind: String,
+    /// Absolute ceiling the value must stay under, if any.
+    budget: Option<f64>,
+}
+
+/// A full `BENCH_<label>.json` report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchReport {
+    /// Report format version.
+    schema_version: u64,
+    /// Report label (machine or CI job name).
+    label: String,
+    /// All measured metrics.
+    metrics: Vec<BenchMetric>,
+}
+
+impl BenchReport {
+    fn get(&self, name: &str) -> Option<&BenchMetric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+/// Mean wall-clock milliseconds per call over `iters` calls (after one
+/// warm-up call).
+fn time_ms<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / f64::from(iters.max(1))
+}
+
+fn metric(name: &str, value: f64, unit: &str, kind: &str, budget: Option<f64>) -> BenchMetric {
+    BenchMetric {
+        name: name.to_string(),
+        value,
+        unit: unit.to_string(),
+        kind: kind.to_string(),
+        budget,
+    }
+}
+
+/// Runs the full suite and assembles the report.
+fn run_suite(label: &str, quick: bool) -> Result<BenchReport, String> {
+    let iters = if quick { 3 } else { 10 };
+    let mut metrics = Vec::new();
+
+    // Micro: whole-clip detection, uninstrumented vs. NullSink-recorded.
+    // The delta is reported as info — at sub-millisecond scale it is
+    // noise, and the dedicated Criterion bench (`benches/obs.rs`) is the
+    // authoritative guard.
+    eprintln!("[lumen-bench] micro: detect");
+    let pair = standard_pair();
+    let plain = trained_detector();
+    let plain_ms = time_ms(iters, || {
+        let _ = black_box(plain.detect(black_box(&pair)));
+    });
+    let nulled = trained_detector().with_recorder(Recorder::new(Arc::new(NullSink)));
+    let null_ms = time_ms(iters, || {
+        let _ = black_box(nulled.detect(black_box(&pair)));
+    });
+    metrics.push(metric(
+        "micro.detect_uninstrumented_ms",
+        plain_ms,
+        "ms",
+        "timing",
+        Some(CLIP_BUDGET_MS),
+    ));
+    metrics.push(metric(
+        "micro.detect_null_sink_ms",
+        null_ms,
+        "ms",
+        "timing",
+        Some(CLIP_BUDGET_MS),
+    ));
+    if plain_ms > 0.0 {
+        metrics.push(metric(
+            "obs.null_sink_overhead_pct",
+            (null_ms - plain_ms) / plain_ms * 100.0,
+            "pct",
+            "info",
+            None,
+        ));
+    }
+
+    // Micro: one active-probe round — challenge synthesis plus full
+    // matched-filter verification of an armed legitimate response.
+    eprintln!("[lumen-bench] micro: probe round");
+    let config = ProbeConfig::default();
+    let schedule =
+        ChallengeSchedule::generate(&config, 11).map_err(|e| format!("probe schedule: {e}"))?;
+    let injector = ProbeInjector::new(schedule.clone());
+    let probe_pair = injector
+        .armed_scenario(
+            lumen_chat::scenario::ScenarioBuilder::default()
+                .with_session(
+                    config.session_config(1.5, &lumen_chat::session::SessionConfig::default()),
+                )
+                .with_static_caller(120.0),
+        )
+        .legitimate(0, 12)
+        .map_err(|e| format!("probe scenario: {e}"))?;
+    let verifier =
+        ProbeVerifier::new(VerifierConfig::default()).map_err(|e| format!("verifier: {e}"))?;
+    let generate_ms = time_ms(iters, || {
+        let _ = black_box(ChallengeSchedule::generate(black_box(&config), 11));
+    });
+    let verify_ms = time_ms(iters, || {
+        let _ = black_box(verifier.verify(black_box(&schedule), black_box(&probe_pair)));
+    });
+    metrics.push(metric(
+        "micro.probe_schedule_generate_ms",
+        generate_ms,
+        "ms",
+        "timing",
+        None,
+    ));
+    metrics.push(metric(
+        "micro.probe_verify_round_ms",
+        verify_ms,
+        "ms",
+        "timing",
+        Some(CLIP_BUDGET_MS),
+    ));
+
+    // Macro: Sec. IX per-stage breakdown from the overhead experiment.
+    eprintln!("[lumen-bench] macro: overhead experiment");
+    let opts = if quick {
+        overhead::OverheadOpts {
+            user: 0,
+            train_clips: 10,
+            detect_clips: 6,
+        }
+    } else {
+        overhead::OverheadOpts::default()
+    };
+    let oh = overhead::run(opts).map_err(|e| format!("overhead experiment: {e}"))?;
+    for row in &oh.stages {
+        let budget = (row.name == lumen_obs::stage::DETECT).then_some(CLIP_BUDGET_MS);
+        metrics.push(metric(
+            &format!("stage.{}.mean_ms", row.name),
+            row.mean_ms,
+            "ms",
+            "timing",
+            budget,
+        ));
+        metrics.push(metric(
+            &format!("stage.{}.p99_ms", row.name),
+            row.p99_ms,
+            "ms",
+            "timing",
+            budget,
+        ));
+    }
+
+    // Macro: overload sweep — deterministic tick-based outcomes at the
+    // heaviest swept load.
+    eprintln!("[lumen-bench] macro: overload experiment");
+    let opts = if quick {
+        overload::OverloadOpts {
+            sessions: vec![2, 5],
+            ..overload::OverloadOpts::default()
+        }
+    } else {
+        overload::OverloadOpts::default()
+    };
+    let ol = overload::run(opts).map_err(|e| format!("overload experiment: {e}"))?;
+    if let Some(worst) = ol.rows.last() {
+        metrics.push(metric(
+            "overload.shed_fraction",
+            worst.shed_fraction,
+            "fraction",
+            "exact",
+            None,
+        ));
+        metrics.push(metric(
+            "overload.p99_latency_ticks",
+            worst.p99_latency_ticks,
+            "ticks",
+            "exact",
+            None,
+        ));
+        metrics.push(metric(
+            "overload.integrity_ok",
+            f64::from(u8::from(worst.integrity_ok)),
+            "bool",
+            "exact",
+            None,
+        ));
+        metrics.push(metric(
+            "overload.accounting_ok",
+            f64::from(u8::from(worst.accounting_ok)),
+            "bool",
+            "exact",
+            None,
+        ));
+    }
+    metrics.push(metric(
+        "overload.checkpoint_ok",
+        f64::from(u8::from(ol.checkpoint_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+
+    Ok(BenchReport {
+        schema_version: SCHEMA_VERSION,
+        label: label.to_string(),
+        metrics,
+    })
+}
+
+/// One gate violation (or warning) found by `check`.
+struct Finding {
+    hard: bool,
+    message: String,
+}
+
+/// Compares `current` against `baseline` under the gate rules.
+fn check_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    timing_tolerance_pct: f64,
+    exact_tolerance: f64,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if baseline.schema_version != current.schema_version {
+        findings.push(Finding {
+            hard: true,
+            message: format!(
+                "schema version mismatch: baseline v{} vs current v{}",
+                baseline.schema_version, current.schema_version
+            ),
+        });
+        return findings;
+    }
+    for base in &baseline.metrics {
+        let Some(cur) = current.get(&base.name) else {
+            findings.push(Finding {
+                hard: true,
+                message: format!("metric `{}` missing from current report", base.name),
+            });
+            continue;
+        };
+        match base.kind.as_str() {
+            "timing" => {
+                // Gate regressions only: a faster run is never a failure.
+                let ceiling = base.value * (1.0 + timing_tolerance_pct / 100.0);
+                if cur.value > ceiling {
+                    findings.push(Finding {
+                        hard: true,
+                        message: format!(
+                            "timing regression `{}`: {:.4} {} > {:.4} (baseline {:.4} +{}%)",
+                            base.name,
+                            cur.value,
+                            cur.unit,
+                            ceiling,
+                            base.value,
+                            timing_tolerance_pct
+                        ),
+                    });
+                }
+            }
+            "exact" if (cur.value - base.value).abs() > exact_tolerance => {
+                findings.push(Finding {
+                    hard: true,
+                    message: format!(
+                        "exact drift `{}`: {:.6} vs baseline {:.6} (tolerance {})",
+                        base.name, cur.value, base.value, exact_tolerance
+                    ),
+                });
+            }
+            _ => {}
+        }
+    }
+    for cur in &current.metrics {
+        if let Some(budget) = cur.budget {
+            if cur.value > budget {
+                findings.push(Finding {
+                    hard: true,
+                    message: format!(
+                        "budget exceeded `{}`: {:.4} {} > budget {:.4}",
+                        cur.name, cur.value, cur.unit, budget
+                    ),
+                });
+            }
+        }
+        if baseline.get(&cur.name).is_none() {
+            findings.push(Finding {
+                hard: false,
+                message: format!("metric `{}` absent from baseline (new metric?)", cur.name),
+            });
+        }
+    }
+    findings
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  lumen-bench run [--label L] [--quick] [--out PATH]\n  \
+         lumen-bench check --baseline PATH --current PATH \
+         [--timing-tolerance-pct N] [--exact-tolerance X] [--warn-only]"
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let label = arg_value(args, "--label").unwrap_or_else(|| "local".to_string());
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = arg_value(args, "--out").unwrap_or_else(|| format!("BENCH_{label}.json"));
+    let report = match run_suite(&label, quick) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lumen-bench: suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("lumen-bench: serialize failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("lumen-bench: writing {out} failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    for m in &report.metrics {
+        println!("{:40} {:>12.4} {}", m.name, m.value, m.unit);
+    }
+    eprintln!("[lumen-bench] wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn load_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let (Some(baseline_path), Some(current_path)) =
+        (arg_value(args, "--baseline"), arg_value(args, "--current"))
+    else {
+        return usage();
+    };
+    let timing_tolerance_pct = arg_value(args, "--timing-tolerance-pct")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300.0);
+    let exact_tolerance = arg_value(args, "--exact-tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1e-9);
+    let warn_only = args.iter().any(|a| a == "--warn-only");
+    let (baseline, current) = match (load_report(&baseline_path), load_report(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("lumen-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = check_reports(&baseline, &current, timing_tolerance_pct, exact_tolerance);
+    let mut hard = 0usize;
+    for f in &findings {
+        let tag = if f.hard { "FAIL" } else { "warn" };
+        eprintln!("[lumen-bench] {tag}: {}", f.message);
+        hard += usize::from(f.hard);
+    }
+    if hard > 0 && !warn_only {
+        eprintln!("[lumen-bench] {hard} gate violation(s)");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[lumen-bench] gate ok ({} metric(s), {} warning(s){})",
+        baseline.metrics.len(),
+        findings.len() - hard,
+        if warn_only && hard > 0 {
+            ", violations demoted by --warn-only"
+        } else {
+            ""
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(metrics: Vec<BenchMetric>) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            label: "test".to_string(),
+            metrics,
+        }
+    }
+
+    #[test]
+    fn timing_gate_fails_only_on_regression() {
+        let base = report(vec![metric("t", 10.0, "ms", "timing", None)]);
+        let fast = report(vec![metric("t", 1.0, "ms", "timing", None)]);
+        let slow = report(vec![metric("t", 50.0, "ms", "timing", None)]);
+        assert!(check_reports(&base, &fast, 300.0, 1e-9).is_empty());
+        let findings = check_reports(&base, &slow, 300.0, 1e-9);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].hard);
+    }
+
+    #[test]
+    fn exact_gate_is_two_sided_and_budget_is_absolute() {
+        let base = report(vec![metric("e", 0.5, "fraction", "exact", None)]);
+        let drifted = report(vec![metric("e", 0.4, "fraction", "exact", None)]);
+        assert_eq!(check_reports(&base, &drifted, 300.0, 1e-9).len(), 1);
+        let blown = report(vec![metric("e", 0.5, "fraction", "exact", Some(0.3))]);
+        let findings = check_reports(&base, &blown, 300.0, 1e-9);
+        assert_eq!(findings.len(), 1, "budget applies even without drift");
+    }
+
+    #[test]
+    fn missing_metric_is_hard_new_metric_is_soft() {
+        let base = report(vec![metric("gone", 1.0, "ms", "timing", None)]);
+        let cur = report(vec![metric("new", 1.0, "ms", "timing", None)]);
+        let findings = check_reports(&base, &cur, 300.0, 1e-9);
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings.iter().filter(|f| f.hard).count(), 1);
+    }
+
+    #[test]
+    fn info_metrics_are_never_gated() {
+        let base = report(vec![metric("i", 1.0, "pct", "info", None)]);
+        let cur = report(vec![metric("i", 1000.0, "pct", "info", None)]);
+        assert!(check_reports(&base, &cur, 300.0, 1e-9).is_empty());
+    }
+}

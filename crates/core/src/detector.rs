@@ -155,6 +155,12 @@ impl Detector {
         self
     }
 
+    /// Replaces the attached recorder in place — used by serving layers
+    /// that propagate one fleet-wide recorder into already-built sessions.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
     /// The attached observability recorder (disabled by default).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder

@@ -14,7 +14,7 @@ use crate::voting::{combine_votes_gated, FusedStatus};
 use crate::{CoreError, Result};
 use lumen_chat::trace::{ScenarioKind, TracePair};
 use lumen_dsp::Signal;
-use lumen_obs::stage;
+use lumen_obs::{stage, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -183,6 +183,20 @@ impl StreamingDetector {
         Ok(self)
     }
 
+    /// Attaches an observability recorder to the underlying detector:
+    /// every stage span, counter and status mark this session emits flows
+    /// through it. The default is the disabled null recorder.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// Replaces the attached recorder in place — used by serving layers
+    /// that propagate one fleet-wide recorder into admitted sessions.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.detector.set_recorder(recorder);
+    }
+
     /// The active quality gate, if gating is enabled.
     pub fn gate(&self) -> Option<&QualityGate> {
         self.gate.as_ref()
@@ -246,8 +260,11 @@ impl StreamingDetector {
         let rate = self.detector.config().sample_rate;
         let tx_raw = std::mem::take(&mut self.tx_buffer);
         let rx_raw = std::mem::take(&mut self.rx_buffer);
-        let outcome = self.judge_clip(tx_raw, rx_raw, rate)?;
         let recorder = self.detector.recorder().clone();
+        // Everything from judgement to verdict is attributed to this clip
+        // in the event stream's trace context.
+        let _clip_scope = recorder.clip_scope(self.clips_done as u64);
+        let outcome = self.judge_clip(tx_raw, rx_raw, rate)?;
         let mut retrigger = false;
         match outcome.accepted() {
             Some(accepted) => {
@@ -379,6 +396,7 @@ impl StreamingDetector {
     /// callee).
     pub fn record_withheld(&mut self) -> ClipVerdict {
         let recorder = self.detector.recorder().clone();
+        let _clip_scope = recorder.clip_scope(self.clips_done as u64);
         let retrigger = self.watchdog.inconclusive();
         if retrigger {
             recorder.add("stream.watchdog_retrigger", 1);

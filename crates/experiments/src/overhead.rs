@@ -15,8 +15,18 @@ use lumen_chat::scenario::ScenarioBuilder;
 use lumen_chat::trace::TracePair;
 use lumen_core::detector::Detector;
 use lumen_core::Config;
-use lumen_obs::Snapshot;
+use lumen_obs::{stage, Snapshot, SpanRow};
 use serde::{Deserialize, Serialize};
+
+/// The batch pipeline stages, in execution order, that make up the
+/// machine-readable stage table.
+pub const STAGES: &[&str] = &[
+    stage::DETECT,
+    stage::PREPROCESS,
+    stage::CHANGE_DETECTION,
+    stage::FEATURE_EXTRACTION,
+    stage::LOF_SCORING,
+];
 
 /// Options for the overhead experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +54,10 @@ impl Default for OverheadOpts {
 pub struct OverheadResult {
     /// Clips processed under instrumentation.
     pub clips: usize,
+    /// The per-stage latency table in pipeline execution order — the
+    /// machine-readable core of the Sec. IX breakdown, consumed directly
+    /// by the `lumen-bench` perf harness.
+    pub stages: Vec<SpanRow>,
     /// Aggregated observability snapshot: per-stage latency distributions,
     /// verdict counters and feature-value histograms.
     pub snapshot: Snapshot,
@@ -88,9 +102,15 @@ pub fn run(opts: OverheadOpts) -> ExpResult<OverheadResult> {
         let instrumented = detector.clone().with_recorder(recorder.clone());
         Ok(instrumented.detect(pair)?)
     })?;
+    let snapshot = registry.snapshot();
+    let stages = STAGES
+        .iter()
+        .filter_map(|name| snapshot.spans.iter().find(|s| s.name == *name).cloned())
+        .collect();
     Ok(OverheadResult {
         clips: opts.detect_clips,
-        snapshot: registry.snapshot(),
+        stages,
+        snapshot,
     })
 }
 
@@ -108,6 +128,12 @@ mod tests {
         })
         .unwrap();
         assert_eq!(r.clips, 6);
+        // The typed stage table lists every batch pipeline stage in order.
+        assert_eq!(
+            r.stages.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            STAGES
+        );
+        assert!(r.stages.iter().all(|s| s.count == 6));
         // Every batch pipeline stage appears with one span per clip.
         for name in [
             stage::DETECT,

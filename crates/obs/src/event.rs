@@ -40,6 +40,12 @@ pub struct Event {
     pub parent: Option<String>,
     /// Span-stack depth at emission time (0 = no enclosing span).
     pub depth: u64,
+    /// Session the emitting code was serving, if a
+    /// [`session scope`](crate::Recorder::session_scope) was open.
+    pub session: Option<u64>,
+    /// Clip index within the session, if a
+    /// [`clip scope`](crate::Recorder::clip_scope) was open.
+    pub clip: Option<u64>,
     /// Numeric payload: counter delta, gauge level or observed sample.
     pub value: Option<f64>,
     /// Measured span duration in nanoseconds (`SpanEnd` only). This is the
@@ -72,6 +78,8 @@ mod tests {
             name: "preprocess".to_string(),
             parent: Some("detect".to_string()),
             depth: 1,
+            session: Some(3),
+            clip: Some(17),
             value: None,
             duration_ns: Some(12_345),
             detail: None,
@@ -86,6 +94,8 @@ mod tests {
         assert_eq!(s.seq, e.seq);
         assert_eq!(s.name, e.name);
         assert_eq!(s.parent, e.parent);
+        assert_eq!(s.session, e.session);
+        assert_eq!(s.clip, e.clip);
     }
 
     #[test]

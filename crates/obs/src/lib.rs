@@ -1,5 +1,6 @@
 //! Observability for the Lumen pipeline: hierarchical timing spans,
-//! counters, gauges, fixed-bucket histograms and pluggable event sinks.
+//! counters, gauges, mergeable log-bucketed histograms, pluggable event
+//! sinks and a flight recorder for post-mortem reconstruction.
 //!
 //! The paper's evaluation (Sec. IX) reports per-stage computation overhead;
 //! this crate is the instrumentation layer that lets the reproduction
@@ -13,7 +14,19 @@
 //! * [`InMemorySink`] — buffers events and aggregates them into a
 //!   [`Registry`] / [`Snapshot`];
 //! * [`JsonlSink`] — one JSON object per event, newline-delimited, for
-//!   offline analysis.
+//!   offline analysis;
+//! * [`FlightSink`] — a bounded tick-stamped ring plus an always-on
+//!   metrics fold, dumping deterministic [`Postmortem`] bundles on anomaly
+//!   triggers;
+//! * [`FanoutSink`] — duplicates events to several of the above.
+//!
+//! Events carry a session/clip trace context set via
+//! [`Recorder::session_scope`] / [`Recorder::clip_scope`], so a fleet-wide
+//! sink can reconstruct the per-session event sequence after the fact.
+//! Histograms share one log-linear layout ([`registry::BUCKETS`] buckets,
+//! relative quantile error bounded by
+//! [`registry::QUANTILE_RELATIVE_ERROR`]) and merge exactly, which is how
+//! per-worker registries combine into fleet quantiles.
 //!
 //! # Example
 //!
@@ -36,15 +49,19 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod event;
+pub mod flight;
 pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod sink;
 
 pub use event::{Event, EventKind};
-pub use recorder::{Recorder, SpanGuard};
-pub use registry::{Histogram, Registry, Snapshot};
-pub use sink::{InMemorySink, JsonlSink, NullSink, Sink};
+pub use flight::{
+    FlightConfig, FlightEvent, FlightRecorder, FlightSink, Postmortem, PostmortemHeader,
+};
+pub use recorder::{Recorder, SpanGuard, TraceGuard};
+pub use registry::{Histogram, Registry, Snapshot, SpanRow};
+pub use sink::{FanoutSink, InMemorySink, JsonlSink, NullSink, Sink};
 
 /// Canonical span names for the detection pipeline stages, so every layer
 /// and every report agrees on spelling.

@@ -3,7 +3,7 @@
 
 use crate::event::{Event, EventKind};
 use crate::sink::{InMemorySink, Sink};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,6 +13,18 @@ thread_local! {
     // The per-thread stack of open span names: parents are attributed per
     // thread, so a recorder shared across workers never mixes their spans.
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+
+    // The per-thread trace context: which session / clip the code currently
+    // executing on this thread is serving. Scoped the same way spans are, so
+    // a recorder shared across workers never mixes their attributions.
+    static TRACE_CTX: Cell<TraceCtx> = const { Cell::new(TraceCtx { session: None, clip: None }) };
+}
+
+/// The ambient trace attribution applied to every emitted event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TraceCtx {
+    session: Option<u64>,
+    clip: Option<u64>,
 }
 
 struct Inner {
@@ -74,17 +86,60 @@ impl Recorder {
     }
 
     fn emit(inner: &Inner, kind: EventKind, name: &str, payload: Payload) {
+        let ctx = TRACE_CTX.with(Cell::get);
         let event = Event {
             seq: inner.seq.fetch_add(1, Ordering::Relaxed),
             kind,
             name: name.to_string(),
             parent: payload.parent,
             depth: payload.depth,
+            session: ctx.session,
+            clip: ctx.clip,
             value: payload.value,
             duration_ns: payload.duration_ns,
             detail: payload.detail,
         };
         inner.sink.record(&event);
+    }
+
+    /// Tags every event emitted on this thread with `session` until the
+    /// returned guard drops, at which point the previous attribution (if
+    /// any) is restored. Disabled recorders return an inert guard.
+    #[must_use = "the session tag applies until the guard drops"]
+    pub fn session_scope(&self, session: u64) -> TraceGuard {
+        if self.inner.is_none() {
+            return TraceGuard { restore: None };
+        }
+        TRACE_CTX.with(|c| {
+            let prev = c.get();
+            c.set(TraceCtx {
+                session: Some(session),
+                ..prev
+            });
+            TraceGuard {
+                restore: Some(prev),
+            }
+        })
+    }
+
+    /// Tags every event emitted on this thread with `clip` until the
+    /// returned guard drops; nests inside [`Recorder::session_scope`].
+    /// Disabled recorders return an inert guard.
+    #[must_use = "the clip tag applies until the guard drops"]
+    pub fn clip_scope(&self, clip: u64) -> TraceGuard {
+        if self.inner.is_none() {
+            return TraceGuard { restore: None };
+        }
+        TRACE_CTX.with(|c| {
+            let prev = c.get();
+            c.set(TraceCtx {
+                clip: Some(clip),
+                ..prev
+            });
+            TraceGuard {
+                restore: Some(prev),
+            }
+        })
     }
 
     fn context() -> (Option<String>, u64) {
@@ -193,6 +248,22 @@ impl Recorder {
                     ..Payload::default()
                 },
             );
+        }
+    }
+}
+
+/// RAII guard returned by [`Recorder::session_scope`] /
+/// [`Recorder::clip_scope`]: restores the previous thread-local trace
+/// attribution when dropped. Guards nest lexically, like spans.
+#[must_use = "the trace tag applies until the guard drops"]
+pub struct TraceGuard {
+    restore: Option<TraceCtx>,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.restore.take() {
+            TRACE_CTX.with(|c| c.set(prev));
         }
     }
 }
@@ -306,6 +377,63 @@ mod tests {
             events.iter().map(|e| e.seq).collect::<Vec<_>>(),
             vec![0, 1, 2, 3, 4]
         );
+    }
+
+    #[test]
+    fn trace_scopes_tag_and_restore() {
+        let (rec, sink) = Recorder::in_memory();
+        rec.add("before", 1);
+        {
+            let _s = rec.session_scope(7);
+            rec.add("in_session", 1);
+            {
+                let _c = rec.clip_scope(3);
+                rec.add("in_clip", 1);
+            }
+            rec.add("after_clip", 1);
+        }
+        rec.add("after", 1);
+        let by_name = |name: &str| sink.events().into_iter().find(|e| e.name == name).unwrap();
+        assert_eq!(
+            (by_name("before").session, by_name("before").clip),
+            (None, None)
+        );
+        assert_eq!(by_name("in_session").session, Some(7));
+        assert_eq!(by_name("in_session").clip, None);
+        assert_eq!(by_name("in_clip").session, Some(7));
+        assert_eq!(by_name("in_clip").clip, Some(3));
+        assert_eq!(by_name("after_clip").session, Some(7));
+        assert_eq!(by_name("after_clip").clip, None);
+        assert_eq!(
+            (by_name("after").session, by_name("after").clip),
+            (None, None)
+        );
+    }
+
+    #[test]
+    fn nested_session_scopes_restore_the_outer_session() {
+        let (rec, sink) = Recorder::in_memory();
+        {
+            let _a = rec.session_scope(1);
+            {
+                let _b = rec.session_scope(2);
+                rec.add("inner", 1);
+            }
+            rec.add("outer", 1);
+        }
+        let events = sink.events();
+        let find = |n: &str| events.iter().find(|e| e.name == n).unwrap().session;
+        assert_eq!(find("inner"), Some(2));
+        assert_eq!(find("outer"), Some(1));
+    }
+
+    #[test]
+    fn disabled_recorder_scopes_are_inert() {
+        let null = Recorder::null();
+        let (rec, sink) = Recorder::in_memory();
+        let _g = null.session_scope(9);
+        rec.add("tagged_by_nobody", 1);
+        assert_eq!(sink.events()[0].session, None);
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub fn render_text(snapshot: &Snapshot) -> String {
     table(
         &mut out,
         "Stage latency (ms)",
-        &["stage", "calls", "total", "mean", "p50", "p95", "max"],
+        &[
+            "stage", "calls", "total", "mean", "p50", "p90", "p99", "p99.9", "max",
+        ],
         &snapshot
             .spans
             .iter()
@@ -58,7 +60,9 @@ pub fn render_text(snapshot: &Snapshot) -> String {
                     ms(s.total_ms),
                     ms(s.mean_ms),
                     ms(s.p50_ms),
-                    ms(s.p95_ms),
+                    ms(s.p90_ms),
+                    ms(s.p99_ms),
+                    ms(s.p999_ms),
                     ms(s.max_ms),
                 ]
             })
@@ -87,7 +91,7 @@ pub fn render_text(snapshot: &Snapshot) -> String {
     table(
         &mut out,
         "Distributions",
-        &["metric", "count", "mean", "p50", "p95", "min", "max"],
+        &["metric", "count", "mean", "p50", "p90", "p99", "min", "max"],
         &snapshot
             .histograms
             .iter()
@@ -97,7 +101,8 @@ pub fn render_text(snapshot: &Snapshot) -> String {
                     h.count.to_string(),
                     format!("{:.4}", h.mean),
                     format!("{:.4}", h.p50),
-                    format!("{:.4}", h.p95),
+                    format!("{:.4}", h.p90),
+                    format!("{:.4}", h.p99),
                     format!("{:.4}", h.min),
                     format!("{:.4}", h.max),
                 ]
@@ -133,6 +138,8 @@ mod tests {
             name: "preprocess".to_string(),
             parent: None,
             depth: 1,
+            session: None,
+            clip: None,
             value: None,
             duration_ns: Some(1_500_000),
             detail: None,
@@ -143,6 +150,8 @@ mod tests {
             name: "detector.accepted".to_string(),
             parent: None,
             depth: 0,
+            session: None,
+            clip: None,
             value: Some(3.0),
             duration_ns: None,
             detail: None,

@@ -15,7 +15,7 @@
 //! and the restored runtime can still verify the response.
 
 use crate::schedule::{ChallengeSchedule, ProbeConfig};
-use crate::verify::{ProbeVerdict, ProbeVerifier, VerifierConfig};
+use crate::verify::{ProbeFailReason, ProbeVerdict, ProbeVerifier, VerifierConfig};
 use crate::{ProbeError, Result};
 use lumen_chat::trace::TracePair;
 use lumen_core::detector::ClipOutcome;
@@ -156,6 +156,19 @@ impl ProbeDirector {
         let schedule = self.in_flight.clone().ok_or(ProbeError::NoProbeInFlight)?;
         let verifier = ProbeVerifier::new(self.policy.verifier)?;
         let verdict = verifier.verify_with(&schedule, pair, recorder)?;
+        if let Some(reason) = verdict.fail_reason {
+            // Per-cause counters: a flight recorder or metrics snapshot can
+            // tell a mistimed response apart from a missing one.
+            recorder.add(
+                match reason {
+                    ProbeFailReason::WeakCorrelation => "probe.fail.weak_correlation",
+                    ProbeFailReason::MissingResponse => "probe.fail.missing_response",
+                    ProbeFailReason::LowHitRate => "probe.fail.low_hit_rate",
+                    ProbeFailReason::LateResponse => "probe.fail.late_response",
+                },
+                1,
+            );
+        }
         self.in_flight = None;
         Ok(verdict)
     }

@@ -28,10 +28,16 @@ use crate::{BreakerConfig, Result, ServeError};
 use lumen_chat::clock::SimClock;
 use lumen_chat::trace::TracePair;
 use lumen_core::stream::{ClipVerdict, StreamingDetector};
-use lumen_obs::{stage, Recorder};
+use lumen_obs::{stage, FanoutSink, FlightConfig, FlightSink, Recorder, Sink, Snapshot};
 use lumen_probe::{ChallengeSchedule, ProbeDirector, ProbeVerdict};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Sheds recorded within a single [`Supervisor::tick`] at or above this
+/// count constitute a *shed burst*: an overload spike worth a
+/// flight-recorder post-mortem, not just a counter increment.
+pub const SHED_BURST_TRIGGER: u64 = 4;
 
 /// Tuning for a [`Supervisor`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -296,6 +302,7 @@ pub struct Supervisor {
     latencies: Vec<u64>,
     stats: ServeStats,
     recorder: Recorder,
+    flight: Option<Arc<FlightSink>>,
 }
 
 impl Supervisor {
@@ -320,13 +327,54 @@ impl Supervisor {
             latencies: Vec::new(),
             stats: ServeStats::default(),
             recorder: Recorder::null(),
+            flight: None,
         })
     }
 
-    /// Attaches an observability recorder.
+    /// Attaches an observability recorder, propagating it into every
+    /// admitted (and subsequently admitted) session's detector so the
+    /// whole fleet shares one event stream with session/clip trace tags.
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self.propagate_recorder();
         self
+    }
+
+    /// Attaches a flight recorder: a bounded tick-stamped event ring with
+    /// an always-on metrics fold. All supervisor and per-session
+    /// instrumentation flows into it, [`Supervisor::metrics_snapshot`] /
+    /// [`Supervisor::dump_flight_record`] become live, and anomaly
+    /// triggers (breaker trip, shed burst, watchdog retrigger, suspicious
+    /// probe verdicts) freeze post-mortem bundles automatically.
+    pub fn with_flight(self, config: FlightConfig) -> Self {
+        self.with_flight_tee(config, None)
+    }
+
+    /// [`Supervisor::with_flight`] with the event stream additionally
+    /// duplicated into `extra` (e.g. a JSONL capture file) via a fanout.
+    pub fn with_flight_tee(mut self, config: FlightConfig, extra: Option<Arc<dyn Sink>>) -> Self {
+        let flight = Arc::new(FlightSink::new(config));
+        flight.set_tick(self.clock.tick());
+        self.recorder = match extra {
+            Some(extra) => Recorder::new(Arc::new(FanoutSink::new(vec![
+                flight.clone() as Arc<dyn Sink>,
+                extra,
+            ]))),
+            None => Recorder::new(flight.clone()),
+        };
+        self.flight = Some(flight);
+        self.propagate_recorder();
+        self
+    }
+
+    /// Pushes the current recorder into every admitted session's stream.
+    fn propagate_recorder(&mut self) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        for slot in self.sessions.values_mut() {
+            slot.stream.set_recorder(self.recorder.clone());
+        }
     }
 
     /// The active configuration.
@@ -356,7 +404,7 @@ impl Supervisor {
 
     fn admit_with(
         &mut self,
-        stream: StreamingDetector,
+        mut stream: StreamingDetector,
         probe: Option<ProbeDirector>,
     ) -> AdmitOutcome {
         if self.sessions.len() >= self.config.max_sessions {
@@ -368,6 +416,11 @@ impl Supervisor {
         }
         let session = self.next_id;
         self.next_id += 1;
+        if self.recorder.is_enabled() {
+            // The fleet shares one recorder; per-session attribution comes
+            // from the trace scopes opened around each unit of work.
+            stream.set_recorder(self.recorder.clone());
+        }
         self.sessions.insert(
             session,
             SessionSlot {
@@ -396,6 +449,7 @@ impl Supervisor {
         let Some(mut slot) = self.sessions.remove(&session) else {
             return Err(ServeError::UnknownSession(session));
         };
+        let _scope = self.recorder.session_scope(session);
         while let Some(entry) = slot.queue.pop_front() {
             let reason = match entry {
                 QueuedClip::Clip { .. } => ShedReason::SessionClosed,
@@ -441,6 +495,7 @@ impl Supervisor {
         let tx = std::mem::take(&mut slot.partial_tx);
         let rx = std::mem::take(&mut slot.partial_rx);
         self.stats.offered_clips += 1;
+        let _scope = self.recorder.session_scope(session);
         self.recorder.add("serve.offered", 1);
         let admission = if slot.breaker.is_open() {
             ClipAdmission::Shed {
@@ -470,9 +525,15 @@ impl Supervisor {
     /// breaker cool-downs, sheds deadline-expired clips, then spends
     /// credits serving queued clips round-robin. Returns the new tick.
     pub fn tick(&mut self) -> u64 {
-        let _tick_span = self.recorder.span(stage::SERVE_TICK);
         self.clock.advance();
         let now = self.clock.tick();
+        if let Some(flight) = &self.flight {
+            // Stamp before any event of this tick is recorded, so the
+            // flight ring's logical timestamps match the tick boundary.
+            flight.set_tick(now);
+        }
+        let _tick_span = self.recorder.span(stage::SERVE_TICK);
+        let shed_before = self.stats.shed_clips;
         if now.is_multiple_of(self.config.budget_period_ticks) {
             self.credits = self.config.budget_clips;
         }
@@ -501,6 +562,11 @@ impl Supervisor {
             self.flush_front(id, now);
             self.cursor = id;
         }
+        self.recorder
+            .gauge("serve.queue_depth", self.pending_clips() as f64);
+        if self.stats.shed_clips - shed_before >= SHED_BURST_TRIGGER {
+            self.flight_trigger("shed_burst");
+        }
         now
     }
 
@@ -524,6 +590,7 @@ impl Supervisor {
     /// Resolves everything at the queue front that needs no detection
     /// budget: tombstones, and clips already past their deadline.
     fn flush_front(&mut self, session: u64, now: u64) {
+        let _scope = self.recorder.session_scope(session);
         loop {
             let Some(slot) = self.sessions.get_mut(&session) else {
                 return;
@@ -552,6 +619,7 @@ impl Supervisor {
     /// Serves the clip at a session's queue front (the caller has checked
     /// it is a real clip and paid one credit for it).
     fn serve_front(&mut self, session: u64, now: u64) {
+        let _scope = self.recorder.session_scope(session);
         let Some(slot) = self.sessions.get_mut(&session) else {
             return;
         };
@@ -564,6 +632,7 @@ impl Supervisor {
             return;
         };
         let _clip_span = self.recorder.span(stage::SERVE_CLIP);
+        let mut anomalies: Vec<&'static str> = Vec::new();
         // Detection errors must not desynchronise the clip boundary: on
         // failure the stream is rolled back to this pre-clip snapshot and
         // the clip is recorded as a counted shed instead.
@@ -584,12 +653,16 @@ impl Supervisor {
                 self.latencies.push(latency);
                 self.recorder.observe("serve.latency_ticks", latency as f64);
                 let transition = if v.retrigger {
+                    anomalies.push("watchdog_retrigger");
                     slot.breaker.record_failure()
                 } else if v.outcome.accepted().is_some() {
                     slot.breaker.record_success()
                 } else {
                     None
                 };
+                if transition == Some(BreakerTransition::Tripped) {
+                    anomalies.push("breaker_tripped");
+                }
                 // Passive abstention is the probe director's trigger: ask
                 // it whether this is the moment to spend a challenge.
                 let probe_request = slot.probe.as_mut().and_then(|d| d.observe(&v));
@@ -616,6 +689,9 @@ impl Supervisor {
                 // geometry mismatch); both are detection failures.
                 let _ = slot.stream.restore(&before);
                 let transition = slot.breaker.record_failure();
+                if transition == Some(BreakerTransition::Tripped) {
+                    anomalies.push("breaker_tripped");
+                }
                 Self::record_shed(
                     &mut slot.stream,
                     session,
@@ -631,6 +707,20 @@ impl Supervisor {
                     &self.recorder,
                 );
             }
+        }
+        for reason in anomalies {
+            self.flight_trigger(reason);
+        }
+    }
+
+    /// Emits a trace mark and freezes the flight ring into a post-mortem
+    /// bundle. A no-op without an attached flight recorder.
+    fn flight_trigger(&self, reason: &'static str) {
+        if let Some(flight) = &self.flight {
+            // The mark lands in the ring first, so the bundle itself
+            // records what tripped it.
+            self.recorder.mark("flight.trigger", reason);
+            flight.trigger(reason);
         }
     }
 
@@ -657,6 +747,19 @@ impl Supervisor {
             ShedReason::CapacityExhausted => {}
         }
         recorder.add("serve.shed", 1);
+        // Per-cause counters, so a metrics snapshot can apportion the shed
+        // total without replaying the event stream.
+        recorder.add(
+            match reason {
+                ShedReason::QueueFull => "serve.shed.queue_full",
+                ShedReason::DeadlineExceeded => "serve.shed.deadline",
+                ShedReason::BreakerOpen => "serve.shed.breaker_open",
+                ShedReason::DetectionFailed => "serve.shed.detection_failed",
+                ShedReason::SessionClosed => "serve.shed.session_closed",
+                ShedReason::CapacityExhausted => "serve.shed.capacity",
+            },
+            1,
+        );
         events.push(SessionEvent {
             session,
             kind: SessionEventKind::Shed { reason, verdict },
@@ -777,6 +880,7 @@ impl Supervisor {
             .probe
             .as_mut()
             .ok_or(ServeError::Probe(lumen_probe::ProbeError::NoProbeInFlight))?;
+        let _scope = self.recorder.session_scope(session);
         let verdict = director.resolve(pair, &self.recorder)?;
         self.recorder.add("serve.probes_resolved", 1);
         if let Some(accepted) = verdict.accepted() {
@@ -788,7 +892,43 @@ impl Supervisor {
             session,
             kind: SessionEventKind::Probe(verdict.clone()),
         });
+        // A response that exists but arrives late, or correlates only
+        // weakly, is exactly the timed-verification failure worth a
+        // post-mortem (cf. the mistimed challenge rounds of Face
+        // Flashing-style defenses).
+        match verdict.fail_reason {
+            Some(lumen_probe::ProbeFailReason::LateResponse) => {
+                self.flight_trigger("probe_late_response");
+            }
+            Some(lumen_probe::ProbeFailReason::WeakCorrelation) => {
+                self.flight_trigger("probe_weak_correlation");
+            }
+            _ => {}
+        }
         Ok(verdict)
+    }
+
+    /// Live aggregated metrics (counters, gauges, span and value
+    /// histograms) from the flight recorder's always-on fold. `None` when
+    /// the supervisor was built without [`Supervisor::with_flight`].
+    pub fn metrics_snapshot(&self) -> Option<Snapshot> {
+        self.flight.as_ref().map(|f| f.registry_snapshot())
+    }
+
+    /// The most recent flight-recorder post-mortem rendered as JSONL
+    /// (header line, then one tick-stamped event per line, oldest first).
+    /// `None` without a flight recorder or before any anomaly trigger.
+    pub fn dump_flight_record(&self) -> Option<String> {
+        self.flight
+            .as_ref()
+            .and_then(|f| f.latest_postmortem())
+            .map(|p| p.to_jsonl())
+    }
+
+    /// The attached flight sink, for direct inspection (all retained
+    /// post-mortems, ring drop counters).
+    pub fn flight_sink(&self) -> Option<&Arc<FlightSink>> {
+        self.flight.as_ref()
     }
 
     /// The supervisor clock's current tick.
@@ -935,6 +1075,7 @@ impl Supervisor {
             latencies: snap.latencies.clone(),
             stats: snap.stats.clone(),
             recorder: Recorder::null(),
+            flight: None,
         })
     }
 }

@@ -1,0 +1,143 @@
+//! Property tests for the mergeable log-bucketed histograms and registry
+//! aggregation: merging is commutative and associative, never loses a
+//! sample, and merged quantiles honour the documented relative-error
+//! bound — the invariants that make fleet-wide percentile aggregation
+//! sound.
+
+use lumen::obs::registry::QUANTILE_RELATIVE_ERROR;
+use lumen::obs::{Event, EventKind, Histogram, Registry};
+use proptest::prelude::*;
+
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-6f64..1e6, 1..max_len)
+}
+
+fn hist_of(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// Nearest-rank ground-truth quantile over the raw samples.
+fn exact_quantile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Structural equality up to float-summation order: bucket counts, sample
+/// count, min and max must match exactly; `sum` is accumulated in float
+/// and may differ in the last ulp between merge orders.
+macro_rules! prop_assert_equivalent {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        prop_assert_eq!(a.nonzero_buckets(), b.nonzero_buckets());
+        prop_assert_eq!(a.count(), b.count());
+        prop_assert_eq!(a.min(), b.min());
+        prop_assert_eq!(a.max(), b.max());
+        prop_assert_eq!(a.nonpositive(), b.nonpositive());
+        prop_assert!((a.sum() - b.sum()).abs() <= a.sum().abs() * 1e-12 + 1e-12);
+    }};
+}
+
+fn counter_event(name: &str, delta: f64) -> Event {
+    Event {
+        seq: 0,
+        kind: EventKind::CounterAdd,
+        name: name.to_string(),
+        parent: None,
+        depth: 0,
+        session: None,
+        clip: None,
+        value: Some(delta),
+        duration_ns: None,
+        detail: None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in samples(128), b in samples(128)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(64), b in samples(64), c in samples(64)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_equivalent!(left, right);
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_exact_stats(a in samples(128), b in samples(128)) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let all: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let sum: f64 = all.iter().sum();
+        prop_assert!((merged.sum() - sum).abs() <= sum.abs() * 1e-12 + 1e-12);
+        let min = all.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = all.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(merged.min(), Some(min));
+        prop_assert_eq!(merged.max(), Some(max));
+        // Merging equals observing the concatenation.
+        prop_assert_equivalent!(merged, hist_of(&all));
+    }
+
+    #[test]
+    fn merged_quantiles_stay_within_the_documented_bound(
+        a in samples(128),
+        b in samples(128),
+        q in 0.01f64..0.999,
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let all: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let truth = exact_quantile(&all, q);
+        let approx = merged.quantile(q).expect("non-empty histogram");
+        prop_assert!(
+            (approx - truth).abs() <= truth.abs() * QUANTILE_RELATIVE_ERROR + 1e-12,
+            "q={} approx={} truth={}", q, approx, truth
+        );
+    }
+
+    #[test]
+    fn quantiles_are_bracketed_by_min_and_max(v in samples(256), q in 0.0f64..1.0) {
+        let h = hist_of(&v);
+        let quant = h.quantile(q).expect("non-empty histogram");
+        prop_assert!(quant >= h.min().expect("non-empty"));
+        prop_assert!(quant <= h.max().expect("non-empty"));
+    }
+
+    #[test]
+    fn registry_merge_adds_counters(deltas in prop::collection::vec(1u32..1000, 1..32)) {
+        // Split the event stream at every possible point: folding the two
+        // halves separately and merging must equal folding the whole.
+        let events: Vec<Event> = deltas
+            .iter()
+            .map(|&d| counter_event("prop.counter", f64::from(d)))
+            .collect();
+        let whole = Registry::from_events(&events);
+        for split in 0..=events.len() {
+            let mut left = Registry::from_events(&events[..split]);
+            left.merge(&Registry::from_events(&events[split..]));
+            prop_assert_eq!(left.counter("prop.counter"), whole.counter("prop.counter"));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Flight-recorder and telemetry integration: a forced breaker trip dumps
+//! an ordered, tick-stamped, per-session post-mortem; the dump is
+//! byte-identical across identical seeded runs; ring wraparound drops the
+//! oldest events with an explicit counter; and the live metrics snapshot
+//! accounts for every offered clip.
+
+use lumen::core::detector::Detector;
+use lumen::core::quality::QualityGate;
+use lumen::core::stream::StreamingDetector;
+use lumen::core::Config;
+use lumen::obs::{FlightConfig, FlightEvent, PostmortemHeader};
+use lumen::serve::{BreakerConfig, BreakerState, ServeConfig, Supervisor};
+
+fn detector() -> Detector {
+    let chats = lumen::chat::scenario::ScenarioBuilder::default();
+    let training: Vec<_> = (0..12)
+        .map(|i| chats.legitimate(0, 810_000 + i).unwrap())
+        .collect();
+    Detector::train_from_traces(&training, Config::default()).unwrap()
+}
+
+fn gated_stream() -> StreamingDetector {
+    StreamingDetector::new(detector(), 15.0, 3)
+        .unwrap()
+        .with_quality_gate(QualityGate::default())
+}
+
+fn trip_config() -> ServeConfig {
+    ServeConfig {
+        breaker: BreakerConfig {
+            trip_after: 2,
+            open_ticks: 400,
+            half_open_probes: 1,
+        },
+        deadline_ticks: 1_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// Drives one session of flatline clips until its breaker trips, then one
+/// more clip that is shed while the breaker is open. Returns the
+/// supervisor with the flight recorder attached.
+fn tripped_supervisor(flight: FlightConfig) -> (Supervisor, u64) {
+    let mut sup = Supervisor::new(trip_config()).unwrap().with_flight(flight);
+    let id = sup.admit(gated_stream()).session().unwrap();
+    // Six flatline clips: the quality gate abstains on each, the stream
+    // watchdog re-triggers twice, and the second re-trigger trips the
+    // breaker (same recipe as the serve crate's breaker test).
+    for _ in 0..6 * 150 {
+        sup.offer(id, 100.0, 42.0).unwrap();
+        sup.tick();
+    }
+    while sup.pending_clips() > 0 {
+        sup.tick();
+    }
+    assert!(matches!(
+        sup.breaker_state(id).unwrap(),
+        BreakerState::Open { .. }
+    ));
+    // One more clip completes while open and is shed without detection.
+    for _ in 0..150 {
+        sup.offer(id, 100.0, 42.0).unwrap();
+        sup.tick();
+    }
+    sup.tick(); // flush the tombstone
+    (sup, id)
+}
+
+fn parse_jsonl(dump: &str) -> (PostmortemHeader, Vec<FlightEvent>) {
+    let mut lines = dump.lines();
+    let header: PostmortemHeader =
+        serde_json::from_str(lines.next().expect("header line")).unwrap();
+    let events: Vec<FlightEvent> = lines.map(|l| serde_json::from_str(l).unwrap()).collect();
+    (header, events)
+}
+
+#[test]
+fn breaker_trip_dumps_an_ordered_tick_stamped_postmortem() {
+    let (sup, id) = tripped_supervisor(FlightConfig::default());
+
+    // The anomaly sequence froze post-mortems: watchdog re-triggers first,
+    // then the breaker trip itself.
+    let sink = sup.flight_sink().expect("flight recorder attached");
+    let reasons: Vec<String> = sink
+        .postmortems()
+        .iter()
+        .map(|p| p.reason.clone())
+        .collect();
+    assert!(
+        reasons.contains(&"watchdog_retrigger".to_string()),
+        "{reasons:?}"
+    );
+    assert_eq!(reasons.last().map(String::as_str), Some("breaker_tripped"));
+
+    let dump = sup.dump_flight_record().expect("post-mortem dumped");
+    let (header, events) = parse_jsonl(&dump);
+    assert_eq!(header.reason, "breaker_tripped");
+    assert_eq!(header.event_count, events.len() as u64);
+    assert!(!events.is_empty());
+
+    // Tick-stamped and strictly ordered: sequence numbers increase, ticks
+    // never go backwards, and no wall-clock field appears anywhere.
+    assert!(!dump.contains("duration"), "post-mortems are tick-only");
+    assert!(
+        events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "seq strictly increases"
+    );
+    assert!(
+        events.windows(2).all(|w| w[0].tick <= w[1].tick),
+        "ticks never rewind"
+    );
+
+    // The session's own story is reconstructible: its events carry the
+    // session tag, include the offered clips and the breaker mark, and end
+    // with the trigger annotation itself.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.session == Some(id))
+        .map(|e| e.name.as_str())
+        .collect();
+    assert!(!names.is_empty());
+    assert!(names.contains(&"serve.offered"));
+    assert!(names.contains(&"serve.breaker"));
+    let last = events.last().unwrap();
+    assert_eq!(last.name, "flight.trigger");
+    assert_eq!(last.detail.as_deref(), Some("breaker_tripped"));
+    assert_eq!(last.session, Some(id));
+}
+
+#[test]
+fn flight_dump_is_byte_identical_across_identical_runs() {
+    let (a, _) = tripped_supervisor(FlightConfig::default());
+    let (b, _) = tripped_supervisor(FlightConfig::default());
+    let dump_a = a.dump_flight_record().unwrap();
+    let dump_b = b.dump_flight_record().unwrap();
+    assert_eq!(dump_a, dump_b, "same seed, same bytes");
+}
+
+#[test]
+fn ring_wraparound_drops_oldest_with_an_explicit_counter() {
+    let tiny = FlightConfig {
+        capacity: 64,
+        max_postmortems: 2,
+    };
+    let (sup, _) = tripped_supervisor(tiny);
+    let dump = sup.dump_flight_record().unwrap();
+    let (header, events) = parse_jsonl(&dump);
+    assert_eq!(events.len(), 64, "ring bounded at capacity");
+    assert!(
+        header.dropped_events > 0,
+        "evictions are counted, never silent"
+    );
+    // The retained window is the *newest* events: contiguous sequence
+    // numbers ending at the most recent emission.
+    assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    assert!(sup.flight_sink().unwrap().dropped_events() >= header.dropped_events);
+}
+
+#[test]
+fn metrics_snapshot_accounts_for_every_offered_clip() {
+    let (sup, _) = tripped_supervisor(FlightConfig::default());
+    let snap = sup.metrics_snapshot().expect("snapshot available");
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let offered = counter("serve.offered");
+    let served = counter("serve.served");
+    let shed = counter("serve.shed");
+    assert_eq!(offered, 7, "six trip clips plus one shed while open");
+    assert_eq!(served + shed, offered, "no clip vanishes unaccounted");
+    // Per-cause shed counters apportion the total exactly.
+    let by_cause: u64 = [
+        "serve.shed.queue_full",
+        "serve.shed.deadline",
+        "serve.shed.breaker_open",
+        "serve.shed.detection_failed",
+        "serve.shed.session_closed",
+        "serve.shed.capacity",
+    ]
+    .iter()
+    .map(|n| counter(n))
+    .sum();
+    assert_eq!(by_cause, shed);
+    assert!(counter("serve.shed.breaker_open") >= 1);
+    // The queue-depth gauge reports the drained queue.
+    let depth = snap
+        .gauges
+        .iter()
+        .find(|g| g.name == "serve.queue_depth")
+        .expect("queue depth gauge");
+    assert!(depth.value.abs() < f64::EPSILON, "queues fully drained");
+}
