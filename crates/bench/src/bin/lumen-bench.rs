@@ -25,7 +25,7 @@
 //! 0.2 s per-clip envelope is enforced this way.
 
 use lumen_bench::{standard_pair, trained_detector};
-use lumen_experiments::{overhead, overload};
+use lumen_experiments::{chaos, overhead, overload};
 use lumen_obs::{NullSink, Recorder};
 use lumen_probe::{ChallengeSchedule, ProbeConfig, ProbeInjector, ProbeVerifier, VerifierConfig};
 use serde::{Deserialize, Serialize};
@@ -253,6 +253,107 @@ fn run_suite(label: &str, quick: bool) -> Result<BenchReport, String> {
         "overload.checkpoint_ok",
         f64::from(u8::from(ol.checkpoint_ok)),
         "bool",
+        "exact",
+        None,
+    ));
+
+    // Macro: chaos recovery — kill/restore cycles under seeded storage
+    // faults, snapshot rot and poisoned clips. Every outcome is a
+    // deterministic seeded result, so the whole section gates exactly;
+    // mis-restores additionally carry a zero budget (a re-served clip
+    // whose verdict changed is a correctness bug regardless of baseline).
+    eprintln!("[lumen-bench] macro: chaos experiment");
+    let opts = if quick {
+        chaos::ChaosOpts {
+            sessions: 3,
+            clips: 2,
+            cycles: 2,
+            checkpoint_every_steps: 30,
+            ..chaos::ChaosOpts::default()
+        }
+    } else {
+        chaos::ChaosOpts::default()
+    };
+    let ch = chaos::run(opts).map_err(|e| format!("chaos experiment: {e}"))?;
+    let cycles = ch.cycles.len().max(1) as f64;
+    let mean_recovery = ch
+        .cycles
+        .iter()
+        .map(|c| c.recovery_ticks as f64)
+        .sum::<f64>()
+        / cycles;
+    let mean_reserve = ch
+        .cycles
+        .iter()
+        .map(|c| c.reserve_steps as f64)
+        .sum::<f64>()
+        / cycles;
+    let max_fallback = ch
+        .cycles
+        .iter()
+        .map(|c| c.fallback_depth)
+        .max()
+        .unwrap_or(0);
+    metrics.push(metric(
+        "chaos.integrity_ok",
+        f64::from(u8::from(ch.integrity_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "chaos.misrestores",
+        ch.misrestores as f64,
+        "count",
+        "exact",
+        Some(0.0),
+    ));
+    metrics.push(metric(
+        "chaos.cold_starts",
+        ch.cold_starts as f64,
+        "count",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "chaos.quarantine_fraction",
+        ch.quarantine_fraction,
+        "fraction",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "chaos.max_fallback_depth",
+        max_fallback as f64,
+        "count",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "chaos.mean_recovery_ticks",
+        mean_recovery,
+        "ticks",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "chaos.mean_reserve_steps",
+        mean_reserve,
+        "steps",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "chaos.store_write_failures",
+        ch.store.write_failures as f64,
+        "count",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "chaos.store_quarantined",
+        ch.store.quarantined as f64,
+        "count",
         "exact",
         None,
     ));

@@ -63,6 +63,10 @@ const IDS: &[(&str, &str)] = &[
         "overload",
         "multi-session serving: shed fraction, latency and verdict integrity vs. load",
     ),
+    (
+        "chaos",
+        "kill/restore recovery under storage faults, snapshot rot and poisoned clips",
+    ),
     ("roc", "ROC curves and AUC per user and pooled"),
     ("cliplen", "clip-length sensitivity (8-30 s)"),
     ("occlusion", "TAR vs occlusion/burst disturbance intensity"),
@@ -108,6 +112,7 @@ fn run_one(id: &str, json: bool) -> ExpResult<String> {
         "probe" => emit!(probe::run(probe::ProbeOpts::default())?),
         "resilience" => emit!(resilience::run(resilience::ResilienceOpts::default())?),
         "overload" => emit!(overload::run(overload::OverloadOpts::default())?),
+        "chaos" => emit!(chaos::run(chaos::ChaosOpts::default())?),
         "roc" => emit!(roc_analysis::run(roc_analysis::RocOpts::default())?),
         "cliplen" => emit!(clip_length::run(clip_length::ClipLengthOpts::default())?),
         "occlusion" => emit!(occlusion::run(occlusion::OcclusionOpts::default())?),

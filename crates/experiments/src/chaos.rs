@@ -1,0 +1,757 @@
+//! Fleet chaos (durability extension): kill and restore the supervised
+//! runtime mid-traffic, under seeded storage faults and rotting
+//! checkpoints, and prove the recovery path never lies.
+//!
+//! The harness drives a fleet of sessions through one
+//! [`lumen_serve::Supervisor`], checkpointing periodically into a
+//! [`CheckpointStore`] over a fault-injected [`MemStorage`]: writes fail
+//! loudly (exercising the bounded-backoff retry), tear, or flip a bit
+//! (exercising CRC detection and generation fallback), and a seeded
+//! [`ChaosInjector`] rots individual session entries *before* framing
+//! (exercising per-session quarantine), poisons clips into the detection
+//! error path, and stalls the clock. At each of `cycles` kill points the
+//! supervisor is dropped — a crash — and rebuilt from the newest valid
+//! stored generation via [`Supervisor::restore_from_store`]; the harness
+//! rewinds its feed to the restored position and re-serves the window.
+//!
+//! Three built-in checks make the run falsifiable:
+//!
+//! * **verdict match** — every session that was never quarantined ends
+//!   with a verdict stream byte-identical to an uninterrupted reference
+//!   run under the *same* chaos schedule (all fault decisions are pure
+//!   hashes of stable coordinates, so the two runs see identical faults);
+//! * **zero silent mis-restores** — a re-served clip must reproduce the
+//!   verdict recorded before the crash, and a sabotaged (torn or
+//!   bit-flipped) record must never be the generation a restore loads;
+//! * **quarantine exactness** — the set of sessions quarantined at each
+//!   restore equals exactly the set whose entries the injector corrupted
+//!   in the restored generation: nothing corrupt slips through, nothing
+//!   healthy is discarded.
+
+use crate::runner::{pct, render_table};
+use crate::ExpResult;
+use lumen_chat::fault::{BurstLoss, FaultPlan};
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_chat::trace::TracePair;
+use lumen_core::detector::Detector;
+use lumen_core::stream::{ClipVerdict, StreamingDetector};
+use lumen_core::Config;
+use lumen_obs::Recorder;
+use lumen_serve::store::entry_name;
+use lumen_serve::{
+    ChaosInjector, ChaosPlan, CheckpointStore, CommitOutcome, MemStorage, ServeConfig, ServeError,
+    SessionEvent, SessionEventKind, StorageFaults, StoreConfig, StoreStats, Supervisor,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Options for the chaos run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosOpts {
+    /// Concurrent sessions in the fleet.
+    pub sessions: usize,
+    /// Clips each session streams.
+    pub clips: usize,
+    /// Clean training instances for the shared enrolment.
+    pub train_count: usize,
+    /// Kill/restore cycles, spread evenly across the run.
+    pub cycles: usize,
+    /// Feed steps between checkpoint commits.
+    pub checkpoint_every_steps: usize,
+    /// Per-session pending-clip queue depth.
+    pub queue_clips: usize,
+    /// Detections allowed per budget period (kept generous: contention is
+    /// the overload experiment's subject, durability is this one's).
+    pub budget_clips: u64,
+    /// Budget period length, ticks.
+    pub budget_period_ticks: u64,
+    /// Queued-clip deadline, ticks.
+    pub deadline_ticks: u64,
+    /// Bad-state loss probability of the transport-level burst plan
+    /// (zero = clean link).
+    pub burst_loss: f64,
+    /// The runtime chaos plan (storage faults, snapshot rot, poisoned
+    /// clips, stalls).
+    pub plan: ChaosPlan,
+    /// Checkpoint-store retention and retry policy.
+    pub store: StoreConfig,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        ChaosOpts {
+            sessions: 4,
+            clips: 3,
+            train_count: 10,
+            cycles: 3,
+            checkpoint_every_steps: 40,
+            queue_clips: 4,
+            budget_clips: 16,
+            budget_period_ticks: 30,
+            deadline_ticks: 600,
+            burst_loss: 0.5,
+            plan: ChaosPlan {
+                storage: StorageFaults {
+                    write_fail: 0.25,
+                    torn_write: 0.3,
+                    bit_flip: 0.3,
+                },
+                poison_clip: 0.08,
+                stall: 0.05,
+                stall_ticks: 3,
+                corrupt_session: 0.25,
+                ..ChaosPlan::seeded(0x5EED)
+            },
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// One kill/restore cycle's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosCycle {
+    /// The feed step the crash landed on.
+    pub kill_step: usize,
+    /// The generation the restore loaded (`None` = no valid generation
+    /// survived; the fleet cold-started).
+    pub restored_generation: Option<u64>,
+    /// Newer generations rejected (quarantined) before the loaded one.
+    pub fallback_depth: usize,
+    /// Corrupt generations quarantined by the store during this load.
+    pub generation_quarantines: usize,
+    /// Sessions restored intact.
+    pub restored_sessions: usize,
+    /// Sessions quarantined by per-session validation and re-admitted
+    /// fresh.
+    pub quarantined_sessions: usize,
+    /// Feed steps re-served between the restored checkpoint and the
+    /// crash (the re-serve window).
+    pub reserve_steps: usize,
+    /// Clock ticks of progress lost to the crash (kill tick minus the
+    /// restored checkpoint's tick).
+    pub recovery_ticks: u64,
+}
+
+/// The chaos result: per-cycle recovery rows, the three integrity
+/// verdicts, and durability counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosResult {
+    /// One row per kill/restore cycle.
+    pub cycles: Vec<ChaosCycle>,
+    /// Clips offered (final supervisor accounting, replay collapsed).
+    pub offered: u64,
+    /// Clips served.
+    pub served: u64,
+    /// Clips shed (every shed counted under a reason).
+    pub shed: u64,
+    /// Quarantined session-restores over all session-restores.
+    pub quarantine_fraction: f64,
+    /// Restores that found no valid generation at all.
+    pub cold_starts: usize,
+    /// Re-served clips whose verdict differed from the pre-crash record
+    /// (must be zero).
+    pub misrestores: u64,
+    /// Never-quarantined sessions ended byte-identical to the
+    /// uninterrupted reference run.
+    pub verdict_match_ok: bool,
+    /// No restore ever loaded a generation the storage had silently
+    /// damaged.
+    pub sabotage_detection_ok: bool,
+    /// Each restore quarantined exactly the sessions whose entries were
+    /// corrupted in the loaded generation.
+    pub quarantine_exact_ok: bool,
+    /// All of the above, plus zero mis-restores and all cycles completed.
+    pub integrity_ok: bool,
+    /// Checkpoint-store counters summed across crash incarnations.
+    pub store: StoreStats,
+    /// Records the storage silently damaged at write time (all of which
+    /// must have been detected downstream).
+    pub sabotaged_writes: usize,
+    /// Selected lumen-obs counters accumulated over the chaos run.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ChaosResult {
+    /// Renders the result as an aligned table plus a verdict footer.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .cycles
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                vec![
+                    (i + 1).to_string(),
+                    c.kill_step.to_string(),
+                    c.restored_generation
+                        .map_or("cold".to_string(), |g| g.to_string()),
+                    c.fallback_depth.to_string(),
+                    c.generation_quarantines.to_string(),
+                    c.restored_sessions.to_string(),
+                    c.quarantined_sessions.to_string(),
+                    c.reserve_steps.to_string(),
+                    c.recovery_ticks.to_string(),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            "Chaos — kill/restore recovery under storage faults and snapshot rot",
+            &[
+                "cycle",
+                "kill step",
+                "gen",
+                "fallback",
+                "gen quar",
+                "restored",
+                "quarantined",
+                "re-serve",
+                "rec ticks",
+            ],
+            &rows,
+        );
+        out.push('\n');
+        out.push_str(&format!(
+            "offered {} served {} shed {}; quarantine fraction {}; cold starts {}\n",
+            self.offered,
+            self.served,
+            self.shed,
+            pct(self.quarantine_fraction),
+            self.cold_starts,
+        ));
+        out.push_str(&format!(
+            "store: commits {} write-failures {} retries {} gave-up {} quarantined {} \
+             sabotaged-writes {}\n",
+            self.store.commits,
+            self.store.write_failures,
+            self.store.retries,
+            self.store.gave_up,
+            self.store.quarantined,
+            self.sabotaged_writes,
+        ));
+        out.push_str(&format!(
+            "verdict match: {}; sabotage detection: {}; quarantine exactness: {}; \
+             mis-restores: {}\n",
+            ok(self.verdict_match_ok),
+            ok(self.sabotage_detection_ok),
+            ok(self.quarantine_exact_ok),
+            self.misrestores,
+        ));
+        out.push_str(&format!("chaos integrity: {}\n", ok(self.integrity_ok)));
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{name}: {value}\n"));
+        }
+        out
+    }
+}
+
+fn ok(flag: bool) -> String {
+    if flag { "ok" } else { "FAIL" }.to_string()
+}
+
+/// What the harness remembers about one committed generation: where to
+/// resume the feed, the clock at the snapshot, the id→workload mapping,
+/// and which session entries the injector corrupted in the record.
+#[derive(Debug, Clone)]
+struct GenMeta {
+    resume_step: usize,
+    tick: u64,
+    mapping: BTreeMap<u64, usize>,
+    corrupted: Vec<u64>,
+}
+
+/// Per-session verdict books plus the mis-restore tallies they feed.
+#[derive(Default)]
+struct VerdictBook {
+    books: Vec<Vec<ClipVerdict>>,
+    misrestores: u64,
+    holes: u64,
+}
+
+impl VerdictBook {
+    fn new(sessions: usize) -> Self {
+        VerdictBook {
+            books: vec![Vec::new(); sessions],
+            misrestores: 0,
+            holes: 0,
+        }
+    }
+
+    /// Absorbs drained events. A verdict below the book's length is a
+    /// re-serve and must reproduce the recorded verdict exactly; above it
+    /// is a hole (clips skipped silently). Degraded (once-quarantined)
+    /// sessions are excluded — their replay alignment is forfeit by
+    /// design.
+    fn absorb(
+        &mut self,
+        events: &[SessionEvent],
+        mapping: &BTreeMap<u64, usize>,
+        degraded: &[bool],
+    ) {
+        for event in events {
+            let SessionEventKind::Verdict(v) = &event.kind else {
+                continue;
+            };
+            let Some(&si) = mapping.get(&event.session) else {
+                continue;
+            };
+            if degraded[si] {
+                continue;
+            }
+            let book = &mut self.books[si];
+            match v.clip_index.cmp(&book.len()) {
+                std::cmp::Ordering::Less => {
+                    if book[v.clip_index] != *v {
+                        self.misrestores += 1;
+                    }
+                }
+                std::cmp::Ordering::Equal => book.push(v.clone()),
+                std::cmp::Ordering::Greater => self.holes += 1,
+            }
+        }
+    }
+}
+
+/// Runs the chaos experiment.
+///
+/// # Errors
+///
+/// Propagates scenario, training, serving and checkpoint-store errors;
+/// injected faults are never errors (they are the subject).
+pub fn run(opts: ChaosOpts) -> ExpResult<ChaosResult> {
+    let injector = ChaosInjector::new(opts.plan)?;
+    let (recorder, sink) = Recorder::in_memory();
+    let faults = if opts.burst_loss > 0.0 {
+        FaultPlan {
+            burst: BurstLoss::bursty(0.08, 6.0, opts.burst_loss),
+            ..FaultPlan::none()
+        }
+    } else {
+        FaultPlan::none()
+    };
+    let chats = ScenarioBuilder::default().with_faults(faults);
+    let clean = ScenarioBuilder::default();
+    let training: Vec<TracePair> = (0..opts.train_count)
+        .map(|i| clean.legitimate(0, 95_000 + i as u64))
+        .collect::<Result<_, _>>()?;
+    let detector = Detector::train_from_traces(&training, Config::default())?;
+
+    // Per-session workloads, flattened to one sample array per session so
+    // the whole fleet feeds in lockstep; reused identically by the
+    // reference run and the chaos run.
+    let mut feeds: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(opts.sessions);
+    for si in 0..opts.sessions {
+        let mut tx = Vec::new();
+        let mut rx = Vec::new();
+        for clip in 0..opts.clips {
+            let pair = chats.legitimate(0, 96_000 + clip as u64 * 1_000 + si as u64)?;
+            tx.extend_from_slice(pair.tx.samples());
+            rx.extend_from_slice(pair.rx.samples());
+        }
+        feeds.push((tx, rx));
+    }
+    let total_steps = feeds.first().map_or(0, |(tx, _)| tx.len());
+    let clip_samples = fresh_stream(&detector)?.clip_samples();
+
+    let config = ServeConfig {
+        max_sessions: opts.sessions,
+        queue_clips: opts.queue_clips,
+        budget_clips: opts.budget_clips,
+        budget_period_ticks: opts.budget_period_ticks,
+        deadline_ticks: opts.deadline_ticks,
+        ..ServeConfig::default()
+    };
+
+    // Uninterrupted reference run: same fleet, same chaos schedule (all
+    // decisions are hashes of stable coordinates), no store, no kills.
+    let reference = {
+        let mut sup = Supervisor::new(config.clone())?;
+        let mut mapping = BTreeMap::new();
+        for si in 0..opts.sessions {
+            let id = sup
+                .admit(fresh_stream(&detector)?)
+                .session()
+                .ok_or("admission rejected below max_sessions")?;
+            mapping.insert(id, si);
+        }
+        let degraded = vec![false; opts.sessions];
+        let mut book = VerdictBook::new(opts.sessions);
+        for step in 0..total_steps {
+            feed_step(&mut sup, &mapping, &feeds, &injector, clip_samples, step)?;
+            book.absorb(&sup.drain_events(), &mapping, &degraded);
+        }
+        drain(&mut sup, &mapping, &degraded, &mut book)?;
+        book
+    };
+
+    // Chaos run: checkpoints into a fault-injected store, kills at the
+    // planned steps, restores from the newest valid generation.
+    let mut sup = Supervisor::new(config.clone()).map(|s| s.with_recorder(recorder.clone()))?;
+    let mut mapping: BTreeMap<u64, usize> = BTreeMap::new();
+    for si in 0..opts.sessions {
+        let id = sup
+            .admit(fresh_stream(&detector)?)
+            .session()
+            .ok_or("admission rejected below max_sessions")?;
+        mapping.insert(id, si);
+    }
+    let mut degraded = vec![false; opts.sessions];
+    let mut book = VerdictBook::new(opts.sessions);
+
+    // The first checkpoint is written fault-free (a deployment checkpoints
+    // once before enabling anything risky), so the store always holds at
+    // least one loadable generation and a restore never *has* to
+    // cold-start; the fault mix switches on right after.
+    let storage = MemStorage::with_faults(opts.plan.seed, StorageFaults::none())?;
+    let mut store = CheckpointStore::new(storage, opts.store)?.with_recorder(recorder.clone());
+    let mut staged: BTreeMap<u64, GenMeta> = BTreeMap::new();
+    let mut durable: BTreeMap<u64, GenMeta> = BTreeMap::new();
+    checkpoint(
+        &mut store,
+        &sup,
+        &injector,
+        &mapping,
+        0,
+        &mut staged,
+        &mut durable,
+    )?;
+    store.storage_mut().set_faults(opts.plan.storage)?;
+
+    let kill_steps: Vec<usize> = (1..=opts.cycles)
+        .map(|c| total_steps * c / (opts.cycles + 1))
+        .collect();
+    let mut cycles = Vec::with_capacity(opts.cycles);
+    let mut store_totals = StoreStats::default();
+    let mut cold_starts = 0usize;
+    let mut sabotage_detection_ok = true;
+    let mut quarantine_exact_ok = true;
+    let mut restored_total = 0usize;
+    let mut quarantined_total = 0usize;
+
+    let mut step = 0usize;
+    let mut next_kill = 0usize;
+    while step < total_steps {
+        feed_step(&mut sup, &mapping, &feeds, &injector, clip_samples, step)?;
+        book.absorb(&sup.drain_events(), &mapping, &degraded);
+        let now = sup.tick_now();
+        if let Some(outcome) = store.tick(now) {
+            settle(outcome, &mut staged, &mut durable);
+        }
+        if step > 0 && step.is_multiple_of(opts.checkpoint_every_steps) {
+            checkpoint(
+                &mut store,
+                &sup,
+                &injector,
+                &mapping,
+                step + 1,
+                &mut staged,
+                &mut durable,
+            )?;
+        }
+        // Each kill fires exactly once: the replay after a rewind passes
+        // the same step again without re-crashing.
+        if next_kill < kill_steps.len() && step == kill_steps[next_kill] {
+            next_kill += 1;
+            let kill_tick = sup.tick_now();
+            drop(sup); // the crash: runtime state and pending retries die
+            let surviving = store.storage().clone();
+            store_totals = store_totals.merged(store.stats());
+            store = CheckpointStore::new(surviving, opts.store)?.with_recorder(recorder.clone());
+            staged.clear();
+            let restore = Supervisor::restore_from_store(
+                config.clone(),
+                &mut store,
+                |_| StreamingDetector::new(detector.clone(), 15.0, 3),
+                &recorder,
+            );
+            match restore {
+                Ok((restored, report)) => {
+                    let generation = report
+                        .fallback_generation
+                        .ok_or("restore succeeded without a generation")?;
+                    if store
+                        .storage()
+                        .sabotaged()
+                        .contains(&entry_name(generation))
+                    {
+                        // A torn or bit-flipped record decoded cleanly: a
+                        // silent mis-restore the framing failed to catch.
+                        sabotage_detection_ok = false;
+                    }
+                    let meta = durable
+                        .get(&generation)
+                        .ok_or("restored a generation the harness never committed")?
+                        .clone();
+                    let mut expected: Vec<u64> = meta.corrupted.clone();
+                    expected.sort_unstable();
+                    let mut got: Vec<u64> = report.quarantined.iter().map(|q| q.id).collect();
+                    got.sort_unstable();
+                    if expected != got {
+                        quarantine_exact_ok = false;
+                    }
+                    sup = restored;
+                    mapping = meta
+                        .mapping
+                        .iter()
+                        .filter(|(id, _)| report.restored.contains(id))
+                        .map(|(&id, &si)| (id, si))
+                        .collect();
+                    for q in &report.quarantined {
+                        let Some(&si) = meta.mapping.get(&q.id) else {
+                            quarantine_exact_ok = false;
+                            continue;
+                        };
+                        degraded[si] = true;
+                        let id = sup
+                            .admit(fresh_stream(&detector)?)
+                            .session()
+                            .ok_or("re-admission rejected after quarantine")?;
+                        mapping.insert(id, si);
+                    }
+                    restored_total += report.restored.len();
+                    quarantined_total += report.quarantined.len();
+                    cycles.push(ChaosCycle {
+                        kill_step: step,
+                        restored_generation: Some(generation),
+                        fallback_depth: report.fallback_depth,
+                        generation_quarantines: report.generation_quarantines.len(),
+                        restored_sessions: report.restored.len(),
+                        quarantined_sessions: report.quarantined.len(),
+                        reserve_steps: (step + 1).saturating_sub(meta.resume_step),
+                        recovery_ticks: kill_tick.saturating_sub(meta.tick),
+                    });
+                    step = meta.resume_step;
+                    continue;
+                }
+                Err(ServeError::BadSnapshot(_)) => {
+                    // Nothing valid stored: cold-start the fleet fresh.
+                    cold_starts += 1;
+                    sup = Supervisor::new(config.clone())
+                        .map(|s| s.with_recorder(recorder.clone()))?;
+                    mapping.clear();
+                    for (si, flag) in degraded.iter_mut().enumerate() {
+                        *flag = true;
+                        let id = sup
+                            .admit(fresh_stream(&detector)?)
+                            .session()
+                            .ok_or("re-admission rejected after cold start")?;
+                        mapping.insert(id, si);
+                    }
+                    cycles.push(ChaosCycle {
+                        kill_step: step,
+                        restored_generation: None,
+                        fallback_depth: 0,
+                        generation_quarantines: store.stats().quarantined as usize,
+                        restored_sessions: 0,
+                        quarantined_sessions: opts.sessions,
+                        reserve_steps: 0,
+                        recovery_ticks: 0,
+                    });
+                    quarantined_total += opts.sessions;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        step += 1;
+    }
+    drain(&mut sup, &mapping, &degraded, &mut book)?;
+    store_totals = store_totals.merged(store.stats());
+
+    let verdict_match_ok =
+        (0..opts.sessions).all(|si| degraded[si] || book.books[si] == reference.books[si]);
+    let restores = restored_total + quarantined_total;
+    let integrity_ok = verdict_match_ok
+        && sabotage_detection_ok
+        && quarantine_exact_ok
+        && book.misrestores == 0
+        && book.holes == 0
+        && cycles.len() == opts.cycles;
+
+    let registry = sink.registry();
+    let counters = [
+        "serve.restore.sessions",
+        "serve.restore.quarantined",
+        "store.commit",
+        "store.write_failure",
+        "store.retry",
+        "store.quarantined",
+    ]
+    .iter()
+    .map(|&name| (name.to_string(), registry.counter(name)))
+    .collect();
+
+    Ok(ChaosResult {
+        cycles,
+        offered: sup.stats().offered_clips,
+        served: sup.stats().served_clips,
+        shed: sup.stats().shed_clips,
+        quarantine_fraction: if restores == 0 {
+            0.0
+        } else {
+            quarantined_total as f64 / restores as f64
+        },
+        cold_starts,
+        misrestores: book.misrestores,
+        verdict_match_ok,
+        sabotage_detection_ok,
+        quarantine_exact_ok,
+        integrity_ok,
+        store: store_totals,
+        sabotaged_writes: store.storage().sabotaged().len(),
+        counters,
+    })
+}
+
+fn fresh_stream(detector: &Detector) -> ExpResult<StreamingDetector> {
+    Ok(StreamingDetector::new(detector.clone(), 15.0, 3)?)
+}
+
+/// Feeds one lockstep sample to every session (poisoning the clips the
+/// plan selects), then advances the clock — plus any injected stall.
+fn feed_step(
+    sup: &mut Supervisor,
+    mapping: &BTreeMap<u64, usize>,
+    feeds: &[(Vec<f64>, Vec<f64>)],
+    injector: &ChaosInjector,
+    clip_samples: usize,
+    step: usize,
+) -> ExpResult<()> {
+    let clip = (step / clip_samples.max(1)) as u64;
+    for (&id, &si) in mapping {
+        let (tx, rx) = &feeds[si];
+        let (Some(&t), Some(&r)) = (tx.get(step), rx.get(step)) else {
+            continue;
+        };
+        let r = if injector.poison_clip(si as u64, clip) {
+            f64::NAN
+        } else {
+            r
+        };
+        sup.offer(id, t, r)?;
+    }
+    sup.tick();
+    for _ in 0..injector.stall_ticks(step as u64) {
+        sup.tick();
+    }
+    Ok(())
+}
+
+/// Idle-ticks the supervisor until every queued clip is served or sheds
+/// on its deadline, absorbing verdicts as they land.
+fn drain(
+    sup: &mut Supervisor,
+    mapping: &BTreeMap<u64, usize>,
+    degraded: &[bool],
+    book: &mut VerdictBook,
+) -> ExpResult<()> {
+    let mut guard = 0u64;
+    while sup.pending_clips() > 0 {
+        sup.tick();
+        book.absorb(&sup.drain_events(), mapping, degraded);
+        guard += 1;
+        if guard > 1_000_000 {
+            return Err("supervisor queues failed to drain".into());
+        }
+    }
+    book.absorb(&sup.drain_events(), mapping, degraded);
+    Ok(())
+}
+
+/// Snapshots the supervisor, lets the injector rot per-session entries
+/// for the upcoming generation, and commits. The staged metadata is
+/// promoted to durable only when the write (or a later retry) lands.
+fn checkpoint(
+    store: &mut CheckpointStore<MemStorage>,
+    sup: &Supervisor,
+    injector: &ChaosInjector,
+    mapping: &BTreeMap<u64, usize>,
+    resume_step: usize,
+    staged: &mut BTreeMap<u64, GenMeta>,
+    durable: &mut BTreeMap<u64, GenMeta>,
+) -> ExpResult<()> {
+    let generation = store.next_generation();
+    let mut snap = sup.snapshot();
+    let corrupted = injector.corrupt_snapshot(generation, &mut snap);
+    staged.insert(
+        generation,
+        GenMeta {
+            resume_step,
+            tick: snap.tick,
+            mapping: mapping.clone(),
+            corrupted,
+        },
+    );
+    let outcome = store.commit(sup.tick_now(), &snap)?;
+    settle(outcome, staged, durable);
+    Ok(())
+}
+
+/// Promotes or abandons staged generation metadata per commit outcome.
+fn settle(
+    outcome: CommitOutcome,
+    staged: &mut BTreeMap<u64, GenMeta>,
+    durable: &mut BTreeMap<u64, GenMeta>,
+) {
+    match outcome {
+        CommitOutcome::Committed { generation } => {
+            if let Some(meta) = staged.remove(&generation) {
+                durable.insert(generation, meta);
+            }
+        }
+        CommitOutcome::Retrying { .. } => {}
+        CommitOutcome::GaveUp { generation, .. } => {
+            staged.remove(&generation);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChaosOpts {
+        ChaosOpts {
+            sessions: 3,
+            clips: 2,
+            cycles: 3,
+            checkpoint_every_steps: 30,
+            ..ChaosOpts::default()
+        }
+    }
+
+    #[test]
+    fn recovery_is_exact_under_faults() {
+        let r = run(small()).unwrap();
+        assert_eq!(r.cycles.len(), 3);
+        assert!(r.integrity_ok, "integrity must hold: {r:?}");
+        assert_eq!(r.misrestores, 0);
+        assert_eq!(r.cold_starts, 0, "first checkpoint is fault-free");
+        assert!(
+            r.store.write_failures > 0,
+            "the fault plan must actually bite the store"
+        );
+        assert!(
+            r.store.quarantined > 0 || r.cycles.iter().any(|c| c.quarantined_sessions > 0),
+            "some corruption must surface: {r:?}"
+        );
+        let rendered = r.print();
+        assert!(rendered.contains("chaos integrity: ok"));
+        assert!(rendered.contains("re-serve"));
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = run(small()).unwrap();
+        let b = run(small()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiet_plan_recovers_everything() {
+        let mut opts = small();
+        opts.plan = ChaosPlan::seeded(9);
+        let r = run(opts).unwrap();
+        assert!(r.integrity_ok);
+        assert_eq!(r.quarantine_fraction, 0.0);
+        assert!(r.cycles.iter().all(|c| c.fallback_depth == 0));
+        assert_eq!(r.store.write_failures, 0);
+    }
+}

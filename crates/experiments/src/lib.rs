@@ -21,6 +21,7 @@
 pub mod ablation;
 pub mod ambient;
 pub mod baselines;
+pub mod chaos;
 pub mod clip_length;
 pub mod feasibility;
 pub mod forgery_delay;

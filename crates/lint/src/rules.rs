@@ -59,6 +59,11 @@ pub const ALL: &[Rule] = &[
         description: "every recorder.span(...) guard is bound to a named binding",
         check: span_balance,
     },
+    Rule {
+        id: "no-fs",
+        description: "filesystem access (std::fs) only in sanctioned storage and sink backends",
+        check: no_fs,
+    },
 ];
 
 /// Whether `id` names a shipped rule (including engine-emitted ids).
@@ -317,6 +322,32 @@ fn span_balance(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// `no-fs`: ad-hoc `std::fs` calls scatter durability decisions and make
+/// crash-recovery untestable; all filesystem I/O flows through the
+/// injectable storage/sink backends listed in `lint.toml`. Tests and
+/// benches may touch disk freely (scratch dirs, fixtures).
+fn no_fs(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.kind.is_test_like() {
+        return;
+    }
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text != "fs" || ctx.in_cfg_test(tok.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| ctx.tokens.get(p));
+        let next = ctx.tokens.get(i + 1);
+        if is_punct(prev, "::") || is_punct(next, "::") {
+            out.push(ctx.diag(
+                "no-fs",
+                tok,
+                "`std::fs` outside a sanctioned storage backend".to_string(),
+                "route bytes through a `Storage`/sink implementation, or add the \
+                 module to `lint.toml` `[rules.no-fs]` with a justification",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +465,25 @@ mod tests {
         assert_eq!(findings(bare, FileKind::Library).len(), 1);
         let wild = "fn f() { let _ = rec.span(\"x\"); work(); }\n";
         assert_eq!(findings(wild, FileKind::Library).len(), 1);
+    }
+
+    #[test]
+    fn no_fs_catches_use_and_calls() {
+        let src = "use std::fs;\nfn f() { let b = fs::read(\"x\"); }\n";
+        let rules: Vec<&str> = findings(src, FileKind::Library)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["no-fs"; 2]);
+    }
+
+    #[test]
+    fn no_fs_exempts_tests_and_unrelated_idents() {
+        let src = "use std::fs;\nfn f() { fs::write(\"x\", b\"y\"); }\n";
+        assert!(findings(src, FileKind::Test).is_empty());
+        assert!(findings(src, FileKind::Bench).is_empty());
+        // A plain binding named `fs` is not filesystem access.
+        assert!(findings("fn f(fs: u32) -> u32 { fs + 1 }\n", FileKind::Library).is_empty());
     }
 
     #[test]

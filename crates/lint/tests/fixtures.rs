@@ -52,6 +52,7 @@ const RULES: &[&str] = &[
     "crate-root-hygiene",
     "float-eq",
     "span-balance",
+    "no-fs",
 ];
 
 #[test]

@@ -1,0 +1,9 @@
+//! Bad: ad-hoc filesystem reads bypass the injectable storage backend,
+//! so crash-recovery behaviour can't be exercised with fault injection.
+
+use std::fs;
+
+/// Reads a checkpoint straight off disk — untestable and unsandboxed.
+pub fn load(path: &str) -> Vec<u8> {
+    fs::read(path).unwrap_or_default()
+}

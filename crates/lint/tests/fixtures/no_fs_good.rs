@@ -1,0 +1,13 @@
+//! Good: durability flows through an injected storage trait, so tests
+//! substitute a seeded in-memory backend with scripted faults.
+
+/// Abstract storage: backends decide where bytes actually live.
+pub trait Storage {
+    /// Reads an entry's bytes, if present.
+    fn read(&self, name: &str) -> Option<Vec<u8>>;
+}
+
+/// Loads a checkpoint through whichever backend was injected.
+pub fn load(storage: &dyn Storage, name: &str) -> Option<Vec<u8>> {
+    storage.read(name)
+}

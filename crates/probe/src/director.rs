@@ -15,7 +15,7 @@
 //! and the restored runtime can still verify the response.
 
 use crate::schedule::{ChallengeSchedule, ProbeConfig};
-use crate::verify::{ProbeFailReason, ProbeVerdict, ProbeVerifier, VerifierConfig};
+use crate::verify::{ProbeDecision, ProbeFailReason, ProbeVerdict, ProbeVerifier, VerifierConfig};
 use crate::{ProbeError, Result};
 use lumen_chat::trace::TracePair;
 use lumen_core::detector::ClipOutcome;
@@ -36,6 +36,13 @@ pub struct ProbePolicy {
     pub cooldown_clips: u64,
     /// Maximum probes per session lifetime.
     pub max_probes: u64,
+    /// Challenges that may be re-issued free of budget when a
+    /// [`MissingResponse`](ProbeFailReason::MissingResponse) lands inside
+    /// the restart window (see [`ProbeDirector::note_restart`]): after a
+    /// checkpoint/restore, a missing response most likely means the
+    /// response frames were lost with the crash, not that the callee
+    /// stripped the probe. Zero disables restart retries.
+    pub restart_retries: u64,
 }
 
 impl Default for ProbePolicy {
@@ -45,6 +52,7 @@ impl Default for ProbePolicy {
             verifier: VerifierConfig::default(),
             cooldown_clips: 2,
             max_probes: 8,
+            restart_retries: 2,
         }
     }
 }
@@ -77,6 +85,15 @@ pub struct ProbeDirector {
     issued: u64,
     cooldown: u64,
     in_flight: Option<ChallengeSchedule>,
+    /// Whether the outstanding challenge crossed a checkpoint/restore
+    /// boundary (armed by [`ProbeDirector::note_restart`], cleared by the
+    /// first conclusive resolve or abandon).
+    restart_window: bool,
+    /// Restart-window retries consumed so far.
+    restart_retries_used: u64,
+    /// Challenges re-issued inside restart windows (drives the reserved
+    /// re-issue seed ordinals, `max_probes + n`).
+    reissued: u64,
 }
 
 impl ProbeDirector {
@@ -93,6 +110,9 @@ impl ProbeDirector {
             issued: 0,
             cooldown: 0,
             in_flight: None,
+            restart_window: false,
+            restart_retries_used: 0,
+            reissued: 0,
         })
     }
 
@@ -109,6 +129,26 @@ impl ProbeDirector {
     /// The outstanding challenge, if a probe is awaiting its response.
     pub fn in_flight(&self) -> Option<&ChallengeSchedule> {
         self.in_flight.as_ref()
+    }
+
+    /// Whether the outstanding challenge is inside its restart window.
+    pub fn in_restart_window(&self) -> bool {
+        self.restart_window
+    }
+
+    /// Marks the outstanding challenge as having crossed a restart: the
+    /// supervisor calls this when the director is restored from a
+    /// checkpoint with a challenge still in flight. Inside the window a
+    /// [`MissingResponse`](ProbeFailReason::MissingResponse) is
+    /// retry-eligible — up to [`ProbePolicy::restart_retries`] fresh
+    /// challenges are re-issued (budget-free, under an exponentially
+    /// growing cooldown) instead of burning the session's probe budget on
+    /// a response that was probably lost with the crash. No-op when
+    /// nothing is in flight.
+    pub fn note_restart(&mut self) {
+        if self.in_flight.is_some() {
+            self.restart_window = true;
+        }
     }
 
     /// Observes one passive clip verdict; returns a fresh challenge when
@@ -147,6 +187,14 @@ impl ProbeDirector {
 
     /// Verifies the response to the outstanding challenge and clears it.
     ///
+    /// Inside a restart window (see [`ProbeDirector::note_restart`]) a
+    /// [`MissingResponse`](ProbeFailReason::MissingResponse) does not
+    /// become a reject vote: while retries remain, the verdict is
+    /// neutralized to an abstention and a *fresh* challenge is re-issued
+    /// in its place (left in [`ProbeDirector::in_flight`], budget-free,
+    /// with the cooldown doubling per retry). Any other outcome closes
+    /// the window.
+    ///
     /// # Errors
     ///
     /// Returns [`ProbeError::NoProbeInFlight`] when no challenge is
@@ -156,6 +204,33 @@ impl ProbeDirector {
         let schedule = self.in_flight.clone().ok_or(ProbeError::NoProbeInFlight)?;
         let verifier = ProbeVerifier::new(self.policy.verifier)?;
         let verdict = verifier.verify_with(&schedule, pair, recorder)?;
+        if verdict.fail_reason == Some(ProbeFailReason::MissingResponse)
+            && self.restart_window
+            && self.restart_retries_used < self.policy.restart_retries
+        {
+            // Re-issue seeds come from the ordinal range above
+            // `max_probes`, which regular probes can never reach, so a
+            // restored director still draws the same future challenges.
+            let fresh = ChallengeSchedule::generate(
+                &self.policy.challenge,
+                probe_seed(self.seed, self.policy.max_probes + self.reissued),
+            )
+            .ok();
+            if let Some(fresh) = fresh {
+                self.restart_retries_used += 1;
+                self.reissued += 1;
+                let doublings = (self.restart_retries_used - 1).min(16) as u32;
+                self.cooldown = self
+                    .policy
+                    .cooldown_clips
+                    .max(1)
+                    .saturating_mul(1u64 << doublings);
+                self.in_flight = Some(fresh);
+                recorder.add("probe.retry.missing_response", 1);
+                return Ok(retry_withheld(&verdict));
+            }
+        }
+        self.restart_window = false;
         if let Some(reason) = verdict.fail_reason {
             // Per-cause counters: a flight recorder or metrics snapshot can
             // tell a mistimed response apart from a missing one.
@@ -176,7 +251,21 @@ impl ProbeDirector {
     /// Discards the outstanding challenge without verification (e.g. the
     /// probed clip was shed before its response completed).
     pub fn abandon(&mut self) -> Option<ChallengeSchedule> {
+        self.restart_window = false;
         self.in_flight.take()
+    }
+}
+
+/// Neutralizes a restart-window missing response: the measurements stay
+/// for diagnostics, but the decision becomes a vote-free abstention (the
+/// re-issued challenge will produce the real verdict).
+fn retry_withheld(verdict: &ProbeVerdict) -> ProbeVerdict {
+    ProbeVerdict {
+        decision: ProbeDecision::Abstain,
+        fail_reason: None,
+        abstain_reason: Some(InconclusiveReason::Withheld),
+        confidence: 0.0,
+        ..verdict.clone()
     }
 }
 
@@ -260,6 +349,112 @@ mod tests {
         let sb = b.observe(&inconclusive(0)).unwrap();
         assert_eq!(sa, sb);
         assert_eq!(a, b);
+    }
+
+    /// A pair whose rx carries a faint exact copy of `schedule` (high
+    /// correlation, gain far below the physical reflection) — the
+    /// verifier's `MissingResponse` signature.
+    fn faint_copy_pair(schedule: &ChallengeSchedule) -> TracePair {
+        let rate = schedule.sample_rate;
+        // The sample-to-sample dither keeps the quality gate from reading
+        // the piecewise-constant challenge copy as frozen frames; it is
+        // small enough that the regression gain stays under the
+        // `MissingResponse` threshold.
+        let samples: Vec<f64> = schedule
+            .waveform()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let dither = if i % 2 == 0 { 0.05 } else { -0.05 };
+                128.0 + 0.005 * w + dither
+            })
+            .collect();
+        let rx = lumen_dsp::Signal::new(samples, rate).unwrap();
+        TracePair {
+            tx: rx.clone(),
+            rx,
+            kind: lumen_chat::trace::ScenarioKind::Legitimate { user: 0 },
+            seed: 0,
+            forward_delay: 0.0,
+            backward_delay: 0.0,
+        }
+    }
+
+    #[test]
+    fn restart_window_retries_missing_response() {
+        let policy = ProbePolicy {
+            cooldown_clips: 2,
+            restart_retries: 2,
+            ..ProbePolicy::default()
+        };
+        let mut director = ProbeDirector::new(policy, 42).unwrap();
+        let first = director.observe(&inconclusive(0)).expect("probe fires");
+        assert_eq!(director.issued(), 1);
+
+        // Simulate the checkpoint cycle: the director crosses a restore
+        // with the challenge still outstanding.
+        director.note_restart();
+        assert!(director.in_restart_window());
+
+        let verdict = director
+            .resolve(&faint_copy_pair(&first), &Recorder::null())
+            .unwrap();
+        // The missing response is neutralized, not fused as a reject...
+        assert_eq!(verdict.decision, ProbeDecision::Abstain);
+        assert_eq!(verdict.accepted(), None);
+        assert_eq!(verdict.abstain_reason, Some(InconclusiveReason::Withheld));
+        // ...a fresh challenge is re-issued, budget-free, under a
+        // doubled-on-next-retry cooldown.
+        let second = director.in_flight().cloned().expect("re-issued");
+        assert_ne!(second, first, "the re-issue draws a fresh challenge");
+        assert_eq!(director.issued(), 1, "no budget burned");
+        assert_eq!(director.cooldown, 2);
+
+        // Second retry: cooldown backoff doubles.
+        let verdict = director
+            .resolve(&faint_copy_pair(&second), &Recorder::null())
+            .unwrap();
+        assert_eq!(verdict.decision, ProbeDecision::Abstain);
+        let third = director.in_flight().cloned().expect("re-issued again");
+        assert_ne!(third, second);
+        assert_eq!(director.cooldown, 4);
+
+        // Retries exhausted: the next missing response is a real fail.
+        let verdict = director
+            .resolve(&faint_copy_pair(&third), &Recorder::null())
+            .unwrap();
+        assert_eq!(verdict.decision, ProbeDecision::Fail);
+        assert_eq!(verdict.fail_reason, Some(ProbeFailReason::MissingResponse));
+        assert!(director.in_flight().is_none());
+        assert!(!director.in_restart_window());
+    }
+
+    #[test]
+    fn missing_response_outside_restart_window_fails_normally() {
+        let mut director = ProbeDirector::new(ProbePolicy::default(), 42).unwrap();
+        let schedule = director.observe(&inconclusive(0)).expect("probe fires");
+        let verdict = director
+            .resolve(&faint_copy_pair(&schedule), &Recorder::null())
+            .unwrap();
+        assert_eq!(verdict.decision, ProbeDecision::Fail);
+        assert_eq!(verdict.fail_reason, Some(ProbeFailReason::MissingResponse));
+        assert!(director.in_flight().is_none(), "no re-issue");
+    }
+
+    #[test]
+    fn note_restart_without_challenge_is_a_noop() {
+        let mut director = ProbeDirector::new(ProbePolicy::default(), 42).unwrap();
+        director.note_restart();
+        assert!(!director.in_restart_window());
+    }
+
+    #[test]
+    fn abandon_closes_the_restart_window() {
+        let mut director = ProbeDirector::new(ProbePolicy::default(), 42).unwrap();
+        director.observe(&inconclusive(0)).expect("probe fires");
+        director.note_restart();
+        director.abandon();
+        assert!(!director.in_restart_window());
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub enum ServeError {
     /// Propagated active-probing error (no probe in flight, bad probe
     /// config, or a verification failure).
     Probe(lumen_probe::ProbeError),
+    /// Propagated checkpoint-store error (bad store config, backend I/O,
+    /// or a snapshot that failed to encode).
+    Store(crate::store::StoreError),
 }
 
 impl ServeError {
@@ -47,6 +50,7 @@ impl fmt::Display for ServeError {
             ServeError::BadSnapshot(reason) => write!(f, "bad checkpoint: {reason}"),
             ServeError::Core(e) => write!(f, "detection pipeline failed: {e}"),
             ServeError::Probe(e) => write!(f, "active probing failed: {e}"),
+            ServeError::Store(e) => write!(f, "checkpoint store failed: {e}"),
         }
     }
 }
@@ -56,6 +60,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Core(e) => Some(e),
             ServeError::Probe(e) => Some(e),
+            ServeError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -70,6 +75,12 @@ impl From<lumen_core::CoreError> for ServeError {
 impl From<lumen_probe::ProbeError> for ServeError {
     fn from(e: lumen_probe::ProbeError) -> Self {
         ServeError::Probe(e)
+    }
+}
+
+impl From<crate::store::StoreError> for ServeError {
+    fn from(e: crate::store::StoreError) -> Self {
+        ServeError::Store(e)
     }
 }
 
@@ -92,6 +103,10 @@ mod tests {
         let probe = lumen_probe::ProbeError::NoProbeInFlight;
         let wrapped = ServeError::from(probe);
         assert!(wrapped.to_string().contains("probing"));
+        assert!(wrapped.source().is_some());
+        let store = crate::store::StoreError::Io("disk gone".into());
+        let wrapped = ServeError::from(store);
+        assert!(wrapped.to_string().contains("disk gone"));
         assert!(wrapped.source().is_some());
     }
 }

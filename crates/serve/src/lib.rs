@@ -38,15 +38,22 @@
 mod error;
 
 pub mod breaker;
+pub mod chaos;
 pub mod checkpoint;
+pub mod store;
 pub mod supervisor;
 
 pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
+pub use chaos::{ChaosInjector, ChaosPlan};
 pub use checkpoint::{QueuedClipSnapshot, SessionSnapshot, SupervisorSnapshot};
 pub use error::ServeError;
+pub use store::{
+    CheckpointStore, CommitOutcome, CorruptReason, LoadReport, LoadedGeneration, MemStorage,
+    QuarantinedGeneration, Storage, StorageFaults, StoreConfig, StoreError, StoreStats,
+};
 pub use supervisor::{
-    AdmitOutcome, ClipAdmission, ServeConfig, ServeStats, SessionEvent, SessionEventKind,
-    ShedReason, Supervisor,
+    AdmitOutcome, ClipAdmission, QuarantinedSession, RestoreReport, ServeConfig, ServeStats,
+    SessionEvent, SessionEventKind, ShedReason, Supervisor,
 };
 
 /// Crate-wide result alias.

@@ -1,0 +1,102 @@
+//! Real-filesystem storage backend.
+//!
+//! The one module in the crate allowed to touch `std::fs` (see
+//! `lint.toml`): everything above it goes through the [`Storage`] trait
+//! and stays filesystem-free. Writes publish atomically by writing a
+//! temporary sibling and renaming it over the final name — after a crash
+//! an entry is either fully present or absent, and whatever damage the
+//! platform still manages to inflict (a torn page, a flipped bit) is
+//! caught by the CRC framing above this layer.
+//!
+//! Temporary names come from a per-handle sequence number, not a clock or
+//! entropy source, keeping the backend as deterministic as a real disk
+//! allows.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use super::{Storage, StoreError};
+
+/// Directory-backed [`Storage`]: one flat directory, one file per entry.
+#[derive(Debug)]
+pub struct DirStorage {
+    root: PathBuf,
+    tmp_seq: u64,
+}
+
+impl DirStorage {
+    /// Opens (creating if needed) the backing directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory cannot be created.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(io_err)?;
+        Ok(DirStorage { root, tmp_seq: 0 })
+    }
+
+    /// The backing directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Rejects entry names that would escape the backing directory.
+    fn entry_path(&self, name: &str) -> Result<PathBuf, StoreError> {
+        if name.is_empty() || name.contains(['/', '\\']) || name.starts_with('.') {
+            return Err(StoreError::Io(format!("invalid entry name `{name}`")));
+        }
+        Ok(self.root.join(name))
+    }
+}
+
+impl Storage for DirStorage {
+    fn list(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            if entry.file_type().map_err(io_err)?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    if !name.starts_with('.') {
+                        names.push(name.to_string());
+                    }
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        fs::read(self.entry_path(name)?).map_err(io_err)
+    }
+
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let target = self.entry_path(name)?;
+        self.tmp_seq += 1;
+        let tmp = self.root.join(format!(".tmp-{:08}", self.tmp_seq));
+        fs::write(&tmp, bytes).map_err(io_err)?;
+        fs::rename(&tmp, &target).map_err(|e| {
+            // Leave no temporary behind on a failed publish.
+            let _ = fs::remove_file(&tmp);
+            io_err(e)
+        })
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        let from_path = self.entry_path(from)?;
+        // A quarantine name is a valid entry name plus a fixed suffix;
+        // run the traversal guard against the base name.
+        let base = to.strip_suffix(".quarantined").unwrap_or(to);
+        self.entry_path(base)?;
+        fs::rename(from_path, self.root.join(to)).map_err(io_err)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StoreError> {
+        fs::remove_file(self.entry_path(name)?).map_err(io_err)
+    }
+}
+
+fn io_err(e: std::io::Error) -> StoreError {
+    StoreError::Io(e.to_string())
+}

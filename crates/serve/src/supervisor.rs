@@ -24,6 +24,7 @@
 
 use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker};
 use crate::checkpoint::{QueuedClipSnapshot, SessionSnapshot, SupervisorSnapshot};
+use crate::store::{CheckpointStore, QuarantinedGeneration, Storage};
 use crate::{BreakerConfig, Result, ServeError};
 use lumen_chat::clock::SimClock;
 use lumen_chat::trace::TracePair;
@@ -287,6 +288,35 @@ impl SessionSlot {
             .filter(|c| matches!(c, QueuedClip::Clip { .. }))
             .count()
     }
+}
+
+/// One session dropped during a graceful (partial) restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedSession {
+    /// The session id carried by the rejected snapshot entry.
+    pub id: u64,
+    /// Why its snapshot failed validation.
+    pub reason: String,
+}
+
+/// Outcome of [`Supervisor::restore_with_report`]: which sessions came
+/// back intact and which were quarantined instead of failing the fleet.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RestoreReport {
+    /// Sessions restored intact, in snapshot order.
+    pub restored: Vec<u64>,
+    /// Sessions whose snapshot entries failed validation and were
+    /// dropped (the host re-admits them fresh).
+    pub quarantined: Vec<QuarantinedSession>,
+    /// The checkpoint generation actually restored, when the supervisor
+    /// came back through a [`CheckpointStore`] (`None` for a direct
+    /// snapshot restore).
+    pub fallback_generation: Option<u64>,
+    /// Newer generations rejected before the restored one (0 = the
+    /// newest stored generation was valid).
+    pub fallback_depth: usize,
+    /// Corrupt generations the store quarantined during the load.
+    pub generation_quarantines: Vec<QuarantinedGeneration>,
 }
 
 /// A supervised fleet of streaming detectors sharing one detection budget.
@@ -882,6 +912,10 @@ impl Supervisor {
             .ok_or(ServeError::Probe(lumen_probe::ProbeError::NoProbeInFlight))?;
         let _scope = self.recorder.session_scope(session);
         let verdict = director.resolve(pair, &self.recorder)?;
+        // A resolve that leaves a challenge outstanding re-issued it: the
+        // director judged the missing response a restart casualty, not
+        // evidence. Surface the fresh challenge like any other request.
+        let reissued = director.in_flight().cloned();
         self.recorder.add("serve.probes_resolved", 1);
         if let Some(accepted) = verdict.accepted() {
             slot.stream.record_probe_vote(accepted);
@@ -904,6 +938,17 @@ impl Supervisor {
                 self.flight_trigger("probe_weak_correlation");
             }
             _ => {}
+        }
+        if let Some(schedule) = reissued {
+            self.recorder.add("serve.probe_reissues", 1);
+            self.recorder.mark(
+                "serve.probe.reissue",
+                &format!("session {session}: challenge re-issued after restart window"),
+            );
+            self.events.push(SessionEvent {
+                session,
+                kind: SessionEventKind::ProbeRequested(schedule),
+            });
         }
         Ok(verdict)
     }
@@ -994,8 +1039,9 @@ impl Supervisor {
     ///
     /// Returns [`ServeError::InvalidConfig`] for an invalid `config`,
     /// [`ServeError::BadSnapshot`] for duplicate session ids, a stale
-    /// `next_id`, or mismatched partial buffers, and propagates factory
-    /// and [`StreamingDetector::restore`] errors.
+    /// `next_id`, mismatched partial buffers, or a queued clip completed
+    /// after the checkpoint tick (a non-monotonic snapshot), and
+    /// propagates factory and [`StreamingDetector::restore`] errors.
     pub fn restore<F>(
         config: ServeConfig,
         snap: &SupervisorSnapshot,
@@ -1005,58 +1051,9 @@ impl Supervisor {
         F: FnMut(u64) -> lumen_core::Result<StreamingDetector>,
     {
         config.validate()?;
-        let clock = SimClock::resumed_at(1.0 / config.tick_rate_hz, snap.tick);
         let mut sessions = BTreeMap::new();
         for s in &snap.sessions {
-            if s.id >= snap.next_id {
-                return Err(ServeError::bad_snapshot(format!(
-                    "session {} not below next_id {}",
-                    s.id, snap.next_id
-                )));
-            }
-            if s.partial_tx.len() != s.partial_rx.len() {
-                return Err(ServeError::bad_snapshot(format!(
-                    "session {}: partial tx/rx buffers disagree: {} vs {}",
-                    s.id,
-                    s.partial_tx.len(),
-                    s.partial_rx.len()
-                )));
-            }
-            let mut stream = factory(s.id)?;
-            stream.restore(&s.stream)?;
-            if s.partial_tx.len() >= stream.clip_samples() {
-                return Err(ServeError::bad_snapshot(format!(
-                    "session {}: partial clip of {} samples does not fit a {}-sample clip",
-                    s.id,
-                    s.partial_tx.len(),
-                    stream.clip_samples()
-                )));
-            }
-            let slot = SessionSlot {
-                stream,
-                partial_tx: s.partial_tx.clone(),
-                partial_rx: s.partial_rx.clone(),
-                queue: s
-                    .queue
-                    .iter()
-                    .map(|entry| match entry {
-                        QueuedClipSnapshot::Clip {
-                            tx,
-                            rx,
-                            completed_at,
-                        } => QueuedClip::Clip {
-                            tx: tx.clone(),
-                            rx: rx.clone(),
-                            completed_at: *completed_at,
-                        },
-                        QueuedClipSnapshot::Tombstone { reason } => {
-                            QueuedClip::Tombstone { reason: *reason }
-                        }
-                    })
-                    .collect(),
-                breaker: CircuitBreaker::with_state(config.breaker, s.breaker),
-                probe: s.probe.clone(),
-            };
+            let slot = Self::build_slot(&config, s, snap.tick, snap.next_id, &mut factory)?;
             if sessions.insert(s.id, slot).is_some() {
                 return Err(ServeError::bad_snapshot(format!(
                     "duplicate session id {}",
@@ -1064,7 +1061,190 @@ impl Supervisor {
                 )));
             }
         }
-        Ok(Supervisor {
+        Ok(Self::assemble(config, snap, sessions))
+    }
+
+    /// [`Supervisor::restore`] with graceful degradation: a session whose
+    /// snapshot entry fails validation is *quarantined* — dropped from
+    /// the restored fleet and reported — instead of failing the whole
+    /// restore. The healthy majority resumes byte-identical replay; the
+    /// host re-admits quarantined sessions fresh. Every quarantine is
+    /// counted (`serve.restore.quarantined`) and marked
+    /// (`serve.restore.quarantine`) on `recorder`, so a flight-recorder
+    /// post-mortem shows exactly which sessions failed closed and why.
+    ///
+    /// A probe director restored with a challenge in flight is put into
+    /// its restart window ([`ProbeDirector::note_restart`]), making a
+    /// `MissingResponse` on that challenge retry-eligible — the response
+    /// may simply have been lost with the crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid `config`.
+    /// Per-session defects never error — they quarantine.
+    pub fn restore_with_report<F>(
+        config: ServeConfig,
+        snap: &SupervisorSnapshot,
+        mut factory: F,
+        recorder: &Recorder,
+    ) -> Result<(Supervisor, RestoreReport)>
+    where
+        F: FnMut(u64) -> lumen_core::Result<StreamingDetector>,
+    {
+        config.validate()?;
+        let mut sessions = BTreeMap::new();
+        let mut report = RestoreReport::default();
+        for s in &snap.sessions {
+            if sessions.contains_key(&s.id) {
+                Self::quarantine_session(
+                    &mut report,
+                    s.id,
+                    format!("duplicate session id {}", s.id),
+                    recorder,
+                );
+                continue;
+            }
+            match Self::build_slot(&config, s, snap.tick, snap.next_id, &mut factory) {
+                Ok(mut slot) => {
+                    if let Some(director) = slot.probe.as_mut() {
+                        director.note_restart();
+                    }
+                    report.restored.push(s.id);
+                    sessions.insert(s.id, slot);
+                }
+                Err(e) => Self::quarantine_session(&mut report, s.id, e.to_string(), recorder),
+            }
+        }
+        recorder.add("serve.restore.sessions", report.restored.len() as u64);
+        Ok((Self::assemble(config, snap, sessions), report))
+    }
+
+    /// Restores from the newest *valid* generation of a checkpoint store:
+    /// corrupt generations are quarantined by the store (fallback), then
+    /// corrupt per-session entries are quarantined by
+    /// [`Supervisor::restore_with_report`] (graceful degradation). The
+    /// report carries both layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Store`] for backend failures and
+    /// [`ServeError::BadSnapshot`] when no stored generation survives
+    /// validation (the host must cold-start instead).
+    pub fn restore_from_store<S, F>(
+        config: ServeConfig,
+        store: &mut CheckpointStore<S>,
+        factory: F,
+        recorder: &Recorder,
+    ) -> Result<(Supervisor, RestoreReport)>
+    where
+        S: Storage,
+        F: FnMut(u64) -> lumen_core::Result<StreamingDetector>,
+    {
+        let load = store.load_latest()?;
+        let Some(loaded) = load.loaded else {
+            return Err(ServeError::bad_snapshot(format!(
+                "checkpoint store holds no valid generation ({} quarantined)",
+                load.quarantined.len()
+            )));
+        };
+        let (sup, mut report) =
+            Self::restore_with_report(config, &loaded.snapshot, factory, recorder)?;
+        report.fallback_generation = Some(loaded.generation);
+        report.fallback_depth = loaded.fallback_depth;
+        report.generation_quarantines = load.quarantined;
+        if loaded.fallback_depth > 0 {
+            recorder.mark(
+                "serve.restore.fallback",
+                &format!(
+                    "fell back {} generation(s) to {}",
+                    loaded.fallback_depth, loaded.generation
+                ),
+            );
+        }
+        Ok((sup, report))
+    }
+
+    /// Validates one snapshot entry and rebuilds its session slot.
+    fn build_slot<F>(
+        config: &ServeConfig,
+        s: &SessionSnapshot,
+        snap_tick: u64,
+        next_id: u64,
+        factory: &mut F,
+    ) -> Result<SessionSlot>
+    where
+        F: FnMut(u64) -> lumen_core::Result<StreamingDetector>,
+    {
+        if s.id >= next_id {
+            return Err(ServeError::bad_snapshot(format!(
+                "session {} not below next_id {next_id}",
+                s.id
+            )));
+        }
+        if s.partial_tx.len() != s.partial_rx.len() {
+            return Err(ServeError::bad_snapshot(format!(
+                "session {}: partial tx/rx buffers disagree: {} vs {}",
+                s.id,
+                s.partial_tx.len(),
+                s.partial_rx.len()
+            )));
+        }
+        for entry in &s.queue {
+            if let QueuedClipSnapshot::Clip { completed_at, .. } = entry {
+                if *completed_at > snap_tick {
+                    return Err(ServeError::bad_snapshot(format!(
+                        "session {}: queued clip completed at tick {completed_at}, after the \
+                         checkpoint tick {snap_tick}",
+                        s.id
+                    )));
+                }
+            }
+        }
+        let mut stream = factory(s.id)?;
+        stream.restore(&s.stream)?;
+        if s.partial_tx.len() >= stream.clip_samples() {
+            return Err(ServeError::bad_snapshot(format!(
+                "session {}: partial clip of {} samples does not fit a {}-sample clip",
+                s.id,
+                s.partial_tx.len(),
+                stream.clip_samples()
+            )));
+        }
+        Ok(SessionSlot {
+            stream,
+            partial_tx: s.partial_tx.clone(),
+            partial_rx: s.partial_rx.clone(),
+            queue: s
+                .queue
+                .iter()
+                .map(|entry| match entry {
+                    QueuedClipSnapshot::Clip {
+                        tx,
+                        rx,
+                        completed_at,
+                    } => QueuedClip::Clip {
+                        tx: tx.clone(),
+                        rx: rx.clone(),
+                        completed_at: *completed_at,
+                    },
+                    QueuedClipSnapshot::Tombstone { reason } => {
+                        QueuedClip::Tombstone { reason: *reason }
+                    }
+                })
+                .collect(),
+            breaker: CircuitBreaker::with_state(config.breaker, s.breaker),
+            probe: s.probe.clone(),
+        })
+    }
+
+    /// Assembles the restored supervisor around the rebuilt sessions.
+    fn assemble(
+        config: ServeConfig,
+        snap: &SupervisorSnapshot,
+        sessions: BTreeMap<u64, SessionSlot>,
+    ) -> Supervisor {
+        let clock = SimClock::resumed_at(1.0 / config.tick_rate_hz, snap.tick);
+        Supervisor {
             config,
             clock,
             sessions,
@@ -1076,7 +1256,22 @@ impl Supervisor {
             stats: snap.stats.clone(),
             recorder: Recorder::null(),
             flight: None,
-        })
+        }
+    }
+
+    /// Records one quarantined session on the report and the recorder.
+    fn quarantine_session(
+        report: &mut RestoreReport,
+        id: u64,
+        reason: String,
+        recorder: &Recorder,
+    ) {
+        recorder.add("serve.restore.quarantined", 1);
+        recorder.mark(
+            "serve.restore.quarantine",
+            &format!("session {id}: {reason}"),
+        );
+        report.quarantined.push(QuarantinedSession { id, reason });
     }
 }
 
@@ -1607,5 +1802,189 @@ mod tests {
         bad.sessions.push(bad.sessions[0].clone());
         assert!(Supervisor::restore(relaxed(), &bad, build).is_err());
         assert!(Supervisor::restore(relaxed(), &good, build).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_duplicate_ids_and_future_clips_with_typed_errors() {
+        let build = |_: u64| StreamingDetector::new(detector(), 15.0, 3);
+        let mut sup = Supervisor::new(relaxed()).unwrap();
+        sup.admit(stream());
+        let good = sup.snapshot();
+        // Duplicate session ids are a distinct, named defect.
+        let mut bad = good.clone();
+        bad.sessions.push(bad.sessions[0].clone());
+        match Supervisor::restore(relaxed(), &bad, build) {
+            Err(ServeError::BadSnapshot(reason)) => {
+                assert!(reason.contains("duplicate session id"), "{reason}");
+            }
+            other => panic!("expected BadSnapshot, got {other:?}"),
+        }
+        // A queued clip completed after the checkpoint tick is a
+        // non-monotonic snapshot: the clip claims to come from the future.
+        let mut bad = good.clone();
+        bad.sessions[0].queue.push(QueuedClipSnapshot::Clip {
+            tx: vec![1.0],
+            rx: vec![1.0],
+            completed_at: bad.tick + 1,
+        });
+        match Supervisor::restore(relaxed(), &bad, build) {
+            Err(ServeError::BadSnapshot(reason)) => {
+                assert!(reason.contains("after the checkpoint tick"), "{reason}");
+            }
+            other => panic!("expected BadSnapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_with_report_quarantines_bad_sessions_and_keeps_the_rest() {
+        let build = |_: u64| StreamingDetector::new(detector(), 15.0, 3);
+        let (recorder, sink) = Recorder::in_memory();
+        let mut sup = Supervisor::new(relaxed()).unwrap();
+        let a = sup.admit(stream()).session().unwrap();
+        let b = sup.admit(stream()).session().unwrap();
+        let mut snap = sup.snapshot();
+        // Rot session b's entry: its partial buffers disagree in shape.
+        let slot = snap.sessions.iter_mut().find(|s| s.id == b).unwrap();
+        slot.partial_rx.push(0.0);
+        let (restored, report) =
+            Supervisor::restore_with_report(relaxed(), &snap, build, &recorder).unwrap();
+        assert_eq!(report.restored, vec![a]);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].id, b);
+        assert!(
+            report.quarantined[0].reason.contains("partial tx/rx"),
+            "{}",
+            report.quarantined[0].reason
+        );
+        assert_eq!(restored.sessions(), 1);
+        assert_eq!(restored.session_ids(), vec![a]);
+        let registry = sink.registry();
+        assert_eq!(registry.counter("serve.restore.quarantined"), 1);
+        assert_eq!(registry.counter("serve.restore.sessions"), 1);
+        // The strict path refuses the same snapshot outright.
+        assert!(Supervisor::restore(relaxed(), &snap, build).is_err());
+    }
+
+    #[test]
+    fn restored_in_flight_probe_is_retry_eligible_and_reissued() {
+        use lumen_core::quality::InconclusiveReason;
+        use lumen_probe::{ProbeDecision, ProbePolicy};
+
+        let build = |_: u64| StreamingDetector::new(detector(), 15.0, 3);
+        let mut sup = Supervisor::new(relaxed()).unwrap();
+        let director = ProbeDirector::new(ProbePolicy::default(), 31).unwrap();
+        let id = sup
+            .admit_probed(gated_stream(), director)
+            .session()
+            .unwrap();
+        // A flatline clip makes the gate abstain, which issues a probe.
+        for _ in 0..150 {
+            sup.offer(id, 100.0, 42.0).unwrap();
+            sup.tick();
+        }
+        while sup.pending_clips() > 0 {
+            sup.tick();
+        }
+        sup.drain_events();
+        let challenge = sup
+            .probe_director(id)
+            .unwrap()
+            .unwrap()
+            .in_flight()
+            .cloned()
+            .expect("challenge in flight");
+
+        // Crash with the challenge outstanding; recover gracefully.
+        let snap = sup.snapshot();
+        drop(sup);
+        let (recorder, _sink) = Recorder::in_memory();
+        let (mut sup, report) =
+            Supervisor::restore_with_report(relaxed(), &snap, build, &recorder).unwrap();
+        assert_eq!(report.restored, vec![id]);
+        let director = sup.probe_director(id).unwrap().unwrap();
+        assert!(
+            director.in_restart_window(),
+            "a restored in-flight challenge opens the restart window"
+        );
+
+        // The response went down with the crash: rx carries only a faint
+        // copy of the challenge (high correlation, no physical gain).
+        // Inside the restart window that is retry-eligible, not a reject.
+        let rate = challenge.sample_rate;
+        let samples: Vec<f64> = challenge
+            .waveform()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let dither = if i % 2 == 0 { 0.05 } else { -0.05 };
+                128.0 + 0.005 * w + dither
+            })
+            .collect();
+        let rx = lumen_dsp::Signal::new(samples, rate).unwrap();
+        let pair = TracePair {
+            tx: rx.clone(),
+            rx,
+            kind: lumen_chat::trace::ScenarioKind::Legitimate { user: 0 },
+            seed: 0,
+            forward_delay: 0.0,
+            backward_delay: 0.0,
+        };
+        let verdict = sup.resolve_probe(id, &pair).unwrap();
+        assert_eq!(verdict.decision, ProbeDecision::Abstain);
+        assert_eq!(verdict.abstain_reason, Some(InconclusiveReason::Withheld));
+        // The challenge was re-issued, not silently dropped.
+        let reissued = sup
+            .probe_director(id)
+            .unwrap()
+            .unwrap()
+            .in_flight()
+            .cloned()
+            .expect("a fresh challenge is re-issued");
+        assert_ne!(reissued, challenge);
+        let events = sup.drain_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(&e.kind, SessionEventKind::ProbeRequested(s) if *s == reissued)),
+            "the re-issue must surface as a ProbeRequested event"
+        );
+
+        // The strict restore path must NOT arm the window: byte-identical
+        // replay forbids behavioural drift.
+        let strict = Supervisor::restore(relaxed(), &snap, build).unwrap();
+        assert!(!strict
+            .probe_director(id)
+            .unwrap()
+            .unwrap()
+            .in_restart_window());
+    }
+
+    #[test]
+    fn restore_from_store_falls_back_past_a_corrupt_generation() {
+        use crate::store::{entry_name, MemStorage, StoreConfig};
+
+        let build = |_: u64| StreamingDetector::new(detector(), 15.0, 3);
+        let (recorder, _sink) = Recorder::in_memory();
+        let mut sup = Supervisor::new(relaxed()).unwrap();
+        let id = sup.admit(stream()).session().unwrap();
+        let mut store = CheckpointStore::new(MemStorage::new(), StoreConfig::default()).unwrap();
+        store.commit(sup.tick_now(), &sup.snapshot()).unwrap();
+        sup.tick();
+        store.commit(sup.tick_now(), &sup.snapshot()).unwrap();
+        // Bit-rot the newest generation; the restore must fall back.
+        assert!(store.storage_mut().tamper(&entry_name(2), 30, 0x40));
+        let (restored, report) =
+            Supervisor::restore_from_store(relaxed(), &mut store, build, &recorder).unwrap();
+        assert_eq!(report.fallback_generation, Some(1));
+        assert_eq!(report.fallback_depth, 1);
+        assert_eq!(report.generation_quarantines.len(), 1);
+        assert_eq!(report.restored, vec![id]);
+        assert_eq!(restored.tick_now(), 0, "generation 1 predates the tick");
+        // Nothing valid at all is a typed cold-start signal.
+        let mut empty = CheckpointStore::new(MemStorage::new(), StoreConfig::default()).unwrap();
+        assert!(matches!(
+            Supervisor::restore_from_store(relaxed(), &mut empty, build, &recorder),
+            Err(ServeError::BadSnapshot(_))
+        ));
     }
 }

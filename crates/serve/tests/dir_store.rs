@@ -1,0 +1,138 @@
+//! Real-filesystem integration tests for [`DirStorage`]: checkpoints
+//! survive a process restart (drop + reopen), generation numbering
+//! resumes from what is on disk, corrupt generations are quarantined by
+//! rename (visible as `.quarantined` files), and hostile entry names
+//! never escape the store directory.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use lumen_serve::store::dir::DirStorage;
+use lumen_serve::store::{entry_name, Storage};
+use lumen_serve::{CheckpointStore, ServeConfig, StoreConfig, Supervisor};
+
+/// A fresh per-test directory under cargo's target tmpdir, so the tests
+/// never write outside the build tree and never collide with each other.
+fn scratch(test: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(test);
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    dir
+}
+
+fn store_at(dir: &Path) -> CheckpointStore<DirStorage> {
+    CheckpointStore::new(
+        DirStorage::new(dir.to_path_buf()).expect("create store dir"),
+        StoreConfig::default(),
+    )
+    .expect("open store")
+}
+
+#[test]
+fn checkpoints_survive_reopen_and_numbering_resumes() {
+    let dir = scratch("reopen");
+    let sup = Supervisor::new(ServeConfig::default()).expect("default config");
+
+    let mut store = store_at(&dir);
+    store.commit(0, &sup.snapshot()).expect("first commit");
+    store.commit(1, &sup.snapshot()).expect("second commit");
+    drop(store);
+
+    let mut reopened = store_at(&dir);
+    let report = reopened.load_latest().expect("list store dir");
+    let loaded = report.loaded.expect("newest generation is intact");
+    assert_eq!(loaded.generation, 2);
+    assert_eq!(loaded.fallback_depth, 0);
+    assert!(report.quarantined.is_empty());
+
+    // Numbering continues past what the previous incarnation wrote.
+    let outcome = reopened.commit(2, &sup.snapshot()).expect("third commit");
+    assert!(format!("{outcome:?}").contains("Committed"));
+    assert!(dir.join(entry_name(3)).is_file());
+}
+
+#[test]
+fn corrupt_newest_generation_is_quarantined_on_disk() {
+    let dir = scratch("quarantine");
+    let sup = Supervisor::new(ServeConfig::default()).expect("default config");
+
+    let mut store = store_at(&dir);
+    store.commit(0, &sup.snapshot()).expect("first commit");
+    store.commit(1, &sup.snapshot()).expect("second commit");
+    drop(store);
+
+    // Flip one payload byte of the newest generation, as a crash mid
+    // write or silent media rot would.
+    let newest = dir.join(entry_name(2));
+    let mut bytes = fs::read(&newest).expect("read newest generation");
+    let index = bytes.len() / 2;
+    bytes[index] ^= 0x20;
+    fs::write(&newest, bytes).expect("write damaged generation");
+
+    let mut reopened = store_at(&dir);
+    let report = reopened.load_latest().expect("list store dir");
+    let loaded = report.loaded.expect("older generation is intact");
+    assert_eq!(loaded.generation, 1);
+    assert_eq!(loaded.fallback_depth, 1);
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].name, entry_name(2));
+
+    // The damaged record is set aside by rename, not deleted: the
+    // original path is gone and a `.quarantined` twin holds the bytes.
+    assert!(!newest.exists());
+    let quarantined = dir.join(format!("{}.quarantined", entry_name(2)));
+    assert!(quarantined.is_file());
+}
+
+#[test]
+fn torn_write_on_disk_falls_back_to_previous_generation() {
+    let dir = scratch("torn");
+    let sup = Supervisor::new(ServeConfig::default()).expect("default config");
+
+    let mut store = store_at(&dir);
+    store.commit(0, &sup.snapshot()).expect("first commit");
+    store.commit(1, &sup.snapshot()).expect("second commit");
+    drop(store);
+
+    let newest = dir.join(entry_name(2));
+    let bytes = fs::read(&newest).expect("read newest generation");
+    fs::write(&newest, &bytes[..bytes.len() / 3]).expect("tear newest generation");
+
+    let mut reopened = store_at(&dir);
+    let report = reopened.load_latest().expect("list store dir");
+    assert_eq!(report.loaded.expect("fallback").generation, 1);
+    assert_eq!(report.quarantined.len(), 1);
+}
+
+#[test]
+fn hostile_entry_names_never_escape_the_store_directory() {
+    let dir = scratch("traversal");
+    let mut storage = DirStorage::new(dir.clone()).expect("create store dir");
+
+    for name in ["", "../escape", "a/b", "a\\b", ".hidden"] {
+        assert!(
+            storage.write(name, b"payload").is_err(),
+            "name {name:?} must be rejected"
+        );
+        assert!(
+            storage.read(name).is_err(),
+            "name {name:?} must be rejected"
+        );
+        assert!(
+            storage.remove(name).is_err(),
+            "name {name:?} must be rejected"
+        );
+    }
+    // Nothing outside (or inside) the directory was created.
+    assert_eq!(
+        fs::read_dir(&dir).expect("store dir exists").count(),
+        0,
+        "rejected names must leave the directory untouched"
+    );
+    assert!(!dir
+        .parent()
+        .expect("scratch parent")
+        .join("escape")
+        .exists());
+}
