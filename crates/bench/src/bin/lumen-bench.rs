@@ -358,6 +358,41 @@ fn run_suite(label: &str, quick: bool) -> Result<BenchReport, String> {
         None,
     ));
 
+    // Meta: the lint gate's own cost — the full two-tier workspace
+    // analysis (lex, parse, symbol table, call graph, every rule) timed
+    // like any pipeline stage, so a rule that goes quadratic in workspace
+    // size surfaces in the perf gate rather than as a slowly rotting CI
+    // wait. The finding count rides along as an exact zero-budget metric:
+    // the committed tree must lint clean.
+    eprintln!("[lumen-bench] meta: lumen-lint workspace analysis");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline = std::fs::read_to_string(root.join("lint.toml"))
+        .map_err(|e| format!("read lint.toml: {e}"))?;
+    let lint_config =
+        lumen_lint::Config::parse(&baseline).map_err(|e| format!("parse lint.toml: {e}"))?;
+    let first = lumen_lint::lint_workspace(&root, &lint_config)
+        .map_err(|e| format!("lint workspace: {e}"))?;
+    let lint_ms = time_ms(iters, || {
+        let report = lumen_lint::lint_workspace(&root, &lint_config)
+            .expect("workspace scan succeeded once already");
+        black_box(report.findings.len());
+    });
+    metrics.push(metric("lint.workspace_ms", lint_ms, "ms", "timing", None));
+    metrics.push(metric(
+        "lint.findings",
+        first.findings.len() as f64,
+        "count",
+        "exact",
+        Some(0.0),
+    ));
+    metrics.push(metric(
+        "lint.files_scanned",
+        first.files_scanned as f64,
+        "count",
+        "info",
+        None,
+    ));
+
     Ok(BenchReport {
         schema_version: SCHEMA_VERSION,
         label: label.to_string(),

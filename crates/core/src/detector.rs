@@ -218,6 +218,7 @@ impl Detector {
     /// # Errors
     ///
     /// Propagates feature-extraction and LOF errors.
+    // lint:hot-path
     pub fn detect(&self, pair: &TracePair) -> Result<Detection> {
         let _clip = self.recorder.span(stage::DETECT);
         let (mut tx, mut rx) = {

@@ -240,6 +240,8 @@ impl StreamingDetector {
     /// the gate to judge. Detection errors propagate either way.
     pub fn push(&mut self, tx_luma: f64, rx_luma: f64) -> Result<Option<ClipVerdict>> {
         if self.gate.is_none() && (!tx_luma.is_finite() || !rx_luma.is_finite()) {
+            // lint:allow(span-early-exit): the vote-fusion span measures
+            // only fused-status computation; rejected samples never reach it
             return Err(CoreError::invalid_config(
                 "sample",
                 "luminance samples must be finite",

@@ -138,8 +138,9 @@ impl Signal {
     /// a fallible variant.
     pub fn map(&self, f: impl FnMut(f64) -> f64) -> Signal {
         self.try_map(f)
-            // lint:allow(no-panic): the panic is this method's documented
-            // contract; try_map is the total variant
+            // lint:allow(no-panic, hot-path-purity): the panic is this
+            // method's documented contract; try_map is the total variant
+            // and the one the detection pipeline actually calls
             .expect("map closure produced a non-finite sample")
     }
 

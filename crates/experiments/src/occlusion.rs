@@ -93,6 +93,11 @@ fn occluded_profile(base: &UserProfile, intensity: f64) -> UserProfile {
     .expect("scaled profile is valid")
 }
 
+/// Substream label for the occlusion experiment's metering-script draws
+/// (allocated workspace-wide in SUBSTREAMS.md; independent of the chat
+/// scenario streams so experiment noise never correlates with scenarios).
+const OCCLUSION_SCRIPT_SUBSTREAM: u64 = 55;
+
 fn legit_features_with_profile(
     profile: &UserProfile,
     clips: usize,
@@ -103,7 +108,7 @@ fn legit_features_with_profile(
     (0..clips as u64)
         .map(|i| {
             let seed = seed_base + i;
-            let mut rng = substream(seed, 50);
+            let mut rng = substream(seed, OCCLUSION_SCRIPT_SUBSTREAM);
             let script = MeteringScript::random(
                 &mut rng,
                 session.duration,

@@ -1,0 +1,300 @@
+//! A conservative workspace call graph over the [`crate::symbols`] table.
+//!
+//! Edges are extracted syntactically from each function body:
+//!
+//! * `name(…)` — a free-function call, resolved to every free fn of that
+//!   name in the workspace;
+//! * `recv.name(…)` — a method call, resolved to every method of that
+//!   name (no type inference, so over-approximate);
+//! * `Type::name(…)` — resolved to `Type`'s methods when the impl is in
+//!   the workspace, falling back to the name-only method set;
+//! * `Self::name(…)` — resolved through the enclosing `impl` type;
+//! * `module::name(…)` — treated as a free-function call.
+//!
+//! Macros (`name!`), keywords, and locals that merely shadow a fn name do
+//! not create edges. The graph is an over-approximation by construction:
+//! the hot-path purity rules walk it with BFS and report the discovered
+//! call chain, so a spurious edge shows up in the diagnostic and can be
+//! audited away rather than silently widening the verdict path.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::lexer::{Token, TokenKind};
+use crate::symbols::{SymId, SymbolTable};
+
+/// Keywords that look like `ident (` but are never calls.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "else", "in", "as", "move", "unsafe",
+    "fn", "where", "impl",
+];
+
+/// The workspace call graph: `edges[caller]` lists possible callees.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    edges: Vec<Vec<SymId>>,
+}
+
+impl CallGraph {
+    /// Builds the graph. `tokens` is indexed by the file index recorded in
+    /// each [`crate::symbols::FnSym`].
+    pub fn build(symbols: &SymbolTable, tokens: &[&[Token]]) -> CallGraph {
+        let mut edges: Vec<Vec<SymId>> = vec![Vec::new(); symbols.fns.len()];
+        for (caller, sym) in symbols.fns.iter().enumerate() {
+            let Some((start, end)) = sym.item.body else {
+                continue;
+            };
+            let Some(toks) = tokens.get(sym.file) else {
+                continue;
+            };
+            let self_ty = sym.item.self_ty.as_deref();
+            let mut out = Vec::new();
+            for site in call_sites(toks, start, end) {
+                resolve(symbols, &site, self_ty, &mut out);
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges[caller] = out;
+        }
+        CallGraph { edges }
+    }
+
+    /// Possible callees of `caller`.
+    pub fn callees(&self, caller: SymId) -> &[SymId] {
+        self.edges.get(caller).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// BFS from `entries`, returning for every reachable symbol the call
+    /// chain (entry first, the symbol itself last) that discovered it.
+    pub fn reachable_chains(&self, entries: &[SymId]) -> BTreeMap<SymId, Vec<SymId>> {
+        let mut parent: BTreeMap<SymId, Option<SymId>> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for &e in entries {
+            if let Entry::Vacant(v) = parent.entry(e) {
+                v.insert(None);
+                queue.push_back(e);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            for &next in self.callees(cur) {
+                if let Entry::Vacant(v) = parent.entry(next) {
+                    v.insert(Some(cur));
+                    queue.push_back(next);
+                }
+            }
+        }
+        parent
+            .keys()
+            .map(|&id| {
+                let mut chain = vec![id];
+                let mut cur = id;
+                while let Some(Some(p)) = parent.get(&cur) {
+                    chain.push(*p);
+                    cur = *p;
+                }
+                chain.reverse();
+                (id, chain)
+            })
+            .collect()
+    }
+}
+
+/// One syntactic call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (last path segment).
+    pub name: String,
+    /// How the call is qualified.
+    pub qualifier: Qualifier,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Token index of the name.
+    pub index: usize,
+}
+
+/// The qualifier of a call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Qualifier {
+    /// `name(…)` with nothing before it.
+    Bare,
+    /// `recv.name(…)`.
+    Method,
+    /// `Seg::name(…)` — the segment immediately before the `::`.
+    Path(String),
+}
+
+/// Extracts every call site in `toks[start..=end]`.
+pub fn call_sites(toks: &[Token], start: usize, end: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let text = |i: usize| toks.get(i).map(|t| t.text.as_str()).unwrap_or("");
+    let kind = |i: usize| toks.get(i).map(|t| t.kind);
+    let last = end.min(toks.len().saturating_sub(1));
+    for (i, tok) in toks.iter().enumerate().take(last + 1).skip(start) {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        if CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // A call is `name (`; `name !` is a macro, `name::` a path prefix.
+        if text(i + 1) != "(" {
+            continue;
+        }
+        let qualifier = match (kind(i.wrapping_sub(1)), text(i.wrapping_sub(1))) {
+            _ if i == 0 || i <= start => Qualifier::Bare,
+            (Some(TokenKind::Punct), ".") => Qualifier::Method,
+            (Some(TokenKind::Punct), "::") => {
+                match (kind(i.wrapping_sub(2)), text(i.wrapping_sub(2))) {
+                    (Some(TokenKind::Ident), seg) => Qualifier::Path(seg.to_string()),
+                    // `<T as Trait>::call(…)` and friends: unresolvable
+                    // qualifier, treat as a bare name.
+                    _ => Qualifier::Bare,
+                }
+            }
+            (Some(TokenKind::Ident), "fn") => continue, // a definition
+            _ => Qualifier::Bare,
+        };
+        out.push(CallSite {
+            name: name.to_string(),
+            qualifier,
+            line: toks[i].line,
+            col: toks[i].col,
+            index: i,
+        });
+    }
+    out
+}
+
+/// Resolves one call site to candidate symbol ids (also used by the
+/// workspace rules to type `let _ = call();` discards).
+pub fn resolve_site(symbols: &SymbolTable, site: &CallSite, self_ty: Option<&str>) -> Vec<SymId> {
+    let mut out = Vec::new();
+    resolve(symbols, site, self_ty, &mut out);
+    out
+}
+
+/// Resolves one call site to candidate symbol ids.
+fn resolve(symbols: &SymbolTable, site: &CallSite, self_ty: Option<&str>, out: &mut Vec<SymId>) {
+    match &site.qualifier {
+        Qualifier::Bare => out.extend_from_slice(symbols.free_fns(&site.name)),
+        Qualifier::Method => out.extend_from_slice(symbols.methods(&site.name)),
+        Qualifier::Path(seg) => {
+            let seg: &str = match (seg.as_str(), self_ty) {
+                ("Self", Some(ty)) => ty,
+                (s, _) => s,
+            };
+            let is_type = seg.chars().next().is_some_and(char::is_uppercase);
+            if is_type {
+                out.extend_from_slice(symbols.typed_methods(seg, &site.name));
+            } else {
+                // Module-qualified free call (`noise::substream(…)`).
+                out.extend_from_slice(symbols.free_fns(&site.name));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+    use crate::symbols::SymbolTable;
+
+    fn workspace(files: &[(&str, &str)]) -> (SymbolTable, Vec<Vec<Token>>) {
+        let mut symbols = SymbolTable::default();
+        let mut tokens = Vec::new();
+        for (i, (path, src)) in files.iter().enumerate() {
+            let lexed = lex(src);
+            let parsed = parse(&lexed);
+            let consts: Vec<(String, u64)> = parsed
+                .consts
+                .iter()
+                .filter_map(|c| c.value.map(|v| (c.name.clone(), v)))
+                .collect();
+            symbols.add_file(i, path, &parsed.fns, &consts);
+            tokens.push(lexed.tokens);
+        }
+        (symbols, tokens)
+    }
+
+    fn graph(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let (symbols, tokens) = workspace(files);
+        let refs: Vec<&[Token]> = tokens.iter().map(Vec::as_slice).collect();
+        let g = CallGraph::build(&symbols, &refs);
+        (symbols, g)
+    }
+
+    fn id_of(symbols: &SymbolTable, name: &str) -> SymId {
+        symbols
+            .fns
+            .iter()
+            .position(|s| s.item.name == name)
+            .expect("symbol")
+    }
+
+    #[test]
+    fn free_and_method_calls_create_edges() {
+        let (s, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn top() { helper(); obj.work(); Widget::make(); }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn helper() {}\nimpl Widget { fn work(&self) {} fn make() {} }",
+            ),
+        ]);
+        let callees = g.callees(id_of(&s, "top"));
+        assert_eq!(callees.len(), 3);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let (s, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn top() { if x { vec![helper]; println!(\"{}\", 1); } match (y) { _ => {} } }",
+            ),
+            ("crates/b/src/lib.rs", "fn helper() {}"),
+        ]);
+        assert!(g.callees(id_of(&s, "top")).is_empty());
+    }
+
+    #[test]
+    fn self_qualifier_resolves_through_the_impl() {
+        let (s, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "impl Widget { fn a(&self) { Self::b(); } fn b() {} }\nimpl Other { fn b() {} }",
+        )]);
+        let callees = g.callees(id_of(&s, "a"));
+        assert_eq!(callees.len(), 1);
+        assert_eq!(s.fns[callees[0]].display(), "Widget::b");
+    }
+
+    #[test]
+    fn reachability_reports_the_chain() {
+        let (s, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn entry() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}",
+        )]);
+        let entry = id_of(&s, "entry");
+        let chains = g.reachable_chains(&[entry]);
+        let leaf = id_of(&s, "leaf");
+        let chain: Vec<String> = chains[&leaf].iter().map(|&i| s.fns[i].display()).collect();
+        assert_eq!(chain, vec!["entry", "mid", "leaf"]);
+        assert!(!chains.contains_key(&id_of(&s, "island")));
+    }
+
+    #[test]
+    fn method_calls_overapproximate_across_types() {
+        let (s, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn top(x: X) { x.record(); }\nimpl A { fn record(&self) {} }\nimpl B { fn record(&self) {} }",
+        )]);
+        assert_eq!(g.callees(id_of(&s, "top")).len(), 2);
+    }
+}

@@ -30,12 +30,22 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// One `allow_paths` entry: the path prefix and the `lint.toml` line it
+/// was declared on (the anchor for `unused-path-allow` findings).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowPath {
+    /// Workspace-relative, `/`-separated path prefix.
+    pub prefix: String,
+    /// 1-based `lint.toml` line of the `allow_paths = [...]` assignment.
+    pub line: u32,
+}
+
 /// Per-rule configuration.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuleConfig {
     /// Path prefixes (workspace-relative, `/`-separated) where findings of
     /// this rule are structurally permitted.
-    pub allow_paths: Vec<String>,
+    pub allow_paths: Vec<AllowPath>,
     /// Whether the rule runs at all; `None` means the default (`true`).
     pub enabled: Option<bool>,
 }
@@ -101,7 +111,13 @@ impl Config {
                 ([], "skip_paths") => config.skip_paths = parse_string_array(value, lineno)?,
                 ([root, rule], "allow_paths") if root == "rules" => {
                     config.rules.entry(rule.clone()).or_default().allow_paths =
-                        parse_string_array(value, lineno)?;
+                        parse_string_array(value, lineno)?
+                            .into_iter()
+                            .map(|prefix| AllowPath {
+                                prefix,
+                                line: lineno,
+                            })
+                            .collect();
                 }
                 ([root, rule], "enabled") if root == "rules" => {
                     config.rules.entry(rule.clone()).or_default().enabled =
@@ -125,10 +141,24 @@ impl Config {
 
     /// Whether `rel_path` is structurally allowed for `rule`.
     pub fn is_rule_allowed(&self, rule: &str, rel_path: &str) -> bool {
+        self.matching_allow(rule, rel_path).is_some()
+    }
+
+    /// The first `allow_paths` entry of `rule` covering `rel_path`.
+    pub fn matching_allow(&self, rule: &str, rel_path: &str) -> Option<&AllowPath> {
         self.rules
-            .get(rule)
-            .map(|r| r.allow_paths.iter().any(|p| path_has_prefix(rel_path, p)))
-            .unwrap_or(false)
+            .get(rule)?
+            .allow_paths
+            .iter()
+            .find(|p| path_has_prefix(rel_path, &p.prefix))
+    }
+
+    /// Every `(rule id, allow_paths entry)` pair in declaration order, for
+    /// staleness auditing.
+    pub fn allow_entries(&self) -> impl Iterator<Item = (&str, &AllowPath)> {
+        self.rules
+            .iter()
+            .flat_map(|(rule, rc)| rc.allow_paths.iter().map(move |p| (rule.as_str(), p)))
     }
 
     /// Whether `rule` is enabled (default yes; `enabled = false` opts out).

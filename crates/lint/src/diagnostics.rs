@@ -45,6 +45,9 @@ pub struct Report {
     pub findings: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The rendered `SUBSTREAMS.md` allocation table (workspace runs
+    /// only; empty for single-file runs).
+    pub substreams_md: String,
 }
 
 impl Report {
@@ -96,6 +99,49 @@ impl Report {
         out.push_str("]\n}\n");
         out
     }
+
+    /// Renders the report as SARIF 2.1.0, the interchange format code
+    /// hosts ingest for inline annotations.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+             \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+             \"driver\": {\n          \"name\": \"lumen-lint\",\n          \"rules\": [",
+        );
+        let catalogue = crate::rules::catalogue();
+        for (i, (id, description)) in catalogue.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                json_str(id),
+                json_str(description)
+            ));
+        }
+        out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+        for (i, d) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n        {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": \
+                 {}}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}, \"startColumn\": \
+                 {}}}}}}}]}}",
+                json_str(d.rule),
+                json_str(&format!("{} (hint: {})", d.message, d.hint)),
+                json_str(&d.path),
+                d.line,
+                d.col
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
 }
 
 /// Escapes a string as a JSON string literal.
@@ -138,6 +184,7 @@ mod tests {
         let r = Report {
             findings: vec![sample()],
             files_scanned: 2,
+            ..Report::default()
         };
         let text = r.to_text();
         assert!(text.contains("crates/x/src/lib.rs:3:7: [no-panic]"));
@@ -149,6 +196,7 @@ mod tests {
         let r = Report {
             findings: vec![sample()],
             files_scanned: 2,
+            ..Report::default()
         };
         let json = r.to_json();
         assert!(json.contains("\"finding_count\": 1"));
@@ -160,6 +208,22 @@ mod tests {
     #[test]
     fn json_escapes_control_characters() {
         assert_eq!(json_str("a\"b\\c\nd\u{1}"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn sarif_report_names_rules_and_locations() {
+        let r = Report {
+            findings: vec![sample()],
+            files_scanned: 2,
+            ..Report::default()
+        };
+        let sarif = r.to_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\": \"no-panic\""));
+        assert!(sarif.contains("\"startLine\": 3"));
+        // Tool metadata lists every shipped rule.
+        assert!(sarif.contains("\"id\": \"seed-substream\""));
+        assert!(sarif.contains("\"id\": \"unused-path-allow\""));
     }
 
     #[test]

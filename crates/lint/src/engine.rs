@@ -1,13 +1,33 @@
 //! The rule engine: file discovery, classification, `#[cfg(test)]`
 //! scoping, `// lint:allow(...)` suppression and rule dispatch.
+//!
+//! Two tiers run over the workspace:
+//!
+//! 1. **file-local token rules** ([`crate::rules::ALL`]) — one pass per
+//!    file over its token stream;
+//! 2. **workspace rules** ([`crate::rules::WORKSPACE`]) — the parsed item
+//!    trees of every file are joined into a symbol table and conservative
+//!    call graph, then the interprocedural rules (seed-substream flow,
+//!    hot-path purity, error swallowing, span-early-exit) run once over
+//!    the whole workspace.
+//!
+//! Findings from both tiers flow through the same two suppression layers,
+//! in order: inline `lint:allow` directives first, then `lint.toml`
+//! `allow_paths` prefixes. Both layers track usage — a directive that
+//! suppresses nothing is an `unused-allow` finding, an `allow_paths`
+//! entry that matches nothing is an `unused-path-allow` finding anchored
+//! at its `lint.toml` line — so the exemption baseline can only shrink.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::diagnostics::{Diagnostic, Report};
 use crate::lexer::{self, Comment, Lexed, Token};
+use crate::parser::{self, ParsedFile};
 use crate::rules;
+use crate::symbols::SymbolTable;
 
 /// How a file participates in the build — rules exempt some kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +110,109 @@ impl FileCtx<'_> {
     }
 }
 
+/// One file handed to [`lint_files`]: its workspace-relative path and
+/// source text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Full source text.
+    pub source: String,
+}
+
+/// One fully analysed source file: lexed, parsed and classified. Shared
+/// by the file-local and the workspace rule tiers.
+pub struct FileAnalysis {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Full source text.
+    pub source: String,
+    /// Classification.
+    pub meta: FileMeta,
+    /// Lexer output (tokens + comments).
+    pub lexed: Lexed,
+    /// Parsed item tree.
+    pub parsed: ParsedFile,
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` items.
+    pub cfg_test_ranges: Vec<(u32, u32)>,
+}
+
+impl FileAnalysis {
+    /// Lexes, parses and classifies one file.
+    pub fn build(rel_path: String, source: String, meta: FileMeta) -> FileAnalysis {
+        let lexed = lexer::lex(&source);
+        let parsed = parser::parse(&lexed);
+        let cfg_test_ranges = find_cfg_test_ranges(&lexed.tokens);
+        FileAnalysis {
+            rel_path,
+            source,
+            meta,
+            lexed,
+            parsed,
+            cfg_test_ranges,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_cfg_test(&self, line: u32) -> bool {
+        self.cfg_test_ranges
+            .iter()
+            .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// The trimmed source line at 1-based `line` (empty when out of range).
+    pub fn snippet(&self, line: u32) -> String {
+        self.source
+            .lines()
+            .nth(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Builds a diagnostic anchored at `line`:`col` in this file.
+    pub fn diag_at(
+        &self,
+        rule: &'static str,
+        line: u32,
+        col: u32,
+        message: String,
+        hint: &'static str,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: self.rel_path.clone(),
+            line,
+            col,
+            snippet: self.snippet(line),
+            message,
+            hint,
+        }
+    }
+
+    /// A borrowed [`FileCtx`] view for the file-local rules.
+    fn ctx(&self) -> FileCtx<'_> {
+        FileCtx {
+            path: &self.rel_path,
+            lines: self.source.lines().collect(),
+            tokens: &self.lexed.tokens,
+            meta: self.meta,
+            cfg_test_ranges: &self.cfg_test_ranges,
+        }
+    }
+}
+
+/// Everything a workspace rule can look at: every analysed file, the
+/// symbol table and the call graph. File indices in
+/// [`crate::symbols::FnSym`] index into `files`.
+pub struct WsCtx<'a> {
+    /// All analysed files, in scan order.
+    pub files: &'a [FileAnalysis],
+    /// The cross-crate symbol table (test-like files contribute nothing).
+    pub symbols: &'a SymbolTable,
+    /// The conservative call graph over `symbols`.
+    pub graph: &'a CallGraph,
+}
+
 /// A parsed `// lint:allow(rule[, rule…]): justification` directive.
 #[derive(Debug, Clone)]
 struct AllowDirective {
@@ -146,6 +269,136 @@ pub fn lint_source(
         (rule.check)(&ctx, &mut findings);
     }
     apply_allow_directives(rel_path, &ctx, &lexed, findings)
+}
+
+/// Lints a set of in-memory files as one workspace.
+///
+/// File-local rules run per file; the parsed item trees are then joined
+/// into a symbol table and call graph for the workspace rules. All raw
+/// findings pass through inline `lint:allow` filtering first, then
+/// `lint.toml` `allow_paths` filtering — with staleness tracking on both
+/// layers (`unused-allow`, `unused-path-allow`).
+pub fn lint_files(files: Vec<SourceFile>, config: &Config) -> Report {
+    let analyses: Vec<FileAnalysis> = files
+        .into_iter()
+        .map(|f| {
+            let meta = classify(&f.rel_path);
+            FileAnalysis::build(f.rel_path, f.source, meta)
+        })
+        .collect();
+
+    // Tier 1: file-local token rules, raw (no path exemptions yet).
+    let mut raw = Vec::new();
+    for a in &analyses {
+        let ctx = a.ctx();
+        for rule in rules::ALL {
+            if config.is_rule_enabled(rule.id) {
+                (rule.check)(&ctx, &mut raw);
+            }
+        }
+    }
+
+    // Tier 2: workspace analysis. Test-like files contribute no symbols
+    // (their panics and clocks are sanctioned), but indices stay aligned
+    // with `analyses`.
+    let mut symbols = SymbolTable::default();
+    for (i, a) in analyses.iter().enumerate() {
+        if a.meta.kind.is_test_like() {
+            continue;
+        }
+        let consts: Vec<(String, u64)> = a
+            .parsed
+            .consts
+            .iter()
+            .filter_map(|c| c.value.map(|v| (c.name.clone(), v)))
+            .collect();
+        symbols.add_file(i, &a.rel_path, &a.parsed.fns, &consts);
+    }
+    let tokens: Vec<&[Token]> = analyses.iter().map(|a| a.lexed.tokens.as_slice()).collect();
+    let graph = CallGraph::build(&symbols, &tokens);
+    let ws = WsCtx {
+        files: &analyses,
+        symbols: &symbols,
+        graph: &graph,
+    };
+    for rule in rules::WORKSPACE {
+        if config.is_rule_enabled(rule.id) {
+            (rule.check)(&ws, &mut raw);
+        }
+    }
+    let substreams_md = rules::render_substreams_md(&rules::collect_substreams(&ws));
+
+    // A `lint:hot-path` comment that annotates nothing is a misplaced
+    // directive, same class as a malformed allow.
+    for a in &analyses {
+        for &line in &a.parsed.unattached_hot_paths {
+            raw.push(a.diag_at(
+                rules::INVALID_ALLOW,
+                line,
+                1,
+                "`lint:hot-path` does not annotate a function".to_string(),
+                "place the comment directly above a `fn` item",
+            ));
+        }
+    }
+
+    // Suppression layer 1: inline allow directives, per file.
+    let mut grouped: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for d in raw {
+        grouped.entry(d.path.clone()).or_default().push(d);
+    }
+    let mut filtered = Vec::new();
+    for a in &analyses {
+        let findings = grouped.remove(&a.rel_path).unwrap_or_default();
+        let ctx = a.ctx();
+        filtered.extend(apply_allow_directives(
+            &a.rel_path,
+            &ctx,
+            &a.lexed,
+            findings,
+        ));
+    }
+    for (_, rest) in grouped {
+        filtered.extend(rest);
+    }
+
+    // Suppression layer 2: `lint.toml` allow_paths, tracking which
+    // entries actually earn their keep.
+    let mut kept = Vec::new();
+    let mut used_entries: BTreeSet<(String, String)> = BTreeSet::new();
+    for d in filtered {
+        match config.matching_allow(d.rule, &d.path) {
+            Some(entry) => {
+                used_entries.insert((d.rule.to_string(), entry.prefix.clone()));
+            }
+            None => kept.push(d),
+        }
+    }
+    for (rule_id, entry) in config.allow_entries() {
+        if !config.is_rule_enabled(rule_id)
+            || used_entries.contains(&(rule_id.to_string(), entry.prefix.clone()))
+        {
+            continue;
+        }
+        kept.push(Diagnostic {
+            rule: rules::UNUSED_PATH_ALLOW,
+            path: "lint.toml".to_string(),
+            line: entry.line,
+            col: 1,
+            snippet: format!("allow_paths entry \"{}\"", entry.prefix),
+            message: format!(
+                "`[rules.{rule_id}]` allow_paths entry `{}` matches no findings",
+                entry.prefix
+            ),
+            hint: "delete the stale exemption (or fix the path prefix)",
+        });
+    }
+    kept.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Report {
+        findings: kept,
+        files_scanned: analyses.len(),
+        substreams_md,
+    }
 }
 
 /// Suppresses findings covered by `lint:allow` comments and reports
@@ -243,6 +496,10 @@ enum ParsedAllow {
 fn parse_allow(comment: &Comment) -> ParsedAllow {
     let body = comment.text.trim_start_matches('/').trim();
     let Some(rest) = body.strip_prefix("lint:allow") else {
+        // `lint:hot-path` is the parser's annotation, not an allow.
+        if body.starts_with("lint:hot-path") {
+            return ParsedAllow::None;
+        }
         if body.starts_with("lint:") {
             return ParsedAllow::Malformed(format!(
                 "unknown lint directive `{}`",
@@ -376,22 +633,18 @@ pub fn lint_workspace(root: &Path, config: &Config) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, config, &mut files)?;
     files.sort();
-    let mut report = Report::default();
-    for rel in &files {
-        let abs = root.join(rel);
+    let mut sources = Vec::new();
+    for rel in files {
+        let abs = root.join(&rel);
         let Ok(source) = std::fs::read_to_string(&abs) else {
             continue;
         };
-        report.files_scanned += 1;
-        let meta = classify(rel);
-        report
-            .findings
-            .extend(lint_source(rel, &source, meta, config));
+        sources.push(SourceFile {
+            rel_path: rel,
+            source,
+        });
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
-    Ok(report)
+    Ok(lint_files(sources, config))
 }
 
 /// Recursively collects workspace-relative `.rs` paths under `dir`.

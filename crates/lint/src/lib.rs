@@ -13,15 +13,28 @@
 //!    never `unwrap` (`no-panic`), and every crate root forbids unsafe
 //!    code and missing docs (`crate-root-hygiene`).
 //! 3. **Span discipline** — every observability span guard is held for
-//!    the duration it claims to measure (`span-balance`).
+//!    the duration it claims to measure (`span-balance`), and a fn that
+//!    opens a span cannot exit before it opens (`span-early-exit`).
+//!
+//! On top of the file-local token rules sits a second, workspace tier:
+//! the [`parser`] turns each file into an item tree, [`symbols`] joins
+//! the trees into a cross-crate symbol table, [`callgraph`] builds a
+//! conservative call graph over it, and the interprocedural rules walk
+//! the graph — `seed-substream` audits every `substream(seed, label)`
+//! allocation workspace-wide (and renders `SUBSTREAMS.md`),
+//! `hot-path-purity` keeps wall-clock/fs/panic sites out of everything
+//! reachable from a `// lint:hot-path` entry, and `error-swallowing`
+//! flags discarded `Result`s on those same verdict paths.
 //!
 //! The build environment has no registry access, so the linter carries
-//! its own [`lexer`] (strings, raw strings, char-vs-lifetime, nested
-//! block comments) instead of depending on `syn`; rules operate on the
-//! token stream. Escape hatches are explicit and audited: per-line
+//! its own [`lexer`] and [`parser`] (strings, raw strings,
+//! char-vs-lifetime, nested block comments; item trees with scope
+//! tracking) instead of depending on `syn`; both are total on arbitrary
+//! input. Escape hatches are explicit and audited: per-line
 //! `// lint:allow(rule): justification` comments (a missing justification
 //! is itself a finding) and the checked-in `lint.toml` baseline of
-//! structural exemptions.
+//! structural exemptions — where a stale `allow_paths` entry is itself a
+//! finding (`unused-path-allow`), so the baseline can only shrink.
 //!
 //! # Example
 //!
@@ -44,12 +57,17 @@
 #![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod callgraph;
 pub mod config;
 pub mod diagnostics;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
 pub use config::{Config, ConfigError};
 pub use diagnostics::{Diagnostic, Report};
-pub use engine::{classify, lint_source, lint_workspace, FileKind, FileMeta};
+pub use engine::{
+    classify, lint_files, lint_source, lint_workspace, FileKind, FileMeta, SourceFile,
+};

@@ -1,0 +1,218 @@
+//! The cross-crate symbol table.
+//!
+//! Every function parsed out of every non-test source file in the
+//! workspace gets one [`FnSym`] entry; lookups resolve call sites by name
+//! (free functions), by `(type, name)` (qualified and method calls) and
+//! constants by name with same-file-first scoping. Resolution is
+//! deliberately *conservative*: a method call `x.foo()` resolves to every
+//! method named `foo` in the workspace, because without type inference the
+//! linter must over-approximate reachability — a purity rule that misses
+//! an edge is unsound, one that adds a spurious edge is merely noisy (and
+//! auditable via `lint.toml`).
+
+use std::collections::BTreeMap;
+
+use crate::parser::FnItem;
+
+/// Index of a function in the workspace symbol table.
+pub type SymId = usize;
+
+/// One function symbol: the parsed item plus its file of origin.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index of the file (into the engine's analysis list).
+    pub file: usize,
+    /// Workspace-relative path of that file.
+    pub path: String,
+    /// The crate the file belongs to (`lumen-core` for
+    /// `crates/core/src/…`, the file itself otherwise).
+    pub krate: String,
+    /// The parsed function item.
+    pub item: FnItem,
+}
+
+impl FnSym {
+    /// `Type::name` or `name`, for diagnostics.
+    pub fn display(&self) -> String {
+        self.item.display()
+    }
+}
+
+/// The workspace-wide symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All function symbols.
+    pub fns: Vec<FnSym>,
+    /// Free functions by name.
+    by_name_free: BTreeMap<String, Vec<SymId>>,
+    /// Methods (fns with a self type) by name.
+    by_name_method: BTreeMap<String, Vec<SymId>>,
+    /// Methods by `(self type, name)`.
+    by_ty_name: BTreeMap<(String, String), Vec<SymId>>,
+    /// Integer constants: name → (file index, value) sites.
+    consts: BTreeMap<String, Vec<(usize, u64)>>,
+}
+
+/// The crate a workspace-relative path belongs to.
+pub fn crate_of(rel_path: &str) -> String {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, ..] => (*name).to_string(),
+        ["src", ..] => "root".to_string(),
+        _ => rel_path.to_string(),
+    }
+}
+
+impl SymbolTable {
+    /// Inserts every function and integer constant of one parsed file.
+    pub fn add_file(&mut self, file: usize, path: &str, fns: &[FnItem], consts: &[(String, u64)]) {
+        for item in fns {
+            let id = self.fns.len();
+            self.fns.push(FnSym {
+                file,
+                path: path.to_string(),
+                krate: crate_of(path),
+                item: item.clone(),
+            });
+            let name = item.name.clone();
+            match &item.self_ty {
+                Some(ty) => {
+                    self.by_name_method
+                        .entry(name.clone())
+                        .or_default()
+                        .push(id);
+                    self.by_ty_name
+                        .entry((ty.clone(), name))
+                        .or_default()
+                        .push(id);
+                }
+                None => self.by_name_free.entry(name).or_default().push(id),
+            }
+        }
+        for (name, value) in consts {
+            self.consts
+                .entry(name.clone())
+                .or_default()
+                .push((file, *value));
+        }
+    }
+
+    /// Free functions named `name`.
+    pub fn free_fns(&self, name: &str) -> &[SymId] {
+        self.by_name_free
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Methods named `name`, on any type.
+    pub fn methods(&self, name: &str) -> &[SymId] {
+        self.by_name_method
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Methods named `name` on type `ty`; falls back to the name-only
+    /// method set when the type has no such method in the workspace (the
+    /// qualifier may be a re-export or type alias the parser cannot see).
+    pub fn typed_methods(&self, ty: &str, name: &str) -> &[SymId] {
+        match self.by_ty_name.get(&(ty.to_string(), name.to_string())) {
+            Some(ids) => ids.as_slice(),
+            None => self.methods(name),
+        }
+    }
+
+    /// Resolves a constant name to its integer value: same-file constants
+    /// win; otherwise the value is returned only when every definition in
+    /// the workspace agrees (ambiguity is unresolvable, not guessable).
+    pub fn const_value(&self, file: usize, name: &str) -> Option<u64> {
+        let sites = self.consts.get(name)?;
+        if let Some((_, v)) = sites.iter().find(|(f, _)| *f == file) {
+            return Some(*v);
+        }
+        let mut values: Vec<u64> = sites.iter().map(|(_, v)| *v).collect();
+        values.dedup();
+        match values.as_slice() {
+            [v] => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// All hot-path entry points (`// lint:hot-path`-annotated fns).
+    pub fn hot_entries(&self) -> Vec<SymId> {
+        (0..self.fns.len())
+            .filter(|&id| self.fns[id].item.is_hot)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn table(files: &[(&str, &str)]) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        for (i, (path, src)) in files.iter().enumerate() {
+            let parsed = parse(&lex(src));
+            let consts: Vec<(String, u64)> = parsed
+                .consts
+                .iter()
+                .filter_map(|c| c.value.map(|v| (c.name.clone(), v)))
+                .collect();
+            t.add_file(i, path, &parsed.fns, &consts);
+        }
+        t
+    }
+
+    #[test]
+    fn crate_of_classifies_paths() {
+        assert_eq!(crate_of("crates/core/src/detector.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+        assert_eq!(crate_of("examples/demo.rs"), "examples/demo.rs");
+    }
+
+    #[test]
+    fn lookups_split_free_fns_and_methods() {
+        let t = table(&[
+            ("crates/a/src/lib.rs", "fn helper() {}"),
+            (
+                "crates/b/src/lib.rs",
+                "impl Widget { fn helper(&self) {} fn solo(&self) {} }",
+            ),
+        ]);
+        assert_eq!(t.free_fns("helper").len(), 1);
+        assert_eq!(t.methods("helper").len(), 1);
+        assert_eq!(t.typed_methods("Widget", "helper").len(), 1);
+        // Unknown type falls back to any method of that name.
+        assert_eq!(t.typed_methods("Alias", "solo").len(), 1);
+    }
+
+    #[test]
+    fn const_resolution_prefers_same_file_then_unanimity() {
+        let t = table(&[
+            ("crates/a/src/lib.rs", "const LABEL: u64 = 7;"),
+            ("crates/b/src/lib.rs", "const LABEL: u64 = 9;"),
+            ("crates/c/src/lib.rs", "const OTHER: u64 = 3;"),
+        ]);
+        assert_eq!(t.const_value(0, "LABEL"), Some(7));
+        assert_eq!(t.const_value(1, "LABEL"), Some(9));
+        // From a third file the two definitions disagree: unresolvable.
+        assert_eq!(t.const_value(2, "LABEL"), None);
+        assert_eq!(t.const_value(0, "OTHER"), Some(3));
+        assert_eq!(t.const_value(0, "MISSING"), None);
+    }
+
+    #[test]
+    fn hot_entries_surface_annotated_fns() {
+        let t = table(&[(
+            "crates/a/src/lib.rs",
+            "// lint:hot-path\nfn tick() {}\nfn other() {}",
+        )]);
+        let hot = t.hot_entries();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(t.fns[hot[0]].item.name, "tick");
+    }
+}

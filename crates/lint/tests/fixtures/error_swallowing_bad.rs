@@ -1,0 +1,19 @@
+//! Bad: a verdict-path fn discards two `Result`s — one through
+//! `let _ =`, one through a dangling `.ok()`.
+
+/// Fallible refresh; the symbol table records the `Result` return.
+fn refresh() -> Result<(), Error> {
+    Ok(())
+}
+
+/// Fallible push.
+fn push(v: u64) -> Result<(), Error> {
+    Ok(())
+}
+
+/// Verdict-path tick.
+// lint:hot-path
+pub fn tick() {
+    let _ = refresh();
+    push(1).ok();
+}

@@ -1,0 +1,104 @@
+//! Totality fuzzing: the lexer → parser pipeline must accept anything —
+//! truncated items, unbalanced braces, stray punctuation, raw bytes —
+//! without panicking, because the linter runs over work-in-progress
+//! trees where half-written code is the normal case. The full engine is
+//! exercised too: `lint_files` on garbage must return a report, never
+//! unwind.
+
+use proptest::prelude::*;
+
+use lumen_lint::lexer::lex;
+use lumen_lint::parser::parse;
+use lumen_lint::{lint_files, Config, SourceFile};
+
+/// Rust-flavoured fragments that stress the parser's scope tracking:
+/// item keywords, braces, generics, attributes and directives in
+/// arbitrary interleavings.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "impl ",
+    "mod ",
+    "const X: u64 = 3;",
+    "use a::b::{c, d};",
+    "{",
+    "}",
+    "(",
+    ")",
+    "->",
+    "Result<(), E>",
+    "where T: Clone",
+    "#[cfg(test)]",
+    "// lint:hot-path\n",
+    "// lint:allow(no-panic): soup\n",
+    "\"unterminated",
+    "'a",
+    "r#\"raw\"#",
+    "/* block",
+    "self",
+    "Self::new()",
+    "substream(seed, ",
+    "let _ = ",
+    ".ok();",
+    "?",
+    "\n",
+    "ident_a",
+    "B2",
+    "0x1f",
+    "1_000",
+    "0.5e3",
+    "é∆\u{1F600}",
+    "\u{0}\u{7f}",
+];
+
+/// Concatenation of arbitrary fragments — half-items, unbalanced
+/// delimiters and mid-token truncations included.
+fn soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..FRAGMENTS.len(), 0..60)
+        .prop_map(|picks| picks.into_iter().map(|i| FRAGMENTS[i]).collect())
+}
+
+/// Arbitrary (possibly invalid-UTF-8-adjacent) text: raw bytes coerced
+/// into a string lossily, so every byte class reaches the lexer.
+fn bytes_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..0x2ff, 0..400).prop_map(|codes| {
+        codes
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect::<String>()
+    })
+}
+
+proptest! {
+    /// Arbitrary character salad never panics the pipeline, and every
+    /// recorded body range stays internally ordered.
+    #[test]
+    fn parse_is_total_on_arbitrary_text(src in bytes_text()) {
+        let parsed = parse(&lex(&src));
+        for f in &parsed.fns {
+            if let Some((s, e)) = f.body {
+                prop_assert!(s <= e, "inverted body range in {}", f.name);
+            }
+        }
+    }
+
+    /// Token soup built from Rust-shaped fragments never panics, even
+    /// when it forms deeply misleading half-items.
+    #[test]
+    fn parse_is_total_on_token_soup(src in soup()) {
+        let _ = parse(&lex(&src));
+    }
+
+    /// The whole engine — both rule tiers, symbols, call graph,
+    /// suppression — is total on garbage input.
+    #[test]
+    fn lint_files_is_total_on_token_soup(src in soup()) {
+        let report = lint_files(
+            vec![SourceFile {
+                rel_path: "crates/soup/src/lib.rs".to_string(),
+                source: src,
+            }],
+            &Config::default(),
+        );
+        prop_assert_eq!(report.files_scanned, 1);
+    }
+}

@@ -35,6 +35,26 @@ fn real_workspace_is_clean() {
 }
 
 #[test]
+fn checked_in_substreams_table_is_fresh() {
+    // SUBSTREAMS.md is generated (`lumen-lint --emit-substreams`); a
+    // stale copy means a label moved without the allocation table — the
+    // audit trail probe-aware-attacker analysis leans on.
+    let root = workspace_root();
+    let baseline =
+        std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml is checked in");
+    let config = Config::parse(&baseline).expect("lint.toml parses");
+    let report = lint_workspace(&root, &config).expect("workspace scan succeeds");
+    let checked_in =
+        std::fs::read_to_string(root.join("SUBSTREAMS.md")).expect("SUBSTREAMS.md is checked in");
+    assert_eq!(
+        checked_in.trim(),
+        report.substreams_md.trim(),
+        "SUBSTREAMS.md is stale; regenerate with \
+         `cargo run -p lumen-lint -- --emit-substreams SUBSTREAMS.md`"
+    );
+}
+
+#[test]
 fn baseline_config_parses_and_names_known_rules() {
     let root = workspace_root();
     let baseline =

@@ -166,6 +166,12 @@ pub struct ChallengeSchedule {
     pub segments: Vec<ChallengeSegment>,
 }
 
+/// Substream label reserved for challenge-schedule randomness. Labels are
+/// allocated workspace-wide in SUBSTREAMS.md; the challenge draw must
+/// never share a stream with the synthesis-side noise, or a probe-aware
+/// forger could predict upcoming challenges from observed motion.
+const CHALLENGE_SUBSTREAM: u64 = 91;
+
 impl ChallengeSchedule {
     /// Draws a schedule from `config` and `seed`. Identical inputs yield
     /// byte-identical schedules.
@@ -181,7 +187,7 @@ impl ChallengeSchedule {
             -config.amplitude / 2.0,
             -config.amplitude,
         ];
-        let mut rng = substream(seed, 60);
+        let mut rng = substream(seed, CHALLENGE_SUBSTREAM);
         let mut segments = Vec::with_capacity(config.segments);
         let mut idx = rng.gen_range(0..levels.len());
         for _ in 0..config.segments {

@@ -244,6 +244,7 @@ impl ProbeVerifier {
     /// # Errors
     ///
     /// Same conditions as [`ProbeVerifier::verify`].
+    // lint:hot-path
     pub fn verify_with(
         &self,
         schedule: &ChallengeSchedule,

@@ -554,6 +554,7 @@ impl Supervisor {
     /// Advances one tick: refills the budget at period boundaries, walks
     /// breaker cool-downs, sheds deadline-expired clips, then spends
     /// credits serving queued clips round-robin. Returns the new tick.
+    // lint:hot-path
     pub fn tick(&mut self) -> u64 {
         self.clock.advance();
         let now = self.clock.tick();
@@ -651,6 +652,8 @@ impl Supervisor {
     fn serve_front(&mut self, session: u64, now: u64) {
         let _scope = self.recorder.session_scope(session);
         let Some(slot) = self.sessions.get_mut(&session) else {
+            // lint:allow(span-early-exit): the serve-clip span measures
+            // real clip serving; a vanished session serves nothing
             return;
         };
         let Some(QueuedClip::Clip {
@@ -717,7 +720,14 @@ impl Supervisor {
             None => {
                 // Either a push failed or the clip never closed (a
                 // geometry mismatch); both are detection failures.
-                let _ = slot.stream.restore(&before);
+                if slot.stream.restore(&before).is_err() {
+                    // The snapshot no longer fits the stream's geometry:
+                    // the rollback itself failed, and the session may sit
+                    // on a half-fed stream. That deserves a post-mortem
+                    // bundle, not silence.
+                    self.recorder.add("serve.restore_failed", 1);
+                    anomalies.push("restore_failed");
+                }
                 let transition = slot.breaker.record_failure();
                 if transition == Some(BreakerTransition::Tripped) {
                     anomalies.push("breaker_tripped");
