@@ -25,7 +25,7 @@
 //! 0.2 s per-clip envelope is enforced this way.
 
 use lumen_bench::{standard_pair, trained_detector};
-use lumen_experiments::{chaos, overhead, overload};
+use lumen_experiments::{chaos, daemon as daemon_exp, dsoak, overhead, overload};
 use lumen_obs::{NullSink, Recorder};
 use lumen_probe::{ChallengeSchedule, ProbeConfig, ProbeInjector, ProbeVerifier, VerifierConfig};
 use serde::{Deserialize, Serialize};
@@ -354,6 +354,147 @@ fn run_suite(label: &str, quick: bool) -> Result<BenchReport, String> {
         "chaos.store_quarantined",
         ch.store.quarantined as f64,
         "count",
+        "exact",
+        None,
+    ));
+
+    // Macro: daemon loopback — wall-clock round trips through the real
+    // socket path (timing), plus the deterministic serving outcomes of
+    // the loopback load run and the kill/restore soak (exact). The
+    // byte-identity and accounting booleans gate exactly: a wire layer
+    // that loses or reorders verdicts is a correctness bug, not a
+    // regression to tolerate.
+    eprintln!("[lumen-bench] macro: daemon loopback");
+    let det = trained_detector();
+    let sup = lumen_serve::Supervisor::new(lumen_serve::ServeConfig::default())
+        .map_err(|e| format!("supervisor: {e}"))?;
+    let mut daemon: lumen_daemon::Daemon<lumen_serve::MemStorage> = lumen_daemon::Daemon::new(
+        sup,
+        Box::new(move |_| lumen_core::stream::StreamingDetector::new(det.clone(), 15.0, 3)),
+        lumen_daemon::DaemonConfig {
+            bucket_capacity: 4096,
+            bucket_refill: 4096.0,
+            ..lumen_daemon::DaemonConfig::default()
+        },
+        None,
+    )
+    .map_err(|e| format!("daemon: {e}"))?;
+    let mut rt_client =
+        lumen_daemon::DaemonClient::connect(daemon.port()).map_err(|e| format!("connect: {e}"))?;
+    let rounds = if quick { 64 } else { 256 };
+    let mut rtts_ms = Vec::with_capacity(rounds);
+    for nonce in 0..rounds as u64 {
+        let start = Instant::now();
+        rt_client
+            .send(&lumen_daemon::Frame::Ping { nonce })
+            .map_err(|e| format!("ping: {e}"))?;
+        loop {
+            daemon.turn_once().map_err(|e| format!("turn: {e}"))?;
+            let frames = rt_client.poll().map_err(|e| format!("poll: {e}"))?;
+            if frames
+                .iter()
+                .any(|f| matches!(f, lumen_daemon::Frame::Pong { nonce: n } if *n == nonce))
+            {
+                break;
+            }
+        }
+        rtts_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    rtts_ms.sort_by(f64::total_cmp);
+    let pctl = |p: f64| rtts_ms[((rtts_ms.len() - 1) as f64 * p) as usize];
+    metrics.push(metric(
+        "daemon.roundtrip_p50_ms",
+        pctl(0.50),
+        "ms",
+        "timing",
+        None,
+    ));
+    metrics.push(metric(
+        "daemon.roundtrip_p99_ms",
+        pctl(0.99),
+        "ms",
+        "timing",
+        Some(CLIP_BUDGET_MS),
+    ));
+    drop(rt_client);
+    drop(daemon);
+
+    let opts = if quick {
+        daemon_exp::DaemonOpts {
+            honest: 2,
+            clips: 1,
+            train_count: 8,
+            ..daemon_exp::DaemonOpts::default()
+        }
+    } else {
+        daemon_exp::DaemonOpts::default()
+    };
+    let d = daemon_exp::run(opts).map_err(|e| format!("daemon experiment: {e}"))?;
+    let first_verdict = d
+        .rows
+        .iter()
+        .filter_map(|r| r.first_verdict_turns)
+        .max()
+        .unwrap_or(0);
+    metrics.push(metric(
+        "daemon.first_verdict_turns",
+        first_verdict as f64,
+        "turns",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "daemon.rate_limited",
+        d.rate_limited as f64,
+        "count",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "daemon.accounting_ok",
+        f64::from(u8::from(d.accounting_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "daemon.integrity_ok",
+        f64::from(u8::from(d.integrity_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+
+    eprintln!("[lumen-bench] macro: daemon kill/restore soak");
+    let opts = if quick {
+        dsoak::DsoakOpts {
+            clients: 2,
+            clips: 2,
+            train_count: 8,
+            ..dsoak::DsoakOpts::default()
+        }
+    } else {
+        dsoak::DsoakOpts::default()
+    };
+    let ds = dsoak::run(opts).map_err(|e| format!("dsoak experiment: {e}"))?;
+    metrics.push(metric(
+        "dsoak.kills",
+        ds.kills.len() as f64,
+        "count",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "dsoak.byte_identity_ok",
+        f64::from(u8::from(ds.byte_identity_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "dsoak.integrity_ok",
+        f64::from(u8::from(ds.integrity_ok)),
+        "bool",
         "exact",
         None,
     ));

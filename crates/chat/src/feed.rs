@@ -95,6 +95,37 @@ impl SampleFeed {
         self.tx.len() - self.pos
     }
 
+    /// Samples consumed so far — the index the next
+    /// [`SampleFeed::next_sample`] call will read.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Rewinds (or fast-forwards) the feed so the next sample read is
+    /// `pos`. A daemon client uses this after a server restart: the
+    /// restored server reports how many samples of the session survived
+    /// the checkpoint, and the client replays from exactly there, so the
+    /// reconstructed stream is byte-identical to an uninterrupted one.
+    ///
+    /// The clock is rebuilt to `pos` ticks so session-local time stays a
+    /// pure function of the replay position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChatError::InvalidParameter`] when `pos` lies beyond the
+    /// end of the recording.
+    pub fn rewind_to(&mut self, pos: usize) -> Result<()> {
+        if pos > self.tx.len() {
+            return Err(ChatError::invalid_parameter(
+                "pos",
+                format!("resume point {pos} beyond recording of {}", self.tx.len()),
+            ));
+        }
+        self.pos = pos;
+        self.clock = SimClock::resumed_at(self.clock.dt(), pos as u64);
+        Ok(())
+    }
+
     /// Total samples in the recording.
     pub fn len(&self) -> usize {
         self.tx.len()
@@ -159,6 +190,25 @@ mod tests {
         feed.next_sample().unwrap();
         assert_eq!(feed.remaining(), feed.len() - 1);
         assert_eq!(feed.count(), a.tx.len() + b.tx.len() - 1);
+    }
+
+    #[test]
+    fn rewind_replays_identically_from_the_resume_point() {
+        let pair = ScenarioBuilder::default().legitimate(0, 61_004).unwrap();
+        let mut feed = SampleFeed::new(&pair).unwrap();
+        let full: Vec<_> = feed.clone().collect();
+        for _ in 0..40 {
+            feed.next_sample().unwrap();
+        }
+        assert_eq!(feed.position(), 40);
+        feed.rewind_to(25).unwrap();
+        assert_eq!(feed.position(), 25);
+        assert_eq!(feed.clock().tick(), 25);
+        let resumed: Vec<_> = feed.clone().collect();
+        assert_eq!(resumed, full[25..]);
+        assert!(feed.rewind_to(feed.len() + 1).is_err());
+        feed.rewind_to(feed.len()).unwrap();
+        assert!(feed.is_exhausted());
     }
 
     #[test]

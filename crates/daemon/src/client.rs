@@ -1,0 +1,129 @@
+//! The load-generator client: the second sanctioned `std::net` site
+//! (with [`crate::transport`]) under the `no-net` lint rule.
+//!
+//! [`DaemonClient`] is a thin, non-blocking protocol adapter — connect,
+//! send typed frames, poll typed frames back. All *traffic policy* (what
+//! to send when, how to replay a [`lumen_chat::feed::SampleFeed`], how to
+//! answer probe challenges) lives in the experiments that drive it; the
+//! client only guarantees that bytes on the socket are well-formed frames
+//! and that everything received is surfaced exactly once, in order.
+
+use crate::transport::{Conn, ReadEvent};
+use crate::wire::{Decoder, DisconnectCause, Frame};
+use crate::{DaemonError, Result};
+use std::net::TcpStream;
+
+/// A non-blocking client connection to a `lumend` daemon.
+pub struct DaemonClient {
+    conn: Conn,
+    decoder: Decoder,
+    session: Option<u64>,
+    goodbye: Option<DisconnectCause>,
+    closed: bool,
+}
+
+impl DaemonClient {
+    /// Connects to a daemon on `127.0.0.1:port`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonError::Io`] when the connect fails.
+    pub fn connect(port: u16) -> Result<Self> {
+        let stream = TcpStream::connect(("127.0.0.1", port))
+            .map_err(|e| DaemonError::Io(format!("connect: {e}")))?;
+        Ok(DaemonClient {
+            conn: Conn::from_stream(stream)?,
+            decoder: Decoder::new(1 << 24),
+            session: None,
+            goodbye: None,
+            closed: false,
+        })
+    }
+
+    /// The session this client considers bound (set by the caller after a
+    /// `Welcome`/`Resumed`, cleared on `Bye`).
+    pub fn session(&self) -> Option<u64> {
+        self.session
+    }
+
+    /// Records the bound session id.
+    pub fn set_session(&mut self, session: Option<u64>) {
+        self.session = session;
+    }
+
+    /// The typed cause of the daemon's goodbye, if one arrived.
+    pub fn goodbye(&self) -> Option<DisconnectCause> {
+        self.goodbye
+    }
+
+    /// `true` once the daemon closed the connection (goodbye or EOF).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Encodes and sends one frame (queued, then flushed as far as the
+    /// kernel accepts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonError::Io`] for hard transport failures.
+    pub fn send(&mut self, frame: &Frame) -> Result<()> {
+        self.conn.queue(&frame.encode());
+        match self.conn.flush() {
+            Ok(_) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Sends raw bytes verbatim — the fault-plan path for hostile
+    /// traffic (garbage, torn frames, bit flips, oversize headers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonError::Io`] for hard transport failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.conn.queue(bytes);
+        match self.conn.flush() {
+            Ok(_) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads whatever the daemon has sent and decodes it into frames, in
+    /// arrival order. A `Goodbye` is recorded (see
+    /// [`DaemonClient::goodbye`]) and still returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonError::Wire`] when the daemon's byte stream is
+    /// corrupt (never expected on loopback) and [`DaemonError::Io`] for
+    /// hard transport failures.
+    pub fn poll(&mut self) -> Result<Vec<Frame>> {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.conn.read_chunk(&mut buf)? {
+                ReadEvent::Data(n) => self.decoder.push(&buf[..n]),
+                ReadEvent::Idle => break,
+                ReadEvent::Closed => {
+                    self.closed = true;
+                    break;
+                }
+            }
+        }
+        let mut frames = Vec::new();
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    if let Frame::Goodbye { cause } = &frame {
+                        self.goodbye = Some(*cause);
+                        self.closed = true;
+                    }
+                    frames.push(frame);
+                }
+                Ok(None) => break,
+                Err(e) => return Err(DaemonError::Wire(e)),
+            }
+        }
+        Ok(frames)
+    }
+}

@@ -1,0 +1,970 @@
+//! The `lumend` wire protocol: length-prefixed, CRC-32-framed binary
+//! messages, hand-rolled in the same style as the checkpoint store's
+//! record framing (`lumen_serve::store`).
+//!
+//! Every frame on the socket is
+//!
+//! ```text
+//! MAGIC(4) ∥ version(u16 LE) ∥ type(u8) ∥ reserved(u8) ∥ len(u32 LE)
+//!   ∥ payload(len bytes) ∥ CRC-32(u32 LE, over header ∥ payload)
+//! ```
+//!
+//! The decoder is a pure push-parser over a byte buffer: bytes in,
+//! `Result<Option<Frame>>` out. It is total — any torn prefix simply
+//! yields `None` (more bytes needed), and any corruption (flipped bit,
+//! bad magic, foreign version, unknown type, oversize length, trailing
+//! garbage inside a payload) yields a typed [`WireError`], never a panic
+//! and never an allocation proportional to attacker-controlled lengths:
+//! the length field is validated against the hard cap *before* the body
+//! is awaited.
+
+use lumen_serve::store::crc32;
+use lumen_serve::ShedReason;
+
+/// Frame magic: "LMWF" = Lumen Wire Frame.
+pub const MAGIC: [u8; 4] = *b"LMWF";
+/// Wire format version.
+pub const WIRE_VERSION: u16 = 1;
+/// Fixed header length: magic, version, type, reserved, payload length.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 1 + 4;
+/// Trailer length: the CRC-32.
+pub const TRAILER_LEN: usize = 4;
+
+/// Everything that can go wrong while decoding bytes off the socket.
+///
+/// Every variant is a protocol-fatal condition: the connection that
+/// produced it is desynchronized (or hostile) and gets a typed
+/// [`Frame::Goodbye`] before the daemon drops it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version field named a format this build does not speak.
+    BadVersion(u16),
+    /// The length field exceeded the negotiated hard cap.
+    Oversize {
+        /// Claimed payload length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// The CRC-32 trailer disagreed with the received bytes.
+    BadCrc {
+        /// CRC carried by the frame.
+        expected: u32,
+        /// CRC computed over the received header and payload.
+        actual: u32,
+    },
+    /// The type byte named no known frame (checked after the CRC, so a
+    /// flipped type byte reports as [`WireError::BadCrc`] instead).
+    UnknownType(u8),
+    /// A payload ended before the fields its type requires.
+    Truncated(&'static str),
+    /// A payload carried bytes past the fields its type defines.
+    TrailingBytes(&'static str),
+    /// A payload field held a value outside its enum's range.
+    BadEnum {
+        /// Which field.
+        what: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Oversize { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {max}")
+            }
+            WireError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "frame CRC mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            WireError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
+            WireError::Truncated(kind) => write!(f, "truncated {kind} payload"),
+            WireError::TrailingBytes(kind) => write!(f, "trailing bytes after {kind} payload"),
+            WireError::BadEnum { what, value } => {
+                write!(f, "value {value} is outside the range of {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Typed cause carried by a [`Frame::Goodbye`]: why the daemon (or a
+/// polite client) is closing the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisconnectCause {
+    /// A frame header claimed a payload past the size cap.
+    Oversize,
+    /// A frame failed to decode (magic/version/CRC/type/payload).
+    Malformed,
+    /// The peer kept sending past the token bucket's abuse threshold.
+    RateLimitAbuse,
+    /// The peer sent nothing for the idle deadline.
+    IdleTimeout,
+    /// A partial frame sat unfinished past the read deadline (slowloris).
+    SlowRead,
+    /// The daemon is draining for shutdown.
+    Draining,
+}
+
+impl DisconnectCause {
+    fn to_u8(self) -> u8 {
+        match self {
+            DisconnectCause::Oversize => 1,
+            DisconnectCause::Malformed => 2,
+            DisconnectCause::RateLimitAbuse => 3,
+            DisconnectCause::IdleTimeout => 4,
+            DisconnectCause::SlowRead => 5,
+            DisconnectCause::Draining => 6,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => DisconnectCause::Oversize,
+            2 => DisconnectCause::Malformed,
+            3 => DisconnectCause::RateLimitAbuse,
+            4 => DisconnectCause::IdleTimeout,
+            5 => DisconnectCause::SlowRead,
+            6 => DisconnectCause::Draining,
+            other => {
+                return Err(WireError::BadEnum {
+                    what: "disconnect cause",
+                    value: other,
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for DisconnectCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DisconnectCause::Oversize => "oversize frame",
+            DisconnectCause::Malformed => "malformed frame",
+            DisconnectCause::RateLimitAbuse => "rate-limit abuse",
+            DisconnectCause::IdleTimeout => "idle timeout",
+            DisconnectCause::SlowRead => "slow read",
+            DisconnectCause::Draining => "draining",
+        })
+    }
+}
+
+/// Non-fatal per-frame rejection codes ([`Frame::Reject`]): the frame was
+/// understood but refused; the connection survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// The named session is not bound to this connection.
+    UnknownSession,
+    /// The frame was dropped by the token-bucket rate limiter.
+    RateLimited,
+    /// The daemon is draining and accepts no new work.
+    Draining,
+    /// The frame's content was refused by the runtime (e.g. a probe
+    /// response with no challenge in flight).
+    Refused,
+}
+
+impl RejectCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            RejectCode::UnknownSession => 1,
+            RejectCode::RateLimited => 2,
+            RejectCode::Draining => 3,
+            RejectCode::Refused => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, WireError> {
+        Ok(match v {
+            1 => RejectCode::UnknownSession,
+            2 => RejectCode::RateLimited,
+            3 => RejectCode::Draining,
+            4 => RejectCode::Refused,
+            other => {
+                return Err(WireError::BadEnum {
+                    what: "reject code",
+                    value: other,
+                })
+            }
+        })
+    }
+}
+
+/// [`ShedReason`] as a wire byte. The mapping is part of the protocol:
+/// codes are append-only.
+pub fn shed_reason_to_u8(reason: ShedReason) -> u8 {
+    match reason {
+        ShedReason::QueueFull => 1,
+        ShedReason::DeadlineExceeded => 2,
+        ShedReason::BreakerOpen => 3,
+        ShedReason::DetectionFailed => 4,
+        ShedReason::CapacityExhausted => 5,
+        ShedReason::SessionClosed => 6,
+        ShedReason::Draining => 7,
+    }
+}
+
+/// Inverse of [`shed_reason_to_u8`].
+pub fn shed_reason_from_u8(v: u8) -> Result<ShedReason, WireError> {
+    Ok(match v {
+        1 => ShedReason::QueueFull,
+        2 => ShedReason::DeadlineExceeded,
+        3 => ShedReason::BreakerOpen,
+        4 => ShedReason::DetectionFailed,
+        5 => ShedReason::CapacityExhausted,
+        6 => ShedReason::SessionClosed,
+        7 => ShedReason::Draining,
+        other => {
+            return Err(WireError::BadEnum {
+                what: "shed reason",
+                value: other,
+            })
+        }
+    })
+}
+
+/// A clip verdict flattened for the wire. Lossless for everything a
+/// client acts on; the exact field-by-field encoding is the soak test's
+/// byte-identity unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireVerdict {
+    /// 0-based clip index within the session.
+    pub clip_index: u64,
+    /// 0 = conclusive-accepted, 1 = conclusive-rejected, 2 = inconclusive.
+    pub disposition: u8,
+    /// [`lumen_core::quality::InconclusiveReason`] code (0 when
+    /// conclusive): 1 too-short, 2 flatline, 3 excessive-gaps,
+    /// 4 long-freeze, 5 low-effective-rate, 6 non-finite, 7 withheld.
+    pub reason_code: u8,
+    /// The reason's scalar payload (length, gap fraction, run, rate or
+    /// count as `f64`); 0 when the reason carries none.
+    pub reason_detail: f64,
+    /// LOF score when conclusive, 0 otherwise.
+    pub score: f64,
+    /// Fused session status: 0 gathering, 1 trusted, 2 alert.
+    pub status: u8,
+    /// Watchdog re-trigger request.
+    pub retrigger: bool,
+}
+
+/// A probe-response trace flattened for the wire (chat's `TracePair`
+/// carries no serde; the daemon reconstructs the pair from these fields).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTrace {
+    /// Sample rate shared by both traces, Hz.
+    pub sample_rate: f64,
+    /// Forward one-way network delay, seconds.
+    pub forward_delay: f64,
+    /// Backward one-way network delay, seconds.
+    pub backward_delay: f64,
+    /// Transmitted-side luminance samples.
+    pub tx: Vec<f64>,
+    /// Received-side luminance samples.
+    pub rx: Vec<f64>,
+}
+
+/// Every message either side of a `lumend` connection can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    // ---- client → daemon ----
+    /// Request admission of a fresh session.
+    Hello,
+    /// Re-bind a session that survived a daemon restart.
+    Resume {
+        /// The session id issued by the pre-restart daemon.
+        session: u64,
+    },
+    /// One luminance sample pair for an admitted session.
+    Sample {
+        /// Session id.
+        session: u64,
+        /// Transmitted-side luminance sample.
+        tx: f64,
+        /// Received-side luminance sample.
+        rx: f64,
+    },
+    /// Orderly session close; queued clips are shed as session-closed.
+    Bye {
+        /// Session id.
+        session: u64,
+    },
+    /// Liveness / RTT probe.
+    Ping {
+        /// Echoed verbatim in the [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Ask for a JSON metrics snapshot.
+    MetricsRequest,
+    /// The luminance response to a [`Frame::ProbeChallenge`].
+    ProbeResponse {
+        /// Session id.
+        session: u64,
+        /// The recorded challenge-window traces.
+        response: WireTrace,
+    },
+    /// Administrative: begin a graceful drain.
+    Shutdown,
+
+    // ---- daemon → client ----
+    /// Admission granted.
+    Welcome {
+        /// The issued session id.
+        session: u64,
+    },
+    /// Admission refused, with the supervisor's shed reason.
+    Refused {
+        /// Why admission was refused.
+        reason: ShedReason,
+    },
+    /// A [`Frame::Resume`] succeeded.
+    Resumed {
+        /// Session id.
+        session: u64,
+        /// Index of the first sample the client must (re)send: everything
+        /// before it survived the checkpoint.
+        next_sample: u64,
+    },
+    /// A [`Frame::Resume`] failed (unknown or quarantined session); the
+    /// client should [`Frame::Hello`] afresh.
+    ResumeRejected {
+        /// The session id that was refused.
+        session: u64,
+    },
+    /// A served clip's verdict.
+    Verdict {
+        /// Session id.
+        session: u64,
+        /// The verdict.
+        verdict: WireVerdict,
+    },
+    /// A shed clip's withheld verdict, with its typed cause.
+    Shed {
+        /// Session id.
+        session: u64,
+        /// Why the clip was shed.
+        reason: ShedReason,
+        /// The recorded `Withheld` verdict holding the clip's stream slot.
+        verdict: WireVerdict,
+    },
+    /// The session's circuit breaker changed state: 1 tripped,
+    /// 2 half-open, 3 restored.
+    Breaker {
+        /// Session id.
+        session: u64,
+        /// Transition code.
+        transition: u8,
+    },
+    /// An active luminance challenge the client must render and answer
+    /// with a [`Frame::ProbeResponse`].
+    ProbeChallenge {
+        /// Session id.
+        session: u64,
+        /// `serde_json`-encoded `lumen_probe::ChallengeSchedule`.
+        schedule_json: Vec<u8>,
+    },
+    /// The judged outcome of a probe round.
+    ProbeOutcome {
+        /// Session id.
+        session: u64,
+        /// `serde_json`-encoded `lumen_probe::ProbeVerdict`.
+        verdict_json: Vec<u8>,
+    },
+    /// Answer to a [`Frame::MetricsRequest`].
+    Metrics {
+        /// The obs registry snapshot rendered as JSON.
+        json: Vec<u8>,
+    },
+    /// Answer to a [`Frame::Ping`].
+    Pong {
+        /// The echoed nonce.
+        nonce: u64,
+    },
+    /// A understood-but-refused frame; the connection survives.
+    Reject {
+        /// Why the frame was refused.
+        code: RejectCode,
+    },
+    /// Typed farewell; the sender closes the connection after it.
+    Goodbye {
+        /// Why the connection is being closed.
+        cause: DisconnectCause,
+    },
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello => 0x01,
+            Frame::Resume { .. } => 0x02,
+            Frame::Sample { .. } => 0x03,
+            Frame::Bye { .. } => 0x04,
+            Frame::Ping { .. } => 0x05,
+            Frame::MetricsRequest => 0x06,
+            Frame::ProbeResponse { .. } => 0x07,
+            Frame::Shutdown => 0x08,
+            Frame::Welcome { .. } => 0x81,
+            Frame::Refused { .. } => 0x82,
+            Frame::Resumed { .. } => 0x83,
+            Frame::ResumeRejected { .. } => 0x84,
+            Frame::Verdict { .. } => 0x85,
+            Frame::Shed { .. } => 0x86,
+            Frame::Breaker { .. } => 0x87,
+            Frame::ProbeChallenge { .. } => 0x88,
+            Frame::ProbeOutcome { .. } => 0x89,
+            Frame::Metrics { .. } => 0x8A,
+            Frame::Pong { .. } => 0x8B,
+            Frame::Reject { .. } => 0x8C,
+            Frame::Goodbye { .. } => 0x8D,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Hello | Frame::MetricsRequest | Frame::Shutdown => {}
+            Frame::Resume { session }
+            | Frame::Bye { session }
+            | Frame::Welcome { session }
+            | Frame::ResumeRejected { session } => put_u64(&mut p, *session),
+            Frame::Sample { session, tx, rx } => {
+                put_u64(&mut p, *session);
+                put_f64(&mut p, *tx);
+                put_f64(&mut p, *rx);
+            }
+            Frame::Ping { nonce } | Frame::Pong { nonce } => put_u64(&mut p, *nonce),
+            Frame::ProbeResponse { session, response } => {
+                put_u64(&mut p, *session);
+                put_trace(&mut p, response);
+            }
+            Frame::Refused { reason } => p.push(shed_reason_to_u8(*reason)),
+            Frame::Resumed {
+                session,
+                next_sample,
+            } => {
+                put_u64(&mut p, *session);
+                put_u64(&mut p, *next_sample);
+            }
+            Frame::Verdict { session, verdict } => {
+                put_u64(&mut p, *session);
+                put_verdict(&mut p, verdict);
+            }
+            Frame::Shed {
+                session,
+                reason,
+                verdict,
+            } => {
+                put_u64(&mut p, *session);
+                p.push(shed_reason_to_u8(*reason));
+                put_verdict(&mut p, verdict);
+            }
+            Frame::Breaker {
+                session,
+                transition,
+            } => {
+                put_u64(&mut p, *session);
+                p.push(*transition);
+            }
+            Frame::ProbeChallenge {
+                session,
+                schedule_json,
+            } => {
+                put_u64(&mut p, *session);
+                p.extend_from_slice(schedule_json);
+            }
+            Frame::ProbeOutcome {
+                session,
+                verdict_json,
+            } => {
+                put_u64(&mut p, *session);
+                p.extend_from_slice(verdict_json);
+            }
+            Frame::Metrics { json } => p.extend_from_slice(json),
+            Frame::Reject { code } => p.push(code.to_u8()),
+            Frame::Goodbye { cause } => p.push(cause.to_u8()),
+        }
+        p
+    }
+
+    /// Encodes the frame into its canonical byte representation. Encoding
+    /// is a pure function of the frame, so byte-level comparison of
+    /// encodings is a valid equality test (the soak relies on this).
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        out.push(self.type_byte());
+        out.push(0); // reserved
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        let mut c = Cursor::new(payload);
+        let frame = match type_byte {
+            0x01 => Frame::Hello,
+            0x02 => Frame::Resume {
+                session: c.u64("resume")?,
+            },
+            0x03 => Frame::Sample {
+                session: c.u64("sample")?,
+                tx: c.f64("sample")?,
+                rx: c.f64("sample")?,
+            },
+            0x04 => Frame::Bye {
+                session: c.u64("bye")?,
+            },
+            0x05 => Frame::Ping {
+                nonce: c.u64("ping")?,
+            },
+            0x06 => Frame::MetricsRequest,
+            0x07 => Frame::ProbeResponse {
+                session: c.u64("probe response")?,
+                response: c.trace("probe response")?,
+            },
+            0x08 => Frame::Shutdown,
+            0x81 => Frame::Welcome {
+                session: c.u64("welcome")?,
+            },
+            0x82 => Frame::Refused {
+                reason: shed_reason_from_u8(c.u8("refused")?)?,
+            },
+            0x83 => Frame::Resumed {
+                session: c.u64("resumed")?,
+                next_sample: c.u64("resumed")?,
+            },
+            0x84 => Frame::ResumeRejected {
+                session: c.u64("resume rejected")?,
+            },
+            0x85 => Frame::Verdict {
+                session: c.u64("verdict")?,
+                verdict: c.verdict("verdict")?,
+            },
+            0x86 => Frame::Shed {
+                session: c.u64("shed")?,
+                reason: shed_reason_from_u8(c.u8("shed")?)?,
+                verdict: c.verdict("shed")?,
+            },
+            0x87 => Frame::Breaker {
+                session: c.u64("breaker")?,
+                transition: c.u8("breaker")?,
+            },
+            0x88 => Frame::ProbeChallenge {
+                session: c.u64("probe challenge")?,
+                schedule_json: c.rest(),
+            },
+            0x89 => Frame::ProbeOutcome {
+                session: c.u64("probe outcome")?,
+                verdict_json: c.rest(),
+            },
+            0x8A => Frame::Metrics { json: c.rest() },
+            0x8B => Frame::Pong {
+                nonce: c.u64("pong")?,
+            },
+            0x8C => Frame::Reject {
+                code: RejectCode::from_u8(c.u8("reject")?)?,
+            },
+            0x8D => Frame::Goodbye {
+                cause: DisconnectCause::from_u8(c.u8("goodbye")?)?,
+            },
+            other => return Err(WireError::UnknownType(other)),
+        };
+        c.finish(kind_name(type_byte))?;
+        Ok(frame)
+    }
+}
+
+fn kind_name(type_byte: u8) -> &'static str {
+    match type_byte {
+        0x01 => "hello",
+        0x02 => "resume",
+        0x03 => "sample",
+        0x04 => "bye",
+        0x05 => "ping",
+        0x06 => "metrics request",
+        0x07 => "probe response",
+        0x08 => "shutdown",
+        0x81 => "welcome",
+        0x82 => "refused",
+        0x83 => "resumed",
+        0x84 => "resume rejected",
+        0x85 => "verdict",
+        0x86 => "shed",
+        0x87 => "breaker",
+        0x88 => "probe challenge",
+        0x89 => "probe outcome",
+        0x8A => "metrics",
+        0x8B => "pong",
+        0x8C => "reject",
+        0x8D => "goodbye",
+        _ => "unknown",
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_verdict(out: &mut Vec<u8>, v: &WireVerdict) {
+    put_u64(out, v.clip_index);
+    out.push(v.disposition);
+    out.push(v.reason_code);
+    put_f64(out, v.reason_detail);
+    put_f64(out, v.score);
+    out.push(v.status);
+    out.push(u8::from(v.retrigger));
+}
+
+fn put_trace(out: &mut Vec<u8>, t: &WireTrace) {
+    put_f64(out, t.sample_rate);
+    put_f64(out, t.forward_delay);
+    put_f64(out, t.backward_delay);
+    out.extend_from_slice(&(t.tx.len() as u32).to_le_bytes());
+    for &s in &t.tx {
+        put_f64(out, s);
+    }
+    out.extend_from_slice(&(t.rx.len() as u32).to_le_bytes());
+    for &s in &t.rx {
+        put_f64(out, s);
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, kind: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated(kind))?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated(kind));
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, kind: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, kind)?[0])
+    }
+
+    fn u32(&mut self, kind: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, kind)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, kind: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, kind)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self, kind: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(kind)?))
+    }
+
+    fn verdict(&mut self, kind: &'static str) -> Result<WireVerdict, WireError> {
+        Ok(WireVerdict {
+            clip_index: self.u64(kind)?,
+            disposition: self.u8(kind)?,
+            reason_code: self.u8(kind)?,
+            reason_detail: self.f64(kind)?,
+            score: self.f64(kind)?,
+            status: self.u8(kind)?,
+            retrigger: self.u8(kind)? != 0,
+        })
+    }
+
+    fn trace(&mut self, kind: &'static str) -> Result<WireTrace, WireError> {
+        let sample_rate = self.f64(kind)?;
+        let forward_delay = self.f64(kind)?;
+        let backward_delay = self.f64(kind)?;
+        let tx = self.f64_vec(kind)?;
+        let rx = self.f64_vec(kind)?;
+        Ok(WireTrace {
+            sample_rate,
+            forward_delay,
+            backward_delay,
+            tx,
+            rx,
+        })
+    }
+
+    fn f64_vec(&mut self, kind: &'static str) -> Result<Vec<f64>, WireError> {
+        let n = self.u32(kind)? as usize;
+        // The frame body already passed the size cap, so `n` can claim at
+        // most payload-len/8 real elements; a larger claim is truncation,
+        // caught by `take` without any speculative allocation.
+        if n > self.bytes.len().saturating_sub(self.at) / 8 {
+            return Err(WireError::Truncated(kind));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64(kind)?);
+        }
+        Ok(out)
+    }
+
+    fn rest(&mut self) -> Vec<u8> {
+        let out = self.bytes[self.at..].to_vec();
+        self.at = self.bytes.len();
+        out
+    }
+
+    fn finish(self, kind: &'static str) -> Result<(), WireError> {
+        if self.at != self.bytes.len() {
+            return Err(WireError::TrailingBytes(kind));
+        }
+        Ok(())
+    }
+}
+
+/// Incremental frame decoder: push raw socket bytes in, pull whole typed
+/// frames out. One decoder per connection; a [`WireError`] from
+/// [`Decoder::next_frame`] means the byte stream is unrecoverable and the
+/// connection must be dropped.
+#[derive(Debug)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    max_payload: u32,
+}
+
+impl Decoder {
+    /// A decoder enforcing `max_payload` as the hard per-frame cap.
+    pub fn new(max_payload: u32) -> Self {
+        Decoder {
+            buf: Vec::new(),
+            max_payload,
+        }
+    }
+
+    /// Appends raw bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames. Non-zero across
+    /// turns is the slowloris signal the read deadline watches.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete frame, `Ok(None)` when more bytes are
+    /// needed. Errors are sticky in practice: the caller drops the
+    /// connection, so no resynchronization is attempted.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = [self.buf[0], self.buf[1], self.buf[2], self.buf[3]];
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes([self.buf[4], self.buf[5]]);
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let type_byte = self.buf[6];
+        let len = u32::from_le_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]]);
+        // The cap gates *before* the body is awaited: an attacker cannot
+        // make the daemon buffer (or allocate) more than cap + framing.
+        if len > self.max_payload {
+            return Err(WireError::Oversize {
+                len,
+                max: self.max_payload,
+            });
+        }
+        let total = HEADER_LEN + len as usize + TRAILER_LEN;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let crc_at = HEADER_LEN + len as usize;
+        let actual = crc32(&self.buf[..crc_at]);
+        let expected = u32::from_le_bytes([
+            self.buf[crc_at],
+            self.buf[crc_at + 1],
+            self.buf[crc_at + 2],
+            self.buf[crc_at + 3],
+        ]);
+        if expected != actual {
+            return Err(WireError::BadCrc { expected, actual });
+        }
+        let frame = Frame::decode_payload(type_byte, &self.buf[HEADER_LEN..crc_at])?;
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict() -> WireVerdict {
+        WireVerdict {
+            clip_index: 7,
+            disposition: 2,
+            reason_code: 3,
+            reason_detail: 0.25,
+            score: 0.0,
+            status: 1,
+            retrigger: true,
+        }
+    }
+
+    #[test]
+    fn round_trips_every_frame_kind() {
+        let frames = vec![
+            Frame::Hello,
+            Frame::Resume { session: 3 },
+            Frame::Sample {
+                session: 1,
+                tx: 0.5,
+                rx: -0.25,
+            },
+            Frame::Bye { session: 9 },
+            Frame::Ping { nonce: 0xDEAD },
+            Frame::MetricsRequest,
+            Frame::ProbeResponse {
+                session: 2,
+                response: WireTrace {
+                    sample_rate: 30.0,
+                    forward_delay: 0.02,
+                    backward_delay: 0.03,
+                    tx: vec![0.1, 0.2],
+                    rx: vec![0.3],
+                },
+            },
+            Frame::Shutdown,
+            Frame::Welcome { session: 4 },
+            Frame::Refused {
+                reason: ShedReason::CapacityExhausted,
+            },
+            Frame::Resumed {
+                session: 4,
+                next_sample: 1200,
+            },
+            Frame::ResumeRejected { session: 5 },
+            Frame::Verdict {
+                session: 0,
+                verdict: verdict(),
+            },
+            Frame::Shed {
+                session: 1,
+                reason: ShedReason::QueueFull,
+                verdict: verdict(),
+            },
+            Frame::Breaker {
+                session: 2,
+                transition: 1,
+            },
+            Frame::ProbeChallenge {
+                session: 3,
+                schedule_json: b"{\"seed\":1}".to_vec(),
+            },
+            Frame::ProbeOutcome {
+                session: 3,
+                verdict_json: b"{}".to_vec(),
+            },
+            Frame::Metrics {
+                json: b"{\"counters\":{}}".to_vec(),
+            },
+            Frame::Pong { nonce: 1 },
+            Frame::Reject {
+                code: RejectCode::RateLimited,
+            },
+            Frame::Goodbye {
+                cause: DisconnectCause::SlowRead,
+            },
+        ];
+        let mut dec = Decoder::new(1 << 16);
+        for frame in frames {
+            dec.push(&frame.encode());
+            assert_eq!(dec.next_frame().unwrap(), Some(frame));
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_the_body_arrives() {
+        let mut dec = Decoder::new(64);
+        let mut bytes = Frame::Hello.encode();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        dec.push(&bytes[..HEADER_LEN]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::Oversize { len: u32::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn torn_prefix_waits_instead_of_erroring() {
+        let bytes = Frame::Welcome { session: 1 }.encode();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(1 << 16);
+            dec.push(&bytes[..cut]);
+            assert_eq!(dec.next_frame().unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn interleaved_pushes_reassemble() {
+        let a = Frame::Ping { nonce: 1 }.encode();
+        let b = Frame::Pong { nonce: 2 }.encode();
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let mut dec = Decoder::new(1 << 16);
+        for chunk in stream.chunks(3) {
+            dec.push(chunk);
+        }
+        assert_eq!(dec.next_frame().unwrap(), Some(Frame::Ping { nonce: 1 }));
+        assert_eq!(dec.next_frame().unwrap(), Some(Frame::Pong { nonce: 2 }));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn every_single_byte_flip_fails_typed() {
+        let bytes = Frame::Resumed {
+            session: 11,
+            next_sample: 1234,
+        }
+        .encode();
+        for i in 0..bytes.len() {
+            for mask in [0x01u8, 0x80] {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= mask;
+                let mut dec = Decoder::new(1 << 16);
+                dec.push(&flipped);
+                match dec.next_frame() {
+                    // A flip in the length field can leave the decoder
+                    // waiting for bytes that never come — that is the read
+                    // deadline's job, not a decode success.
+                    Ok(None) | Err(_) => {}
+                    Ok(Some(frame)) => panic!("flip at {i} decoded as {frame:?}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Adversarial fuzz for the daemon wire codec, in the spirit of the
+//! checkpoint store's `store_fuzz`: any torn prefix leaves the decoder
+//! *waiting* (a stream decoder must tolerate partial delivery), any
+//! single-byte flip fails with a typed error or keeps waiting — never a
+//! silently different frame, never a panic — and arbitrary garbage never
+//! decodes by accident. On top of the corruption laws, the round-trip law
+//! holds for every frame type with arbitrary field values.
+
+use lumen_daemon::wire::{
+    self, Decoder, DisconnectCause, Frame, RejectCode, WireTrace, WireVerdict,
+};
+use lumen_serve::ShedReason;
+use proptest::prelude::*;
+
+/// All `ShedReason` variants, indexed for strategy selection.
+fn shed_reason(idx: u8) -> ShedReason {
+    match idx % 7 {
+        0 => ShedReason::QueueFull,
+        1 => ShedReason::DeadlineExceeded,
+        2 => ShedReason::BreakerOpen,
+        3 => ShedReason::DetectionFailed,
+        4 => ShedReason::CapacityExhausted,
+        5 => ShedReason::SessionClosed,
+        _ => ShedReason::Draining,
+    }
+}
+
+fn disconnect_cause(idx: u8) -> DisconnectCause {
+    match idx % 6 {
+        0 => DisconnectCause::Oversize,
+        1 => DisconnectCause::Malformed,
+        2 => DisconnectCause::RateLimitAbuse,
+        3 => DisconnectCause::IdleTimeout,
+        4 => DisconnectCause::SlowRead,
+        _ => DisconnectCause::Draining,
+    }
+}
+
+fn reject_code(idx: u8) -> RejectCode {
+    match idx % 4 {
+        0 => RejectCode::UnknownSession,
+        1 => RejectCode::RateLimited,
+        2 => RejectCode::Draining,
+        _ => RejectCode::Refused,
+    }
+}
+
+/// One frame of the `kind`-th type (of 21), fields drawn from the
+/// remaining inputs. Floats stay finite so `PartialEq` round-trip
+/// comparison is meaningful.
+#[allow(clippy::too_many_arguments)]
+fn frame_for(
+    kind: u8,
+    session: u64,
+    code: u8,
+    flag: bool,
+    x: f64,
+    y: f64,
+    bytes: Vec<u8>,
+    samples: Vec<f64>,
+) -> Frame {
+    let verdict = WireVerdict {
+        clip_index: session.rotate_left(17),
+        disposition: code % 3,
+        reason_code: code % 8,
+        reason_detail: x,
+        score: y,
+        status: code % 3,
+        retrigger: flag,
+    };
+    let trace = WireTrace {
+        sample_rate: 1.0 + x.abs(),
+        forward_delay: x.abs(),
+        backward_delay: y.abs(),
+        tx: samples.clone(),
+        rx: samples.iter().map(|s| s * 0.5).collect(),
+    };
+    match kind % 21 {
+        0 => Frame::Hello,
+        1 => Frame::Resume { session },
+        2 => Frame::Sample {
+            session,
+            tx: x,
+            rx: y,
+        },
+        3 => Frame::Bye { session },
+        4 => Frame::Ping { nonce: session },
+        5 => Frame::MetricsRequest,
+        6 => Frame::ProbeResponse {
+            session,
+            response: trace,
+        },
+        7 => Frame::Shutdown,
+        8 => Frame::Welcome { session },
+        9 => Frame::Refused {
+            reason: shed_reason(code),
+        },
+        10 => Frame::Resumed {
+            session,
+            next_sample: session.rotate_right(9),
+        },
+        11 => Frame::ResumeRejected { session },
+        12 => Frame::Verdict { session, verdict },
+        13 => Frame::Shed {
+            session,
+            reason: shed_reason(code),
+            verdict,
+        },
+        14 => Frame::Breaker {
+            session,
+            transition: 1 + code % 3,
+        },
+        15 => Frame::ProbeChallenge {
+            session,
+            schedule_json: bytes,
+        },
+        16 => Frame::ProbeOutcome {
+            session,
+            verdict_json: bytes,
+        },
+        17 => Frame::Metrics { json: bytes },
+        18 => Frame::Pong { nonce: session },
+        19 => Frame::Reject {
+            code: reject_code(code),
+        },
+        _ => Frame::Goodbye {
+            cause: disconnect_cause(code),
+        },
+    }
+}
+
+proptest! {
+    /// Round-trip law: every frame type, with arbitrary finite field
+    /// values, decodes back to exactly itself and leaves the decoder
+    /// empty.
+    #[test]
+    fn every_frame_type_round_trips(
+        kind in 0u8..21,
+        session in any::<u64>(),
+        code in any::<u8>(),
+        flag in any::<bool>(),
+        x in -1.0e6f64..1.0e6,
+        y in -1.0e6f64..1.0e6,
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+        samples in prop::collection::vec(-8.0f64..8.0, 0..64),
+    ) {
+        let frame = frame_for(kind, session, code, flag, x, y, bytes, samples);
+        let mut decoder = Decoder::new(1 << 20);
+        decoder.push(&frame.encode());
+        let decoded = decoder.next_frame();
+        prop_assert_eq!(decoded.as_ref().ok().and_then(|f| f.as_ref()), Some(&frame));
+        prop_assert_eq!(decoder.buffered(), 0);
+        prop_assert!(matches!(decoder.next_frame(), Ok(None)));
+    }
+
+    /// A torn prefix of any frame leaves the decoder waiting for the rest
+    /// of the bytes — never an error, never a partial frame.
+    #[test]
+    fn any_torn_prefix_waits(
+        kind in 0u8..21,
+        session in any::<u64>(),
+        code in any::<u8>(),
+        cut in any::<usize>(),
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        samples in prop::collection::vec(-8.0f64..8.0, 0..32),
+    ) {
+        let frame = frame_for(kind, session, code, false, 0.25, -0.75, bytes, samples);
+        let encoded = frame.encode();
+        let cut = cut % encoded.len();
+        let mut decoder = Decoder::new(1 << 20);
+        decoder.push(&encoded[..cut]);
+        prop_assert!(matches!(decoder.next_frame(), Ok(None)));
+        // Delivering the tail completes the frame: a torn write costs
+        // latency, never correctness.
+        decoder.push(&encoded[cut..]);
+        prop_assert_eq!(decoder.next_frame().ok().flatten(), Some(frame));
+    }
+
+    /// Flipping any single byte of an encoded frame — magic, version,
+    /// type, length, payload or CRC trailer — never yields a decoded
+    /// frame: the decoder reports a typed error, or waits for bytes a
+    /// corrupted length field now promises. It never panics and never
+    /// produces a silently different frame.
+    #[test]
+    fn any_single_byte_flip_never_decodes(
+        kind in 0u8..21,
+        session in any::<u64>(),
+        code in any::<u8>(),
+        index in any::<usize>(),
+        mask in 1u8..,
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        samples in prop::collection::vec(-8.0f64..8.0, 0..32),
+    ) {
+        let frame = frame_for(kind, session, code, true, 1.5, -2.5, bytes, samples);
+        let mut encoded = frame.encode();
+        let index = index % encoded.len();
+        encoded[index] ^= mask;
+        let mut decoder = Decoder::new(1 << 20);
+        decoder.push(&encoded);
+        prop_assert!(!matches!(decoder.next_frame(), Ok(Some(_))));
+    }
+
+    /// Arbitrary garbage that does not open with the magic never decodes
+    /// — and draining the decoder over it never panics.
+    #[test]
+    fn garbage_never_decodes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assume!(bytes.len() < 4 || bytes[..4] != wire::MAGIC);
+        let mut decoder = Decoder::new(1 << 20);
+        decoder.push(&bytes);
+        prop_assert!(!matches!(decoder.next_frame(), Ok(Some(_))));
+    }
+
+    /// A multi-frame stream delivered in arbitrarily misaligned chunks
+    /// (including byte-at-a-time) reassembles to exactly the sent
+    /// sequence, in order.
+    #[test]
+    fn chunked_streams_reassemble_in_order(
+        kinds in prop::collection::vec(0u8..21, 1..5),
+        session in any::<u64>(),
+        code in any::<u8>(),
+        chunk in 1usize..17,
+        samples in prop::collection::vec(-8.0f64..8.0, 0..16),
+    ) {
+        let frames: Vec<Frame> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                frame_for(*k, session ^ i as u64, code, false, 0.5, 1.5,
+                          vec![code; i], samples.clone())
+            })
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+        let mut decoder = Decoder::new(1 << 20);
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.push(piece);
+            while let Ok(Some(frame)) = decoder.next_frame() {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// The length cap is enforced from the header alone: a header
+    /// promising an oversize payload fails typed before any body bytes
+    /// arrive, so a hostile peer can never drive allocations.
+    #[test]
+    fn oversize_header_fails_before_the_body(
+        claimed in 257u32..u32::MAX,
+        trailing in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut header = Vec::new();
+        header.extend_from_slice(&wire::MAGIC);
+        header.extend_from_slice(&wire::WIRE_VERSION.to_le_bytes());
+        header.push(0x01);
+        header.push(0);
+        header.extend_from_slice(&claimed.to_le_bytes());
+        header.extend_from_slice(&trailing);
+        let mut decoder = Decoder::new(256);
+        decoder.push(&header);
+        prop_assert!(matches!(
+            decoder.next_frame(),
+            Err(wire::WireError::Oversize { .. })
+        ));
+    }
+}

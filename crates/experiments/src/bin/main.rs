@@ -67,6 +67,14 @@ const IDS: &[(&str, &str)] = &[
         "chaos",
         "kill/restore recovery under storage faults, snapshot rot and poisoned clips",
     ),
+    (
+        "daemon",
+        "lumend loopback load generation: honest clients vs a hostile cast over real sockets",
+    ),
+    (
+        "dsoak",
+        "daemon kill/restore soak: byte-identical verdict streams across >=3 mid-traffic kills",
+    ),
     ("roc", "ROC curves and AUC per user and pooled"),
     ("cliplen", "clip-length sensitivity (8-30 s)"),
     ("occlusion", "TAR vs occlusion/burst disturbance intensity"),
@@ -113,6 +121,8 @@ fn run_one(id: &str, json: bool) -> ExpResult<String> {
         "resilience" => emit!(resilience::run(resilience::ResilienceOpts::default())?),
         "overload" => emit!(overload::run(overload::OverloadOpts::default())?),
         "chaos" => emit!(chaos::run(chaos::ChaosOpts::default())?),
+        "daemon" => emit!(daemon::run(daemon::DaemonOpts::default())?),
+        "dsoak" => emit!(dsoak::run(dsoak::DsoakOpts::default())?),
         "roc" => emit!(roc_analysis::run(roc_analysis::RocOpts::default())?),
         "cliplen" => emit!(clip_length::run(clip_length::ClipLengthOpts::default())?),
         "occlusion" => emit!(occlusion::run(occlusion::OcclusionOpts::default())?),

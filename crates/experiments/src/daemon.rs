@@ -1,0 +1,426 @@
+//! Daemon loopback load generation: N concurrent simulated clients drive
+//! a real `lumend` daemon through real kernel sockets — honest sessions
+//! streaming recorded luminance feeds alongside a hostile cast (a
+//! frame-flooder, a garbage-speaker, a slowloris and a silent idler) —
+//! and the run is falsified unless:
+//!
+//! * every honest client receives a verdict for every clip it streamed;
+//! * every hostile client is disconnected with exactly its typed cause
+//!   (rate-limit abuse, malformed, slow-read, idle) while honest traffic
+//!   keeps flowing;
+//! * repeated abuse trips the flight recorder's post-mortem;
+//! * the wire accounting identity holds end-to-end:
+//!   `verdicts-on-the-wire == served` and `sheds-on-the-wire == shed`
+//!   and `served + shed == offered` — the socket layer adds zero slack
+//!   to the supervisor's exact shed accounting.
+
+use crate::runner::render_table;
+use crate::ExpResult;
+use lumen_chat::feed::SampleFeed;
+use lumen_chat::scenario::ScenarioBuilder;
+use lumen_chat::trace::TracePair;
+use lumen_core::detector::Detector;
+use lumen_core::stream::StreamingDetector;
+use lumen_core::Config;
+use lumen_daemon::wire::{DisconnectCause, Frame};
+use lumen_daemon::{Daemon, DaemonClient, DaemonConfig};
+use lumen_obs::FlightConfig;
+use lumen_serve::{CheckpointStore, MemStorage, ServeConfig, StoreConfig, Supervisor};
+use serde::{Deserialize, Serialize};
+
+/// Options for the loopback load run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonOpts {
+    /// Honest clients streaming recorded feeds.
+    pub honest: usize,
+    /// Clips each honest client streams.
+    pub clips: usize,
+    /// Clean training instances for the shared enrolment.
+    pub train_count: usize,
+    /// Per-connection token-bucket burst capacity.
+    pub bucket_capacity: u32,
+    /// Tokens regained per turn per connection.
+    pub bucket_refill: f64,
+    /// Rate-limited frames tolerated before an abuse disconnect.
+    pub abuse_disconnect_after: u32,
+    /// Turns of silence before an idle disconnect.
+    pub idle_turns: u64,
+    /// Turns a stalled partial frame survives before a slow-read
+    /// disconnect.
+    pub read_turns: u64,
+    /// Frames the flooder bursts in one turn (must exceed the bucket).
+    pub flood_frames: usize,
+    /// Turn at which the hostile cast connects.
+    pub hostile_at_turn: u64,
+    /// Detections allowed per budget period.
+    pub budget_clips: u64,
+    /// Budget period length, ticks.
+    pub budget_period_ticks: u64,
+    /// Queued-clip deadline, ticks.
+    pub deadline_ticks: u64,
+}
+
+impl Default for DaemonOpts {
+    fn default() -> Self {
+        DaemonOpts {
+            honest: 4,
+            clips: 2,
+            train_count: 10,
+            bucket_capacity: 16,
+            bucket_refill: 4.0,
+            abuse_disconnect_after: 16,
+            idle_turns: 120,
+            read_turns: 60,
+            flood_frames: 64,
+            hostile_at_turn: 40,
+            budget_clips: 64,
+            budget_period_ticks: 30,
+            deadline_ticks: 1_000,
+        }
+    }
+}
+
+/// One client's row in the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientRow {
+    /// Client class (`honest`, `flood`, `garbage`, `slowloris`, `idle`).
+    pub class: String,
+    /// Frames (or raw bursts) the client sent.
+    pub sent: u64,
+    /// Verdict frames received.
+    pub verdicts: u64,
+    /// Shed frames received.
+    pub sheds: u64,
+    /// Turns from `Hello` to the first verdict (honest clients only).
+    pub first_verdict_turns: Option<u64>,
+    /// The daemon's typed goodbye, if the client was disconnected.
+    pub goodbye: Option<String>,
+}
+
+/// The loopback load-generation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonResult {
+    /// One row per client, honest first.
+    pub rows: Vec<ClientRow>,
+    /// Clips offered / served / shed (supervisor accounting).
+    pub offered: u64,
+    /// Clips served.
+    pub served: u64,
+    /// Clips shed.
+    pub shed: u64,
+    /// Verdict frames accounted at the wire (delivered + parked + orphaned).
+    pub wire_verdicts: u64,
+    /// Shed frames accounted at the wire.
+    pub wire_sheds: u64,
+    /// Frames refused by token buckets.
+    pub rate_limited: u64,
+    /// Typed disconnects: abuse / idle / slow-read / malformed.
+    pub abuse_disconnects: u64,
+    /// Idle-deadline disconnects.
+    pub idle_disconnects: u64,
+    /// Slowloris disconnects.
+    pub slow_read_disconnects: u64,
+    /// Malformed/oversize disconnects.
+    pub malformed_disconnects: u64,
+    /// The abuse post-mortem fired in the flight recorder.
+    pub abuse_postmortem_ok: bool,
+    /// Every honest client saw every clip verdict.
+    pub verdicts_complete_ok: bool,
+    /// Every hostile client got exactly its typed cause.
+    pub hostile_typed_ok: bool,
+    /// `verdicts == served`, `sheds == shed`, `served + shed == offered`.
+    pub accounting_ok: bool,
+    /// All of the above.
+    pub integrity_ok: bool,
+}
+
+impl DaemonResult {
+    /// Renders the result as an aligned table plus a verdict footer.
+    pub fn print(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.class.clone(),
+                    r.sent.to_string(),
+                    r.verdicts.to_string(),
+                    r.sheds.to_string(),
+                    r.first_verdict_turns
+                        .map_or("-".to_string(), |t| t.to_string()),
+                    r.goodbye.clone().unwrap_or_else(|| "-".to_string()),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            "Daemon — loopback load generation with a hostile cast",
+            &[
+                "client",
+                "sent",
+                "verdicts",
+                "sheds",
+                "first-verdict",
+                "goodbye",
+            ],
+            &rows,
+        );
+        out.push('\n');
+        out.push_str(&format!(
+            "offered {} served {} shed {}; wire verdicts {} wire sheds {}\n",
+            self.offered, self.served, self.shed, self.wire_verdicts, self.wire_sheds,
+        ));
+        out.push_str(&format!(
+            "abuse: rate-limited {} abuse-disconnects {} idle {} slow-read {} malformed {}; \
+             abuse post-mortem: {}\n",
+            self.rate_limited,
+            self.abuse_disconnects,
+            self.idle_disconnects,
+            self.slow_read_disconnects,
+            self.malformed_disconnects,
+            ok(self.abuse_postmortem_ok),
+        ));
+        out.push_str(&format!(
+            "honest verdicts complete: {}; hostile disconnects typed: {}; \
+             wire accounting (served+shed==offered): {}\n",
+            ok(self.verdicts_complete_ok),
+            ok(self.hostile_typed_ok),
+            ok(self.accounting_ok),
+        ));
+        out.push_str(&format!("daemon integrity: {}\n", ok(self.integrity_ok)));
+        out
+    }
+}
+
+fn ok(flag: bool) -> String {
+    if flag { "ok" } else { "FAIL" }.to_string()
+}
+
+struct HonestClient {
+    client: DaemonClient,
+    feed: SampleFeed,
+    session: Option<u64>,
+    admitted_turn: u64,
+    first_verdict_turn: Option<u64>,
+    sent: u64,
+    verdicts: u64,
+    sheds: u64,
+}
+
+/// Runs the loopback load-generation experiment.
+///
+/// # Errors
+///
+/// Propagates scenario, training, daemon and transport errors; hostile
+/// traffic is never an error (it is the subject).
+pub fn run(opts: DaemonOpts) -> ExpResult<DaemonResult> {
+    let clean = ScenarioBuilder::default();
+    let training: Vec<TracePair> = (0..opts.train_count)
+        .map(|i| clean.legitimate(0, 91_000 + i as u64))
+        .collect::<Result<_, _>>()?;
+    let detector = Detector::train_from_traces(&training, Config::default())?;
+
+    let serve_config = ServeConfig {
+        max_sessions: opts.honest + 2,
+        queue_clips: 4,
+        budget_clips: opts.budget_clips,
+        budget_period_ticks: opts.budget_period_ticks,
+        deadline_ticks: opts.deadline_ticks,
+        ..ServeConfig::default()
+    };
+    let daemon_config = DaemonConfig {
+        bucket_capacity: opts.bucket_capacity,
+        bucket_refill: opts.bucket_refill,
+        abuse_disconnect_after: opts.abuse_disconnect_after,
+        idle_turns: opts.idle_turns,
+        read_turns: opts.read_turns,
+        ..DaemonConfig::default()
+    };
+    let sup = Supervisor::new(serve_config)?.with_flight(FlightConfig::default());
+    let store = CheckpointStore::new(MemStorage::new(), StoreConfig::default())?;
+    let det = detector.clone();
+    let mut daemon: Daemon<MemStorage> = Daemon::new(
+        sup,
+        Box::new(move |_| StreamingDetector::new(det.clone(), 15.0, 3)),
+        daemon_config,
+        Some(store),
+    )?;
+
+    // Honest clients: one multi-clip recorded feed each, paced one sample
+    // per event-loop turn — the daemon's real-time cadence.
+    let mut honest = Vec::with_capacity(opts.honest);
+    for ci in 0..opts.honest {
+        let pairs: Vec<TracePair> = (0..opts.clips)
+            .map(|clip| clean.legitimate(0, 92_000 + (clip * 100 + ci) as u64))
+            .collect::<Result<_, _>>()?;
+        let mut client = DaemonClient::connect(daemon.port())?;
+        client.send(&Frame::Hello)?;
+        honest.push(HonestClient {
+            client,
+            feed: SampleFeed::from_pairs(&pairs)?,
+            session: None,
+            admitted_turn: 0,
+            first_verdict_turn: None,
+            sent: 1,
+            verdicts: 0,
+            sheds: 0,
+        });
+    }
+
+    let mut flood: Option<DaemonClient> = None;
+    let mut garbage: Option<DaemonClient> = None;
+    let mut slowloris: Option<DaemonClient> = None;
+    let mut idler: Option<DaemonClient> = None;
+    let mut flood_sent = 0u64;
+
+    let total_steps = opts.clips * StreamingDetector::new(detector, 15.0, 3)?.clip_samples();
+    let max_turns = (total_steps as u64) + opts.idle_turns + 2_000;
+    for turn in 0..max_turns {
+        // The hostile cast arrives mid-run, all at once.
+        if turn == opts.hostile_at_turn {
+            let mut f = DaemonClient::connect(daemon.port())?;
+            for nonce in 0..opts.flood_frames as u64 {
+                f.send(&Frame::Ping { nonce })?;
+                flood_sent += 1;
+            }
+            flood = Some(f);
+            let mut g = DaemonClient::connect(daemon.port())?;
+            g.send_raw(b"\xDE\xAD\xBE\xEF not a lumen frame")?;
+            garbage = Some(g);
+            let mut s = DaemonClient::connect(daemon.port())?;
+            s.send_raw(&lumen_daemon::wire::MAGIC[..2])?;
+            slowloris = Some(s);
+            idler = Some(DaemonClient::connect(daemon.port())?);
+        }
+        for h in honest.iter_mut() {
+            if let Some(session) = h.session {
+                if let Some((tx, rx)) = h.feed.next_sample() {
+                    h.client.send(&Frame::Sample { session, tx, rx })?;
+                    h.sent += 1;
+                }
+            }
+        }
+        daemon.turn_once()?;
+        for h in honest.iter_mut() {
+            for frame in h.client.poll()? {
+                match frame {
+                    Frame::Welcome { session } => {
+                        h.session = Some(session);
+                        h.admitted_turn = turn;
+                        h.client.set_session(Some(session));
+                    }
+                    Frame::Verdict { .. } => {
+                        h.verdicts += 1;
+                        h.first_verdict_turn.get_or_insert(turn - h.admitted_turn);
+                    }
+                    Frame::Shed { .. } => h.sheds += 1,
+                    _ => {}
+                }
+            }
+        }
+        for hostile in [&mut flood, &mut garbage, &mut slowloris, &mut idler]
+            .into_iter()
+            .flatten()
+        {
+            if !hostile.is_closed() {
+                hostile.poll()?;
+            }
+        }
+        let done = honest
+            .iter()
+            .all(|h| h.feed.remaining() == 0 && h.verdicts + h.sheds >= opts.clips as u64);
+        let hostiles_settled = [&flood, &garbage, &slowloris, &idler]
+            .iter()
+            .all(|h| h.as_ref().is_none_or(|c| c.is_closed()));
+        if done && hostiles_settled && turn > opts.hostile_at_turn {
+            break;
+        }
+    }
+    daemon.drain(10_000)?;
+    for h in honest.iter_mut() {
+        h.client.poll()?;
+    }
+
+    let goodbye_of = |c: &Option<DaemonClient>| c.as_ref().and_then(DaemonClient::goodbye);
+    let serve = daemon.serve_stats().clone();
+    let wire = daemon.wire_stats().clone();
+
+    let verdicts_complete_ok = honest
+        .iter()
+        .all(|h| h.verdicts + h.sheds >= opts.clips as u64 && h.session.is_some());
+    let hostile_typed_ok = goodbye_of(&flood) == Some(DisconnectCause::RateLimitAbuse)
+        && goodbye_of(&garbage) == Some(DisconnectCause::Malformed)
+        && goodbye_of(&slowloris) == Some(DisconnectCause::SlowRead)
+        && goodbye_of(&idler) == Some(DisconnectCause::IdleTimeout);
+    let accounting_ok = wire.verdict_total() == serve.served_clips
+        && wire.shed_total() == serve.shed_clips
+        && serve.served_clips + serve.shed_clips == serve.offered_clips;
+    let abuse_postmortem_ok = daemon.supervisor().dump_flight_record().is_some();
+    let integrity_ok =
+        verdicts_complete_ok && hostile_typed_ok && accounting_ok && abuse_postmortem_ok;
+
+    let mut rows: Vec<ClientRow> = honest
+        .iter()
+        .map(|h| ClientRow {
+            class: "honest".to_string(),
+            sent: h.sent,
+            verdicts: h.verdicts,
+            sheds: h.sheds,
+            first_verdict_turns: h.first_verdict_turn,
+            goodbye: h.client.goodbye().map(|c| c.to_string()),
+        })
+        .collect();
+    for (class, sent, client) in [
+        ("flood", flood_sent, &flood),
+        ("garbage", 1, &garbage),
+        ("slowloris", 1, &slowloris),
+        ("idle", 0, &idler),
+    ] {
+        rows.push(ClientRow {
+            class: class.to_string(),
+            sent,
+            verdicts: 0,
+            sheds: 0,
+            first_verdict_turns: None,
+            goodbye: goodbye_of(client).map(|c| c.to_string()),
+        });
+    }
+
+    Ok(DaemonResult {
+        rows,
+        offered: serve.offered_clips,
+        served: serve.served_clips,
+        shed: serve.shed_clips,
+        wire_verdicts: wire.verdict_total(),
+        wire_sheds: wire.shed_total(),
+        rate_limited: wire.rate_limited,
+        abuse_disconnects: wire.abuse_disconnects,
+        idle_disconnects: wire.idle_disconnects,
+        slow_read_disconnects: wire.slow_read_disconnects,
+        malformed_disconnects: wire.malformed_disconnects,
+        abuse_postmortem_ok,
+        verdicts_complete_ok,
+        hostile_typed_ok,
+        accounting_ok,
+        integrity_ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_load_run_reaches_integrity() {
+        let r = run(DaemonOpts {
+            honest: 2,
+            clips: 1,
+            train_count: 8,
+            ..DaemonOpts::default()
+        })
+        .expect("run");
+        assert!(r.integrity_ok, "{}", r.print());
+        let rendered = r.print();
+        assert!(rendered.contains("daemon integrity: ok"));
+        assert!(rendered.contains("rate-limit abuse"));
+    }
+}

@@ -23,6 +23,8 @@ pub mod ambient;
 pub mod baselines;
 pub mod chaos;
 pub mod clip_length;
+pub mod daemon;
+pub mod dsoak;
 pub mod feasibility;
 pub mod forgery_delay;
 pub mod lof_example;

@@ -80,6 +80,11 @@ pub const ALL: &[Rule] = &[
         description: "filesystem access (std::fs) only in sanctioned storage and sink backends",
         check: no_fs,
     },
+    Rule {
+        id: "no-net",
+        description: "network access (std::net) only in the sanctioned daemon transport boundary",
+        check: no_net,
+    },
 ];
 
 /// Whether `id` names a shipped rule (including engine-emitted ids and
@@ -384,6 +389,34 @@ fn no_fs(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                 "`std::fs` outside a sanctioned storage backend".to_string(),
                 "route bytes through a `Storage`/sink implementation, or add the \
                  module to `lint.toml` `[rules.no-fs]` with a justification",
+            ));
+        }
+    }
+}
+
+/// `no-net`: sockets scattered through the codebase make every behaviour
+/// they touch non-deterministic and untestable without a kernel in the
+/// loop; all network I/O flows through the daemon's transport boundary
+/// (and its loopback client), listed in `lint.toml`. Everything above
+/// that layer speaks byte buffers and typed frames. Tests and benches may
+/// open loopback sockets freely.
+fn no_net(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.kind.is_test_like() {
+        return;
+    }
+    for (i, tok) in ctx.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text != "net" || ctx.in_cfg_test(tok.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| ctx.tokens.get(p));
+        let next = ctx.tokens.get(i + 1);
+        if is_punct(prev, "::") || is_punct(next, "::") {
+            out.push(ctx.diag(
+                "no-net",
+                tok,
+                "`std::net` outside the sanctioned transport boundary".to_string(),
+                "speak typed frames through `lumen_daemon::transport`, or add the \
+                 module to `lint.toml` `[rules.no-net]` with a justification",
             ));
         }
     }
@@ -1139,8 +1172,29 @@ mod tests {
     }
 
     #[test]
+    fn no_net_catches_use_and_binds() {
+        let src =
+            "use std::net::TcpListener;\nfn f() { let l = net::TcpStream::connect(\"x\"); }\n";
+        let rules: Vec<&str> = findings(src, FileKind::Library)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        assert_eq!(rules, vec!["no-net"; 2]);
+    }
+
+    #[test]
+    fn no_net_exempts_tests_and_unrelated_idents() {
+        let src = "use std::net::UdpSocket;\nfn f() { net::TcpListener::bind(\"x\"); }\n";
+        assert!(findings(src, FileKind::Test).is_empty());
+        assert!(findings(src, FileKind::Bench).is_empty());
+        // A plain binding named `net` is not network access.
+        assert!(findings("fn f(net: u32) -> u32 { net + 1 }\n", FileKind::Library).is_empty());
+    }
+
+    #[test]
     fn rule_ids_are_known() {
         assert!(is_known("no-panic"));
+        assert!(is_known("no-net"));
         assert!(is_known("invalid-allow"));
         assert!(!is_known("no-such-rule"));
     }

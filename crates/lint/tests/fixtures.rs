@@ -55,6 +55,7 @@ const RULES: &[&str] = &[
     "float-eq",
     "span-balance",
     "no-fs",
+    "no-net",
 ];
 
 /// Interprocedural rules: fixtures run through `lint_files`, so the

@@ -1,0 +1,14 @@
+//! Good: the protocol layer speaks byte buffers and typed frames; the
+//! socket lives behind an injected transport, so the state machine is
+//! testable without a kernel in the loop.
+
+/// Abstract transport: backends decide where bytes actually travel.
+pub trait Transport {
+    /// Sends a frame's bytes.
+    fn send(&mut self, bytes: &[u8]);
+}
+
+/// Ships one frame through whichever transport was injected.
+pub fn ship(transport: &mut dyn Transport, frame: &[u8]) {
+    transport.send(frame);
+}

@@ -88,6 +88,9 @@ pub mod stage {
     pub const CHECKPOINT: &str = "checkpoint";
     /// Matched-filter verification of one active luminance probe.
     pub const PROBE_VERIFY: &str = "probe_verify";
+    /// One event-loop turn of the serving daemon (accept, read, dispatch,
+    /// tick, write).
+    pub const DAEMON_TURN: &str = "daemon_turn";
 
     /// The four stages nested under [`DETECT`] plus the fusion stage, in
     /// pipeline order.

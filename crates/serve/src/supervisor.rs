@@ -141,6 +141,8 @@ pub enum ShedReason {
     CapacityExhausted,
     /// The session was released with clips still queued.
     SessionClosed,
+    /// The supervisor is draining for shutdown (admission only).
+    Draining,
 }
 
 impl std::fmt::Display for ShedReason {
@@ -152,6 +154,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::DetectionFailed => "detection failed",
             ShedReason::CapacityExhausted => "capacity exhausted",
             ShedReason::SessionClosed => "session closed",
+            ShedReason::Draining => "draining",
         };
         f.write_str(label)
     }
@@ -333,6 +336,7 @@ pub struct Supervisor {
     stats: ServeStats,
     recorder: Recorder,
     flight: Option<Arc<FlightSink>>,
+    draining: bool,
 }
 
 impl Supervisor {
@@ -358,6 +362,7 @@ impl Supervisor {
             stats: ServeStats::default(),
             recorder: Recorder::null(),
             flight: None,
+            draining: false,
         })
     }
 
@@ -437,6 +442,13 @@ impl Supervisor {
         mut stream: StreamingDetector,
         probe: Option<ProbeDirector>,
     ) -> AdmitOutcome {
+        if self.draining {
+            self.stats.rejected_sessions += 1;
+            self.recorder.add("serve.rejected_sessions", 1);
+            return AdmitOutcome::Shed {
+                reason: ShedReason::Draining,
+            };
+        }
         if self.sessions.len() >= self.config.max_sessions {
             self.stats.rejected_sessions += 1;
             self.recorder.add("serve.rejected_sessions", 1);
@@ -782,9 +794,9 @@ impl Supervisor {
             ShedReason::BreakerOpen => stats.shed_breaker += 1,
             ShedReason::DetectionFailed => stats.shed_failed += 1,
             ShedReason::SessionClosed => stats.shed_closed += 1,
-            // CapacityExhausted is an admission outcome, not a clip shed;
-            // it cannot reach here but the match stays total.
-            ShedReason::CapacityExhausted => {}
+            // CapacityExhausted and Draining are admission outcomes, not
+            // clip sheds; they cannot reach here but the match stays total.
+            ShedReason::CapacityExhausted | ShedReason::Draining => {}
         }
         recorder.add("serve.shed", 1);
         // Per-cause counters, so a metrics snapshot can apportion the shed
@@ -797,6 +809,7 @@ impl Supervisor {
                 ShedReason::DetectionFailed => "serve.shed.detection_failed",
                 ShedReason::SessionClosed => "serve.shed.session_closed",
                 ShedReason::CapacityExhausted => "serve.shed.capacity",
+                ShedReason::Draining => "serve.shed.draining",
             },
             1,
         );
@@ -831,6 +844,24 @@ impl Supervisor {
     /// they occurred.
     pub fn drain_events(&mut self) -> Vec<SessionEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Puts the supervisor into drain mode: every subsequent admission is
+    /// turned away with [`ShedReason::Draining`] while already-admitted
+    /// sessions keep being served. Drain mode is a property of this
+    /// process, not of the fleet state — it is deliberately *not* part of
+    /// [`Supervisor::snapshot`], so a restore always comes back accepting
+    /// traffic.
+    pub fn begin_drain(&mut self) {
+        if !self.draining {
+            self.draining = true;
+            self.recorder.mark("serve.drain", "begin");
+        }
+    }
+
+    /// Whether [`Supervisor::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
     }
 
     /// Aggregate counters so far.
@@ -1266,6 +1297,7 @@ impl Supervisor {
             stats: snap.stats.clone(),
             recorder: Recorder::null(),
             flight: None,
+            draining: false,
         }
     }
 
