@@ -25,7 +25,7 @@
 //! 0.2 s per-clip envelope is enforced this way.
 
 use lumen_bench::{standard_pair, trained_detector};
-use lumen_experiments::{chaos, daemon as daemon_exp, dsoak, overhead, overload};
+use lumen_experiments::{chaos, daemon as daemon_exp, dsoak, fleet as fleet_exp, overhead, overload};
 use lumen_obs::{NullSink, Recorder};
 use lumen_probe::{ChallengeSchedule, ProbeConfig, ProbeInjector, ProbeVerifier, VerifierConfig};
 use serde::{Deserialize, Serialize};
@@ -494,6 +494,102 @@ fn run_suite(label: &str, quick: bool) -> Result<BenchReport, String> {
     metrics.push(metric(
         "dsoak.integrity_ok",
         f64::from(u8::from(ds.integrity_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+
+    // Macro: fleet sweep — the sharded multi-supervisor runtime driven
+    // over waves of short sessions. Throughput is timing (wall-clock per
+    // core); everything else is a deterministic tick-domain outcome and
+    // gates exactly: cross-shard accounting, single-supervisor parity,
+    // threaded-stepping identity, mid-clip snapshot replay and the
+    // per-tick work-stealing conservation ledger.
+    eprintln!("[lumen-bench] macro: fleet experiment");
+    let opts = if quick {
+        fleet_exp::FleetOpts {
+            sessions: vec![192, 384],
+            shards: 4,
+            min_wave: 48,
+            wave_divisor: 4,
+            train_count: 8,
+            trace_pool: 4,
+            deadline_ticks: 8,
+            admission_burst: 16,
+            admission_refill: 4.0,
+            parity_sessions: 32,
+            snapshot_sessions: 16,
+            ..fleet_exp::FleetOpts::default()
+        }
+    } else {
+        fleet_exp::FleetOpts::default()
+    };
+    let started = Instant::now();
+    let fl = fleet_exp::run(opts).map_err(|e| format!("fleet experiment: {e}"))?;
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let swept: u64 = fl.rows.iter().map(|r| r.offered).sum();
+    metrics.push(metric(
+        "fleet.sessions_per_core",
+        swept as f64 / elapsed_s.max(1e-9) / cores as f64,
+        "sessions/s",
+        "timing",
+        None,
+    ));
+    if let Some(worst) = fl.rows.last() {
+        metrics.push(metric(
+            "fleet.p99_latency_ticks",
+            worst.p99_latency_ticks,
+            "ticks",
+            "exact",
+            None,
+        ));
+        metrics.push(metric(
+            "fleet.shed_fraction",
+            worst.shed_fraction,
+            "fraction",
+            "exact",
+            None,
+        ));
+    }
+    metrics.push(metric(
+        "fleet.steals",
+        fl.rows.iter().map(|r| r.steals).sum::<u64>() as f64,
+        "count",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "fleet.accounting_ok",
+        f64::from(u8::from(fl.rows.iter().all(|r| r.accounting_ok))),
+        "bool",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "fleet.parity_ok",
+        f64::from(u8::from(fl.parity_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "fleet.threaded_ok",
+        f64::from(u8::from(fl.threaded_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "fleet.snapshot_ok",
+        f64::from(u8::from(fl.snapshot_ok)),
+        "bool",
+        "exact",
+        None,
+    ));
+    metrics.push(metric(
+        "fleet.conservation_ok",
+        f64::from(u8::from(fl.conservation_ok)),
         "bool",
         "exact",
         None,

@@ -336,18 +336,31 @@ impl<S: Storage> Daemon<S> {
         self.drained
     }
 
-    /// The obs registry snapshot rendered as JSON — the payload of
-    /// [`Frame::Metrics`]. `"{}"` when no flight recorder is attached.
+    /// The payload of [`Frame::Metrics`]: a JSON object with the obs
+    /// registry snapshot under `"metrics"` (`{}` when no flight recorder
+    /// is attached) and a per-shard serve breakdown under `"shards"`. A
+    /// single daemon wraps one supervisor, so the breakdown has exactly
+    /// one row (shard 0); fleet deployments report one row per shard in
+    /// the same shape.
     pub fn metrics_json(&self) -> String {
-        match self.sup.metrics_snapshot() {
-            Some(snap) => match lumen_obs::report::render_json(&snap) {
-                Ok(json) => json,
-                Err(_) => {
-                    self.recorder.add("daemon.metrics_render_failures", 1);
-                    "{}".to_string()
-                }
-            },
-            None => "{}".to_string(),
+        use serde::{Serialize, Value};
+        let metrics = match self.sup.metrics_snapshot() {
+            Some(snap) => snap.serialize(),
+            None => Value::Object(Vec::new()),
+        };
+        let shards = Value::Array(vec![
+            lumen_fleet::ShardBreakdown::from_supervisor(0, &self.sup).serialize(),
+        ]);
+        let reply = Value::Object(vec![
+            ("metrics".to_string(), metrics),
+            ("shards".to_string(), shards),
+        ]);
+        match serde_json::to_string(&reply) {
+            Ok(json) => json,
+            Err(_) => {
+                self.recorder.add("daemon.metrics_render_failures", 1);
+                "{}".to_string()
+            }
         }
     }
 

@@ -193,12 +193,33 @@ fn admission_samples_and_verdicts_flow_end_to_end() {
         })
         .expect("a metrics frame");
     let metrics = String::from_utf8(metrics).expect("metrics endpoint emits UTF-8");
-    let parsed: lumen_obs::Snapshot =
-        serde_json::from_str(&metrics).expect("metrics endpoint emits a registry snapshot");
+    let reply: serde::Value =
+        serde_json::from_str(&metrics).expect("metrics endpoint emits JSON");
+    let serde::Value::Object(fields) = &reply else {
+        panic!("metrics reply is not an object");
+    };
+    let snap_value = fields
+        .iter()
+        .find_map(|(k, v)| (k == "metrics").then_some(v))
+        .expect("reply carries a metrics field");
+    let parsed = <lumen_obs::Snapshot as serde::Deserialize>::deserialize(snap_value)
+        .expect("metrics field is a registry snapshot");
     assert!(
         parsed.counters.iter().any(|c| c.name == "serve.served"),
         "snapshot carries serve counters"
     );
+    let shards_value = fields
+        .iter()
+        .find_map(|(k, v)| (k == "shards").then_some(v))
+        .expect("reply carries a shards field");
+    let serde::Value::Array(rows) = shards_value else {
+        panic!("shards field is not an array");
+    };
+    assert_eq!(rows.len(), 1, "a single daemon reports exactly one shard");
+    let shard = <lumen_fleet::ShardBreakdown as serde::Deserialize>::deserialize(&rows[0])
+        .expect("shard rows parse as breakdowns");
+    assert_eq!(shard.shard, 0);
+    assert!(shard.served > 0, "shard breakdown carries serve counts");
 
     assert!(daemon.serve_stats().served_clips >= 2, "both clips served");
     assert_accounting(&daemon);

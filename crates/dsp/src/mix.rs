@@ -1,0 +1,87 @@
+//! Seeded splitmix hashing: the workspace's one stateless mixer.
+//!
+//! Several subsystems need a *stateless* seeded decision — a value that is
+//! a pure function of stable coordinates rather than a draw from
+//! sequential RNG state: chaos fault injection consults the same
+//! coordinates from a reference run and a kill/restore run, the probe
+//! director derives per-ordinal challenge seeds, and the fleet runtime
+//! hash-partitions session keys onto supervisor shards. They all share
+//! this splitmix64-finalized mixer so the avalanche behaviour (and its
+//! tests) live in exactly one place.
+//!
+//! The mixer is **not** a substream: `lumen_video::noise::substream`
+//! derives whole ChaCha8 streams and is audited through `SUBSTREAMS.md`.
+//! Callers that need a *seed* for this mixer from the session seed space
+//! (e.g. fleet partitioning) draw it from a registered substream first,
+//! keeping the label allocation table the single audit point.
+
+/// Splitmix-style mix of a seed, a domain tag and two coordinates.
+///
+/// The multipliers are the classic splitmix64 / golden-ratio constants;
+/// the three inputs are spread with distinct odd multipliers before the
+/// 64-bit finalizer so that (tag, a, b) triples landing on the same XOR
+/// are vanishingly unlikely. Deterministic, allocation-free, and stable
+/// across the workspace: checked-in experiment outputs depend on it.
+#[must_use]
+pub fn splitmix(seed: u64, tag: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        ^ tag.wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to the half-open unit interval `[0, 1)`.
+///
+/// Uses the top 53 bits so the result is an exactly representable dyadic
+/// rational — the comparison `unit(h) < p` is then bit-stable across
+/// platforms.
+#[must_use]
+pub fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_pure_function_of_its_coordinates() {
+        assert_eq!(splitmix(7, 1, 2, 3), splitmix(7, 1, 2, 3));
+        // Every input perturbs the output.
+        let base = splitmix(7, 1, 2, 3);
+        assert_ne!(splitmix(8, 1, 2, 3), base);
+        assert_ne!(splitmix(7, 2, 2, 3), base);
+        assert_ne!(splitmix(7, 1, 3, 3), base);
+        assert_ne!(splitmix(7, 1, 2, 4), base);
+    }
+
+    #[test]
+    fn unit_stays_in_the_half_open_interval() {
+        for h in [0, 1, u64::MAX, 0x8000_0000_0000_0000] {
+            let u = unit(h);
+            assert!((0.0..1.0).contains(&u), "unit({h}) = {u}");
+        }
+        assert_eq!(unit(0), 0.0);
+    }
+
+    #[test]
+    fn low_bits_avalanche_into_shard_sized_buckets() {
+        // Partitioning uses `splitmix(..) % shards`: consecutive keys must
+        // not fall into consecutive buckets. Check rough uniformity over 8
+        // buckets for 8k consecutive keys.
+        let shards = 8u64;
+        let mut counts = [0u64; 8];
+        for key in 0..8_000u64 {
+            counts[(splitmix(42, 9, key, 0) % shards) as usize] += 1;
+        }
+        for (bucket, &count) in counts.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&count),
+                "bucket {bucket} holds {count} of 8000"
+            );
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod clip_length;
 pub mod daemon;
 pub mod dsoak;
 pub mod feasibility;
+pub mod fleet;
 pub mod forgery_delay;
 pub mod lof_example;
 pub mod metering;

@@ -1,0 +1,95 @@
+//! Fleet-level session admission: a deterministic token bucket.
+//!
+//! Same discipline as the daemon's per-connection frame limiter
+//! (`lumen_daemon::limiter`): the bucket refills per fleet *tick*, never
+//! per wall-clock second, so admission decisions replay exactly in tests
+//! and in kill/restore runs. One bucket guards the whole fleet — the
+//! point is to bound the rate at which expensive per-session state
+//! (detector, breaker, probe director) can be created, whichever shard
+//! it would land on.
+
+use crate::config::AdmissionConfig;
+
+/// A deterministic fleet-admission token bucket.
+#[derive(Debug, Clone)]
+pub struct AdmissionBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_tick: f64,
+}
+
+impl AdmissionBucket {
+    /// A full bucket per `config`.
+    pub fn new(config: AdmissionConfig) -> Self {
+        let capacity = f64::from(config.burst_sessions);
+        AdmissionBucket {
+            capacity,
+            tokens: capacity,
+            refill_per_tick: config.refill_per_tick.max(0.0),
+        }
+    }
+
+    /// Adds one tick's worth of tokens, saturating at capacity.
+    pub fn refill(&mut self) {
+        self.tokens = (self.tokens + self.refill_per_tick).min(self.capacity);
+    }
+
+    /// Takes one token if available. `false` means the session must be
+    /// shed at the fleet tier (counted, typed, never silent).
+    pub fn try_take(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (checkpointed into the fleet manifest).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Restores the level from a checkpoint, clamped into `[0, capacity]`.
+    pub(crate) fn set_tokens(&mut self, tokens: f64) {
+        self.tokens = tokens.clamp(0.0, self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(burst: u32, refill: f64) -> AdmissionBucket {
+        AdmissionBucket::new(AdmissionConfig {
+            burst_sessions: burst,
+            refill_per_tick: refill,
+        })
+    }
+
+    #[test]
+    fn burst_then_starve_then_recover() {
+        let mut b = bucket(3, 0.5);
+        for _ in 0..3 {
+            assert!(b.try_take());
+        }
+        assert!(!b.try_take());
+        b.refill();
+        assert!(!b.try_take(), "half a token is not a token");
+        b.refill();
+        assert!(b.try_take());
+        for _ in 0..100 {
+            b.refill();
+        }
+        assert!((b.tokens() - 3.0).abs() < 1e-12, "caps at capacity");
+    }
+
+    #[test]
+    fn restored_level_is_clamped() {
+        let mut b = bucket(4, 1.0);
+        b.set_tokens(9.0);
+        assert!((b.tokens() - 4.0).abs() < 1e-12);
+        b.set_tokens(-1.0);
+        assert!(b.tokens().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+use std::fmt;
+
+use lumen_serve::{ServeError, StoreError};
+
+/// Errors produced by the fleet runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A configuration field is outside its valid domain.
+    InvalidConfig {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A fleet checkpoint is internally inconsistent and cannot be
+    /// restored.
+    BadSnapshot(String),
+    /// Propagated shard (supervisor) error.
+    Serve(ServeError),
+    /// Propagated checkpoint-store error.
+    Store(StoreError),
+}
+
+impl FleetError {
+    /// Convenience constructor for [`FleetError::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        FleetError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`FleetError::BadSnapshot`].
+    pub fn bad_snapshot(reason: impl Into<String>) -> Self {
+        FleetError::BadSnapshot(reason.into())
+    }
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InvalidConfig { field, reason } => {
+                write!(f, "invalid fleet config `{field}`: {reason}")
+            }
+            FleetError::BadSnapshot(reason) => write!(f, "bad fleet checkpoint: {reason}"),
+            FleetError::Serve(e) => write!(f, "shard failed: {e}"),
+            FleetError::Store(e) => write!(f, "fleet checkpoint store failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Serve(e) => Some(e),
+            FleetError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeError> for FleetError {
+    fn from(e: ServeError) -> Self {
+        FleetError::Serve(e)
+    }
+}
+
+impl From<StoreError> for FleetError {
+    fn from(e: StoreError) -> Self {
+        FleetError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(FleetError::invalid_config("shards", "zero")
+            .to_string()
+            .contains("shards"));
+        assert!(FleetError::bad_snapshot("shard count drifted")
+            .to_string()
+            .contains("drifted"));
+        use std::error::Error;
+        let serve = ServeError::UnknownSession(9);
+        let wrapped = FleetError::from(serve);
+        assert!(wrapped.to_string().contains("9"));
+        assert!(wrapped.source().is_some());
+        let store = StoreError::Io("disk gone".into());
+        let wrapped = FleetError::from(store);
+        assert!(wrapped.to_string().contains("disk gone"));
+        assert!(wrapped.source().is_some());
+    }
+}

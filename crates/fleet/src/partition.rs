@@ -1,0 +1,88 @@
+//! Seeded session-key partitioning.
+//!
+//! Sessions land on shards by a stateless hash of their *stable key*
+//! (whatever identity the host already has for the connection), never by
+//! arrival order: the placement of every session is a pure function of
+//! `(fleet seed, key)`, so a restored fleet — or a reference fleet run
+//! for a parity check — places every session on the same shard without
+//! any routing table to persist.
+//!
+//! The hash seed is not the fleet seed itself: it is drawn through the
+//! workspace's audited substream registry (label
+//! [`PARTITION_SUBSTREAM`]), so partitioning can never collide with
+//! another subsystem consuming the same scenario seed.
+
+use lumen_dsp::mix::splitmix;
+use lumen_video::noise::substream;
+use rand::RngCore;
+
+/// Substream label owning fleet partitioning (see SUBSTREAMS.md).
+pub const PARTITION_SUBSTREAM: u64 = 110;
+
+/// Domain tag separating partition hashes from every other
+/// [`splitmix`] caller sharing a seed.
+const TAG_PARTITION: u64 = 0x10;
+
+/// Stateless session-key → shard placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partitioner {
+    partition_seed: u64,
+    shards: usize,
+}
+
+impl Partitioner {
+    /// Derives the partition hash seed for `fleet_seed` over `shards`
+    /// shards.
+    pub fn new(fleet_seed: u64, shards: usize) -> Self {
+        let mut rng = substream(fleet_seed, PARTITION_SUBSTREAM);
+        Partitioner {
+            partition_seed: rng.next_u64(),
+            shards: shards.max(1),
+        }
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: u64) -> usize {
+        (splitmix(self.partition_seed, TAG_PARTITION, key, 0) % self.shards as u64) as usize
+    }
+
+    /// Number of shards partitioned over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_a_pure_function_of_seed_and_key() {
+        let a = Partitioner::new(42, 8);
+        let b = Partitioner::new(42, 8);
+        for key in 0..512 {
+            assert_eq!(a.shard_of(key), b.shard_of(key));
+            assert!(a.shard_of(key) < 8);
+        }
+        let reseeded = Partitioner::new(43, 8);
+        assert!(
+            (0..512).any(|k| a.shard_of(k) != reseeded.shard_of(k)),
+            "a different fleet seed must shuffle placements"
+        );
+    }
+
+    #[test]
+    fn spreads_consecutive_keys_across_shards() {
+        let p = Partitioner::new(7, 4);
+        let mut counts = [0usize; 4];
+        for key in 0..4_000 {
+            counts[p.shard_of(key)] += 1;
+        }
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&count),
+                "shard {shard} holds {count} of 4000"
+            );
+        }
+    }
+}

@@ -91,6 +91,9 @@ pub mod stage {
     /// One event-loop turn of the serving daemon (accept, read, dispatch,
     /// tick, write).
     pub const DAEMON_TURN: &str = "daemon_turn";
+    /// One scheduler tick of the sharded fleet runtime (admission,
+    /// per-shard ticks, work stealing).
+    pub const FLEET_TICK: &str = "fleet_tick";
 
     /// The four stages nested under [`DETECT`] plus the fusion stage, in
     /// pipeline order.

@@ -215,6 +215,28 @@ impl Recorder {
         }
     }
 
+    /// Sets a per-index gauge level under the name `{name}.{index}` —
+    /// e.g. `fleet.shard.queue_depth.3` for shard 3. Gauge names are
+    /// otherwise static; this is the one sanctioned dynamic-name path,
+    /// for families indexed by a small bounded id (shards). The string
+    /// is assembled only when the recorder is enabled.
+    pub fn gauge_indexed(&self, name: &'static str, index: u64, value: f64) {
+        if let Some(inner) = &self.inner {
+            let (parent, depth) = Self::context();
+            Self::emit(
+                inner,
+                EventKind::GaugeSet,
+                &format!("{name}.{index}"),
+                Payload {
+                    parent,
+                    depth,
+                    value: Some(value),
+                    ..Payload::default()
+                },
+            );
+        }
+    }
+
     /// Records one histogram observation.
     pub fn observe(&self, name: &'static str, value: f64) {
         if let Some(inner) = &self.inner {

@@ -269,13 +269,13 @@ fn retry_withheld(verdict: &ProbeVerdict) -> ProbeVerdict {
     }
 }
 
-/// Deterministic per-probe seed derivation (splitmix-style mix of the
-/// director seed and the probe ordinal).
+/// Deterministic per-probe seed derivation: the shared workspace mixer
+/// over `(seed, ordinal + 1)`, tag 0. The `+ 1` keeps ordinal 0 from
+/// collapsing its coordinate to the raw seed — the formula (and thus
+/// every historical challenge schedule) is unchanged by the move to
+/// [`lumen_dsp::mix::splitmix`].
 fn probe_seed(seed: u64, ordinal: u64) -> u64 {
-    let mut z = seed ^ (ordinal.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    lumen_dsp::mix::splitmix(seed, 0, ordinal.wrapping_add(1), 0)
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 use crate::checkpoint::SupervisorSnapshot;
 use crate::store::StorageFaults;
 use crate::{Result, ServeError};
+use lumen_dsp::mix::{splitmix as mix, unit};
 use serde::{Deserialize, Serialize};
 
 /// What a chaos run does to the fleet, beyond transport faults.
@@ -238,22 +239,6 @@ const TAG_STORM: u64 = 0x02;
 const TAG_STORM_START: u64 = 0x03;
 const TAG_STALL: u64 = 0x04;
 const TAG_CORRUPT: u64 = 0x05;
-
-/// Splitmix-style mix of the plan seed, a fault tag and two coordinates.
-fn mix(seed: u64, tag: u64, a: u64, b: u64) -> u64 {
-    let mut z = seed
-        ^ tag.wrapping_mul(0xA076_1D64_78BD_642F)
-        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ b.wrapping_mul(0xD1B5_4A32_D192_ED03);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// Maps a hash to the unit interval.
-fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
 
 #[cfg(test)]
 mod tests {

@@ -27,6 +27,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::marker::PhantomData;
 
 use crate::checkpoint::SupervisorSnapshot;
 use lumen_obs::Recorder;
@@ -633,12 +634,15 @@ pub struct QuarantinedGeneration {
 }
 
 /// The generation [`CheckpointStore::load_latest`] settled on.
+///
+/// Generic over the snapshot payload; defaults to [`SupervisorSnapshot`]
+/// so single-supervisor callers never name the parameter.
 #[derive(Debug, Clone, PartialEq)]
-pub struct LoadedGeneration {
+pub struct LoadedGeneration<T = SupervisorSnapshot> {
     /// The restored generation number.
     pub generation: u64,
     /// The decoded snapshot.
-    pub snapshot: SupervisorSnapshot,
+    pub snapshot: T,
     /// How many newer generations were rejected before this one (0 = the
     /// newest stored generation was valid).
     pub fallback_depth: usize,
@@ -646,10 +650,10 @@ pub struct LoadedGeneration {
 
 /// Outcome of [`CheckpointStore::load_latest`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct LoadReport {
+pub struct LoadReport<T = SupervisorSnapshot> {
     /// The newest valid generation, or `None` when nothing valid is
     /// stored.
-    pub loaded: Option<LoadedGeneration>,
+    pub loaded: Option<LoadedGeneration<T>>,
     /// Every corrupt generation found (and quarantined) during the scan,
     /// newest first.
     pub quarantined: Vec<QuarantinedGeneration>,
@@ -666,17 +670,25 @@ struct PendingWrite {
 }
 
 /// Generation-rotated checkpoint store over an injected [`Storage`].
+///
+/// Generic over the snapshot payload it frames (any `Serialize +
+/// Deserialize` type); defaults to [`SupervisorSnapshot`], the original
+/// single-supervisor payload, so existing callers are unchanged. The
+/// fleet runtime instantiates it with `FleetSnapshot` to persist a
+/// manifest plus every shard's snapshot through the same CRC-framed,
+/// generation-rotated machinery.
 #[derive(Debug)]
-pub struct CheckpointStore<S: Storage> {
+pub struct CheckpointStore<S: Storage, T = SupervisorSnapshot> {
     storage: S,
     config: StoreConfig,
     recorder: Recorder,
     next_generation: u64,
     pending: Option<PendingWrite>,
     stats: StoreStats,
+    _payload: PhantomData<fn() -> T>,
 }
 
-impl<S: Storage> CheckpointStore<S> {
+impl<S: Storage, T: Serialize + Deserialize> CheckpointStore<S, T> {
     /// Opens a store over `storage`, resuming generation numbering after
     /// any records already present.
     ///
@@ -699,6 +711,7 @@ impl<S: Storage> CheckpointStore<S> {
             next_generation: highest + 1,
             pending: None,
             stats: StoreStats::default(),
+            _payload: PhantomData,
         })
     }
 
@@ -752,11 +765,7 @@ impl<S: Storage> CheckpointStore<S> {
     /// Returns [`StoreError::Encode`] when the snapshot cannot be
     /// serialized. Backend write failures are *not* errors — they arm the
     /// retry and report [`CommitOutcome::Retrying`].
-    pub fn commit(
-        &mut self,
-        now: u64,
-        snapshot: &SupervisorSnapshot,
-    ) -> Result<CommitOutcome, StoreError> {
+    pub fn commit(&mut self, now: u64, snapshot: &T) -> Result<CommitOutcome, StoreError> {
         let payload =
             serde_json::to_string(snapshot).map_err(|e| StoreError::Encode(format!("{e:?}")))?;
         let generation = self.next_generation;
@@ -848,7 +857,7 @@ impl<S: Storage> CheckpointStore<S> {
     ///
     /// Propagates backend listing failures. Corrupt records are never
     /// errors — they are quarantined and reported.
-    pub fn load_latest(&mut self) -> Result<LoadReport, StoreError> {
+    pub fn load_latest(&mut self) -> Result<LoadReport<T>, StoreError> {
         let mut entries: Vec<(u64, String)> = self
             .storage
             .list()?
@@ -949,7 +958,7 @@ pub fn parse_name(name: &str) -> Option<u64> {
 }
 
 /// Decodes the JSON payload of a validated record.
-fn decode_snapshot(payload: &[u8]) -> Result<SupervisorSnapshot, CorruptReason> {
+fn decode_snapshot<T: Deserialize>(payload: &[u8]) -> Result<T, CorruptReason> {
     let text = std::str::from_utf8(payload).map_err(|_| CorruptReason::BadPayload)?;
     serde_json::from_str(text).map_err(|_| CorruptReason::BadPayload)
 }
@@ -1192,7 +1201,8 @@ mod tests {
             store.commit(0, &empty_snapshot(0)).unwrap();
             store.commit(1, &empty_snapshot(1)).unwrap();
         }
-        let store = CheckpointStore::new(&mut storage, StoreConfig::default()).unwrap();
+        let store: CheckpointStore<_, SupervisorSnapshot> =
+            CheckpointStore::new(&mut storage, StoreConfig::default()).unwrap();
         assert_eq!(store.next_generation, 3);
     }
 

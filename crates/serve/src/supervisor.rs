@@ -259,6 +259,26 @@ pub struct ServeStats {
     pub rejected_sessions: u64,
 }
 
+impl ServeStats {
+    /// Sums two stat sets element-wise. A fleet of shards aggregates its
+    /// global accounting this way, so `Σ served + Σ shed == Σ offered`
+    /// holds across shards exactly as it does within one supervisor.
+    #[must_use]
+    pub fn merged(&self, other: &ServeStats) -> ServeStats {
+        ServeStats {
+            offered_clips: self.offered_clips + other.offered_clips,
+            served_clips: self.served_clips + other.served_clips,
+            shed_clips: self.shed_clips + other.shed_clips,
+            shed_queue_full: self.shed_queue_full + other.shed_queue_full,
+            shed_deadline: self.shed_deadline + other.shed_deadline,
+            shed_breaker: self.shed_breaker + other.shed_breaker,
+            shed_failed: self.shed_failed + other.shed_failed,
+            shed_closed: self.shed_closed + other.shed_closed,
+            rejected_sessions: self.rejected_sessions + other.rejected_sessions,
+        }
+    }
+}
+
 /// One entry of a session's pending-clip queue. Tombstones hold the
 /// verdict-stream position of a clip whose shedding was decided at
 /// completion time; they cost no detection budget.
@@ -889,6 +909,54 @@ impl Supervisor {
     /// sessions. Zero means every offered clip has been served or shed.
     pub fn pending_clips(&self) -> usize {
         self.sessions.values().map(|s| s.queue.len()).sum()
+    }
+
+    /// Queued *servable* clips (tombstones excluded) across all sessions.
+    ///
+    /// This is the backlog a fleet's work-stealing tier compares across
+    /// shards: tombstones resolve for free at the next tick, so only real
+    /// clips represent detection work waiting on budget.
+    pub fn backlog_clips(&self) -> usize {
+        self.sessions.values().map(|s| s.queued_real_clips()).sum()
+    }
+
+    /// Serve credits left in the current budget period.
+    pub fn credits(&self) -> u64 {
+        self.credits
+    }
+
+    /// Removes up to `n` unspent credits from the current budget period,
+    /// returning how many were actually taken.
+    ///
+    /// This is the donor half of fleet work stealing: a shard that ends
+    /// its tick with credits left over provably had no ready clips (the
+    /// tick loop only stops early when [`Supervisor::tick`] finds no
+    /// servable queue front), so those credits can migrate to a hot shard
+    /// without starving local work.
+    pub fn take_credits(&mut self, n: u64) -> u64 {
+        let taken = n.min(self.credits);
+        self.credits -= taken;
+        taken
+    }
+
+    /// Serves one ready clip *without* spending local credits, on a
+    /// donated credit from another shard. Returns whether a clip was
+    /// served.
+    ///
+    /// The served clip goes through the exact same path as budgeted
+    /// serving — round-robin fairness cursor, deadline flush, breaker and
+    /// shed accounting — so `served + shed == offered` still holds on
+    /// this shard, and the donor's identity is untouched (it gave up a
+    /// credit it was not going to spend).
+    pub fn serve_stolen(&mut self) -> bool {
+        let Some(id) = self.next_ready() else {
+            return false;
+        };
+        let now = self.clock.tick();
+        self.serve_front(id, now);
+        self.flush_front(id, now);
+        self.cursor = id;
+        true
     }
 
     /// The session's streaming detector (status, clip accounting).

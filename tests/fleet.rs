@@ -1,0 +1,257 @@
+//! Property tests for the sharded fleet runtime: composable snapshot
+//! restore is byte-identical for never-quarantined sessions regardless
+//! of shard count, and the work-stealing conservation ledger holds on
+//! every tick under seeded hot-shard skew.
+
+use lumen::chat::scenario::ScenarioBuilder;
+use lumen::chat::trace::TracePair;
+use lumen::core::detector::Detector;
+use lumen::core::stream::{ClipVerdict, StreamingDetector};
+use lumen::core::Config;
+use lumen::fleet::{AdmissionConfig, Fleet, FleetConfig, FleetEvent, FleetSnapshot};
+use lumen::obs::Recorder;
+use lumen::serve::{ServeConfig, SessionEventKind};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn detector() -> &'static Detector {
+    static DET: OnceLock<Detector> = OnceLock::new();
+    DET.get_or_init(|| {
+        let chats = ScenarioBuilder::default();
+        let training: Vec<_> = (0..12)
+            .map(|i| chats.legitimate(0, 70_000 + i).expect("training trace"))
+            .collect();
+        Detector::train_from_traces(&training, Config::default()).expect("training succeeds")
+    })
+}
+
+fn stream() -> StreamingDetector {
+    StreamingDetector::new(detector().clone(), 15.0, 3).expect("valid stream config")
+}
+
+/// A small fixed pool of legitimate traces, one per session ordinal.
+fn pool() -> &'static Vec<TracePair> {
+    static POOL: OnceLock<Vec<TracePair>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let chats = ScenarioBuilder::default();
+        (0..4)
+            .map(|i| chats.legitimate(0, 72_000 + i).expect("pool trace"))
+            .collect()
+    })
+}
+
+fn relaxed(shards: usize, seed: u64, sessions: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        seed,
+        shard: ServeConfig {
+            max_sessions: sessions,
+            budget_clips: 2,
+            budget_period_ticks: 1,
+            deadline_ticks: 10_000,
+            ..ServeConfig::default()
+        },
+        admission: AdmissionConfig {
+            burst_sessions: u32::try_from(sessions).expect("small count"),
+            refill_per_tick: 1.0,
+        },
+        max_steals_per_tick: 4,
+    }
+}
+
+fn verdicts_of(events: &[FleetEvent], session: u64) -> Vec<ClipVerdict> {
+    events
+        .iter()
+        .filter(|e| e.session == session)
+        .filter_map(|e| match &e.kind {
+            SessionEventKind::Verdict(v) => Some(v.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A fleet killed mid-clip into a serde-round-tripped
+    /// [`FleetSnapshot`] and restored shard-by-shard replays every
+    /// never-quarantined session byte-identically to the uninterrupted
+    /// run — whatever the shard count, wherever the cut, and even when
+    /// one shard's snapshot entry rots and its session is quarantined.
+    #[test]
+    fn restore_is_byte_identical_for_unquarantined_sessions(
+        shards in 1usize..=4,
+        cut in 20usize..130,
+        rot in any::<bool>(),
+        rotted in 0usize..4,
+        seed in 0u64..512,
+    ) {
+        const SESSIONS: usize = 4;
+        let config = relaxed(shards, seed, SESSIONS);
+        let shortest = pool().iter().map(|p| p.tx.samples().len()).min().unwrap_or(0);
+        prop_assert!(shortest > 140, "pool traces must cover one clip");
+        let total = shortest.min(160);
+
+        // Uninterrupted reference.
+        let mut straight = Fleet::new(config.clone()).expect("valid config");
+        let ids: Vec<u64> = (0..SESSIONS as u64)
+            .map(|k| straight.admit(k, stream()).session().expect("admitted"))
+            .collect();
+        let feed = |fleet: &mut Fleet, skip: Option<u64>, range: std::ops::Range<usize>| {
+            for sample in range {
+                for (si, &id) in ids.iter().enumerate() {
+                    if Some(id) == skip {
+                        continue;
+                    }
+                    let pair = &pool()[si % pool().len()];
+                    fleet
+                        .offer(id, pair.tx.samples()[sample], pair.rx.samples()[sample])
+                        .expect("offer succeeds");
+                }
+                fleet.tick();
+            }
+            let mut guard = 0u32;
+            while fleet.pending_clips() > 0 {
+                fleet.tick();
+                guard += 1;
+                assert!(guard < 100_000, "fleet failed to drain");
+            }
+        };
+        // NB: the closure captures `ids` immutably; drive both runs with it.
+        feed(&mut straight, None, 0..total);
+        let straight_events = straight.drain_events();
+
+        // Interrupted run: identical feed up to the cut, then a crash.
+        let mut cycled = Fleet::new(config.clone()).expect("valid config");
+        for (k, &expect) in ids.iter().enumerate() {
+            prop_assert_eq!(
+                cycled.admit(k as u64, stream()).session(),
+                Some(expect),
+                "placement must be deterministic"
+            );
+        }
+        for sample in 0..cut {
+            for (si, &id) in ids.iter().enumerate() {
+                let pair = &pool()[si % pool().len()];
+                cycled
+                    .offer(id, pair.tx.samples()[sample], pair.rx.samples()[sample])
+                    .expect("offer succeeds");
+            }
+            cycled.tick();
+        }
+        let mut snap = cycled.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let back: FleetSnapshot = serde_json::from_str(&json).expect("snapshot decodes");
+        prop_assert_eq!(&back, &snap, "fleet snapshot must round-trip through serde");
+        drop(cycled); // the "crash"
+
+        // Optionally rot one session's entry in its shard's snapshot.
+        let rotted_id = ids[rotted % ids.len()];
+        let quarantined = if rot {
+            let shard = (rotted_id % shards as u64) as usize;
+            let local = rotted_id / shards as u64;
+            let slot = snap.shards[shard]
+                .sessions
+                .iter_mut()
+                .find(|s| s.id == local)
+                .expect("session present in its shard snapshot");
+            slot.partial_rx.push(0.0);
+            Some(rotted_id)
+        } else {
+            None
+        };
+
+        let (mut restored, report) = Fleet::restore_with_report(
+            config,
+            &snap,
+            |_| Ok(stream()),
+            &Recorder::null(),
+        )
+        .expect("restore succeeds");
+        prop_assert_eq!(report.quarantined_sessions(), quarantined.into_iter().collect::<Vec<_>>());
+        feed(&mut restored, quarantined, cut..total);
+        let restored_events = restored.drain_events();
+
+        for &id in &ids {
+            if Some(id) == quarantined {
+                continue;
+            }
+            prop_assert_eq!(
+                verdicts_of(&restored_events, id),
+                verdicts_of(&straight_events, id),
+                "session {} diverged after restore (shards={}, cut={})",
+                id,
+                shards,
+                cut
+            );
+        }
+        if quarantined.is_none() {
+            prop_assert_eq!(restored.shard_stats(), straight.shard_stats());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under seeded hot-shard skew (every key hashed onto one shard,
+    /// tiny per-shard budget) idle shards donate credits to the hot one,
+    /// and the conservation ledger `offered == served + shed + in_flight`
+    /// holds on every single tick.
+    #[test]
+    fn stealing_conserves_work_under_hot_shard_skew(
+        shards in 2usize..=4,
+        seed in 0u64..512,
+        hot_sessions in 3usize..=5,
+    ) {
+        let mut config = relaxed(shards, seed, hot_sessions);
+        config.shard.budget_clips = 1;
+        config.shard.budget_period_ticks = 40;
+        config.shard.queue_clips = 2;
+        let mut fleet = Fleet::new(config).expect("valid config");
+
+        let hot = fleet.shard_of_key(0);
+        let keys: Vec<u64> = (0..2_000u64)
+            .filter(|&k| fleet.shard_of_key(k) == hot)
+            .take(hot_sessions)
+            .collect();
+        prop_assert_eq!(keys.len(), hot_sessions, "not enough keys landed on shard {}", hot);
+        let ids: Vec<u64> = keys
+            .iter()
+            .map(|&k| fleet.admit(k, stream()).session().expect("admitted"))
+            .collect();
+        for &id in &ids {
+            prop_assert_eq!(fleet.shard_of_session(id), hot, "skew setup leaked a session");
+        }
+
+        let pair = &pool()[0];
+        for sample in 0..pair.tx.samples().len().min(160) {
+            for &id in &ids {
+                fleet
+                    .offer(id, pair.tx.samples()[sample], pair.rx.samples()[sample])
+                    .expect("offer succeeds");
+            }
+            fleet.tick();
+            let ledger = fleet.ledger();
+            prop_assert!(ledger.holds(), "ledger broke mid-feed: {:?}", ledger);
+        }
+        let mut guard = 0u32;
+        while fleet.pending_clips() > 0 {
+            fleet.tick();
+            let ledger = fleet.ledger();
+            prop_assert!(ledger.holds(), "ledger broke draining: {:?}", ledger);
+            guard += 1;
+            prop_assert!(guard < 100_000, "fleet failed to drain");
+        }
+
+        prop_assert!(
+            fleet.stats().steals > 0,
+            "idle shards never donated credits to the hot shard"
+        );
+        let stats = fleet.shard_stats();
+        prop_assert_eq!(stats.served_clips + stats.shed_clips, stats.offered_clips);
+        let ledger = fleet.ledger();
+        prop_assert_eq!(ledger.in_flight, 0);
+        prop_assert!(ledger.holds());
+    }
+}
